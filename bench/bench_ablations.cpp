@@ -1,0 +1,132 @@
+//===- bench/bench_ablations.cpp - design-choice ablations -------------------===//
+//
+// Ablations for the design choices DESIGN.md calls out:
+//  - affinity processing order (by weight vs. input order) in the greedy
+//    aggressive and conservative drivers;
+//  - the optimistic heuristic's restore pass and dissolution policy;
+//  - the cost of WorkGraph's merged-class adjacency versus rebuilding the
+//    quotient from scratch per merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "challenge/ChallengeInstance.h"
+#include "coalescing/Aggressive.h"
+#include "coalescing/Conservative.h"
+#include "coalescing/Optimistic.h"
+#include "coalescing/WorkGraph.h"
+#include "npc/Theorem6Reduction.h"
+#include "npc/VertexCover.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+static CoalescingProblem makeInstance(unsigned N, uint64_t Seed,
+                                      bool ShuffleWeights) {
+  Rng Rand(Seed);
+  ChallengeOptions Options;
+  Options.NumValues = N;
+  Options.TreeSize = N / 2;
+  Options.AffinityFraction = 2.0; // Dense moves: real de-coalescing work.
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  if (ShuffleWeights)
+    // Uniform weights: the driver's weight ordering degenerates to input
+    // order, isolating the ordering's contribution.
+    for (Affinity &A : P.Affinities)
+      A.Weight = 1.0;
+  return P;
+}
+
+static void BM_AggressiveOrdering(benchmark::State &State) {
+  bool Uniform = State.range(1) != 0;
+  CoalescingProblem P =
+      makeInstance(static_cast<unsigned>(State.range(0)), 111, Uniform);
+  double Ratio = 0;
+  for (auto _ : State) {
+    AggressiveResult R = aggressiveCoalesceGreedy(P);
+    Ratio = R.Stats.CoalescedWeight / totalAffinityWeight(P);
+    benchmark::DoNotOptimize(&Ratio);
+  }
+  State.counters["coalesced_ratio"] = Ratio;
+  State.counters["uniform_weights"] = Uniform ? 1 : 0;
+}
+BENCHMARK(BM_AggressiveOrdering)->Args({512, 0})->Args({512, 1});
+
+/// Gadget workload where de-coalescing decisions genuinely matter: the
+/// Theorem 6 structures force dissolutions.
+static CoalescingProblem makeGadgetInstance(unsigned N, uint64_t Seed) {
+  Rng Rand(Seed);
+  Graph G = randomBoundedDegreeGraph(N, 3, 0.5, Rand);
+  return Theorem6Reduction::build(G).Problem;
+}
+
+static void BM_OptimisticRestoreAblation(benchmark::State &State) {
+  bool Restore = State.range(1) != 0;
+  CoalescingProblem P =
+      makeGadgetInstance(static_cast<unsigned>(State.range(0)), 112);
+  OptimisticOptions Options;
+  Options.Restore = Restore;
+  unsigned Coalesced = 0;
+  for (auto _ : State) {
+    OptimisticResult R = optimisticCoalesce(P, Options);
+    Coalesced = R.Stats.CoalescedAffinities;
+    benchmark::DoNotOptimize(Coalesced);
+  }
+  State.counters["coalesced"] = Coalesced;
+  State.counters["restore"] = Restore ? 1 : 0;
+}
+BENCHMARK(BM_OptimisticRestoreAblation)->Args({40, 0})->Args({40, 1});
+
+static void BM_OptimisticDissolvePolicy(benchmark::State &State) {
+  bool Cheapest = State.range(1) != 0;
+  CoalescingProblem P =
+      makeGadgetInstance(static_cast<unsigned>(State.range(0)), 113);
+  OptimisticOptions Options;
+  Options.DissolveCheapest = Cheapest;
+  double Ratio = 0;
+  unsigned Dissolutions = 0;
+  for (auto _ : State) {
+    OptimisticResult R = optimisticCoalesce(P, Options);
+    Ratio = R.Stats.CoalescedWeight / totalAffinityWeight(P);
+    Dissolutions = R.Dissolutions;
+    benchmark::DoNotOptimize(&Ratio);
+  }
+  State.counters["coalesced_ratio"] = Ratio;
+  State.counters["dissolutions"] = Dissolutions;
+  State.counters["cheapest"] = Cheapest ? 1 : 0;
+}
+BENCHMARK(BM_OptimisticDissolvePolicy)->Args({40, 0})->Args({40, 1});
+
+static void BM_WorkGraphMerges(benchmark::State &State) {
+  // Incremental class adjacency: run all mergeable affinities through a
+  // WorkGraph.
+  CoalescingProblem P =
+      makeInstance(static_cast<unsigned>(State.range(0)), 114, false);
+  for (auto _ : State) {
+    WorkGraph WG(P.G);
+    for (const Affinity &A : P.Affinities)
+      if (WG.canMerge(A.U, A.V))
+        WG.merge(A.U, A.V);
+    benchmark::DoNotOptimize(WG.numClasses());
+  }
+}
+BENCHMARK(BM_WorkGraphMerges)->Range(128, 4096);
+
+static void BM_QuotientRebuildBaseline(benchmark::State &State) {
+  // The naive alternative: rebuild the whole quotient after every merge.
+  CoalescingProblem P =
+      makeInstance(static_cast<unsigned>(State.range(0)), 114, false);
+  for (auto _ : State) {
+    WorkGraph WG(P.G);
+    unsigned Merges = 0;
+    for (const Affinity &A : P.Affinities) {
+      if (!WG.canMerge(A.U, A.V))
+        continue;
+      WG.merge(A.U, A.V);
+      benchmark::DoNotOptimize(WG.quotientGraph().numEdges());
+      ++Merges;
+    }
+    benchmark::DoNotOptimize(Merges);
+  }
+}
+BENCHMARK(BM_QuotientRebuildBaseline)->Range(128, 1024);

@@ -1,0 +1,77 @@
+//===- bench/bench_challenge.cpp - E11: strategy comparison ------------------===//
+//
+// Experiment E11: the Appel-George-style comparison on synthetic challenge
+// suites. For each strategy, reports the fraction of move weight coalesced
+// at two pressure levels (k = omega, the hard regime, and k = omega + 2).
+// Expected shape: briggs <= briggs+george <= brute-conservative ~ optimistic
+// <= aggressive, with the gap widening at high pressure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "challenge/ChallengeInstance.h"
+#include "challenge/StrategyRunner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+static void runSuite(benchmark::State &State, Strategy S, unsigned Slack,
+                     bool ProgramMode) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  double RatioSum = 0;
+  unsigned Instances = 0;
+  int64_t Micro = 0;
+  for (auto _ : State) {
+    Rng Rand(7000 + Instances);
+    CoalescingProblem P;
+    if (ProgramMode) {
+      ProgramChallengeOptions Options;
+      Options.NumBlocks = N;
+      Options.PressureSlack = Slack;
+      P = generateProgramChallengeInstance(Options, Rand);
+    } else {
+      ChallengeOptions Options;
+      Options.NumValues = N;
+      Options.TreeSize = N / 2;
+      Options.PressureSlack = Slack;
+      P = generateChallengeInstance(Options, Rand);
+    }
+    StrategyOutcome O = runStrategy(P, S);
+    RatioSum += O.CoalescedWeightRatio;
+    Micro += O.Microseconds;
+    ++Instances;
+    benchmark::DoNotOptimize(O.Stats.CoalescedAffinities);
+  }
+  if (Instances) {
+    State.counters["avg_weight_ratio"] = RatioSum / Instances;
+    State.counters["avg_us"] =
+        static_cast<double>(Micro) / Instances;
+  }
+}
+
+#define CHALLENGE_BENCH(NAME, STRATEGY, SLACK, PROGRAM)                      \
+  static void NAME(benchmark::State &State) {                               \
+    runSuite(State, STRATEGY, SLACK, PROGRAM);                              \
+  }                                                                         \
+  BENCHMARK(NAME)->Arg(256)->Iterations(8)
+
+CHALLENGE_BENCH(BM_TightAggressive, Strategy::AggressiveGreedy, 0, false);
+CHALLENGE_BENCH(BM_TightBriggs, Strategy::ConservativeBriggs, 0, false);
+CHALLENGE_BENCH(BM_TightGeorge, Strategy::ConservativeGeorge, 0, false);
+CHALLENGE_BENCH(BM_TightBoth, Strategy::ConservativeBoth, 0, false);
+CHALLENGE_BENCH(BM_TightBrute, Strategy::ConservativeBrute, 0, false);
+CHALLENGE_BENCH(BM_TightOptimistic, Strategy::Optimistic, 0, false);
+CHALLENGE_BENCH(BM_TightIrc, Strategy::Irc, 0, false);
+CHALLENGE_BENCH(BM_TightChordalThm5, Strategy::ChordalThm5, 0, false);
+
+CHALLENGE_BENCH(BM_SlackAggressive, Strategy::AggressiveGreedy, 2, false);
+CHALLENGE_BENCH(BM_SlackBriggs, Strategy::ConservativeBriggs, 2, false);
+CHALLENGE_BENCH(BM_SlackBoth, Strategy::ConservativeBoth, 2, false);
+CHALLENGE_BENCH(BM_SlackBrute, Strategy::ConservativeBrute, 2, false);
+CHALLENGE_BENCH(BM_SlackOptimistic, Strategy::Optimistic, 2, false);
+CHALLENGE_BENCH(BM_SlackIrc, Strategy::Irc, 2, false);
+
+CHALLENGE_BENCH(BM_ProgramBriggs, Strategy::ConservativeBriggs, 0, true);
+CHALLENGE_BENCH(BM_ProgramBrute, Strategy::ConservativeBrute, 0, true);
+CHALLENGE_BENCH(BM_ProgramOptimistic, Strategy::Optimistic, 0, true);
+CHALLENGE_BENCH(BM_ProgramIrc, Strategy::Irc, 0, true);

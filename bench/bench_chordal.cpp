@@ -1,0 +1,60 @@
+//===- bench/bench_chordal.cpp - chordal machinery substrate -----------------===//
+//
+// Substrate scaling for experiments E2/E7: maximum cardinality search,
+// chordality recognition, optimal coloring and clique-tree construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Chordal.h"
+#include "graph/CliqueTree.h"
+#include "graph/Generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+static Graph makeChordal(unsigned N, uint64_t Seed) {
+  Rng Rand(Seed);
+  return randomChordalGraph(N, N / 2, 4, Rand);
+}
+
+static void BM_McsOrder(benchmark::State &State) {
+  Graph G = makeChordal(static_cast<unsigned>(State.range(0)), 21);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(mcsOrder(G).size());
+  State.counters["edges"] = G.numEdges();
+}
+BENCHMARK(BM_McsOrder)->Range(64, 16384);
+
+static void BM_IsChordal(benchmark::State &State) {
+  Graph G = makeChordal(static_cast<unsigned>(State.range(0)), 22);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isChordal(G));
+}
+BENCHMARK(BM_IsChordal)->Range(64, 16384);
+
+static void BM_ChordalOptimalColoring(benchmark::State &State) {
+  Graph G = makeChordal(static_cast<unsigned>(State.range(0)), 23);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(chordalOptimalColoring(G).size());
+}
+BENCHMARK(BM_ChordalOptimalColoring)->Range(64, 8192);
+
+static void BM_CliqueTreeBuild(benchmark::State &State) {
+  Graph G = makeChordal(static_cast<unsigned>(State.range(0)), 24);
+  unsigned Nodes = 0;
+  for (auto _ : State) {
+    CliqueTree T = CliqueTree::build(G);
+    Nodes = T.numNodes();
+    benchmark::DoNotOptimize(Nodes);
+  }
+  State.counters["clique_nodes"] = Nodes;
+}
+BENCHMARK(BM_CliqueTreeBuild)->Range(64, 8192);
+
+static void BM_MaximalCliques(benchmark::State &State) {
+  Graph G = makeChordal(static_cast<unsigned>(State.range(0)), 25);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(chordalMaximalCliques(G).size());
+}
+BENCHMARK(BM_MaximalCliques)->Range(64, 8192);

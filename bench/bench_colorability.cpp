@@ -1,0 +1,67 @@
+//===- bench/bench_colorability.cpp - E2: greedy colorability ----------------===//
+//
+// Experiment E2: the linear-time greedy-k-colorability check and the
+// coloring number (smallest-last) on random and chordal graphs, plus the
+// Property 1 certificate (chordal k-colorable => greedy-k-colorable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Chordal.h"
+#include "graph/Generators.h"
+#include "graph/GreedyColorability.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+static void BM_GreedyEliminate(benchmark::State &State) {
+  Rng Rand(7);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomGraph(N, 8.0 / N, Rand); // Constant average degree 8.
+  unsigned K = coloringNumber(G);
+  for (auto _ : State) {
+    EliminationResult E = greedyEliminate(G, K);
+    benchmark::DoNotOptimize(E.Success);
+  }
+  State.counters["edges"] = G.numEdges();
+  State.counters["col"] = K;
+}
+BENCHMARK(BM_GreedyEliminate)->Range(64, 16384);
+
+static void BM_ColoringNumber(benchmark::State &State) {
+  Rng Rand(8);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomGraph(N, 8.0 / N, Rand);
+  for (auto _ : State) {
+    unsigned Col = coloringNumber(G);
+    benchmark::DoNotOptimize(Col);
+  }
+}
+BENCHMARK(BM_ColoringNumber)->Range(64, 16384);
+
+static void BM_Property1Certificate(benchmark::State &State) {
+  Rng Rand(9);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomChordalGraph(N, N / 2, 4, Rand);
+  unsigned Omega = chordalCliqueNumber(G);
+  bool Holds = true;
+  for (auto _ : State) {
+    Holds = isGreedyKColorable(G, Omega);
+    benchmark::DoNotOptimize(Holds);
+  }
+  State.counters["property1_holds"] = Holds ? 1 : 0; // Must be 1.
+  State.counters["omega"] = Omega;
+}
+BENCHMARK(BM_Property1Certificate)->Range(64, 8192);
+
+static void BM_ColorGreedyKColorable(benchmark::State &State) {
+  Rng Rand(10);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomChordalGraph(N, N / 2, 4, Rand);
+  unsigned K = coloringNumber(G);
+  for (auto _ : State) {
+    Coloring C = colorGreedyKColorable(G, K);
+    benchmark::DoNotOptimize(C.size());
+  }
+}
+BENCHMARK(BM_ColorGreedyKColorable)->Range(64, 8192);

@@ -1,0 +1,67 @@
+//===- bench/bench_conservative.cpp - E5: conservative coalescing ------------===//
+//
+// Experiment E5: the conservative rules of Section 4 on challenge instances.
+// Reports coalesced counts per rule (Briggs <= Briggs+George <= brute force)
+// and the cost of each test, plus the Theorem 3 exact search shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "challenge/ChallengeInstance.h"
+#include "coalescing/Conservative.h"
+#include "graph/ExactColoring.h"
+#include "graph/Generators.h"
+#include "npc/Theorem3Reduction.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+static CoalescingProblem makeInstance(unsigned N, uint64_t Seed) {
+  Rng Rand(Seed);
+  ChallengeOptions Options;
+  Options.NumValues = N;
+  Options.TreeSize = N / 2;
+  return generateChallengeInstance(Options, Rand);
+}
+
+template <ConservativeRule Rule>
+static void BM_ConservativeRule(benchmark::State &State) {
+  CoalescingProblem P = makeInstance(
+      static_cast<unsigned>(State.range(0)), 41);
+  unsigned Coalesced = 0;
+  for (auto _ : State) {
+    ConservativeResult R = conservativeCoalesce(P, Rule);
+    Coalesced = R.Stats.CoalescedAffinities;
+    benchmark::DoNotOptimize(Coalesced);
+  }
+  State.counters["coalesced"] = Coalesced;
+  State.counters["affinities"] = static_cast<double>(P.Affinities.size());
+}
+BENCHMARK(BM_ConservativeRule<ConservativeRule::Briggs>)->Range(64, 2048);
+BENCHMARK(BM_ConservativeRule<ConservativeRule::George>)->Range(64, 2048);
+BENCHMARK(BM_ConservativeRule<ConservativeRule::BriggsOrGeorge>)
+    ->Range(64, 2048);
+BENCHMARK(BM_ConservativeRule<ConservativeRule::BruteForce>)
+    ->Range(64, 2048);
+
+static void BM_Theorem3ExactSearch(benchmark::State &State) {
+  // Exponential: optimal conservative coalescing on the k-colorability
+  // reduction, growing the source graph.
+  Rng Rand(42);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph H = randomGraph(N, 0.5, Rand);
+  Theorem3Reduction R = Theorem3Reduction::build(H, 3);
+  uint64_t Nodes = 0;
+  bool AllCoalesced = false;
+  for (auto _ : State) {
+    ExactConservativeResult Exact =
+        conservativeCoalesceExact(R.Problem, /*RequireGreedy=*/false);
+    Nodes = Exact.NodesExplored;
+    AllCoalesced = Exact.Stats.UncoalescedAffinities == 0;
+    benchmark::DoNotOptimize(Nodes);
+  }
+  State.counters["search_nodes"] = static_cast<double>(Nodes);
+  State.counters["thm3_match"] =
+      AllCoalesced == exactKColoring(H, 3).Colorable ? 1 : 0;
+}
+BENCHMARK(BM_Theorem3ExactSearch)->DenseRange(4, 7, 1);

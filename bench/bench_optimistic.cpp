@@ -1,0 +1,74 @@
+//===- bench/bench_optimistic.cpp - E8: optimistic coalescing ----------------===//
+//
+// Experiment E8: the Theorem 6 landscape. The Park-Moon-style heuristic
+// scales; exact de-coalescing on the vertex-cover gadgets is exponential and
+// its optimum equals the minimum vertex cover (certificate reported).
+//
+//===----------------------------------------------------------------------===//
+
+#include "challenge/ChallengeInstance.h"
+#include "coalescing/Optimistic.h"
+#include "npc/Theorem6Reduction.h"
+#include "npc/VertexCover.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+static void BM_OptimisticHeuristic(benchmark::State &State) {
+  Rng Rand(61);
+  ChallengeOptions Options;
+  Options.NumValues = static_cast<unsigned>(State.range(0));
+  Options.TreeSize = Options.NumValues / 2;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  unsigned Dissolutions = 0;
+  double Ratio = 0;
+  for (auto _ : State) {
+    OptimisticResult R = optimisticCoalesce(P);
+    Dissolutions = R.Dissolutions;
+    Ratio = R.Stats.CoalescedWeight / std::max(1.0, totalAffinityWeight(P));
+    benchmark::DoNotOptimize(R.Solution.NumClasses);
+  }
+  State.counters["dissolutions"] = Dissolutions;
+  State.counters["coalesced_ratio"] = Ratio;
+}
+BENCHMARK(BM_OptimisticHeuristic)->Range(64, 2048);
+
+static void BM_ExactDeCoalescingOnTheorem6(benchmark::State &State) {
+  Rng Rand(62);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomBoundedDegreeGraph(N, 3, 0.5, Rand);
+  Theorem6Reduction R = Theorem6Reduction::build(G);
+  uint64_t Nodes = 0;
+  unsigned Given = 0;
+  for (auto _ : State) {
+    ExactConservativeResult Exact = optimisticDeCoalesceExact(R.Problem);
+    Nodes = Exact.NodesExplored;
+    Given = Exact.Stats.UncoalescedAffinities;
+    benchmark::DoNotOptimize(Nodes);
+  }
+  VertexCoverResult Cover = solveVertexCoverExact(G);
+  State.counters["search_nodes"] = static_cast<double>(Nodes);
+  State.counters["given_up"] = Given;
+  State.counters["min_vertex_cover"] = Cover.Size;
+  State.counters["thm6_match"] = Given == Cover.Size ? 1 : 0;
+}
+BENCHMARK(BM_ExactDeCoalescingOnTheorem6)->DenseRange(3, 8, 1);
+
+static void BM_OptimisticOnTheorem6Gadgets(benchmark::State &State) {
+  // The heuristic on the adversarial gadgets: reports its cost against the
+  // optimum (min vertex cover).
+  Rng Rand(63);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomBoundedDegreeGraph(N, 3, 0.5, Rand);
+  Theorem6Reduction R = Theorem6Reduction::build(G);
+  unsigned Given = 0;
+  for (auto _ : State) {
+    OptimisticResult H = optimisticCoalesce(R.Problem);
+    Given = H.Stats.UncoalescedAffinities;
+    benchmark::DoNotOptimize(Given);
+  }
+  State.counters["heuristic_given_up"] = Given;
+  State.counters["min_vertex_cover"] = solveVertexCoverExact(G).Size;
+}
+BENCHMARK(BM_OptimisticOnTheorem6Gadgets)->DenseRange(4, 12, 2);

@@ -1,0 +1,90 @@
+//===- bench/bench_outofssa.cpp - out-of-SSA substrate -----------------------===//
+//
+// Substrate benchmark for the Section 1/3 discussion: the out-of-SSA
+// translation whose move instructions the coalescing problems try to
+// remove. Measures critical-edge splitting, phi lowering and parallel-copy
+// sequentialization, and reports how many moves the phase creates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CoalescingAwareOutOfSsa.h"
+#include "ir/OutOfSsa.h"
+#include "ir/ProgramGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+using namespace rc::ir;
+
+static Function makeFunction(unsigned NumBlocks, uint64_t Seed) {
+  Rng Rand(Seed);
+  GeneratorOptions Options;
+  Options.NumBlocks = NumBlocks;
+  Options.MaxPhisPerJoin = 5;
+  return generateRandomSsaFunction(Options, Rand);
+}
+
+static void BM_LowerOutOfSsa(benchmark::State &State) {
+  unsigned NumBlocks = static_cast<unsigned>(State.range(0));
+  OutOfSsaStats Stats;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Function F = makeFunction(NumBlocks, 81);
+    State.ResumeTiming();
+    Stats = lowerOutOfSsa(F);
+    benchmark::DoNotOptimize(F.numBlocks());
+  }
+  State.counters["phis"] = Stats.PhisEliminated;
+  State.counters["copies"] = Stats.CopiesInserted;
+  State.counters["split_edges"] = Stats.EdgesSplit;
+  State.counters["temps"] = Stats.TempsCreated;
+}
+BENCHMARK(BM_LowerOutOfSsa)->Range(16, 1024);
+
+static void BM_CoalescingAwareLowering(benchmark::State &State) {
+  // Section 3 executable: out-of-SSA as aggressive coalescing. Contrast the
+  // copies_inserted counter with BM_LowerOutOfSsa's at the same size.
+  unsigned NumBlocks = static_cast<unsigned>(State.range(0));
+  bool Conservative = State.range(1) != 0;
+  CoalescingOutOfSsaStats Stats;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Function F = makeFunction(NumBlocks, 81); // Same programs as naive.
+    State.ResumeTiming();
+    Stats = lowerOutOfSsaWithCoalescing(
+        F, Conservative ? OutOfSsaCoalescing::ConservativeAtMaxlive
+                        : OutOfSsaCoalescing::Aggressive);
+    benchmark::DoNotOptimize(F.numBlocks());
+  }
+  State.counters["copies"] = Stats.CopiesInserted;
+  State.counters["avoided"] = Stats.CopiesAvoided;
+  State.counters["phis"] = Stats.PhisEliminated;
+  State.counters["conservative"] = Conservative ? 1 : 0;
+}
+BENCHMARK(BM_CoalescingAwareLowering)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+static void BM_SequentializeParallelCopy(benchmark::State &State) {
+  // A random permutation copy of the given size: worst case for cycles.
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Rng Rand(82);
+  std::vector<unsigned> Perm = Rand.permutation(N);
+  ParallelCopy PC;
+  for (unsigned I = 0; I < N; ++I)
+    PC.Copies.emplace_back(I, Perm[I]);
+  unsigned Temps = 0;
+  for (auto _ : State) {
+    unsigned Next = N;
+    auto Sequence = sequentializeParallelCopy(
+        PC, [&Next, &Temps] {
+          ++Temps;
+          return Next++;
+        });
+    benchmark::DoNotOptimize(Sequence.size());
+  }
+  State.counters["temps_per_run"] = Temps / State.iterations();
+}
+BENCHMARK(BM_SequentializeParallelCopy)->Range(8, 4096);

@@ -1,0 +1,88 @@
+//===- bench/bench_scaling.cpp - E12: polynomial vs exponential --------------===//
+//
+// Experiment E12: the complexity classification itself, measured. The
+// polynomial algorithms (greedy elimination, MCS, Theorem 5) grow smoothly
+// with n; the exact solvers for the NP-complete problems (k-coloring,
+// aggressive optimum, de-coalescing optimum) blow up on the same families.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalescing/Aggressive.h"
+#include "coalescing/ChordalIncremental.h"
+#include "graph/Chordal.h"
+#include "graph/ExactColoring.h"
+#include "graph/Generators.h"
+#include "graph/GreedyColorability.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+// --- Polynomial side --------------------------------------------------------
+
+static void BM_PolyGreedyElimination(benchmark::State &State) {
+  Rng Rand(71);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomGraph(N, 10.0 / N, Rand);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(greedyEliminate(G, 6).Success);
+}
+BENCHMARK(BM_PolyGreedyElimination)->RangeMultiplier(4)->Range(64, 16384);
+
+static void BM_PolyTheorem5(benchmark::State &State) {
+  Rng Rand(72);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomChordalGraph(N, N / 2, 4, Rand);
+  unsigned K = chordalCliqueNumber(G);
+  unsigned X = 0, Y = 0;
+  for (unsigned U = 0; U < N && Y == 0; ++U)
+    for (unsigned V = U + 1; V < N; ++V)
+      if (!G.hasEdge(U, V)) {
+        X = U;
+        Y = V;
+        break;
+      }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        chordalIncrementalCoalescing(G, X, Y, K).Feasible);
+}
+BENCHMARK(BM_PolyTheorem5)->RangeMultiplier(4)->Range(64, 4096);
+
+// --- Exponential side -------------------------------------------------------
+
+static void BM_ExpChromaticNumber(benchmark::State &State) {
+  Rng Rand(73);
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = randomGraph(N, 0.5, Rand);
+  uint64_t Nodes = 0;
+  for (auto _ : State) {
+    unsigned Chi = chromaticNumber(G);
+    ExactColoringResult R = exactKColoring(G, Chi - 1);
+    Nodes = R.NodesExplored;
+    benchmark::DoNotOptimize(Chi);
+  }
+  State.counters["refutation_nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_ExpChromaticNumber)->DenseRange(10, 30, 5);
+
+static void BM_ExpAggressiveOptimum(benchmark::State &State) {
+  Rng Rand(74);
+  unsigned NumAffinities = static_cast<unsigned>(State.range(0));
+  CoalescingProblem P;
+  P.G = randomGraph(20, 0.35, Rand);
+  while (P.Affinities.size() < NumAffinities) {
+    unsigned U = static_cast<unsigned>(Rand.nextBelow(20));
+    unsigned V = static_cast<unsigned>(Rand.nextBelow(20));
+    if (U != V && !P.G.hasEdge(U, V))
+      P.Affinities.push_back(
+          {U, V, 1.0 + static_cast<double>(Rand.nextBelow(3))});
+  }
+  uint64_t Nodes = 0;
+  for (auto _ : State) {
+    AggressiveResult R = aggressiveCoalesceExact(P);
+    Nodes = R.NodesExplored;
+    benchmark::DoNotOptimize(R.Stats.CoalescedAffinities);
+  }
+  State.counters["search_nodes"] = static_cast<double>(Nodes);
+}
+BENCHMARK(BM_ExpAggressiveOptimum)->DenseRange(8, 20, 4);

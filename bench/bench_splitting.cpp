@@ -1,0 +1,93 @@
+//===- bench/bench_splitting.cpp - the split/coalesce interplay --------------===//
+//
+// Section 1's motivating loop, measured end to end: maximal live-range
+// splitting floods the program with moves and phis; the coalescing
+// strategies then try to win them back at k = Maxlive. Reports how many of
+// the splitting moves each strategy removes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "challenge/StrategyRunner.h"
+#include "ir/InterferenceBuilder.h"
+#include "ir/LiveRangeSplitting.h"
+#include "ir/OutOfSsa.h"
+#include "ir/ProgramGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+using namespace rc::ir;
+
+static CoalescingProblem makeSplitInstance(unsigned Blocks, uint64_t Seed,
+                                           SplitStats *StatsOut) {
+  Rng Rand(Seed);
+  GeneratorOptions Options;
+  Options.NumBlocks = Blocks;
+  Options.MaxPhisPerJoin = 3;
+  Function F = generateRandomSsaFunction(Options, Rand);
+  lowerOutOfSsa(F);
+  SplitStats Stats = splitLiveRangesAtBlockBoundaries(F);
+  if (StatsOut)
+    *StatsOut = Stats;
+  InterferenceGraph IG = buildInterferenceGraph(F);
+  CoalescingProblem P;
+  P.G = std::move(IG.G);
+  P.Affinities = std::move(IG.Affinities);
+  P.K = IG.Maxlive;
+  return P;
+}
+
+static void BM_SplitThenCoalesce(benchmark::State &State, Strategy S) {
+  SplitStats Split;
+  CoalescingProblem P =
+      makeSplitInstance(static_cast<unsigned>(State.range(0)), 121, &Split);
+  double Ratio = 0;
+  for (auto _ : State) {
+    StrategyOutcome O = runStrategy(P, S);
+    Ratio = O.CoalescedWeightRatio;
+    benchmark::DoNotOptimize(&Ratio);
+  }
+  State.counters["split_copies"] = Split.CopiesInserted;
+  State.counters["split_phis"] = Split.PhisInserted;
+  State.counters["moves_total"] = static_cast<double>(P.Affinities.size());
+  State.counters["weight_recovered"] = Ratio;
+}
+
+#define SPLIT_BENCH(NAME, STRATEGY)                                          \
+  static void NAME(benchmark::State &State) {                               \
+    BM_SplitThenCoalesce(State, STRATEGY);                                  \
+  }                                                                         \
+  BENCHMARK(NAME)->Arg(32)->Arg(96)
+
+SPLIT_BENCH(BM_SplitBriggs, Strategy::ConservativeBriggs);
+SPLIT_BENCH(BM_SplitBoth, Strategy::ConservativeBoth);
+SPLIT_BENCH(BM_SplitOptimistic, Strategy::Optimistic);
+SPLIT_BENCH(BM_SplitIrc, Strategy::Irc);
+SPLIT_BENCH(BM_SplitAggressive, Strategy::AggressiveGreedy);
+
+// The quadratic-ish strategies only run the small size.
+static void BM_SplitBrute(benchmark::State &State) {
+  BM_SplitThenCoalesce(State, Strategy::ConservativeBrute);
+}
+BENCHMARK(BM_SplitBrute)->Arg(32);
+static void BM_SplitChordalThm5(benchmark::State &State) {
+  BM_SplitThenCoalesce(State, Strategy::ChordalThm5);
+}
+BENCHMARK(BM_SplitChordalThm5)->Arg(32);
+
+static void BM_SplittingItself(benchmark::State &State) {
+  unsigned Blocks = static_cast<unsigned>(State.range(0));
+  SplitStats Stats;
+  for (auto _ : State) {
+    Rng Rand(122);
+    GeneratorOptions Options;
+    Options.NumBlocks = Blocks;
+    Function F = generateRandomSsaFunction(Options, Rand);
+    lowerOutOfSsa(F);
+    Stats = splitLiveRangesAtBlockBoundaries(F);
+    benchmark::DoNotOptimize(F.numValues());
+  }
+  State.counters["copies"] = Stats.CopiesInserted;
+  State.counters["phis"] = Stats.PhisInserted;
+}
+BENCHMARK(BM_SplittingItself)->Range(16, 512);

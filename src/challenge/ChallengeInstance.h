@@ -1,0 +1,72 @@
+//===- challenge/ChallengeInstance.h - Synthetic benchmarks -----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the Appel–George "coalescing challenge" corpus
+/// (http://www.cs.princeton.edu/~appel/coalesce, not redistributable here).
+/// The original graphs are interference graphs of spilled SSA-form codes
+/// with register pressure close to k and many parallel-copy affinities; we
+/// generate graphs with the same structural properties two ways:
+///
+///  - subtree mode: random chordal graphs (subtrees of a tree, mirroring SSA
+///    live ranges on the dominance tree) plus affinities between nearby
+///    non-interfering live ranges (split points / shuffle code);
+///  - program mode: interference graphs extracted from random strict SSA
+///    programs, with the phi/copy affinities the out-of-SSA phase creates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHALLENGE_CHALLENGEINSTANCE_H
+#define CHALLENGE_CHALLENGEINSTANCE_H
+
+#include "coalescing/Problem.h"
+#include "support/Random.h"
+
+namespace rc {
+
+/// Knobs for the subtree-mode generator.
+struct ChallengeOptions {
+  /// Number of live ranges (graph vertices).
+  unsigned NumValues = 200;
+  /// Size of the underlying (dominance) tree.
+  unsigned TreeSize = 80;
+  /// Mean live-range (subtree) size.
+  unsigned MeanSubtreeSize = 4;
+  /// Registers k = omega(G) + PressureSlack; 0 reproduces the hardest
+  /// "Maxlive == k" regime of the paper's Section 1.
+  unsigned PressureSlack = 0;
+  /// Number of affinities to sample, as a fraction of NumValues.
+  double AffinityFraction = 0.8;
+  /// Maximum affinity weight (weights are uniform in 1..MaxWeight).
+  unsigned MaxWeight = 10;
+};
+
+/// Generates a subtree-mode challenge instance. The interference graph is
+/// chordal; affinities connect non-interfering vertices, biased toward pairs
+/// whose live ranges are close in the tree (realistic shuffle code).
+CoalescingProblem generateChallengeInstance(const ChallengeOptions &Options,
+                                            Rng &Rand);
+
+/// Knobs for the program-mode generator.
+struct ProgramChallengeOptions {
+  unsigned NumBlocks = 24;
+  unsigned MaxInstructionsPerBlock = 8;
+  unsigned MaxPhisPerJoin = 4;
+  double CopyProbability = 0.3;
+  /// Registers k = Maxlive + PressureSlack.
+  unsigned PressureSlack = 0;
+};
+
+/// Generates a program-mode challenge instance from a random strict SSA
+/// function: chordal interference graph (Theorem 1) plus the phi/copy
+/// affinities.
+CoalescingProblem
+generateProgramChallengeInstance(const ProgramChallengeOptions &Options,
+                                 Rng &Rand);
+
+} // namespace rc
+
+#endif // CHALLENGE_CHALLENGEINSTANCE_H

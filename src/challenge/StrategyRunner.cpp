@@ -1,0 +1,130 @@
+//===- challenge/StrategyRunner.cpp - Strategy comparison -----------------===//
+
+#include "challenge/StrategyRunner.h"
+
+#include "coalescing/Aggressive.h"
+#include "coalescing/BiasedColoring.h"
+#include "coalescing/ChordalStrategy.h"
+#include "coalescing/Conservative.h"
+#include "coalescing/IteratedRegisterCoalescing.h"
+#include "coalescing/Optimistic.h"
+#include "graph/Chordal.h"
+#include "graph/GreedyColorability.h"
+
+#include <chrono>
+#include <iomanip>
+
+using namespace rc;
+
+const char *rc::strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::AggressiveGreedy:
+    return "aggressive";
+  case Strategy::ConservativeBriggs:
+    return "briggs";
+  case Strategy::ConservativeGeorge:
+    return "george";
+  case Strategy::ConservativeBoth:
+    return "briggs+george";
+  case Strategy::ConservativeBrute:
+    return "brute-conservative";
+  case Strategy::Optimistic:
+    return "optimistic";
+  case Strategy::Irc:
+    return "irc";
+  case Strategy::ChordalThm5:
+    return "chordal-thm5";
+  case Strategy::BiasedSelect:
+    return "biased-select";
+  }
+  return "?";
+}
+
+std::vector<Strategy> rc::allStrategies() {
+  return {Strategy::AggressiveGreedy,   Strategy::ConservativeBriggs,
+          Strategy::ConservativeGeorge, Strategy::ConservativeBoth,
+          Strategy::ConservativeBrute,  Strategy::Optimistic,
+          Strategy::Irc,                Strategy::ChordalThm5,
+          Strategy::BiasedSelect};
+}
+
+StrategyOutcome rc::runStrategy(const CoalescingProblem &P, Strategy S) {
+  StrategyOutcome Outcome;
+  Outcome.Which = S;
+  auto Start = std::chrono::steady_clock::now();
+
+  CoalescingSolution Solution;
+  switch (S) {
+  case Strategy::AggressiveGreedy:
+    Solution = aggressiveCoalesceGreedy(P).Solution;
+    break;
+  case Strategy::ConservativeBriggs:
+    Solution = conservativeCoalesce(P, ConservativeRule::Briggs).Solution;
+    break;
+  case Strategy::ConservativeGeorge:
+    Solution = conservativeCoalesce(P, ConservativeRule::George).Solution;
+    break;
+  case Strategy::ConservativeBoth:
+    Solution =
+        conservativeCoalesce(P, ConservativeRule::BriggsOrGeorge).Solution;
+    break;
+  case Strategy::ConservativeBrute:
+    Solution = conservativeCoalesce(P, ConservativeRule::BruteForce).Solution;
+    break;
+  case Strategy::Optimistic:
+    Solution = optimisticCoalesce(P).Solution;
+    break;
+  case Strategy::Irc:
+    Solution = iteratedRegisterCoalescing(P).Solution;
+    break;
+  case Strategy::ChordalThm5:
+    // The Theorem 5 strategy needs a chordal input with k >= omega; on
+    // anything else fall back to the brute-force conservative driver.
+    if (isChordal(P.G) && P.K >= chordalCliqueNumber(P.G))
+      Solution = chordalCoalesce(P).Solution;
+    else
+      Solution =
+          conservativeCoalesce(P, ConservativeRule::BruteForce).Solution;
+    break;
+  case Strategy::BiasedSelect:
+    if (isGreedyKColorable(P.G, P.K))
+      Solution = biasedColoring(P).Solution;
+    else
+      Solution = identitySolution(P.G);
+    break;
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  Outcome.Microseconds =
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count();
+  Outcome.Stats = evaluateSolution(P, Solution);
+  double Total = totalAffinityWeight(P);
+  Outcome.CoalescedWeightRatio =
+      Total > 0 ? Outcome.Stats.CoalescedWeight / Total : 1.0;
+  Outcome.QuotientGreedyKColorable =
+      isGreedyKColorable(buildCoalescedGraph(P.G, Solution), P.K);
+  return Outcome;
+}
+
+std::vector<StrategyOutcome>
+rc::runAllStrategies(const CoalescingProblem &P) {
+  std::vector<StrategyOutcome> Outcomes;
+  for (Strategy S : allStrategies())
+    Outcomes.push_back(runStrategy(P, S));
+  return Outcomes;
+}
+
+void rc::printComparison(std::ostream &OS,
+                         const std::vector<StrategyOutcome> &Outcomes) {
+  OS << std::left << std::setw(20) << "strategy" << std::right
+     << std::setw(12) << "coalesced" << std::setw(12) << "weight%"
+     << std::setw(10) << "greedy-k" << std::setw(12) << "time(us)" << "\n";
+  for (const StrategyOutcome &O : Outcomes) {
+    OS << std::left << std::setw(20) << strategyName(O.Which) << std::right
+       << std::setw(12) << O.Stats.CoalescedAffinities << std::setw(11)
+       << std::fixed << std::setprecision(1) << 100.0 * O.CoalescedWeightRatio
+       << "%" << std::setw(10) << (O.QuotientGreedyKColorable ? "yes" : "NO")
+       << std::setw(12) << O.Microseconds << "\n";
+  }
+}

@@ -1,0 +1,73 @@
+//===- challenge/StrategyRunner.h - Strategy comparison ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs every coalescing strategy of the library on an instance and collects
+/// comparable metrics (coalesced move weight, validity, wall time). This
+/// reproduces the shape of the Appel–George coalescing-challenge comparison
+/// the paper's introduction and conclusion refer to: conservative local
+/// rules (Briggs / George) versus brute-force conservative tests and
+/// optimistic coalescing, under register pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHALLENGE_STRATEGYRUNNER_H
+#define CHALLENGE_STRATEGYRUNNER_H
+
+#include "coalescing/Problem.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+/// The strategies the runner compares.
+enum class Strategy {
+  AggressiveGreedy,   ///< No register bound (upper bound on coalescing).
+  ConservativeBriggs, ///< Briggs' rule only.
+  ConservativeGeorge, ///< George's rule only (both directions).
+  ConservativeBoth,   ///< Briggs or George.
+  ConservativeBrute,  ///< Merge-and-check greedy-k-colorability.
+  Optimistic,         ///< Park–Moon aggressive + de-coalescing + restore.
+  Irc,                ///< Iterated register coalescing (George–Appel).
+  ChordalThm5,        ///< Theorem 5 chain strategy (chordal inputs; falls
+                      ///< back to ConservativeBrute otherwise).
+  BiasedSelect,       ///< No merging; biased coloring only (Section 1).
+};
+
+/// Returns a short display name for \p S.
+const char *strategyName(Strategy S);
+
+/// All strategies in comparison order.
+std::vector<Strategy> allStrategies();
+
+/// Metrics of one strategy on one instance.
+struct StrategyOutcome {
+  Strategy Which = Strategy::AggressiveGreedy;
+  CoalescingStats Stats;
+  /// Fraction of total affinity weight coalesced (1.0 = everything).
+  double CoalescedWeightRatio = 0;
+  /// Whether the coalesced graph is greedy-k-colorable (false is expected
+  /// for the aggressive baseline under pressure).
+  bool QuotientGreedyKColorable = false;
+  /// Wall time in microseconds.
+  int64_t Microseconds = 0;
+};
+
+/// Runs \p S on \p P.
+StrategyOutcome runStrategy(const CoalescingProblem &P, Strategy S);
+
+/// Runs all strategies on \p P.
+std::vector<StrategyOutcome> runAllStrategies(const CoalescingProblem &P);
+
+/// Prints an aligned comparison table.
+void printComparison(std::ostream &OS,
+                     const std::vector<StrategyOutcome> &Outcomes);
+
+} // namespace rc
+
+#endif // CHALLENGE_STRATEGYRUNNER_H

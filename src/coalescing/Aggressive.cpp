@@ -1,0 +1,108 @@
+//===- coalescing/Aggressive.cpp - Aggressive coalescing ------------------===//
+
+#include "coalescing/Aggressive.h"
+
+#include "coalescing/WorkGraph.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace rc;
+
+AggressiveResult rc::aggressiveCoalesceGreedy(const CoalescingProblem &P) {
+  WorkGraph WG(P.G);
+  std::vector<unsigned> Order(P.Affinities.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(), [&P](unsigned A, unsigned B) {
+    return P.Affinities[A].Weight > P.Affinities[B].Weight;
+  });
+
+  for (unsigned Idx : Order) {
+    const Affinity &A = P.Affinities[Idx];
+    if (!WG.sameClass(A.U, A.V) && !WG.interfere(A.U, A.V))
+      WG.merge(A.U, A.V);
+  }
+
+  AggressiveResult Result;
+  Result.Solution = WG.solution();
+  Result.Stats = evaluateSolution(P, Result.Solution);
+  return Result;
+}
+
+namespace {
+
+/// Depth-first branch and bound over include/exclude decisions per affinity.
+class AggressiveSearch {
+public:
+  AggressiveSearch(const CoalescingProblem &P, uint64_t NodeLimit)
+      : P(P), NodeLimit(NodeLimit) {
+    // Suffix weights for the admissible bound: the best we can still gain
+    // from affinity Index onward.
+    SuffixWeight.assign(P.Affinities.size() + 1, 0);
+    for (size_t I = P.Affinities.size(); I > 0; --I)
+      SuffixWeight[I - 1] = SuffixWeight[I] + P.Affinities[I - 1].Weight;
+  }
+
+  AggressiveResult run() {
+    // Seed the incumbent with the greedy solution so pruning bites early.
+    AggressiveResult Greedy = aggressiveCoalesceGreedy(P);
+    Best = Greedy.Solution;
+    BestWeight = Greedy.Stats.CoalescedWeight;
+
+    WorkGraph WG(P.G);
+    recurse(0, 0.0, WG);
+
+    AggressiveResult Result;
+    Result.Solution = Best;
+    Result.Stats = evaluateSolution(P, Result.Solution);
+    Result.Optimal = !LimitHit;
+    Result.NodesExplored = Nodes;
+    return Result;
+  }
+
+private:
+  void recurse(size_t Index, double Gained, const WorkGraph &WG) {
+    if (LimitHit)
+      return;
+    if (++Nodes > NodeLimit) {
+      LimitHit = true;
+      return;
+    }
+    if (Gained + SuffixWeight[Index] <= BestWeight + 1e-12)
+      return; // Cannot beat the incumbent.
+    if (Index == P.Affinities.size()) {
+      // Strict improvement guaranteed by the bound above.
+      Best = WG.solution();
+      BestWeight = Gained;
+      return;
+    }
+
+    const Affinity &A = P.Affinities[Index];
+    // Transitive merges may have coalesced this affinity already.
+    if (WG.sameClass(A.U, A.V)) {
+      recurse(Index + 1, Gained + A.Weight, WG);
+      return;
+    }
+    if (!WG.interfere(A.U, A.V)) {
+      WorkGraph Copy = WG; // Copy-on-branch; instances are small.
+      Copy.merge(A.U, A.V);
+      recurse(Index + 1, Gained + A.Weight, Copy);
+    }
+    recurse(Index + 1, Gained, WG);
+  }
+
+  const CoalescingProblem &P;
+  uint64_t NodeLimit;
+  uint64_t Nodes = 0;
+  bool LimitHit = false;
+  std::vector<double> SuffixWeight;
+  CoalescingSolution Best;
+  double BestWeight = -1;
+};
+
+} // namespace
+
+AggressiveResult rc::aggressiveCoalesceExact(const CoalescingProblem &P,
+                                             uint64_t NodeLimit) {
+  return AggressiveSearch(P, NodeLimit).run();
+}

@@ -1,0 +1,68 @@
+//===- coalescing/BiasedColoring.cpp - Biased select ----------------------===//
+
+#include "coalescing/BiasedColoring.h"
+
+#include "graph/GreedyColorability.h"
+
+#include <algorithm>
+
+using namespace rc;
+
+BiasedColoringResult rc::biasedColoring(const CoalescingProblem &P) {
+  EliminationResult E = greedyEliminate(P.G, P.K);
+  assert(E.Success && "biased coloring requires a greedy-k-colorable graph");
+
+  // Affinity adjacency with weights, for the bias.
+  std::vector<std::vector<std::pair<unsigned, double>>> AffinityAdj(
+      P.G.numVertices());
+  for (const Affinity &A : P.Affinities) {
+    AffinityAdj[A.U].emplace_back(A.V, A.Weight);
+    AffinityAdj[A.V].emplace_back(A.U, A.Weight);
+  }
+
+  BiasedColoringResult Result;
+  Result.Colors.assign(P.G.numVertices(), -1);
+  std::vector<double> Preference(P.K);
+  for (auto It = E.Order.rbegin(); It != E.Order.rend(); ++It) {
+    unsigned V = *It;
+    std::vector<bool> Used(P.K, false);
+    for (unsigned W : P.G.neighbors(V))
+      if (Result.Colors[W] >= 0)
+        Used[static_cast<unsigned>(Result.Colors[W])] = true;
+
+    std::fill(Preference.begin(), Preference.end(), 0.0);
+    for (const auto &[W, Weight] : AffinityAdj[V])
+      if (Result.Colors[W] >= 0)
+        Preference[static_cast<unsigned>(Result.Colors[W])] += Weight;
+
+    int Best = -1;
+    double BestScore = -1;
+    for (unsigned Color = 0; Color < P.K; ++Color) {
+      if (Used[Color])
+        continue;
+      if (Best < 0 || Preference[Color] > BestScore) {
+        Best = static_cast<int>(Color);
+        BestScore = Preference[Color];
+      }
+    }
+    assert(Best >= 0 && "elimination order guarantees a free color");
+    Result.Colors[V] = Best;
+  }
+  assert(isValidColoring(P.G, Result.Colors, static_cast<int>(P.K)) &&
+         "biased coloring is invalid");
+
+  // Color classes as a coalescing: compress the used colors to dense ids.
+  std::vector<int> Dense(P.K, -1);
+  unsigned Next = 0;
+  Result.Solution.ClassIds.resize(P.G.numVertices());
+  for (unsigned V = 0; V < P.G.numVertices(); ++V) {
+    int C = Result.Colors[V];
+    if (Dense[static_cast<unsigned>(C)] < 0)
+      Dense[static_cast<unsigned>(C)] = static_cast<int>(Next++);
+    Result.Solution.ClassIds[V] =
+        static_cast<unsigned>(Dense[static_cast<unsigned>(C)]);
+  }
+  Result.Solution.NumClasses = Next;
+  Result.Stats = evaluateSolution(P, Result.Solution);
+  return Result;
+}

@@ -1,0 +1,45 @@
+//===- coalescing/BiasedColoring.h - Biased select --------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Biased coloring (mentioned in Section 1 as one of the "smarter coloring
+/// schemes favoring more coalescing"): color the graph greedily in reverse
+/// elimination order, but when choosing among the available colors prefer a
+/// color already given to an affinity-related vertex. No vertices are
+/// merged, yet a move whose endpoints receive the same color disappears just
+/// the same.
+///
+/// The result is expressed as a CoalescingSolution whose classes are the
+/// color classes: that is a valid coalescing (color classes are independent
+/// sets) whose quotient is a k-clique, hence trivially greedy-k-colorable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_BIASEDCOLORING_H
+#define COALESCING_BIASEDCOLORING_H
+
+#include "coalescing/Problem.h"
+#include "graph/Coloring.h"
+
+namespace rc {
+
+/// Result of biased coloring.
+struct BiasedColoringResult {
+  /// The biased k-coloring.
+  Coloring Colors;
+  /// Color classes as a coalescing solution (see file comment).
+  CoalescingSolution Solution;
+  CoalescingStats Stats;
+};
+
+/// Colors the greedy-k-colorable graph \p P.G with at most \p P.K colors,
+/// biasing each choice toward the colors of already-colored affinity
+/// neighbors (weighted by affinity weight). Asserts greedy-k-colorability.
+BiasedColoringResult biasedColoring(const CoalescingProblem &P);
+
+} // namespace rc
+
+#endif // COALESCING_BIASEDCOLORING_H

@@ -1,0 +1,181 @@
+//===- coalescing/ChordalIncremental.cpp - Theorem 5 ----------------------===//
+
+#include "coalescing/ChordalIncremental.h"
+
+#include "graph/Chordal.h"
+#include "graph/CliqueTree.h"
+
+#include <algorithm>
+
+using namespace rc;
+
+/// Swaps colors \p A and \p B on every vertex of \p G reachable from
+/// \p Start. Swapping within a union of connected components keeps a
+/// coloring valid.
+static void swapColorsInComponent(const Graph &G, Coloring &C, unsigned Start,
+                                  int A, int B) {
+  std::vector<bool> Seen(G.numVertices(), false);
+  std::vector<unsigned> Stack{Start};
+  Seen[Start] = true;
+  while (!Stack.empty()) {
+    unsigned V = Stack.back();
+    Stack.pop_back();
+    if (C[V] == A)
+      C[V] = B;
+    else if (C[V] == B)
+      C[V] = A;
+    for (unsigned W : G.neighbors(V))
+      if (!Seen[W]) {
+        Seen[W] = true;
+        Stack.push_back(W);
+      }
+  }
+}
+
+ChordalIncrementalResult
+rc::chordalIncrementalCoalescing(const Graph &G, unsigned X, unsigned Y,
+                                 unsigned K) {
+  assert(X < G.numVertices() && Y < G.numVertices() && X != Y &&
+         "bad affinity endpoints");
+  ChordalIncrementalResult Result;
+  if (G.hasEdge(X, Y))
+    return Result; // Interfering endpoints can never share a color.
+
+  unsigned Omega = chordalCliqueNumber(G); // Asserts chordality.
+  if (K < Omega)
+    return Result; // G is not even k-colorable.
+
+  // When K > Omega every clique-path position has a free color slot, so the
+  // interval chain below always exists (slack at every node) and the answer
+  // is always yes; the general algorithm handles both cases uniformly and
+  // its chain witness keeps the quotient chordal with unchanged omega,
+  // which chordalCoalesce relies on.
+  CliqueTree T = CliqueTree::build(G);
+  const auto &Tx = T.nodesContaining(X);
+  const auto &Ty = T.nodesContaining(Y);
+  std::vector<unsigned> Path = T.pathBetweenSubtrees(Tx, Ty);
+
+  if (Path.empty()) {
+    // Different components: color, then permute colors in y's component so
+    // the two colors agree.
+    Coloring C = chordalOptimalColoring(G);
+    if (C[X] != C[Y])
+      swapColorsInComponent(G, C, Y, C[X], C[Y]);
+    Result.Feasible = true;
+    Result.Witness = std::move(C);
+    Result.MergedChain = {X, Y};
+    assert(Result.Witness[X] == Result.Witness[Y] &&
+           isValidColoring(G, Result.Witness, static_cast<int>(K)) &&
+           "cross-component witness is invalid");
+    return Result;
+  }
+
+  unsigned Q = static_cast<unsigned>(Path.size());
+  assert(Q >= 2 && "adjacent subtrees imply an interference");
+  std::vector<int> Pos(T.numNodes(), -1);
+  for (unsigned I = 0; I < Q; ++I)
+    Pos[Path[I]] = static_cast<int>(I);
+
+  // Intervals I_v = T_v intersected with the path; subtree-path
+  // intersections are contiguous.
+  struct Interval {
+    unsigned Lo = 0, Hi = 0;
+    unsigned Vertex = ~0u; // ~0u marks a slack interval.
+  };
+  std::vector<Interval> Intervals;
+  unsigned XInterval = ~0u, YInterval = ~0u;
+  for (unsigned V = 0; V < G.numVertices(); ++V) {
+    unsigned Lo = ~0u, Hi = 0, Count = 0;
+    for (unsigned Node : T.nodesContaining(V)) {
+      if (Pos[Node] < 0)
+        continue;
+      unsigned P = static_cast<unsigned>(Pos[Node]);
+      Lo = std::min(Lo, P);
+      Hi = std::max(Hi, P);
+      ++Count;
+    }
+    if (Count == 0)
+      continue;
+    assert(Count == Hi - Lo + 1 && "subtree-path intersection has a gap");
+    if (V == X)
+      XInterval = static_cast<unsigned>(Intervals.size());
+    if (V == Y)
+      YInterval = static_cast<unsigned>(Intervals.size());
+    Intervals.push_back({Lo, Hi, V});
+  }
+  assert(XInterval != ~0u && YInterval != ~0u && "endpoints missed the path");
+  assert(Intervals[XInterval].Lo == 0 && Intervals[XInterval].Hi == 0 &&
+         "x's interval must be the first path node only");
+  assert(Intervals[YInterval].Lo == Q - 1 && Intervals[YInterval].Hi == Q - 1 &&
+         "y's interval must be the last path node only");
+
+  // Slack intervals where the clique is not full: the color of x can pass
+  // through such a node without occupying a real vertex.
+  for (unsigned P = 0; P < Q; ++P)
+    if (T.clique(Path[P]).size() < K)
+      Intervals.push_back({P, P, ~0u});
+
+  // Left-to-right marking: a chain of contiguous disjoint intervals from
+  // I_x to I_y, i.e. BFS where interval [lo,hi] connects to intervals
+  // starting at hi+1.
+  std::vector<std::vector<unsigned>> ByStart(Q);
+  for (unsigned I = 0; I < Intervals.size(); ++I)
+    ByStart[Intervals[I].Lo].push_back(I);
+
+  std::vector<int> Parent(Intervals.size(), -2);
+  std::vector<unsigned> Queue{XInterval};
+  Parent[XInterval] = -1;
+  bool Found = false;
+  for (size_t Head = 0; Head < Queue.size() && !Found; ++Head) {
+    unsigned Cur = Queue[Head];
+    if (Cur == YInterval) {
+      Found = true;
+      break;
+    }
+    unsigned NextStart = Intervals[Cur].Hi + 1;
+    if (NextStart >= Q)
+      continue;
+    for (unsigned Next : ByStart[NextStart]) {
+      if (Parent[Next] != -2)
+        continue;
+      Parent[Next] = static_cast<int>(Cur);
+      Queue.push_back(Next);
+    }
+  }
+  if (!Found)
+    return Result; // No disjoint cover: x and y cannot share a color.
+
+  // Collect the chain's real vertices.
+  std::vector<unsigned> Chain;
+  for (int Cur = static_cast<int>(YInterval); Cur >= 0; Cur = Parent[Cur])
+    if (Intervals[Cur].Vertex != ~0u)
+      Chain.push_back(Intervals[Cur].Vertex);
+  std::reverse(Chain.begin(), Chain.end());
+
+  // Witness: merge the chain (disjoint subtrees tiling the path form one
+  // subtree, so the quotient is chordal with the same clique number) and
+  // color the quotient optimally.
+  unsigned N = G.numVertices();
+  std::vector<bool> InChain(N, false);
+  for (unsigned V : Chain)
+    InChain[V] = true;
+  std::vector<unsigned> ClassIds(N);
+  unsigned NextId = 1;
+  for (unsigned V = 0; V < N; ++V)
+    ClassIds[V] = InChain[V] ? 0 : NextId++;
+  Graph Quotient = G.quotient(ClassIds, NextId);
+  Coloring QuotientColors = chordalOptimalColoring(Quotient);
+  assert(numColorsUsed(QuotientColors) <= K &&
+         "merged chain raised the clique number");
+
+  Coloring Witness(N);
+  for (unsigned V = 0; V < N; ++V)
+    Witness[V] = QuotientColors[ClassIds[V]];
+  assert(isValidColoring(G, Witness, static_cast<int>(K)) &&
+         Witness[X] == Witness[Y] && "chain witness is invalid");
+
+  Result.Feasible = true;
+  Result.Witness = std::move(Witness);
+  Result.MergedChain = std::move(Chain);
+  return Result;
+}

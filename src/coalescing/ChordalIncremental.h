@@ -1,0 +1,53 @@
+//===- coalescing/ChordalIncremental.h - Theorem 5 --------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental conservative coalescing on chordal graphs, solved in
+/// polynomial time (Theorem 5 of the paper): given a chordal graph G, k
+/// colors, and one affinity (x, y), decide whether G admits a k-coloring f
+/// with f(x) = f(y), and produce a witness coloring.
+///
+/// Algorithm (following the proof): represent G as subtrees of a clique
+/// tree; take the unique shortest tree path P between the subtrees T_x and
+/// T_y; intersect every subtree with P to get intervals; pad positions whose
+/// clique has fewer than k vertices with one-node slack intervals; then x
+/// and y can share a color iff a chain of contiguous disjoint intervals,
+/// starting with I_x and ending with I_y, covers P (found by a left-to-right
+/// marking / BFS). The paper's Figure 5 illustrates the interval cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_CHORDALINCREMENTAL_H
+#define COALESCING_CHORDALINCREMENTAL_H
+
+#include "graph/Coloring.h"
+#include "graph/Graph.h"
+
+namespace rc {
+
+/// Result of the chordal incremental coalescing decision.
+struct ChordalIncrementalResult {
+  /// True iff a k-coloring with f(X) = f(Y) exists.
+  bool Feasible = false;
+  /// A witness k-coloring with Witness[X] == Witness[Y] when Feasible.
+  Coloring Witness;
+  /// The vertices merged with X and Y to realize the coloring (the chain of
+  /// real intervals selected on the path), including X and Y; empty when
+  /// infeasible or when no merging was needed.
+  std::vector<unsigned> MergedChain;
+};
+
+/// Decides incremental conservative coalescing of the affinity (\p X, \p Y)
+/// on the chordal graph \p G with \p K colors, in polynomial time.
+/// Asserts that \p G is chordal. Returns Feasible = false when (X, Y) is an
+/// interference or K < omega(G).
+ChordalIncrementalResult chordalIncrementalCoalescing(const Graph &G,
+                                                      unsigned X, unsigned Y,
+                                                      unsigned K);
+
+} // namespace rc
+
+#endif // COALESCING_CHORDALINCREMENTAL_H

@@ -1,0 +1,80 @@
+//===- coalescing/ChordalStrategy.cpp - Theorem 5 as a coalescer ----------===//
+
+#include "coalescing/ChordalStrategy.h"
+
+#include "coalescing/ChordalIncremental.h"
+#include "graph/Chordal.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace rc;
+
+ChordalStrategyResult rc::chordalCoalesce(const CoalescingProblem &P) {
+  assert(isChordal(P.G) && "chordal strategy requires a chordal graph");
+  assert(P.K >= chordalCliqueNumber(P.G) &&
+         "chordal strategy requires k >= omega");
+
+  unsigned N = P.G.numVertices();
+  UnionFind Classes(N);
+
+  // Current quotient graph; CurrentId maps class representative to a vertex
+  // of Current. Rebuilt after each accepted merge.
+  Graph Current = P.G;
+  std::vector<unsigned> DenseIds(N);
+  std::iota(DenseIds.begin(), DenseIds.end(), 0u);
+
+  auto rebuild = [&]() {
+    DenseIds = Classes.denseClassIds();
+    Current = P.G.quotient(DenseIds, Classes.numClasses());
+    assert(isChordal(Current) &&
+           "chain merge broke chordality, contradicting Theorem 5");
+  };
+
+  std::vector<unsigned> Order(P.Affinities.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(), [&P](unsigned A, unsigned B) {
+    return P.Affinities[A].Weight > P.Affinities[B].Weight;
+  });
+
+  ChordalStrategyResult Result;
+  for (unsigned Idx : Order) {
+    const Affinity &A = P.Affinities[Idx];
+    unsigned X = DenseIds[A.U], Y = DenseIds[A.V];
+    if (X == Y)
+      continue; // Already coalesced (directly or by a chain).
+    if (Current.hasEdge(X, Y)) {
+      ++Result.InfeasibleAffinities;
+      continue;
+    }
+    ChordalIncrementalResult Decision =
+        chordalIncrementalCoalescing(Current, X, Y, P.K);
+    if (!Decision.Feasible) {
+      ++Result.InfeasibleAffinities;
+      continue;
+    }
+    // Merge the whole chain (it includes X and Y). The chain vertices are
+    // current-graph classes; map them back through representatives.
+    assert(Decision.MergedChain.size() >= 2 && "chain must contain x and y");
+    Result.ChainMerges +=
+        static_cast<unsigned>(Decision.MergedChain.size()) - 2;
+    // Find one original vertex per chain class and union them all.
+    std::vector<unsigned> Reps;
+    for (unsigned Vertex = 0; Vertex < N; ++Vertex)
+      if (std::find(Decision.MergedChain.begin(),
+                    Decision.MergedChain.end(),
+                    DenseIds[Vertex]) != Decision.MergedChain.end())
+        Reps.push_back(Vertex);
+    for (size_t I = 1; I < Reps.size(); ++I)
+      Classes.merge(Reps[0], Reps[I]);
+    rebuild();
+  }
+
+  Result.Solution.ClassIds = Classes.denseClassIds();
+  Result.Solution.NumClasses = Classes.numClasses();
+  Result.Stats = evaluateSolution(P, Result.Solution);
+  assert(isValidCoalescing(P.G, Result.Solution) &&
+         "chordal strategy produced an invalid coalescing");
+  return Result;
+}

@@ -1,0 +1,46 @@
+//===- coalescing/ChordalStrategy.h - Theorem 5 as a coalescer --*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coalescing strategy the paper proposes after Theorem 5 ("we could
+/// design an incremental conservative coalescing strategy for chordal
+/// graphs"): process affinities by decreasing weight; for each, decide
+/// optimally (in polynomial time) whether the current chordal graph admits
+/// a k-coloring identifying the two endpoints, and if so merge the whole
+/// interval chain produced by the decision procedure. Because the chain's
+/// subtrees tile the clique-tree path disjointly, the quotient is again
+/// chordal with an unchanged clique number, so the procedure can iterate.
+///
+/// As the paper notes, the artificial chain merges "may prevent coalescing
+/// more important affinities afterwards" -- the strategy is per-affinity
+/// optimal, not globally optimal (that problem is NP-complete, Theorem 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_CHORDALSTRATEGY_H
+#define COALESCING_CHORDALSTRATEGY_H
+
+#include "coalescing/Problem.h"
+
+namespace rc {
+
+/// Result of the chordal Theorem 5 strategy.
+struct ChordalStrategyResult {
+  CoalescingSolution Solution;
+  CoalescingStats Stats;
+  /// Affinities whose optimal incremental decision was "impossible".
+  unsigned InfeasibleAffinities = 0;
+  /// Extra (non-affinity) vertices merged through chain merges.
+  unsigned ChainMerges = 0;
+};
+
+/// Runs the Theorem 5 strategy on \p P. Requires \p P.G chordal and
+/// \p P.K >= omega(P.G) (asserted).
+ChordalStrategyResult chordalCoalesce(const CoalescingProblem &P);
+
+} // namespace rc
+
+#endif // COALESCING_CHORDALSTRATEGY_H

@@ -1,0 +1,209 @@
+//===- coalescing/Conservative.cpp - Conservative coalescing --------------===//
+
+#include "coalescing/Conservative.h"
+
+#include "graph/ExactColoring.h"
+#include "graph/GreedyColorability.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace rc;
+
+bool rc::briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K) {
+  unsigned CU = WG.classOf(U), CV = WG.classOf(V);
+  assert(CU != CV && "testing a merge of one class with itself");
+  // Count neighbors of the merged node whose post-merge degree is >= k.
+  // A common neighbor of CU and CV loses one neighbor in the merge.
+  unsigned HighDegree = 0;
+  for (unsigned N : WG.neighborClasses(CU)) {
+    if (N == CV)
+      continue;
+    unsigned Deg = WG.degree(N);
+    if (WG.neighborClasses(CV).count(N))
+      --Deg;
+    if (Deg >= K)
+      ++HighDegree;
+  }
+  for (unsigned N : WG.neighborClasses(CV)) {
+    if (N == CU || WG.neighborClasses(CU).count(N))
+      continue; // Common neighbors were counted in the first loop.
+    if (WG.degree(N) >= K)
+      ++HighDegree;
+  }
+  return HighDegree < K;
+}
+
+bool rc::georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K) {
+  unsigned CU = WG.classOf(U), CV = WG.classOf(V);
+  assert(CU != CV && "testing a merge of one class with itself");
+  for (unsigned N : WG.neighborClasses(CU)) {
+    if (N == CV)
+      continue;
+    if (WG.degree(N) >= K && !WG.neighborClasses(CV).count(N))
+      return false;
+  }
+  return true;
+}
+
+bool rc::bruteForceTest(const WorkGraph &WG, unsigned U, unsigned V,
+                        unsigned K) {
+  WorkGraph Copy = WG;
+  Copy.merge(U, V);
+  return isGreedyKColorable(Copy.quotientGraph(), K);
+}
+
+static bool ruleAllows(const WorkGraph &WG, unsigned U, unsigned V,
+                       unsigned K, ConservativeRule Rule) {
+  switch (Rule) {
+  case ConservativeRule::Briggs:
+    return briggsTest(WG, U, V, K);
+  case ConservativeRule::George:
+    // The test is asymmetric; try both directions.
+    return georgeTest(WG, U, V, K) || georgeTest(WG, V, U, K);
+  case ConservativeRule::BriggsOrGeorge:
+    return briggsTest(WG, U, V, K) || georgeTest(WG, U, V, K) ||
+           georgeTest(WG, V, U, K);
+  case ConservativeRule::BruteForce:
+    return bruteForceTest(WG, U, V, K);
+  }
+  return false;
+}
+
+ConservativeResult rc::conservativeCoalesce(const CoalescingProblem &P,
+                                            ConservativeRule Rule) {
+  WorkGraph WG(P.G);
+  std::vector<unsigned> Order(P.Affinities.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(), [&P](unsigned A, unsigned B) {
+    return P.Affinities[A].Weight > P.Affinities[B].Weight;
+  });
+
+  [[maybe_unused]] bool InputGreedy = isGreedyKColorable(P.G, P.K);
+
+  ConservativeResult Result;
+  std::vector<bool> Done(P.Affinities.size(), false);
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    Result.TestRejections = 0;
+    Result.InterferenceRejections = 0;
+    for (unsigned Idx : Order) {
+      if (Done[Idx])
+        continue;
+      const Affinity &A = P.Affinities[Idx];
+      if (WG.sameClass(A.U, A.V)) {
+        Done[Idx] = true;
+        continue;
+      }
+      if (WG.interfere(A.U, A.V)) {
+        ++Result.InterferenceRejections;
+        continue;
+      }
+      if (!ruleAllows(WG, A.U, A.V, P.K, Rule)) {
+        ++Result.TestRejections;
+        continue;
+      }
+      WG.merge(A.U, A.V);
+      Done[Idx] = true;
+      Progress = true;
+    }
+  }
+
+  Result.Solution = WG.solution();
+  Result.Stats = evaluateSolution(P, Result.Solution);
+  // All three tests preserve greedy-k-colorability (Section 4); check it.
+  assert((!InputGreedy ||
+          isGreedyKColorable(buildCoalescedGraph(P.G, Result.Solution),
+                             P.K)) &&
+         "conservative rule broke greedy-k-colorability");
+  return Result;
+}
+
+namespace {
+
+/// Exhaustive include/exclude search over affinities with a feasibility
+/// check (k-colorability of the quotient) at the leaves.
+class ExactConservativeSearch {
+public:
+  ExactConservativeSearch(const CoalescingProblem &P, bool RequireGreedy,
+                          uint64_t NodeLimit)
+      : P(P), RequireGreedy(RequireGreedy), NodeLimit(NodeLimit) {
+    SuffixWeight.assign(P.Affinities.size() + 1, 0);
+    for (size_t I = P.Affinities.size(); I > 0; --I)
+      SuffixWeight[I - 1] = SuffixWeight[I] + P.Affinities[I - 1].Weight;
+  }
+
+  ExactConservativeResult run() {
+    WorkGraph WG(P.G);
+    recurse(0, 0.0, WG);
+    ExactConservativeResult Result;
+    if (HasBest) {
+      Result.Solution = Best;
+    } else {
+      // Even the identity may be infeasible (G itself not k-colorable);
+      // report the identity partition with Optimal=false in that case.
+      Result.Solution = identitySolution(P.G);
+    }
+    Result.Stats = evaluateSolution(P, Result.Solution);
+    Result.Optimal = HasBest && !LimitHit;
+    Result.NodesExplored = Nodes;
+    return Result;
+  }
+
+private:
+  bool feasible(const WorkGraph &WG) {
+    Graph Quotient = WG.quotientGraph();
+    if (RequireGreedy)
+      return isGreedyKColorable(Quotient, P.K);
+    return exactKColoring(Quotient, P.K).Colorable;
+  }
+
+  void recurse(size_t Index, double Gained, const WorkGraph &WG) {
+    if (LimitHit)
+      return;
+    if (++Nodes > NodeLimit) {
+      LimitHit = true;
+      return;
+    }
+    if (HasBest && Gained + SuffixWeight[Index] <= BestWeight + 1e-12)
+      return;
+    if (Index == P.Affinities.size()) {
+      if (!feasible(WG))
+        return;
+      Best = WG.solution();
+      BestWeight = Gained;
+      HasBest = true;
+      return;
+    }
+    const Affinity &A = P.Affinities[Index];
+    if (WG.sameClass(A.U, A.V)) {
+      recurse(Index + 1, Gained + A.Weight, WG);
+      return;
+    }
+    if (!WG.interfere(A.U, A.V)) {
+      WorkGraph Copy = WG;
+      Copy.merge(A.U, A.V);
+      recurse(Index + 1, Gained + A.Weight, Copy);
+    }
+    recurse(Index + 1, Gained, WG);
+  }
+
+  const CoalescingProblem &P;
+  bool RequireGreedy;
+  uint64_t NodeLimit;
+  uint64_t Nodes = 0;
+  bool LimitHit = false;
+  bool HasBest = false;
+  std::vector<double> SuffixWeight;
+  CoalescingSolution Best;
+  double BestWeight = -1;
+};
+
+} // namespace
+
+ExactConservativeResult
+rc::conservativeCoalesceExact(const CoalescingProblem &P, bool RequireGreedy,
+                              uint64_t NodeLimit) {
+  return ExactConservativeSearch(P, RequireGreedy, NodeLimit).run();
+}

@@ -1,0 +1,92 @@
+//===- coalescing/Conservative.h - Conservative coalescing ------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative coalescing (Section 4 of the paper): remove as many moves as
+/// possible while keeping the interference graph k-colorable. NP-complete
+/// even for k = 3 and a greedy-2-colorable input graph (Theorem 3). In
+/// practice heuristics coalesce one affinity at a time with a local safety
+/// test; this module implements the paper's three tests:
+///
+///  - Briggs: the merged node has fewer than k neighbors of degree >= k.
+///  - George: every neighbor of u of degree >= k is a neighbor of v.
+///  - Brute force: merge, then check greedy-k-colorability in linear time
+///    (the "simply use brute force" test suggested in Section 4).
+///
+/// Each test preserves greedy-k-colorability, so running the driver on a
+/// greedy-k-colorable graph keeps it greedy-k-colorable (asserted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_CONSERVATIVE_H
+#define COALESCING_CONSERVATIVE_H
+
+#include "coalescing/Problem.h"
+#include "coalescing/WorkGraph.h"
+
+#include <cstdint>
+
+namespace rc {
+
+/// Which incremental safety test the conservative driver uses.
+enum class ConservativeRule {
+  Briggs,
+  George,
+  /// Briggs or George (either passing suffices), as advocated by the paper
+  /// for the spilling-free setting.
+  BriggsOrGeorge,
+  /// Merge on a scratch copy and re-check greedy-k-colorability.
+  BruteForce,
+};
+
+/// Returns true if merging the classes of \p U and \p V passes Briggs' test
+/// on \p WG with \p K registers: the merged class has < k neighbor classes
+/// of degree >= k (common neighbors counted once, with degree reduced by
+/// the merge).
+bool briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
+
+/// Returns true if merging passes George's test: every neighbor class of
+/// \p U with degree >= k is also a neighbor of \p V. Asymmetric.
+bool georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
+
+/// Returns true if the quotient graph remains greedy-k-colorable after
+/// merging the classes of \p U and \p V (linear-time full check).
+bool bruteForceTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
+
+/// Result of a conservative coalescing run.
+struct ConservativeResult {
+  CoalescingSolution Solution;
+  CoalescingStats Stats;
+  /// Affinities whose safety test failed (they stay uncoalesced).
+  unsigned TestRejections = 0;
+  /// Affinities rejected because their classes interfere.
+  unsigned InterferenceRejections = 0;
+};
+
+/// Conservative coalescing driver: processes affinities in decreasing
+/// weight order, merging when the classes do not interfere and \p Rule
+/// deems the merge safe. Repeats passes until a fixed point, since a merge
+/// can enable previously rejected affinities.
+ConservativeResult conservativeCoalesce(const CoalescingProblem &P,
+                                        ConservativeRule Rule);
+
+/// Exact conservative coalescing for tiny instances: maximizes coalesced
+/// weight over all partitions induced by affinity subsets, subject to the
+/// coalesced graph being k-colorable (or greedy-k-colorable when
+/// \p RequireGreedy). Exponential in the number of affinities.
+struct ExactConservativeResult {
+  CoalescingSolution Solution;
+  CoalescingStats Stats;
+  bool Optimal = false;
+  uint64_t NodesExplored = 0;
+};
+ExactConservativeResult
+conservativeCoalesceExact(const CoalescingProblem &P, bool RequireGreedy,
+                          uint64_t NodeLimit = UINT64_MAX);
+
+} // namespace rc
+
+#endif // COALESCING_CONSERVATIVE_H

@@ -1,0 +1,62 @@
+//===- coalescing/IteratedRegisterCoalescing.h - IRC ------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The iterated register coalescing allocator of George and Appel, the
+/// classical framework the paper's introduction describes: interleaved
+/// simplify / coalesce / freeze / potential-spill worklists followed by
+/// optimistic select-phase coloring. Conservative merges use Briggs' test
+/// and optionally George's test (sound here because there is no separate
+/// spilling phase interaction, cf. Section 4 of the paper).
+///
+/// The allocator does not rewrite code on actual spills; it reports the
+/// spilled vertices. On greedy-k-colorable inputs there are never spills.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_ITERATEDREGISTERCOALESCING_H
+#define COALESCING_ITERATEDREGISTERCOALESCING_H
+
+#include "coalescing/Problem.h"
+#include "graph/Coloring.h"
+
+#include <vector>
+
+namespace rc {
+
+/// Options for the IRC allocator.
+struct IrcOptions {
+  /// Also accept merges passing George's test (in addition to Briggs').
+  bool UseGeorge = true;
+  /// Optional per-vertex spill costs; SelectSpill picks the candidate with
+  /// minimal cost/degree (Chaitin's heuristic). Uniform costs when empty.
+  /// Callers rewriting spill code should give reload temporaries a huge
+  /// cost so they are never re-spilled.
+  std::vector<double> SpillCosts;
+};
+
+/// Result of an IRC run.
+struct IrcResult {
+  /// Color per vertex; -1 for spilled vertices.
+  Coloring Colors;
+  /// Vertices that could not be colored (actual spills).
+  std::vector<unsigned> Spilled;
+  /// The coalescing performed (merged move-related vertices share classes).
+  CoalescingSolution Solution;
+  CoalescingStats Stats;
+  /// Moves discarded because their endpoints interfere (constrained).
+  unsigned ConstrainedMoves = 0;
+  /// Moves frozen (kept as real moves to allow simplification).
+  unsigned FrozenMoves = 0;
+};
+
+/// Runs iterated register coalescing on \p P with \p P.K registers.
+IrcResult iteratedRegisterCoalescing(const CoalescingProblem &P,
+                                     const IrcOptions &Options = {});
+
+} // namespace rc
+
+#endif // COALESCING_ITERATEDREGISTERCOALESCING_H

@@ -1,0 +1,61 @@
+//===- coalescing/NodeMerging.cpp - Vegdahl-style merging -----------------===//
+
+#include "coalescing/NodeMerging.h"
+
+#include "coalescing/WorkGraph.h"
+#include "graph/GreedyColorability.h"
+
+using namespace rc;
+
+NodeMergingResult rc::mergeNodesForColorability(const Graph &G, unsigned K) {
+  NodeMergingResult Result;
+  WorkGraph WG(G);
+
+  for (;;) {
+    Graph Quotient = WG.quotientGraph();
+    EliminationResult E = greedyEliminate(Quotient, K);
+    if (E.Success) {
+      Result.GreedyKColorable = true;
+      break;
+    }
+
+    // Map stuck quotient ids back to representatives.
+    CoalescingSolution S = WG.solution();
+    std::vector<unsigned> RepOfDense(S.NumClasses, ~0u);
+    for (unsigned V = 0; V < G.numVertices(); ++V)
+      if (RepOfDense[S.ClassIds[V]] == ~0u)
+        RepOfDense[S.ClassIds[V]] = WG.classOf(V);
+
+    // Best non-adjacent stuck pair by common-neighbor count.
+    unsigned BestA = ~0u, BestB = ~0u, BestCommon = 0;
+    for (size_t I = 0; I < E.Stuck.size(); ++I) {
+      unsigned A = RepOfDense[E.Stuck[I]];
+      for (size_t J = I + 1; J < E.Stuck.size(); ++J) {
+        unsigned B = RepOfDense[E.Stuck[J]];
+        if (WG.interfere(A, B))
+          continue;
+        unsigned Common = 0;
+        const auto &NA = WG.neighborClasses(A);
+        const auto &NB = WG.neighborClasses(B);
+        const auto &Small = NA.size() <= NB.size() ? NA : NB;
+        const auto &Large = NA.size() <= NB.size() ? NB : NA;
+        for (unsigned N : Small)
+          Common += Large.count(N);
+        if (Common > BestCommon) {
+          BestA = A;
+          BestB = B;
+          BestCommon = Common;
+        }
+      }
+    }
+    if (BestA == ~0u)
+      break; // No degree-reducing merge exists: give up.
+    WG.merge(BestA, BestB);
+    ++Result.Merges;
+  }
+
+  Result.Solution = WG.solution();
+  assert(isValidCoalescing(G, Result.Solution) &&
+         "node merging produced an invalid partition");
+  return Result;
+}

@@ -1,0 +1,45 @@
+//===- coalescing/NodeMerging.h - Vegdahl-style merging ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Node merging without moves (Section 1's reference to Vegdahl and to
+/// Yang et al.): merging two non-adjacent vertices with many common
+/// neighbors reduces degrees and can turn a graph that is NOT
+/// greedy-k-colorable into one that is -- the canonical example being the
+/// 4-cycle at k = 2, which becomes a path once opposite corners merge.
+///
+/// The heuristic here repeatedly picks, inside the stuck core of the greedy
+/// elimination, the non-adjacent pair with the most common neighbors and
+/// merges it; it stops when the graph becomes greedy-k-colorable or no
+/// merge can reduce any degree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_NODEMERGING_H
+#define COALESCING_NODEMERGING_H
+
+#include "coalescing/Problem.h"
+
+namespace rc {
+
+/// Result of the node-merging heuristic.
+struct NodeMergingResult {
+  /// Partition after the merges (classes of merged vertices).
+  CoalescingSolution Solution;
+  /// True if the quotient became greedy-k-colorable.
+  bool GreedyKColorable = false;
+  /// Number of pair merges performed.
+  unsigned Merges = 0;
+};
+
+/// Tries to make \p G greedy-\p K-colorable by merging non-adjacent vertex
+/// pairs (no affinities involved). Never merges a pair without common
+/// neighbors (such a merge cannot lower any degree).
+NodeMergingResult mergeNodesForColorability(const Graph &G, unsigned K);
+
+} // namespace rc
+
+#endif // COALESCING_NODEMERGING_H

@@ -1,0 +1,54 @@
+//===- coalescing/Spilling.cpp - Chaitin-style spilling --------------------===//
+
+#include "coalescing/Spilling.h"
+
+#include "graph/GreedyColorability.h"
+
+#include <algorithm>
+
+using namespace rc;
+
+SpillResult rc::spillToGreedyK(const Graph &G, unsigned K,
+                               const std::vector<double> &SpillCosts) {
+  assert((SpillCosts.empty() || SpillCosts.size() == G.numVertices()) &&
+         "spill cost vector has wrong size");
+  SpillResult Result;
+  std::vector<bool> IsSpilled(G.numVertices(), false);
+
+  auto keptVertices = [&]() {
+    std::vector<unsigned> Kept;
+    for (unsigned V = 0; V < G.numVertices(); ++V)
+      if (!IsSpilled[V])
+        Kept.push_back(V);
+    return Kept;
+  };
+
+  for (;;) {
+    std::vector<unsigned> Kept = keptVertices();
+    std::vector<unsigned> OldToNew;
+    Graph Sub = G.inducedSubgraph(Kept, &OldToNew);
+    EliminationResult E = greedyEliminate(Sub, K);
+    if (E.Success) {
+      Result.Kept = std::move(Kept);
+      Result.Remaining = std::move(Sub);
+      Result.OldToNew = std::move(OldToNew);
+      std::sort(Result.Spilled.begin(), Result.Spilled.end());
+      return Result;
+    }
+    // Spill the stuck vertex minimizing cost / current degree.
+    unsigned Victim = ~0u;
+    double VictimScore = 0;
+    for (unsigned StuckNew : E.Stuck) {
+      unsigned Old = Kept[StuckNew];
+      double Cost = SpillCosts.empty() ? 1.0 : SpillCosts[Old];
+      double Score = Cost / std::max(1u, Sub.degree(StuckNew));
+      if (Victim == ~0u || Score < VictimScore) {
+        Victim = Old;
+        VictimScore = Score;
+      }
+    }
+    assert(Victim != ~0u && "stuck set cannot be empty on failure");
+    IsSpilled[Victim] = true;
+    Result.Spilled.push_back(Victim);
+  }
+}

@@ -1,0 +1,48 @@
+//===- coalescing/Spilling.h - Chaitin-style spilling -----------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph-level spilling: remove (spill) vertices until the remaining graph
+/// is greedy-k-colorable, Chaitin's fallback when the elimination gets
+/// stuck. This substrate lets benchmarks and examples drive the two-phase
+/// "first spill so that Maxlive <= k, then color/coalesce" flow the paper's
+/// introduction attributes to Appel–George and the SSA-based allocators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_SPILLING_H
+#define COALESCING_SPILLING_H
+
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace rc {
+
+/// Result of graph-level spilling.
+struct SpillResult {
+  /// Spilled vertex ids (in the original graph's numbering).
+  std::vector<unsigned> Spilled;
+  /// The surviving vertices (complement of Spilled), sorted.
+  std::vector<unsigned> Kept;
+  /// The induced subgraph on Kept; greedy-k-colorable by construction.
+  Graph Remaining;
+  /// Maps original vertex id to id in Remaining (~0u when spilled).
+  std::vector<unsigned> OldToNew;
+};
+
+/// Repeatedly removes a highest-degree vertex from the stuck core of the
+/// greedy elimination until the remaining graph is greedy-k-colorable.
+///
+/// \param SpillCosts optional per-vertex costs: among stuck vertices, the
+///        one minimizing cost/degree is spilled (Chaitin's heuristic);
+///        uniform costs when empty.
+SpillResult spillToGreedyK(const Graph &G, unsigned K,
+                           const std::vector<double> &SpillCosts = {});
+
+} // namespace rc
+
+#endif // COALESCING_SPILLING_H

@@ -1,0 +1,58 @@
+//===- coalescing/WorkGraph.cpp - Mergeable interference graph ------------===//
+
+#include "coalescing/WorkGraph.h"
+
+using namespace rc;
+
+WorkGraph::WorkGraph(const Graph &G)
+    : Original(G), UF(G.numVertices()), Adj(G.numVertices()),
+      Members(G.numVertices()) {
+  for (unsigned V = 0; V < G.numVertices(); ++V) {
+    Members[V] = {V};
+    for (unsigned W : G.neighbors(V))
+      Adj[V].insert(W);
+  }
+}
+
+bool WorkGraph::interfere(unsigned U, unsigned V) const {
+  unsigned CU = classOf(U), CV = classOf(V);
+  if (CU == CV)
+    return false;
+  // Query from the smaller adjacency set.
+  if (Adj[CU].size() > Adj[CV].size())
+    std::swap(CU, CV);
+  return Adj[CU].count(CV) != 0;
+}
+
+unsigned WorkGraph::merge(unsigned U, unsigned V) {
+  assert(canMerge(U, V) && "merging interfering or identical classes");
+  unsigned CU = classOf(U), CV = classOf(V);
+  UF.merge(CU, CV);
+  unsigned Root = UF.find(CU);
+  unsigned Loser = Root == CU ? CV : CU;
+
+  for (unsigned N : Adj[Loser]) {
+    Adj[N].erase(Loser);
+    Adj[N].insert(Root);
+    Adj[Root].insert(N);
+  }
+  Adj[Loser].clear();
+
+  Members[Root].insert(Members[Root].end(), Members[Loser].begin(),
+                       Members[Loser].end());
+  Members[Loser].clear();
+  Members[Loser].shrink_to_fit();
+  return Root;
+}
+
+CoalescingSolution WorkGraph::solution() const {
+  CoalescingSolution S;
+  S.ClassIds = UF.denseClassIds();
+  S.NumClasses = UF.numClasses();
+  return S;
+}
+
+Graph WorkGraph::quotientGraph() const {
+  CoalescingSolution S = solution();
+  return Original.quotient(S.ClassIds, S.NumClasses);
+}

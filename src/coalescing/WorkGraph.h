@@ -1,0 +1,92 @@
+//===- coalescing/WorkGraph.h - Mergeable interference graph ----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamic view of an interference graph under coalescing merges: classes
+/// of merged vertices with class-level adjacency. All coalescing heuristics
+/// (conservative rules, optimistic de-coalescing) operate on a WorkGraph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_WORKGRAPH_H
+#define COALESCING_WORKGRAPH_H
+
+#include "coalescing/Problem.h"
+#include "graph/Graph.h"
+#include "support/UnionFind.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace rc {
+
+/// An interference graph whose vertices can be merged (coalesced). Classes
+/// are named by their union-find representative.
+class WorkGraph {
+public:
+  explicit WorkGraph(const Graph &G);
+
+  /// Number of original vertices.
+  unsigned numOriginalVertices() const { return Original.numVertices(); }
+
+  /// Number of current classes.
+  unsigned numClasses() const { return UF.numClasses(); }
+
+  /// Returns the class representative of original vertex \p V.
+  unsigned classOf(unsigned V) const { return UF.find(V); }
+
+  /// Returns true if \p U and \p V have been merged.
+  bool sameClass(unsigned U, unsigned V) const {
+    return UF.connected(U, V);
+  }
+
+  /// Returns true if the classes of \p U and \p V interfere.
+  bool interfere(unsigned U, unsigned V) const;
+
+  /// Number of interfering neighbor classes of the class of \p V.
+  unsigned degree(unsigned V) const {
+    return static_cast<unsigned>(Adj[classOf(V)].size());
+  }
+
+  /// The neighbor classes (as representatives) of the class of \p V.
+  const std::unordered_set<unsigned> &neighborClasses(unsigned V) const {
+    return Adj[classOf(V)];
+  }
+
+  /// Original vertices in the class of \p V.
+  const std::vector<unsigned> &members(unsigned V) const {
+    return Members[classOf(V)];
+  }
+
+  /// Returns true if \p U and \p V may be merged (distinct, non-interfering
+  /// classes).
+  bool canMerge(unsigned U, unsigned V) const {
+    return !sameClass(U, V) && !interfere(U, V);
+  }
+
+  /// Merges the classes of \p U and \p V. Requires canMerge.
+  /// \returns the representative of the merged class.
+  unsigned merge(unsigned U, unsigned V);
+
+  /// Extracts the current partition as a CoalescingSolution.
+  CoalescingSolution solution() const;
+
+  /// Materializes the current quotient graph. Class c of the quotient is the
+  /// class with dense id c in solution().
+  Graph quotientGraph() const;
+
+private:
+  const Graph &Original;
+  UnionFind UF;
+  /// Keyed by class representative; entries are class representatives.
+  std::vector<std::unordered_set<unsigned>> Adj;
+  /// Keyed by class representative.
+  std::vector<std::vector<unsigned>> Members;
+};
+
+} // namespace rc
+
+#endif // COALESCING_WORKGRAPH_H

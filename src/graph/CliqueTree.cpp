@@ -1,0 +1,177 @@
+//===- graph/CliqueTree.cpp - Clique trees of chordal graphs --------------===//
+
+#include "graph/CliqueTree.h"
+
+#include "graph/Chordal.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+using namespace rc;
+
+CliqueTree CliqueTree::build(const Graph &G) {
+  CliqueTree T;
+  T.Cliques = chordalMaximalCliques(G);
+  unsigned M = static_cast<unsigned>(T.Cliques.size());
+  T.TreeAdj.assign(M, {});
+  T.VertexNodes.assign(G.numVertices(), {});
+  for (unsigned Node = 0; Node < M; ++Node)
+    for (unsigned V : T.Cliques[Node])
+      T.VertexNodes[V].push_back(Node);
+
+  if (M <= 1)
+    return T;
+
+  // Maximum-weight spanning forest of the clique intersection graph, by
+  // Kruskal over candidate edges with positive intersection. Candidate edges
+  // come from shared vertices, so there are at most sum |T_v|^2 of them;
+  // cliques sharing a vertex are the only ones that can intersect.
+  struct Candidate {
+    unsigned A, B, Weight;
+  };
+  std::vector<Candidate> Candidates;
+  for (unsigned V = 0; V < G.numVertices(); ++V) {
+    const auto &Nodes = T.VertexNodes[V];
+    for (size_t I = 0; I < Nodes.size(); ++I)
+      for (size_t J = I + 1; J < Nodes.size(); ++J)
+        Candidates.push_back({Nodes[I], Nodes[J], 0});
+  }
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Candidate &X, const Candidate &Y) {
+              return std::tie(X.A, X.B) < std::tie(Y.A, Y.B);
+            });
+  Candidates.erase(std::unique(Candidates.begin(), Candidates.end(),
+                               [](const Candidate &X, const Candidate &Y) {
+                                 return X.A == Y.A && X.B == Y.B;
+                               }),
+                   Candidates.end());
+  for (Candidate &C : Candidates) {
+    const auto &CA = T.Cliques[C.A], &CB = T.Cliques[C.B];
+    // Both sorted; count the intersection.
+    size_t I = 0, J = 0;
+    while (I < CA.size() && J < CB.size()) {
+      if (CA[I] < CB[J])
+        ++I;
+      else if (CA[I] > CB[J])
+        ++J;
+      else {
+        ++C.Weight;
+        ++I;
+        ++J;
+      }
+    }
+  }
+  std::stable_sort(Candidates.begin(), Candidates.end(),
+                   [](const Candidate &X, const Candidate &Y) {
+                     return X.Weight > Y.Weight;
+                   });
+
+  UnionFind Forest(M);
+  auto link = [&T](unsigned A, unsigned B) {
+    T.TreeAdj[A].push_back(B);
+    T.TreeAdj[B].push_back(A);
+  };
+  for (const Candidate &C : Candidates)
+    if (Forest.merge(C.A, C.B))
+      link(C.A, C.B);
+
+  // Join remaining components (G disconnected) with arbitrary tree edges;
+  // no vertex spans two components, so the subtree property is preserved.
+  for (unsigned Node = 1; Node < M; ++Node)
+    if (Forest.merge(0, Node))
+      link(0, Node);
+
+  return T;
+}
+
+std::vector<unsigned> CliqueTree::pathBetween(unsigned From,
+                                              unsigned To) const {
+  return pathBetweenSubtrees({From}, {To});
+}
+
+std::vector<unsigned> CliqueTree::pathBetweenSubtrees(
+    const std::vector<unsigned> &SourceSet,
+    const std::vector<unsigned> &TargetSet) const {
+  std::vector<int> Parent(numNodes(), -2); // -2 unvisited, -1 root.
+  std::vector<bool> IsTarget(numNodes(), false);
+  for (unsigned Node : TargetSet)
+    IsTarget[Node] = true;
+
+  std::queue<unsigned> Queue;
+  for (unsigned Node : SourceSet) {
+    if (Parent[Node] != -2)
+      continue;
+    Parent[Node] = -1;
+    Queue.push(Node);
+  }
+  while (!Queue.empty()) {
+    unsigned Node = Queue.front();
+    Queue.pop();
+    if (IsTarget[Node]) {
+      std::vector<unsigned> Path;
+      for (int Cursor = static_cast<int>(Node); Cursor >= 0;
+           Cursor = Parent[Cursor])
+        Path.push_back(static_cast<unsigned>(Cursor));
+      std::reverse(Path.begin(), Path.end());
+      return Path;
+    }
+    for (unsigned Next : TreeAdj[Node]) {
+      if (Parent[Next] != -2)
+        continue;
+      Parent[Next] = static_cast<int>(Node);
+      Queue.push(Next);
+    }
+  }
+  return {};
+}
+
+bool CliqueTree::verify(const Graph &G) const {
+  // Every clique node must be a clique of G.
+  for (const auto &Clique : Cliques)
+    if (!G.isClique(Clique))
+      return false;
+
+  // Every edge of G must appear inside some clique: equivalently, the
+  // subtrees of its endpoints share a node.
+  for (unsigned U = 0; U < G.numVertices(); ++U)
+    for (unsigned V : G.neighbors(U)) {
+      if (V < U)
+        continue;
+      bool Shared = false;
+      for (unsigned Node : VertexNodes[U])
+        for (unsigned Other : VertexNodes[V])
+          if (Node == Other)
+            Shared = true;
+      if (!Shared)
+        return false;
+    }
+
+  // Each vertex's node set must induce a connected subtree.
+  for (unsigned V = 0; V < G.numVertices(); ++V) {
+    const auto &Nodes = VertexNodes[V];
+    if (Nodes.size() <= 1)
+      continue;
+    std::vector<bool> InSet(numNodes(), false);
+    for (unsigned Node : Nodes)
+      InSet[Node] = true;
+    std::vector<unsigned> Stack{Nodes[0]};
+    std::vector<bool> Seen(numNodes(), false);
+    Seen[Nodes[0]] = true;
+    unsigned Reached = 0;
+    while (!Stack.empty()) {
+      unsigned Node = Stack.back();
+      Stack.pop_back();
+      ++Reached;
+      for (unsigned Next : TreeAdj[Node])
+        if (InSet[Next] && !Seen[Next]) {
+          Seen[Next] = true;
+          Stack.push_back(Next);
+        }
+    }
+    if (Reached != Nodes.size())
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,78 @@
+//===- graph/Coloring.cpp - Graph coloring utilities ----------------------===//
+
+#include "graph/Coloring.h"
+
+#include <algorithm>
+
+using namespace rc;
+
+bool rc::isValidColoring(const Graph &G, const Coloring &C, int MaxColors) {
+  if (C.size() != G.numVertices())
+    return false;
+  for (unsigned V = 0; V < G.numVertices(); ++V) {
+    if (C[V] < 0)
+      return false;
+    if (MaxColors >= 0 && C[V] >= MaxColors)
+      return false;
+    for (unsigned W : G.neighbors(V))
+      if (C[W] == C[V])
+        return false;
+  }
+  return true;
+}
+
+bool rc::isPartialColoringValid(const Graph &G, const Coloring &C) {
+  if (C.size() != G.numVertices())
+    return false;
+  for (unsigned V = 0; V < G.numVertices(); ++V) {
+    if (C[V] < 0)
+      continue;
+    for (unsigned W : G.neighbors(V))
+      if (W > V && C[W] == C[V])
+        return false;
+  }
+  return true;
+}
+
+unsigned rc::numColorsUsed(const Coloring &C) {
+  int Max = -1;
+  for (int Color : C)
+    Max = std::max(Max, Color);
+  if (Max < 0)
+    return 0;
+  std::vector<bool> Used(static_cast<unsigned>(Max) + 1, false);
+  for (int Color : C)
+    if (Color >= 0)
+      Used[static_cast<unsigned>(Color)] = true;
+  return static_cast<unsigned>(std::count(Used.begin(), Used.end(), true));
+}
+
+/// Returns the smallest color not used by the already-colored neighbors of
+/// \p V under \p C.
+static int firstFreeColor(const Graph &G, const Coloring &C, unsigned V) {
+  std::vector<bool> Used(G.degree(V) + 1, false);
+  for (unsigned W : G.neighbors(V))
+    if (C[W] >= 0 && static_cast<unsigned>(C[W]) < Used.size())
+      Used[static_cast<unsigned>(C[W])] = true;
+  for (unsigned Color = 0; Color < Used.size(); ++Color)
+    if (!Used[Color])
+      return static_cast<int>(Color);
+  // Degree(V)+1 colors always suffice; this point is unreachable.
+  return static_cast<int>(Used.size());
+}
+
+Coloring rc::greedyColorInOrder(const Graph &G,
+                                const std::vector<unsigned> &Order) {
+  assert(Order.size() == G.numVertices() && "order must cover all vertices");
+  Coloring C(G.numVertices(), -1);
+  for (unsigned V : Order)
+    C[V] = firstFreeColor(G, C, V);
+  return C;
+}
+
+void rc::greedyExtendColoring(const Graph &G, Coloring &C) {
+  assert(C.size() == G.numVertices() && "coloring has wrong size");
+  for (unsigned V = 0; V < G.numVertices(); ++V)
+    if (C[V] < 0)
+      C[V] = firstFreeColor(G, C, V);
+}

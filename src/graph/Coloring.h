@@ -1,0 +1,47 @@
+//===- graph/Coloring.h - Graph coloring utilities --------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Colorings map vertices to register ids. A coloring of the interference
+/// graph is a valid register assignment; a "coalescing" in the paper's sense
+/// is a coloring with no bound on the number of colors (Section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPH_COLORING_H
+#define GRAPH_COLORING_H
+
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace rc {
+
+/// A vertex-indexed color assignment; -1 marks an uncolored vertex.
+using Coloring = std::vector<int>;
+
+/// Returns true if \p C assigns every vertex a color in [0, MaxColors) and no
+/// edge of \p G is monochromatic. Pass \p MaxColors = -1 to skip the bound.
+bool isValidColoring(const Graph &G, const Coloring &C, int MaxColors = -1);
+
+/// Returns true if no edge of \p G joins two vertices with the same
+/// (non-negative) color; uncolored vertices are ignored.
+bool isPartialColoringValid(const Graph &G, const Coloring &C);
+
+/// Returns the number of distinct colors used by \p C.
+unsigned numColorsUsed(const Coloring &C);
+
+/// Colors the vertices of \p G greedily in the given \p Order, assigning to
+/// each vertex the smallest color unused by already-colored neighbors.
+Coloring greedyColorInOrder(const Graph &G, const std::vector<unsigned> &Order);
+
+/// Extends the partial coloring \p C greedily over its uncolored vertices, in
+/// increasing vertex order. Never changes already-colored vertices.
+void greedyExtendColoring(const Graph &G, Coloring &C);
+
+} // namespace rc
+
+#endif // GRAPH_COLORING_H

@@ -1,0 +1,36 @@
+//===- graph/DimacsIO.h - DIMACS graph format -------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader/writer for the DIMACS graph format used by the coloring
+/// community ("p edge <n> <m>" header, 1-based "e <u> <v>" edge lines),
+/// so interference graphs can be exchanged with external coloring tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPH_DIMACSIO_H
+#define GRAPH_DIMACSIO_H
+
+#include "graph/Graph.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace rc {
+
+/// Writes \p G in DIMACS format.
+void writeDimacs(std::ostream &OS, const Graph &G);
+
+/// Parses a DIMACS graph.
+///
+/// \param [out] Error diagnostic on failure.
+/// \returns true on success, storing the graph into \p G.
+bool readDimacs(std::istream &IS, Graph &G, std::string *Error = nullptr);
+
+} // namespace rc
+
+#endif // GRAPH_DIMACSIO_H

@@ -1,0 +1,263 @@
+//===- graph/ExactColoring.cpp - Exact (exponential) algorithms -----------===//
+
+#include "graph/ExactColoring.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace rc;
+
+namespace {
+
+/// DSATUR branch-and-bound search state.
+class DsaturSearch {
+public:
+  DsaturSearch(const Graph &G, unsigned K, uint64_t NodeLimit)
+      : G(G), K(K), NodeLimit(NodeLimit), Colors(G.numVertices(), -1),
+        SaturationMask(G.numVertices(), 0) {}
+
+  ExactColoringResult run() {
+    ExactColoringResult Result;
+    Result.Colorable = recurse(0, Result);
+    Result.NodesExplored = Nodes;
+    Result.HitLimit = LimitHit;
+    if (Result.Colorable)
+      Result.Assignment = Colors;
+    return Result;
+  }
+
+private:
+  /// Picks the uncolored vertex with maximum saturation (number of distinct
+  /// neighbor colors), breaking ties by degree.
+  unsigned pickVertex() const {
+    unsigned Best = ~0u;
+    unsigned BestSat = 0, BestDeg = 0;
+    for (unsigned V = 0; V < G.numVertices(); ++V) {
+      if (Colors[V] >= 0)
+        continue;
+      unsigned Sat =
+          static_cast<unsigned>(std::popcount(SaturationMask[V]));
+      unsigned Deg = G.degree(V);
+      if (Best == ~0u || Sat > BestSat ||
+          (Sat == BestSat && Deg > BestDeg)) {
+        Best = V;
+        BestSat = Sat;
+        BestDeg = Deg;
+      }
+    }
+    return Best;
+  }
+
+  bool recurse(unsigned NumColored, ExactColoringResult &Result) {
+    (void)Result;
+    if (LimitHit)
+      return false;
+    if (++Nodes > NodeLimit) {
+      LimitHit = true;
+      return false;
+    }
+    if (NumColored == G.numVertices())
+      return true;
+
+    unsigned V = pickVertex();
+    assert(V != ~0u && "no uncolored vertex left");
+
+    // Symmetry breaking: never open more than one fresh color.
+    unsigned Limit = std::min(K, MaxColorUsed + 2);
+    for (unsigned Color = 0; Color < Limit; ++Color) {
+      if (SaturationMask[V] & (uint64_t(1) << Color))
+        continue;
+      assign(V, Color);
+      unsigned SavedMax = MaxColorUsed;
+      MaxColorUsed = std::max(MaxColorUsed, Color);
+      if (recurse(NumColored + 1, Result))
+        return true;
+      MaxColorUsed = SavedMax;
+      unassign(V, Color);
+      if (LimitHit)
+        return false;
+    }
+    return false;
+  }
+
+  void assign(unsigned V, unsigned Color) {
+    Colors[V] = static_cast<int>(Color);
+    for (unsigned W : G.neighbors(V))
+      if (Colors[W] < 0)
+        SaturationMask[W] |= uint64_t(1) << Color;
+  }
+
+  void unassign(unsigned V, unsigned Color) {
+    Colors[V] = -1;
+    for (unsigned W : G.neighbors(V)) {
+      if (Colors[W] >= 0)
+        continue;
+      // Recompute: another neighbor may still provide this color.
+      bool StillThere = false;
+      for (unsigned X : G.neighbors(W))
+        if (Colors[X] == static_cast<int>(Color)) {
+          StillThere = true;
+          break;
+        }
+      if (!StillThere)
+        SaturationMask[W] &= ~(uint64_t(1) << Color);
+    }
+  }
+
+  const Graph &G;
+  unsigned K;
+  uint64_t NodeLimit;
+  uint64_t Nodes = 0;
+  bool LimitHit = false;
+  Coloring Colors;
+  std::vector<uint64_t> SaturationMask;
+  unsigned MaxColorUsed = 0;
+};
+
+} // namespace
+
+ExactColoringResult rc::exactKColoring(const Graph &G, unsigned K,
+                                       uint64_t NodeLimit) {
+  assert(K <= 64 && "DSATUR implementation supports at most 64 colors");
+  if (G.numVertices() == 0) {
+    ExactColoringResult R;
+    R.Colorable = true;
+    return R;
+  }
+  if (K == 0) {
+    ExactColoringResult R;
+    R.Colorable = false;
+    R.NodesExplored = 1;
+    return R;
+  }
+  DsaturSearch Search(G, K, NodeLimit);
+  ExactColoringResult R = Search.run();
+  assert((!R.Colorable || isValidColoring(G, R.Assignment,
+                                          static_cast<int>(K))) &&
+         "exact search produced an invalid coloring");
+  return R;
+}
+
+ExactColoringResult rc::exactKColoringWithEquality(const Graph &G, unsigned X,
+                                                   unsigned Y, unsigned K,
+                                                   uint64_t NodeLimit) {
+  assert(X < G.numVertices() && Y < G.numVertices() && "vertex out of range");
+  assert(X != Y && "the two vertices must differ");
+  assert(!G.hasEdge(X, Y) && "cannot equate interfering vertices");
+
+  // Merge X and Y and color the quotient.
+  unsigned N = G.numVertices();
+  std::vector<unsigned> ClassIds(N);
+  unsigned Next = 0;
+  for (unsigned V = 0; V < N; ++V)
+    ClassIds[V] = (V == Y) ? ~0u : Next++;
+  ClassIds[Y] = ClassIds[X];
+  Graph Merged = G.quotient(ClassIds, N - 1);
+
+  ExactColoringResult R = exactKColoring(Merged, K, NodeLimit);
+  if (!R.Colorable)
+    return R;
+
+  // Pull the quotient coloring back to G.
+  Coloring Pulled(N);
+  for (unsigned V = 0; V < N; ++V)
+    Pulled[V] = R.Assignment[ClassIds[V]];
+  R.Assignment = std::move(Pulled);
+  assert(isValidColoring(G, R.Assignment, static_cast<int>(K)) &&
+         R.Assignment[X] == R.Assignment[Y] &&
+         "pulled-back coloring is invalid");
+  return R;
+}
+
+unsigned rc::chromaticNumber(const Graph &G) {
+  if (G.numVertices() == 0)
+    return 0;
+  for (unsigned K = 1;; ++K) {
+    assert(K <= G.numVertices() && "chromatic number search ran away");
+    if (exactKColoring(G, K).Colorable)
+      return K;
+  }
+}
+
+namespace {
+
+/// Bron–Kerbosch with pivoting over explicit vertex sets.
+class BronKerbosch {
+public:
+  explicit BronKerbosch(const Graph &G) : G(G) {}
+
+  std::vector<std::vector<unsigned>> run() {
+    std::vector<unsigned> R, P, X;
+    for (unsigned V = 0; V < G.numVertices(); ++V)
+      P.push_back(V);
+    expand(R, P, X);
+    return Cliques;
+  }
+
+private:
+  void expand(std::vector<unsigned> &R, std::vector<unsigned> P,
+              std::vector<unsigned> X) {
+    if (P.empty() && X.empty()) {
+      std::vector<unsigned> Clique = R;
+      std::sort(Clique.begin(), Clique.end());
+      Cliques.push_back(std::move(Clique));
+      return;
+    }
+    // Pivot on the vertex of P union X with most neighbors in P.
+    unsigned Pivot = ~0u;
+    size_t BestCover = 0;
+    auto consider = [&](unsigned U) {
+      size_t Cover = 0;
+      for (unsigned W : P)
+        if (G.hasEdge(U, W))
+          ++Cover;
+      if (Pivot == ~0u || Cover > BestCover) {
+        Pivot = U;
+        BestCover = Cover;
+      }
+    };
+    for (unsigned U : P)
+      consider(U);
+    for (unsigned U : X)
+      consider(U);
+
+    std::vector<unsigned> Candidates;
+    for (unsigned V : P)
+      if (Pivot == ~0u || !G.hasEdge(Pivot, V))
+        Candidates.push_back(V);
+
+    for (unsigned V : Candidates) {
+      std::vector<unsigned> NewP, NewX;
+      for (unsigned W : P)
+        if (G.hasEdge(V, W))
+          NewP.push_back(W);
+      for (unsigned W : X)
+        if (G.hasEdge(V, W))
+          NewX.push_back(W);
+      R.push_back(V);
+      expand(R, std::move(NewP), std::move(NewX));
+      R.pop_back();
+      P.erase(std::find(P.begin(), P.end(), V));
+      X.push_back(V);
+    }
+  }
+
+  const Graph &G;
+  std::vector<std::vector<unsigned>> Cliques;
+};
+
+} // namespace
+
+std::vector<std::vector<unsigned>>
+rc::maximalCliquesBruteForce(const Graph &G) {
+  if (G.numVertices() == 0)
+    return {};
+  return BronKerbosch(G).run();
+}
+
+unsigned rc::cliqueNumberBruteForce(const Graph &G) {
+  unsigned Best = 0;
+  for (const auto &Clique : maximalCliquesBruteForce(G))
+    Best = std::max(Best, static_cast<unsigned>(Clique.size()));
+  return Best;
+}

@@ -1,0 +1,68 @@
+//===- graph/ExactColoring.h - Exact (exponential) algorithms ---*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact, exponential-time graph algorithms used as ground truth when
+/// verifying the paper's reductions and heuristics on small instances:
+/// DSATUR-style branch-and-bound k-coloring (with an optional "these two
+/// vertices must receive the same color" constraint, the decision problem of
+/// incremental conservative coalescing), chromatic number, and Bron–Kerbosch
+/// maximal clique enumeration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPH_EXACTCOLORING_H
+#define GRAPH_EXACTCOLORING_H
+
+#include "graph/Coloring.h"
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+/// Outcome of an exact coloring search.
+struct ExactColoringResult {
+  /// True if a valid k-coloring was found.
+  bool Colorable = false;
+  /// True if the search exhausted its node budget before deciding; when set,
+  /// Colorable is meaningless.
+  bool HitLimit = false;
+  /// A witness coloring when Colorable.
+  Coloring Assignment;
+  /// Number of search-tree nodes explored.
+  uint64_t NodesExplored = 0;
+};
+
+/// Decides k-colorability of \p G exactly with DSATUR branch and bound.
+///
+/// \param NodeLimit aborts the search (HitLimit) after this many nodes.
+ExactColoringResult exactKColoring(const Graph &G, unsigned K,
+                                   uint64_t NodeLimit = UINT64_MAX);
+
+/// Decides whether \p G admits a k-coloring f with f(X) = f(Y), the
+/// incremental conservative coalescing question of the paper (Section 4).
+/// Equivalent to k-coloring the graph with X and Y merged; requires that
+/// (X, Y) is not an edge.
+ExactColoringResult exactKColoringWithEquality(const Graph &G, unsigned X,
+                                               unsigned Y, unsigned K,
+                                               uint64_t NodeLimit = UINT64_MAX);
+
+/// Computes the chromatic number of \p G exactly. Intended for small graphs.
+unsigned chromaticNumber(const Graph &G);
+
+/// Enumerates all maximal cliques of an arbitrary graph (Bron–Kerbosch with
+/// pivoting). Exponential in the worst case; used to validate the chordal
+/// fast path.
+std::vector<std::vector<unsigned>> maximalCliquesBruteForce(const Graph &G);
+
+/// Returns the size of a maximum clique of an arbitrary graph.
+unsigned cliqueNumberBruteForce(const Graph &G);
+
+} // namespace rc
+
+#endif // GRAPH_EXACTCOLORING_H

@@ -1,0 +1,68 @@
+//===- graph/Generators.h - Random graph generators -------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random graph generators for tests and benchmarks, including
+/// the subtree-intersection construction of chordal graphs (the graph-theory
+/// characterization behind Theorem 1) and the clique augmentation of
+/// Property 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPH_GENERATORS_H
+#define GRAPH_GENERATORS_H
+
+#include "graph/Graph.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace rc {
+
+/// Erdos–Renyi G(n, p).
+Graph randomGraph(unsigned NumVertices, double EdgeProbability, Rng &Rand);
+
+/// A random chordal graph on \p NumVertices vertices, generated as the
+/// intersection graph of random subtrees of a random tree on \p TreeSize
+/// nodes. Each subtree grows from a random root to roughly
+/// \p MeanSubtreeSize nodes. This mirrors the characterization used by the
+/// paper's proof of Theorem 1 (chordal = intersection graph of subtrees of a
+/// tree).
+///
+/// \param [out] SubtreesOut if non-null, receives each vertex's subtree as a
+///        sorted list of tree node ids (useful to derive affinities).
+Graph randomChordalGraph(unsigned NumVertices, unsigned TreeSize,
+                         unsigned MeanSubtreeSize, Rng &Rand,
+                         std::vector<std::vector<unsigned>> *SubtreesOut =
+                             nullptr);
+
+/// A random interval graph: \p NumVertices random intervals over
+/// [0, Domain), each of length 1..MaxLength. Interval graphs are chordal.
+Graph randomIntervalGraph(unsigned NumVertices, unsigned Domain,
+                          unsigned MaxLength, Rng &Rand);
+
+/// A random graph guaranteed to be k-colorable: vertices are first assigned
+/// hidden colors, then edges are sampled only across color classes with
+/// probability \p EdgeProbability.
+Graph randomKColorableGraph(unsigned NumVertices, unsigned K,
+                            double EdgeProbability, Rng &Rand);
+
+/// The Property 2 transform: returns G plus a clique of \p P new vertices,
+/// each connected to every vertex of G. The paper proves this lifts
+/// k-colorability, chordality and greedy-k-colorability from k to k + P.
+///
+/// \param [out] FirstNewVertex if non-null, receives the id of the first
+///        clique vertex (they are numbered consecutively).
+Graph addDominatingClique(const Graph &G, unsigned P,
+                          unsigned *FirstNewVertex = nullptr);
+
+/// A random tree on \p NumNodes nodes, as an adjacency list (random
+/// attachment). Used by the chordal generator and directly by tests.
+std::vector<std::vector<unsigned>> randomTree(unsigned NumNodes, Rng &Rand);
+
+} // namespace rc
+
+#endif // GRAPH_GENERATORS_H

@@ -1,0 +1,158 @@
+//===- graph/Graph.cpp - Undirected interference graph --------------------===//
+
+#include "graph/Graph.h"
+
+#include <algorithm>
+
+using namespace rc;
+
+unsigned Graph::addVertex() {
+  unsigned Id = numVertices();
+  Adj.emplace_back();
+  growMatrix(Id + 1);
+  return Id;
+}
+
+unsigned Graph::addVertices(unsigned Count) {
+  unsigned First = numVertices();
+  for (unsigned I = 0; I < Count; ++I)
+    Adj.emplace_back();
+  growMatrix(First + Count);
+  return First;
+}
+
+bool Graph::addEdge(unsigned U, unsigned V) {
+  assert(U < numVertices() && V < numVertices() && "vertex out of range");
+  assert(U != V && "self loops are forbidden");
+  if (Edges.test(U, V))
+    return false;
+  Edges.set(U, V);
+  Adj[U].push_back(V);
+  Adj[V].push_back(U);
+  ++NumEdges;
+  return true;
+}
+
+void Graph::addClique(const std::vector<unsigned> &Vertices) {
+  for (size_t I = 0; I < Vertices.size(); ++I)
+    for (size_t J = I + 1; J < Vertices.size(); ++J)
+      addEdge(Vertices[I], Vertices[J]);
+}
+
+bool Graph::isClique(const std::vector<unsigned> &Vertices) const {
+  for (size_t I = 0; I < Vertices.size(); ++I)
+    for (size_t J = I + 1; J < Vertices.size(); ++J)
+      if (!hasEdge(Vertices[I], Vertices[J]))
+        return false;
+  return true;
+}
+
+Graph Graph::quotient(const std::vector<unsigned> &ClassIds,
+                      unsigned NumClasses, bool *SelfLoop) const {
+  assert(ClassIds.size() == numVertices() && "class map has wrong size");
+  if (SelfLoop)
+    *SelfLoop = false;
+  Graph Result(NumClasses);
+  for (unsigned U = 0; U < numVertices(); ++U) {
+    assert(ClassIds[U] < NumClasses && "class id out of range");
+    for (unsigned V : Adj[U]) {
+      if (V < U)
+        continue; // Visit each edge once.
+      if (ClassIds[U] == ClassIds[V]) {
+        if (SelfLoop)
+          *SelfLoop = true;
+        continue;
+      }
+      Result.addEdge(ClassIds[U], ClassIds[V]);
+    }
+  }
+  return Result;
+}
+
+Graph Graph::inducedSubgraph(const std::vector<unsigned> &Vertices,
+                             std::vector<unsigned> *OldToNew) const {
+  std::vector<unsigned> Map(numVertices(), ~0u);
+  for (unsigned I = 0; I < Vertices.size(); ++I) {
+    assert(Vertices[I] < numVertices() && "vertex out of range");
+    assert(Map[Vertices[I]] == ~0u && "duplicate vertex in induced set");
+    Map[Vertices[I]] = I;
+  }
+  Graph Result(static_cast<unsigned>(Vertices.size()));
+  for (unsigned NewU = 0; NewU < Vertices.size(); ++NewU)
+    for (unsigned V : Adj[Vertices[NewU]])
+      if (Map[V] != ~0u && Map[V] > NewU)
+        Result.addEdge(NewU, Map[V]);
+  if (OldToNew)
+    *OldToNew = std::move(Map);
+  return Result;
+}
+
+std::vector<std::vector<unsigned>> Graph::connectedComponents() const {
+  std::vector<std::vector<unsigned>> Components;
+  std::vector<bool> Seen(numVertices(), false);
+  std::vector<unsigned> Stack;
+  for (unsigned Start = 0; Start < numVertices(); ++Start) {
+    if (Seen[Start])
+      continue;
+    Components.emplace_back();
+    Stack.push_back(Start);
+    Seen[Start] = true;
+    while (!Stack.empty()) {
+      unsigned V = Stack.back();
+      Stack.pop_back();
+      Components.back().push_back(V);
+      for (unsigned W : Adj[V]) {
+        if (Seen[W])
+          continue;
+        Seen[W] = true;
+        Stack.push_back(W);
+      }
+    }
+    std::sort(Components.back().begin(), Components.back().end());
+  }
+  return Components;
+}
+
+bool Graph::sameComponent(unsigned U, unsigned V) const {
+  assert(U < numVertices() && V < numVertices() && "vertex out of range");
+  if (U == V)
+    return true;
+  std::vector<bool> Seen(numVertices(), false);
+  std::vector<unsigned> Stack{U};
+  Seen[U] = true;
+  while (!Stack.empty()) {
+    unsigned X = Stack.back();
+    Stack.pop_back();
+    if (X == V)
+      return true;
+    for (unsigned W : Adj[X])
+      if (!Seen[W]) {
+        Seen[W] = true;
+        Stack.push_back(W);
+      }
+  }
+  return false;
+}
+
+Graph Graph::complete(unsigned N) {
+  Graph G(N);
+  for (unsigned I = 0; I < N; ++I)
+    for (unsigned J = I + 1; J < N; ++J)
+      G.addEdge(I, J);
+  return G;
+}
+
+Graph Graph::cycle(unsigned N) {
+  assert(N >= 3 && "a cycle needs at least 3 vertices");
+  Graph G(N);
+  for (unsigned I = 0; I < N; ++I)
+    G.addEdge(I, (I + 1) % N);
+  return G;
+}
+
+Graph Graph::path(unsigned N) {
+  Graph G(N);
+  for (unsigned I = 0; I + 1 < N; ++I)
+    G.addEdge(I, I + 1);
+  return G;
+}

@@ -1,0 +1,114 @@
+//===- graph/Graph.h - Undirected interference graph ------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The undirected simple graph used throughout the project to model
+/// interference graphs (Section 2.1 of Bouchez, Darte, Rastello, "On the
+/// Complexity of Register Coalescing"). Vertices are dense unsigned ids;
+/// edges are stored both as adjacency lists (for traversal) and as a
+/// triangular bit matrix (for O(1) interference queries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPH_GRAPH_H
+#define GRAPH_GRAPH_H
+
+#include "support/BitMatrix.h"
+
+#include <cassert>
+#include <vector>
+
+namespace rc {
+
+/// An undirected simple graph over vertices 0..numVertices()-1.
+class Graph {
+public:
+  /// Creates a graph with \p NumVertices isolated vertices.
+  explicit Graph(unsigned NumVertices = 0)
+      : Adj(NumVertices), Edges(NumVertices) {}
+
+  /// Adds a new isolated vertex and returns its id.
+  unsigned addVertex();
+
+  /// Adds \p Count new isolated vertices; returns the id of the first one.
+  unsigned addVertices(unsigned Count);
+
+  /// Adds the undirected edge (\p U, \p V).
+  ///
+  /// Self loops are forbidden. \returns true if the edge was new.
+  bool addEdge(unsigned U, unsigned V);
+
+  /// Returns true if the edge (\p U, \p V) exists. The diagonal is false.
+  bool hasEdge(unsigned U, unsigned V) const { return Edges.test(U, V); }
+
+  /// Returns the number of vertices.
+  unsigned numVertices() const { return static_cast<unsigned>(Adj.size()); }
+
+  /// Returns the number of edges.
+  unsigned numEdges() const { return NumEdges; }
+
+  /// Returns the degree of \p V.
+  unsigned degree(unsigned V) const {
+    assert(V < numVertices() && "vertex out of range");
+    return static_cast<unsigned>(Adj[V].size());
+  }
+
+  /// Returns the neighbors of \p V, in insertion order.
+  const std::vector<unsigned> &neighbors(unsigned V) const {
+    assert(V < numVertices() && "vertex out of range");
+    return Adj[V];
+  }
+
+  /// Adds all edges among \p Vertices, turning them into a clique.
+  void addClique(const std::vector<unsigned> &Vertices);
+
+  /// Returns true if \p Vertices induce a complete subgraph.
+  bool isClique(const std::vector<unsigned> &Vertices) const;
+
+  /// Builds the quotient graph obtained by merging vertices with the same
+  /// class id (the "coalesced graph" G_f of the paper).
+  ///
+  /// \param ClassIds maps each vertex to a class id in 0..NumClasses-1.
+  /// \param NumClasses the number of classes.
+  /// \param [out] SelfLoop if non-null, set to true when two interfering
+  ///        vertices share a class (the merge is invalid as a coalescing).
+  ///        Such edges are dropped from the result.
+  Graph quotient(const std::vector<unsigned> &ClassIds, unsigned NumClasses,
+                 bool *SelfLoop = nullptr) const;
+
+  /// Builds the subgraph induced by \p Vertices.
+  ///
+  /// \param [out] OldToNew if non-null, receives a map of size numVertices()
+  ///        from old id to new id (~0u for vertices not kept).
+  Graph inducedSubgraph(const std::vector<unsigned> &Vertices,
+                        std::vector<unsigned> *OldToNew = nullptr) const;
+
+  /// Returns the connected components, each as a vertex list.
+  std::vector<std::vector<unsigned>> connectedComponents() const;
+
+  /// Returns true if \p U and \p V lie in the same connected component.
+  bool sameComponent(unsigned U, unsigned V) const;
+
+  /// Returns the complete graph on \p N vertices.
+  static Graph complete(unsigned N);
+
+  /// Returns the cycle on \p N >= 3 vertices.
+  static Graph cycle(unsigned N);
+
+  /// Returns the path on \p N vertices.
+  static Graph path(unsigned N);
+
+private:
+  void growMatrix(unsigned NewN) { Edges.grow(NewN); }
+
+  std::vector<std::vector<unsigned>> Adj;
+  BitMatrix Edges;
+  unsigned NumEdges = 0;
+};
+
+} // namespace rc
+
+#endif // GRAPH_GRAPH_H

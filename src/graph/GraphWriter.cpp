@@ -1,0 +1,27 @@
+//===- graph/GraphWriter.cpp - DOT output ----------------------------------===//
+
+#include "graph/GraphWriter.h"
+
+using namespace rc;
+
+void rc::writeDot(std::ostream &OS, const Graph &G,
+                  const std::vector<Affinity> &Affinities,
+                  const std::vector<std::string> &Names) {
+  auto name = [&Names](unsigned V) {
+    if (V < Names.size() && !Names[V].empty())
+      return Names[V];
+    return "v" + std::to_string(V);
+  };
+  OS << "graph interference {\n";
+  OS << "  node [shape=circle];\n";
+  for (unsigned V = 0; V < G.numVertices(); ++V)
+    OS << "  \"" << name(V) << "\";\n";
+  for (unsigned U = 0; U < G.numVertices(); ++U)
+    for (unsigned V : G.neighbors(U))
+      if (U < V)
+        OS << "  \"" << name(U) << "\" -- \"" << name(V) << "\";\n";
+  for (const Affinity &A : Affinities)
+    OS << "  \"" << name(A.U) << "\" -- \"" << name(A.V)
+       << "\" [style=dashed, label=\"" << A.Weight << "\"];\n";
+  OS << "}\n";
+}

@@ -1,0 +1,46 @@
+//===- graph/GraphWriter.h - DOT output -------------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz DOT output of interference graphs: interferences as solid lines,
+/// affinities as dashed lines, matching the figures of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPH_GRAPHWRITER_H
+#define GRAPH_GRAPHWRITER_H
+
+#include "graph/Graph.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+/// A weighted affinity (dotted edge of the paper's figures): coalescing the
+/// move between U and V saves Weight units of move cost.
+struct Affinity {
+  unsigned U = 0;
+  unsigned V = 0;
+  double Weight = 1.0;
+
+  friend bool operator==(const Affinity &A, const Affinity &B) {
+    return A.U == B.U && A.V == B.V && A.Weight == B.Weight;
+  }
+};
+
+/// Writes \p G in DOT format to \p OS.
+///
+/// \param Affinities drawn as dashed edges.
+/// \param Names optional per-vertex labels (defaults to "v<id>").
+void writeDot(std::ostream &OS, const Graph &G,
+              const std::vector<Affinity> &Affinities = {},
+              const std::vector<std::string> &Names = {});
+
+} // namespace rc
+
+#endif // GRAPH_GRAPHWRITER_H

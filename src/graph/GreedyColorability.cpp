@@ -1,0 +1,128 @@
+//===- graph/GreedyColorability.cpp - Chaitin elimination -----------------===//
+
+#include "graph/GreedyColorability.h"
+
+#include <algorithm>
+
+using namespace rc;
+
+EliminationResult rc::greedyEliminate(const Graph &G, unsigned K) {
+  EliminationResult Result;
+  unsigned N = G.numVertices();
+  std::vector<unsigned> Degree(N);
+  std::vector<bool> Removed(N, false);
+  std::vector<unsigned> Worklist;
+  for (unsigned V = 0; V < N; ++V) {
+    Degree[V] = G.degree(V);
+    if (Degree[V] < K)
+      Worklist.push_back(V);
+  }
+  std::vector<bool> Queued(N, false);
+  for (unsigned V : Worklist)
+    Queued[V] = true;
+
+  while (!Worklist.empty()) {
+    unsigned V = Worklist.back();
+    Worklist.pop_back();
+    if (Removed[V])
+      continue;
+    Removed[V] = true;
+    Result.Order.push_back(V);
+    for (unsigned W : G.neighbors(V)) {
+      if (Removed[W])
+        continue;
+      if (--Degree[W] < K && !Queued[W]) {
+        Queued[W] = true;
+        Worklist.push_back(W);
+      }
+    }
+  }
+
+  Result.Success = Result.Order.size() == N;
+  if (!Result.Success)
+    for (unsigned V = 0; V < N; ++V)
+      if (!Removed[V])
+        Result.Stuck.push_back(V);
+  return Result;
+}
+
+bool rc::isGreedyKColorable(const Graph &G, unsigned K) {
+  return greedyEliminate(G, K).Success;
+}
+
+unsigned rc::coloringNumber(const Graph &G,
+                            std::vector<unsigned> *SmallestLastOrder) {
+  unsigned N = G.numVertices();
+  if (N == 0) {
+    if (SmallestLastOrder)
+      SmallestLastOrder->clear();
+    return 0;
+  }
+
+  // Bucket queue over current degrees; repeatedly remove a vertex of minimum
+  // degree. col(G) = 1 + the maximum degree observed at removal time.
+  std::vector<unsigned> Degree(N);
+  unsigned MaxDegree = 0;
+  for (unsigned V = 0; V < N; ++V) {
+    Degree[V] = G.degree(V);
+    MaxDegree = std::max(MaxDegree, Degree[V]);
+  }
+  std::vector<std::vector<unsigned>> Buckets(MaxDegree + 1);
+  for (unsigned V = 0; V < N; ++V)
+    Buckets[Degree[V]].push_back(V);
+
+  std::vector<bool> Removed(N, false);
+  std::vector<unsigned> RemovalOrder;
+  RemovalOrder.reserve(N);
+  unsigned MaxAtRemoval = 0;
+  unsigned Cursor = 0;
+  for (unsigned Taken = 0; Taken < N; ++Taken) {
+    // The minimum degree decreases by at most 1 per removal, so rewinding the
+    // cursor by one keeps the scan amortized linear.
+    Cursor = Cursor > 0 ? Cursor - 1 : 0;
+    unsigned V = ~0u;
+    for (;; ++Cursor) {
+      assert(Cursor < Buckets.size() && "bucket scan ran past max degree");
+      auto &Bucket = Buckets[Cursor];
+      while (!Bucket.empty()) {
+        unsigned Candidate = Bucket.back();
+        if (Removed[Candidate] || Degree[Candidate] != Cursor) {
+          Bucket.pop_back(); // Stale entry.
+          continue;
+        }
+        V = Candidate;
+        Bucket.pop_back();
+        break;
+      }
+      if (V != ~0u)
+        break;
+    }
+    Removed[V] = true;
+    RemovalOrder.push_back(V);
+    MaxAtRemoval = std::max(MaxAtRemoval, Degree[V]);
+    for (unsigned W : G.neighbors(V)) {
+      if (Removed[W])
+        continue;
+      --Degree[W];
+      Buckets[Degree[W]].push_back(W);
+    }
+  }
+
+  if (SmallestLastOrder) {
+    // A smallest-last order lists the last-removed vertex first... precisely:
+    // coloring in reverse removal order meets at most MaxAtRemoval colored
+    // neighbors, so we expose the reverse order directly as a coloring order.
+    SmallestLastOrder->assign(RemovalOrder.rbegin(), RemovalOrder.rend());
+  }
+  return MaxAtRemoval + 1;
+}
+
+Coloring rc::colorGreedyKColorable(const Graph &G, unsigned K) {
+  EliminationResult E = greedyEliminate(G, K);
+  assert(E.Success && "graph is not greedy-k-colorable");
+  std::vector<unsigned> ReverseOrder(E.Order.rbegin(), E.Order.rend());
+  Coloring C = greedyColorInOrder(G, ReverseOrder);
+  assert(isValidColoring(G, C, static_cast<int>(K)) &&
+         "greedy coloring exceeded k colors");
+  return C;
+}

@@ -1,0 +1,59 @@
+//===- graph/GreedyColorability.h - Chaitin elimination ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy-k-colorability (Section 2.2 of the paper): a graph is
+/// greedy-k-colorable iff repeatedly removing vertices of degree < k empties
+/// the graph. This is the simplify phase of Chaitin-like allocators. The
+/// smallest k for which G is greedy-k-colorable is the coloring number
+/// col(G) = 1 + max over subgraphs G' of the minimum degree of G'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GRAPH_GREEDYCOLORABILITY_H
+#define GRAPH_GREEDYCOLORABILITY_H
+
+#include "graph/Coloring.h"
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace rc {
+
+/// Result of running the greedy elimination scheme.
+struct EliminationResult {
+  /// True if the scheme removed every vertex.
+  bool Success = false;
+  /// Vertices in removal order (complete when Success).
+  std::vector<unsigned> Order;
+  /// Vertices left when the scheme got stuck (empty when Success). All
+  /// remaining vertices have degree >= k in the remaining subgraph, which is
+  /// exactly the obstruction characterizing non-greedy-k-colorability.
+  std::vector<unsigned> Stuck;
+};
+
+/// Runs the degree-< k elimination scheme on \p G in O(V + E).
+EliminationResult greedyEliminate(const Graph &G, unsigned K);
+
+/// Returns true if \p G is greedy-k-colorable.
+bool isGreedyKColorable(const Graph &G, unsigned K);
+
+/// Returns the coloring number col(G), i.e. the smallest k such that G is
+/// greedy-k-colorable, via a smallest-last order.
+///
+/// \param [out] SmallestLastOrder if non-null, receives a smallest-last
+///        vertex order witnessing col(G) (coloring greedily in this order
+///        uses at most col(G) colors).
+unsigned coloringNumber(const Graph &G,
+                        std::vector<unsigned> *SmallestLastOrder = nullptr);
+
+/// Colors a greedy-k-colorable graph with at most \p K colors by coloring in
+/// reverse elimination order. Asserts that \p G is greedy-k-colorable.
+Coloring colorGreedyKColorable(const Graph &G, unsigned K);
+
+} // namespace rc
+
+#endif // GRAPH_GREEDYCOLORABILITY_H

@@ -1,0 +1,89 @@
+//===- ir/Dominance.cpp - Dominator tree ----------------------------------===//
+
+#include "ir/Dominance.h"
+
+#include <algorithm>
+
+using namespace rc;
+using namespace rc::ir;
+
+DominatorTree DominatorTree::build(const Function &F) {
+  DominatorTree T;
+  unsigned N = F.numBlocks();
+  T.Idom.assign(N, NoBlock);
+  T.Children.assign(N, {});
+  T.Depth.assign(N, 0);
+
+  std::vector<BlockId> Rpo = F.reversePostOrder();
+  std::vector<unsigned> RpoIndex(N, ~0u);
+  for (unsigned I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  // Cooper–Harvey–Kennedy: iterate to a fixed point over RPO.
+  auto intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = T.Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = T.Idom[B];
+    }
+    return A;
+  };
+
+  T.Idom[0] = 0; // Temporarily self, per the algorithm.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == 0)
+        continue;
+      BlockId NewIdom = NoBlock;
+      for (BlockId P : F.block(B).Preds) {
+        if (RpoIndex[P] == ~0u || T.Idom[P] == NoBlock)
+          continue; // Unreachable or unprocessed predecessor.
+        NewIdom = (NewIdom == NoBlock) ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom != NoBlock && T.Idom[B] != NewIdom) {
+        T.Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  T.Idom[0] = NoBlock; // The entry has no immediate dominator.
+
+  for (BlockId B = 1; B < N; ++B)
+    if (T.Idom[B] != NoBlock)
+      T.Children[T.Idom[B]].push_back(B);
+
+  // Depths in preorder.
+  for (BlockId B : T.preorder())
+    if (B != 0 && T.Idom[B] != NoBlock)
+      T.Depth[B] = T.Depth[T.Idom[B]] + 1;
+
+  return T;
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  assert(A < Idom.size() && B < Idom.size() && "block out of range");
+  if (!isReachable(B))
+    return false;
+  while (Depth[B] > Depth[A]) {
+    B = Idom[B];
+    assert(B != NoBlock && "depth bookkeeping is inconsistent");
+  }
+  return A == B;
+}
+
+std::vector<BlockId> DominatorTree::preorder() const {
+  std::vector<BlockId> Order;
+  std::vector<BlockId> Stack{0};
+  while (!Stack.empty()) {
+    BlockId B = Stack.back();
+    Stack.pop_back();
+    Order.push_back(B);
+    // Push children in reverse so they pop in natural order.
+    for (auto It = Children[B].rbegin(); It != Children[B].rend(); ++It)
+      Stack.push_back(*It);
+  }
+  return Order;
+}

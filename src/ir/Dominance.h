@@ -1,0 +1,66 @@
+//===- ir/Dominance.h - Dominator tree --------------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm. The
+/// dominance relation underlies strictness ("every use dominated by its
+/// definition") and the proof of Theorem 1: SSA live ranges are subtrees of
+/// the dominance tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_DOMINANCE_H
+#define IR_DOMINANCE_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace rc {
+namespace ir {
+
+/// Immediate-dominator tree of a function's CFG.
+class DominatorTree {
+public:
+  /// Builds the dominator tree. Requires computePredecessors() to be up to
+  /// date. Blocks unreachable from the entry get NoBlock as idom.
+  static DominatorTree build(const Function &F);
+
+  /// Returns the immediate dominator of \p B (NoBlock for the entry and for
+  /// unreachable blocks).
+  BlockId idom(BlockId B) const {
+    assert(B < Idom.size() && "block out of range");
+    return Idom[B];
+  }
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Returns true if \p B is reachable from the entry.
+  bool isReachable(BlockId B) const {
+    return B == 0 || Idom[B] != NoBlock;
+  }
+
+  /// Returns the children of \p B in the dominator tree.
+  const std::vector<BlockId> &children(BlockId B) const {
+    assert(B < Children.size() && "block out of range");
+    return Children[B];
+  }
+
+  /// Returns blocks in a dominator-tree preorder (parents before children).
+  std::vector<BlockId> preorder() const;
+
+private:
+  std::vector<BlockId> Idom;
+  std::vector<std::vector<BlockId>> Children;
+  /// Depth of each block in the dominator tree (0 for the entry).
+  std::vector<unsigned> Depth;
+};
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_DOMINANCE_H

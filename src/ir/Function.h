@@ -1,0 +1,178 @@
+//===- ir/Function.h - Mini strict-SSA IR -----------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small control-flow-graph IR sufficient to reproduce the paper's SSA
+/// results: strict SSA programs (every use dominated by the unique
+/// definition), phi functions, copies, and an out-of-SSA lowering. Values are
+/// dense unsigned ids; the interference graph built from a function uses the
+/// same ids as graph vertices.
+///
+/// The IR deliberately supports both SSA and non-SSA code: out-of-SSA
+/// lowering produces multiple definitions of the same value (the coalesced
+/// phi "name"), which the liveness analysis and interpreter handle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_FUNCTION_H
+#define IR_FUNCTION_H
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rc {
+namespace ir {
+
+/// Dense value id. Values play the role of the paper's variables.
+using ValueId = unsigned;
+/// Sentinel "no value".
+inline constexpr ValueId NoValue = ~0u;
+
+/// Dense basic block id.
+using BlockId = unsigned;
+/// Sentinel "no block".
+inline constexpr BlockId NoBlock = ~0u;
+
+/// Instruction opcodes. Semantics are defined by the Interpreter; for
+/// register allocation only defs/uses matter.
+enum class Opcode {
+  Const,  ///< Dst = Imm
+  Copy,   ///< Dst = Src0 (the move instructions coalescing removes)
+  Add,    ///< Dst = Src0 + Src1
+  Sub,    ///< Dst = Src0 - Src1
+  Mul,    ///< Dst = Src0 * Src1
+  Phi,    ///< Dst = phi(PhiArgs) -- one incoming value per predecessor
+  Load,   ///< Dst = stack[Imm] (spill reload)
+  Store,  ///< stack[Imm] = Src0 (spill store)
+  Jump,   ///< goto Succ0
+  Branch, ///< if (Src0 != 0) goto Succ0 else goto Succ1
+  Ret,    ///< return Srcs...
+};
+
+/// Returns true if \p Op terminates a basic block.
+inline bool isTerminator(Opcode Op) {
+  return Op == Opcode::Jump || Op == Opcode::Branch || Op == Opcode::Ret;
+}
+
+/// One incoming value of a phi function.
+struct PhiArg {
+  BlockId Pred = NoBlock;
+  ValueId Value = NoValue;
+};
+
+/// A single instruction. Phi instructions live in BasicBlock::Phis; all
+/// others in BasicBlock::Body (terminator last).
+struct Instruction {
+  Opcode Op = Opcode::Const;
+  /// Defined value, or NoValue for terminators.
+  ValueId Dst = NoValue;
+  /// Used values (not used by Phi; see PhiArgs).
+  std::vector<ValueId> Srcs;
+  /// Incoming values, Phi only.
+  std::vector<PhiArg> PhiArgs;
+  /// Immediate operand, Const only.
+  int64_t Imm = 0;
+};
+
+/// A basic block: phi functions, then a straight-line body ending in a
+/// terminator.
+struct BasicBlock {
+  std::vector<Instruction> Phis;
+  std::vector<Instruction> Body;
+  /// Successor blocks, filled from the terminator by Function helpers.
+  std::vector<BlockId> Succs;
+  /// Predecessor blocks, computed by Function::computePredecessors().
+  std::vector<BlockId> Preds;
+  /// Execution frequency estimate; scales move costs (affinity weights).
+  double Frequency = 1.0;
+
+  /// Returns the terminator, asserting the block is properly terminated.
+  const Instruction &terminator() const {
+    assert(!Body.empty() && isTerminator(Body.back().Op) &&
+           "block is not terminated");
+    return Body.back();
+  }
+};
+
+/// A function: blocks (entry is block 0) over a dense value id space.
+class Function {
+public:
+  /// Creates an empty function with a single unterminated entry block.
+  Function() { Blocks.emplace_back(); }
+
+  /// Adds a new empty block and returns its id.
+  BlockId createBlock();
+
+  /// Returns the number of blocks.
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  /// Returns the number of values.
+  unsigned numValues() const { return NumValues; }
+
+  /// Accesses a block.
+  BasicBlock &block(BlockId B) {
+    assert(B < Blocks.size() && "block out of range");
+    return Blocks[B];
+  }
+  const BasicBlock &block(BlockId B) const {
+    assert(B < Blocks.size() && "block out of range");
+    return Blocks[B];
+  }
+
+  /// Allocates a fresh value id.
+  ValueId createValue(std::string Name = "");
+
+  /// Returns the name of \p V ("v<id>" when unnamed).
+  std::string valueName(ValueId V) const;
+
+  /// Appends "Dst = Const Imm" to \p B; returns Dst.
+  ValueId emitConst(BlockId B, int64_t Imm, std::string Name = "");
+  /// Appends "Dst = Copy Src" to \p B; returns Dst.
+  ValueId emitCopy(BlockId B, ValueId Src, std::string Name = "");
+  /// Appends "Dst = Copy Src" writing into the existing value \p Dst
+  /// (non-SSA; used by out-of-SSA lowering).
+  void emitCopyInto(BlockId B, ValueId Dst, ValueId Src);
+  /// Appends a binary operation; returns Dst.
+  ValueId emitBinary(BlockId B, Opcode Op, ValueId Lhs, ValueId Rhs,
+                     std::string Name = "");
+  /// Prepends a phi to \p B; returns Dst.
+  ValueId emitPhi(BlockId B, std::vector<PhiArg> Args, std::string Name = "");
+  /// Appends "Dst = Load slot" to \p B; returns Dst.
+  ValueId emitLoad(BlockId B, int64_t Slot, std::string Name = "");
+  /// Appends "Store Src -> slot" to \p B.
+  void emitStore(BlockId B, ValueId Src, int64_t Slot);
+  /// Terminates \p B with an unconditional jump.
+  void emitJump(BlockId B, BlockId Target);
+  /// Terminates \p B with a conditional branch.
+  void emitBranch(BlockId B, ValueId Cond, BlockId TrueTarget,
+                  BlockId FalseTarget);
+  /// Terminates \p B with a return of \p Values.
+  void emitRet(BlockId B, std::vector<ValueId> Values);
+
+  /// Recomputes every block's predecessor list from the successor lists.
+  void computePredecessors();
+
+  /// Returns block ids in reverse postorder from the entry.
+  std::vector<BlockId> reversePostOrder() const;
+
+  /// Prints a textual form of the function.
+  void print(std::ostream &OS) const;
+
+private:
+  void appendInstruction(BlockId B, Instruction I);
+
+  std::vector<BasicBlock> Blocks;
+  std::vector<std::string> ValueNames;
+  unsigned NumValues = 0;
+};
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_FUNCTION_H

@@ -1,0 +1,134 @@
+//===- ir/Interpreter.cpp - Reference interpreter --------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include <map>
+
+using namespace rc;
+using namespace rc::ir;
+
+ExecutionResult ir::interpret(const Function &F, uint64_t MaxSteps) {
+  ExecutionResult Result;
+  std::vector<int64_t> Env(F.numValues(), 0);
+  std::vector<bool> Defined(F.numValues(), false);
+  std::map<int64_t, int64_t> Memory; // Spill slots.
+
+  auto read = [&](ValueId V, int64_t &Out) {
+    if (V >= F.numValues() || !Defined[V]) {
+      Result.Error = "use of undefined value";
+      return false;
+    }
+    Out = Env[V];
+    return true;
+  };
+  auto write = [&](ValueId V, int64_t Value) {
+    Env[V] = Value;
+    Defined[V] = true;
+  };
+
+  BlockId Current = 0;
+  BlockId Previous = NoBlock;
+  while (Result.Steps < MaxSteps) {
+    const BasicBlock &BB = F.block(Current);
+
+    // Parallel phi evaluation: read all inputs first, then write.
+    if (!BB.Phis.empty()) {
+      std::vector<std::pair<ValueId, int64_t>> Writes;
+      for (const Instruction &Phi : BB.Phis) {
+        bool Matched = false;
+        for (const PhiArg &Arg : Phi.PhiArgs) {
+          if (Arg.Pred != Previous)
+            continue;
+          int64_t V;
+          if (!read(Arg.Value, V))
+            return Result;
+          Writes.emplace_back(Phi.Dst, V);
+          Matched = true;
+          break;
+        }
+        if (!Matched) {
+          Result.Error = "phi has no entry for the incoming edge";
+          return Result;
+        }
+        ++Result.Steps;
+      }
+      for (const auto &[Dst, V] : Writes)
+        write(Dst, V);
+    }
+
+    for (const Instruction &I : BB.Body) {
+      ++Result.Steps;
+      switch (I.Op) {
+      case Opcode::Const:
+        write(I.Dst, I.Imm);
+        break;
+      case Opcode::Copy: {
+        int64_t V;
+        if (!read(I.Srcs[0], V))
+          return Result;
+        write(I.Dst, V);
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul: {
+        int64_t A, B;
+        if (!read(I.Srcs[0], A) || !read(I.Srcs[1], B))
+          return Result;
+        // Wrap in unsigned arithmetic to keep overflow well defined.
+        uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
+        uint64_t R = I.Op == Opcode::Add   ? UA + UB
+                     : I.Op == Opcode::Sub ? UA - UB
+                                           : UA * UB;
+        write(I.Dst, static_cast<int64_t>(R));
+        break;
+      }
+      case Opcode::Load: {
+        auto It = Memory.find(I.Imm);
+        if (It == Memory.end()) {
+          Result.Error = "load from an uninitialized stack slot";
+          return Result;
+        }
+        write(I.Dst, It->second);
+        break;
+      }
+      case Opcode::Store: {
+        int64_t V;
+        if (!read(I.Srcs[0], V))
+          return Result;
+        Memory[I.Imm] = V;
+        break;
+      }
+      case Opcode::Jump:
+        Previous = Current;
+        Current = BB.Succs[0];
+        break;
+      case Opcode::Branch: {
+        int64_t Cond;
+        if (!read(I.Srcs[0], Cond))
+          return Result;
+        Previous = Current;
+        Current = Cond != 0 ? BB.Succs[0] : BB.Succs[1];
+        break;
+      }
+      case Opcode::Ret: {
+        for (ValueId V : I.Srcs) {
+          int64_t X;
+          if (!read(V, X))
+            return Result;
+          Result.ReturnValues.push_back(X);
+        }
+        Result.Ok = true;
+        return Result;
+      }
+      case Opcode::Phi:
+        Result.Error = "phi instruction in a block body";
+        return Result;
+      }
+      if (isTerminator(I.Op))
+        break;
+    }
+  }
+  Result.Error = "step budget exhausted";
+  return Result;
+}

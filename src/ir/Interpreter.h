@@ -1,0 +1,46 @@
+//===- ir/Interpreter.h - Reference interpreter -----------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the mini-IR, with parallel phi semantics.
+/// Used by tests to check that out-of-SSA lowering preserves program
+/// behavior (same return values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_INTERPRETER_H
+#define IR_INTERPRETER_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rc {
+namespace ir {
+
+/// Outcome of interpreting a function.
+struct ExecutionResult {
+  /// True if a Ret was executed within the step budget.
+  bool Ok = false;
+  /// The values returned by the Ret instruction.
+  std::vector<int64_t> ReturnValues;
+  /// Instructions executed.
+  uint64_t Steps = 0;
+  /// Diagnostic when !Ok.
+  std::string Error;
+};
+
+/// Interprets \p F from its entry block. Phis of a block are evaluated in
+/// parallel against the predecessor's environment. Using a never-defined
+/// value is an error (strictness violation at runtime).
+ExecutionResult interpret(const Function &F, uint64_t MaxSteps = 1u << 20);
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_INTERPRETER_H

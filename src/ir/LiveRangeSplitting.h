@@ -1,0 +1,42 @@
+//===- ir/LiveRangeSplitting.h - Splitting at block boundaries --*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live-range splitting (Cooper–Simpson style, maximal block-boundary
+/// variant): insert a copy of every live-in value at the top of every block,
+/// then rebuild SSA. Each live range shrinks to (at most) one block, register
+/// pressure constraints decouple per block, and the price is a crowd of new
+/// move instructions plus phis -- exactly the copies the paper's coalescing
+/// problems exist to remove ("it is very hard to control the interplay
+/// between spilling and splitting/coalescing", Section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_LIVERANGESPLITTING_H
+#define IR_LIVERANGESPLITTING_H
+
+#include "ir/Function.h"
+
+namespace rc {
+namespace ir {
+
+/// Statistics of a splitting run.
+struct SplitStats {
+  /// Boundary copies inserted.
+  unsigned CopiesInserted = 0;
+  /// Phis created by the SSA reconstruction.
+  unsigned PhisInserted = 0;
+};
+
+/// Splits every live range at every block boundary of the phi-free function
+/// \p F, then reconstructs strict SSA. The result passes verifyStrictSsa
+/// and computes the same values.
+SplitStats splitLiveRangesAtBlockBoundaries(Function &F);
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_LIVERANGESPLITTING_H

@@ -1,0 +1,147 @@
+//===- ir/OutOfSsa.cpp - Phi elimination -----------------------------------===//
+
+#include "ir/OutOfSsa.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace rc;
+using namespace rc::ir;
+
+unsigned ir::splitCriticalEdges(Function &F) {
+  F.computePredecessors();
+  unsigned Split = 0;
+  unsigned OriginalBlocks = F.numBlocks();
+  for (BlockId B = 0; B < OriginalBlocks; ++B) {
+    if (F.block(B).Succs.size() < 2)
+      continue;
+    for (size_t SuccIdx = 0; SuccIdx < F.block(B).Succs.size(); ++SuccIdx) {
+      BlockId S = F.block(B).Succs[SuccIdx];
+      if (F.block(S).Preds.size() < 2)
+        continue;
+      // Critical edge B -> S: insert a forwarding block M.
+      BlockId M = F.createBlock();
+      F.block(M).Frequency =
+          std::min(F.block(B).Frequency, F.block(S).Frequency);
+      F.emitJump(M, S);
+      F.block(B).Succs[SuccIdx] = M;
+      for (Instruction &Phi : F.block(S).Phis)
+        for (PhiArg &Arg : Phi.PhiArgs)
+          if (Arg.Pred == B)
+            Arg.Pred = M;
+      ++Split;
+    }
+  }
+  F.computePredecessors();
+  return Split;
+}
+
+std::vector<std::pair<ValueId, ValueId>>
+ir::sequentializeParallelCopy(const ParallelCopy &PC,
+                              const std::function<ValueId()> &MakeTemp) {
+  // Boissinot et al. style sequentialization. Locations are value ids; Loc
+  // maps each original source to where its value currently lives, Pred maps
+  // each destination to its (unique) source.
+  std::vector<std::pair<ValueId, ValueId>> Sequence;
+  std::map<ValueId, ValueId> Loc, Pred;
+  std::map<ValueId, bool> Emitted;
+  std::vector<ValueId> ToDo, Ready;
+
+  for (const auto &[Dst, Src] : PC.Copies) {
+    if (Dst == Src)
+      continue; // Self copies are no-ops.
+    assert(!Pred.count(Dst) && "two parallel copies write one destination");
+    Loc[Src] = Src;
+    Pred[Dst] = Src;
+    Emitted[Dst] = false;
+    ToDo.push_back(Dst);
+  }
+  for (ValueId Dst : ToDo)
+    if (!Loc.count(Dst))
+      Ready.push_back(Dst); // Dst is not a source: free to overwrite.
+
+  size_t ToDoCursor = ToDo.size();
+  auto emit = [&Sequence](ValueId Dst, ValueId Src) {
+    Sequence.emplace_back(Dst, Src);
+  };
+
+  for (;;) {
+    while (!Ready.empty()) {
+      ValueId B = Ready.back();
+      Ready.pop_back();
+      ValueId A = Pred[B];
+      ValueId C = Loc[A];
+      emit(B, C);
+      Emitted[B] = true;
+      Loc[A] = B;
+      // If A is itself a pending destination and its value was still in
+      // place, A just became free to overwrite.
+      if (A == C && Pred.count(A) && !Emitted[A])
+        Ready.push_back(A);
+    }
+    // Any destination still unemitted after the ready queue drains is also
+    // a source closing a cycle; break the cycle by saving its (still
+    // untouched) value to a temp.
+    ValueId CycleDst = NoValue;
+    while (ToDoCursor > 0) {
+      ValueId Candidate = ToDo[--ToDoCursor];
+      if (!Emitted[Candidate]) {
+        CycleDst = Candidate;
+        break;
+      }
+    }
+    if (CycleDst == NoValue)
+      break;
+    assert(Loc.count(CycleDst) && Loc.at(CycleDst) == CycleDst &&
+           "cycle breaker expects an unmoved source");
+    ValueId Temp = MakeTemp();
+    emit(Temp, CycleDst);
+    Loc.at(CycleDst) = Temp;
+    Ready.push_back(CycleDst);
+  }
+  return Sequence;
+}
+
+OutOfSsaStats ir::lowerOutOfSsa(Function &F) {
+  OutOfSsaStats Stats;
+  Stats.EdgesSplit = splitCriticalEdges(F);
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    if (BB.Phis.empty())
+      continue;
+
+    // Group the phi copies per incoming edge.
+    std::map<BlockId, ParallelCopy> PerPred;
+    for (const Instruction &Phi : BB.Phis) {
+      ++Stats.PhisEliminated;
+      for (const PhiArg &Arg : Phi.PhiArgs)
+        PerPred[Arg.Pred].Copies.emplace_back(Phi.Dst, Arg.Value);
+    }
+    BB.Phis.clear();
+
+    for (auto &[Pred, PC] : PerPred) {
+      auto MakeTemp = [&F, &Stats]() {
+        ++Stats.TempsCreated;
+        return F.createValue("oossatmp" + std::to_string(Stats.TempsCreated));
+      };
+      auto Sequence = sequentializeParallelCopy(PC, MakeTemp);
+      // Insert the copies just before the predecessor's terminator. After
+      // critical-edge splitting this predecessor has a single successor.
+      BasicBlock &PB = F.block(Pred);
+      assert(PB.Succs.size() == 1 &&
+             "phi predecessor still has several successors");
+      auto InsertAt = PB.Body.end() - 1;
+      for (const auto &[Dst, Src] : Sequence) {
+        Instruction Copy;
+        Copy.Op = Opcode::Copy;
+        Copy.Dst = Dst;
+        Copy.Srcs = {Src};
+        InsertAt = PB.Body.insert(InsertAt, std::move(Copy)) + 1;
+        ++Stats.CopiesInserted;
+      }
+    }
+  }
+  F.computePredecessors();
+  return Stats;
+}

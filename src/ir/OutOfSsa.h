@@ -1,0 +1,63 @@
+//===- ir/OutOfSsa.h - Phi elimination --------------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-SSA translation: splits critical edges, replaces each phi by
+/// parallel copies on the incoming edges, and sequentializes each parallel
+/// copy (handling cycles with one temporary). The copies introduced here are
+/// exactly the moves the paper's aggressive coalescing problem tries to
+/// remove (Section 3: "going out of SSA ... is a form of aggressive
+/// coalescing").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_OUTOFSSA_H
+#define IR_OUTOFSSA_H
+
+#include "ir/Function.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rc {
+namespace ir {
+
+/// Splits every critical edge (from a block with several successors to a
+/// block with several predecessors) by inserting an empty forwarding block.
+/// Recomputes predecessors. \returns the number of edges split.
+unsigned splitCriticalEdges(Function &F);
+
+/// A set of copies executed simultaneously: all sources are read before any
+/// destination is written.
+struct ParallelCopy {
+  std::vector<std::pair<ValueId, ValueId>> Copies; // (Dst, Src)
+};
+
+/// Orders a parallel copy into a sequence of ordinary copies with the same
+/// semantics. Cyclic permutations are broken with one temporary obtained
+/// from \p MakeTemp (called at most once per cycle).
+std::vector<std::pair<ValueId, ValueId>>
+sequentializeParallelCopy(const ParallelCopy &PC,
+                          const std::function<ValueId()> &MakeTemp);
+
+/// Statistics of an out-of-SSA run.
+struct OutOfSsaStats {
+  unsigned EdgesSplit = 0;
+  unsigned PhisEliminated = 0;
+  unsigned CopiesInserted = 0;
+  unsigned TempsCreated = 0;
+};
+
+/// Destroys SSA form: splits critical edges and lowers every phi to copies
+/// in the predecessor blocks. The resulting function has no phis (and is in
+/// general no longer SSA: the phi name is defined once per incoming edge).
+OutOfSsaStats lowerOutOfSsa(Function &F);
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_OUTOFSSA_H

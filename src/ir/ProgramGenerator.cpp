@@ -1,0 +1,117 @@
+//===- ir/ProgramGenerator.cpp - Random SSA programs -----------------------===//
+
+#include "ir/ProgramGenerator.h"
+
+#include "ir/Dominance.h"
+
+#include <algorithm>
+
+using namespace rc;
+using namespace rc::ir;
+
+Function ir::generateRandomSsaFunction(const GeneratorOptions &Options,
+                                       Rng &Rand) {
+  assert(Options.NumBlocks >= 1 && "need at least one block");
+  Function F;
+  unsigned N = Options.NumBlocks;
+  for (unsigned B = 1; B < N; ++B)
+    F.createBlock();
+
+  // CFG shape first: a forward chain i -> i+1 plus random forward branch
+  // targets, so every block is reachable and the CFG is acyclic.
+  struct Shape {
+    bool IsBranch = false;
+    BlockId Other = NoBlock;
+  };
+  std::vector<Shape> Shapes(N);
+  for (unsigned B = 0; B + 1 < N; ++B) {
+    if (B + 2 < N && Rand.flip(Options.BranchProbability)) {
+      Shapes[B].IsBranch = true;
+      // Pick a target distinct from the chain edge B -> B+1; duplicate CFG
+      // edges would need multi-edge-aware phis.
+      Shapes[B].Other = B + 2 + static_cast<BlockId>(
+                                    Rand.nextBelow(N - B - 2));
+    }
+    F.block(B).Frequency = 1.0 + static_cast<double>(Rand.nextBelow(10));
+  }
+
+  // Temporary terminators to make dominance computable before filling in
+  // instruction bodies.
+  for (unsigned B = 0; B + 1 < N; ++B)
+    F.block(B).Succs = Shapes[B].IsBranch
+                           ? std::vector<BlockId>{B + 1, Shapes[B].Other}
+                           : std::vector<BlockId>{B + 1};
+  F.computePredecessors();
+  DominatorTree DT = DominatorTree::build(F);
+
+  // AvailEnd[B]: values available (dominating) at the end of B. Because
+  // block ids are topologically ordered, predecessors are filled first.
+  std::vector<std::vector<ValueId>> AvailEnd(N);
+  auto pick = [&Rand](const std::vector<ValueId> &Pool) {
+    assert(!Pool.empty() && "picking from an empty pool");
+    return Pool[Rand.nextBelow(Pool.size())];
+  };
+
+  for (unsigned B = 0; B < N; ++B) {
+    std::vector<ValueId> Avail =
+        B == 0 ? std::vector<ValueId>{} : AvailEnd[DT.idom(B)];
+
+    // Phis at join blocks, reading each predecessor's available values.
+    if (F.block(B).Preds.size() >= 2) {
+      unsigned NumPhis = static_cast<unsigned>(
+          Rand.nextBelow(Options.MaxPhisPerJoin + 1));
+      for (unsigned P = 0; P < NumPhis; ++P) {
+        std::vector<PhiArg> Args;
+        bool AllPredsHaveValues = true;
+        for (BlockId Pred : F.block(B).Preds) {
+          if (AvailEnd[Pred].empty()) {
+            AllPredsHaveValues = false;
+            break;
+          }
+          Args.push_back({Pred, pick(AvailEnd[Pred])});
+        }
+        if (!AllPredsHaveValues)
+          break;
+        Avail.push_back(F.emitPhi(B, std::move(Args)));
+      }
+    }
+
+    // Body: ensure at least one value exists, then a random mix.
+    unsigned NumInstrs = 1 + static_cast<unsigned>(
+                                 Rand.nextBelow(
+                                     Options.MaxInstructionsPerBlock));
+    for (unsigned I = 0; I < NumInstrs; ++I) {
+      if (Avail.empty() || Rand.flip(0.25)) {
+        Avail.push_back(
+            F.emitConst(B, Rand.nextInRange(-100, 100)));
+        continue;
+      }
+      if (Rand.flip(Options.CopyProbability)) {
+        Avail.push_back(F.emitCopy(B, pick(Avail)));
+        continue;
+      }
+      Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul};
+      Opcode Op = Ops[Rand.nextBelow(3)];
+      Avail.push_back(F.emitBinary(B, Op, pick(Avail), pick(Avail)));
+    }
+
+    // Terminator (replacing the provisional successor lists).
+    if (B + 1 == N) {
+      std::vector<ValueId> Rets;
+      unsigned Wanted = std::min<unsigned>(Options.NumReturnValues,
+                                           static_cast<unsigned>(
+                                               Avail.size()));
+      for (unsigned R = 0; R < Wanted; ++R)
+        Rets.push_back(pick(Avail));
+      F.emitRet(B, std::move(Rets));
+    } else if (Shapes[B].IsBranch) {
+      F.emitBranch(B, pick(Avail), B + 1, Shapes[B].Other);
+    } else {
+      F.emitJump(B, B + 1);
+    }
+    AvailEnd[B] = std::move(Avail);
+  }
+
+  F.computePredecessors();
+  return F;
+}

@@ -1,0 +1,49 @@
+//===- ir/ProgramGenerator.h - Random SSA programs --------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random strict SSA functions over acyclic CFGs. Used to test
+/// Theorem 1 (interference graphs of strict SSA programs are chordal with
+/// omega = Maxlive), the out-of-SSA pipeline, and to synthesize
+/// coalescing-challenge-like inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_PROGRAMGENERATOR_H
+#define IR_PROGRAMGENERATOR_H
+
+#include "ir/Function.h"
+#include "support/Random.h"
+
+namespace rc {
+namespace ir {
+
+/// Tuning knobs for the random program generator.
+struct GeneratorOptions {
+  /// Number of basic blocks (>= 1). The CFG is a DAG; block i only targets
+  /// blocks > i, with a guaranteed chain edge i -> i+1.
+  unsigned NumBlocks = 10;
+  /// Maximum non-terminator instructions emitted per block.
+  unsigned MaxInstructionsPerBlock = 6;
+  /// Probability that a block ends in a conditional branch (given it can).
+  double BranchProbability = 0.5;
+  /// Maximum phis created at a join block.
+  unsigned MaxPhisPerJoin = 3;
+  /// Probability that a generated instruction is a copy (a move).
+  double CopyProbability = 0.25;
+  /// Number of values returned at the exit block (capped by availability).
+  unsigned NumReturnValues = 3;
+};
+
+/// Generates a random strict SSA function. The result always passes
+/// verifyStrictSsa and terminates under the interpreter (acyclic CFG).
+Function generateRandomSsaFunction(const GeneratorOptions &Options,
+                                   Rng &Rand);
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_PROGRAMGENERATOR_H

@@ -1,0 +1,172 @@
+//===- ir/SsaConstruction.cpp - Into-SSA translation -----------------------===//
+
+#include "ir/SsaConstruction.h"
+
+#include "ir/Liveness.h"
+
+#include <algorithm>
+
+using namespace rc;
+using namespace rc::ir;
+
+std::vector<std::vector<BlockId>>
+ir::computeDominanceFrontiers(const Function &F, const DominatorTree &DT) {
+  std::vector<std::vector<BlockId>> DF(F.numBlocks());
+  for (BlockId Y = 0; Y < F.numBlocks(); ++Y) {
+    const auto &Preds = F.block(Y).Preds;
+    if (Preds.size() < 2)
+      continue;
+    for (BlockId P : Preds) {
+      if (!DT.isReachable(P))
+        continue;
+      BlockId Runner = P;
+      while (Runner != DT.idom(Y)) {
+        DF[Runner].push_back(Y);
+        Runner = DT.idom(Runner);
+        assert(Runner != NoBlock && "runner escaped past the entry");
+      }
+    }
+  }
+  // Deduplicate.
+  for (auto &Frontier : DF) {
+    std::sort(Frontier.begin(), Frontier.end());
+    Frontier.erase(std::unique(Frontier.begin(), Frontier.end()),
+                   Frontier.end());
+  }
+  return DF;
+}
+
+namespace {
+
+/// The classic renaming walk over the dominator tree.
+class SsaBuilder {
+public:
+  SsaBuilder(Function &F) : F(F), DT(DominatorTree::build(F)) {}
+
+  SsaConstructionStats run() {
+    placePhis();
+    Stacks.assign(NumOriginals, {});
+    FirstDefSeen.assign(NumOriginals, false);
+    rename(0);
+    return Stats;
+  }
+
+private:
+  /// Pruned phi placement on iterated dominance frontiers.
+  void placePhis() {
+    NumOriginals = F.numValues();
+    Liveness Live = Liveness::compute(F);
+    auto DF = computeDominanceFrontiers(F, DT);
+
+    // Definition blocks per value.
+    std::vector<std::vector<BlockId>> DefBlocks(NumOriginals);
+    std::vector<unsigned> NumDefs(NumOriginals, 0);
+    for (BlockId B = 0; B < F.numBlocks(); ++B) {
+      assert(F.block(B).Phis.empty() &&
+             "SSA construction requires phi-free input");
+      for (const Instruction &I : F.block(B).Body)
+        if (I.Dst != NoValue) {
+          ++NumDefs[I.Dst];
+          if (DefBlocks[I.Dst].empty() || DefBlocks[I.Dst].back() != B)
+            DefBlocks[I.Dst].push_back(B);
+        }
+    }
+
+    PhiOriginal.assign(F.numBlocks(), {});
+    for (ValueId V = 0; V < NumOriginals; ++V) {
+      if (NumDefs[V] == 0)
+        continue;
+      std::vector<BlockId> Worklist = DefBlocks[V];
+      std::vector<bool> HasPhi(F.numBlocks(), false);
+      std::vector<bool> Enqueued(F.numBlocks(), false);
+      for (BlockId B : Worklist)
+        Enqueued[B] = true;
+      while (!Worklist.empty()) {
+        BlockId B = Worklist.back();
+        Worklist.pop_back();
+        for (BlockId Y : DF[B]) {
+          if (HasPhi[Y] || !Live.isLiveIn(Y, V))
+            continue; // Pruned: dead phis are never placed.
+          HasPhi[Y] = true;
+          Instruction Phi;
+          Phi.Op = Opcode::Phi;
+          Phi.Dst = V; // Renamed during the walk.
+          F.block(Y).Phis.push_back(Phi);
+          PhiOriginal[Y].push_back(V);
+          ++Stats.PhisInserted;
+          if (!Enqueued[Y]) {
+            Enqueued[Y] = true;
+            Worklist.push_back(Y);
+          }
+        }
+      }
+    }
+  }
+
+  /// Returns the current SSA name of original value \p V.
+  ValueId currentName(ValueId V) const {
+    assert(!Stacks[V].empty() && "use of a value before any definition");
+    return Stacks[V].back();
+  }
+
+  /// Creates (or reuses, for the first definition) the SSA name for a new
+  /// definition of original value \p V.
+  ValueId freshName(ValueId V) {
+    if (!FirstDefSeen[V]) {
+      FirstDefSeen[V] = true;
+      return V; // The first definition keeps the original id.
+    }
+    ++Stats.ValuesRenamed;
+    return F.createValue(F.valueName(V) + "." +
+                         std::to_string(Stats.ValuesRenamed));
+  }
+
+  void rename(BlockId B) {
+    std::vector<ValueId> Pushed;
+    BasicBlock &BB = F.block(B);
+
+    for (size_t I = 0; I < BB.Phis.size(); ++I) {
+      ValueId Orig = PhiOriginal[B][I];
+      ValueId New = freshName(Orig);
+      BB.Phis[I].Dst = New;
+      Stacks[Orig].push_back(New);
+      Pushed.push_back(Orig);
+    }
+    for (Instruction &I : BB.Body) {
+      for (ValueId &Src : I.Srcs)
+        Src = currentName(Src);
+      if (I.Dst == NoValue)
+        continue;
+      ValueId Orig = I.Dst;
+      ValueId New = freshName(Orig);
+      I.Dst = New;
+      Stacks[Orig].push_back(New);
+      Pushed.push_back(Orig);
+    }
+    for (BlockId S : BB.Succs)
+      for (size_t I = 0; I < F.block(S).Phis.size(); ++I) {
+        ValueId Orig = PhiOriginal[S][I];
+        F.block(S).Phis[I].PhiArgs.push_back({B, currentName(Orig)});
+      }
+    for (BlockId Child : DT.children(B))
+      rename(Child);
+    for (auto It = Pushed.rbegin(); It != Pushed.rend(); ++It)
+      Stacks[*It].pop_back();
+  }
+
+  Function &F;
+  DominatorTree DT;
+  unsigned NumOriginals = 0;
+  SsaConstructionStats Stats;
+  /// Per block: the original value of each placed phi, parallel to Phis.
+  std::vector<std::vector<ValueId>> PhiOriginal;
+  std::vector<std::vector<ValueId>> Stacks;
+  std::vector<bool> FirstDefSeen;
+};
+
+} // namespace
+
+SsaConstructionStats ir::constructSsa(Function &F) {
+  F.computePredecessors();
+  return SsaBuilder(F).run();
+}

@@ -1,0 +1,50 @@
+//===- ir/SsaConstruction.h - Into-SSA translation --------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA construction (Cytron et al.): dominance frontiers, pruned phi
+/// placement and renaming. Turns a phi-free function whose values may have
+/// several definitions (e.g. out-of-SSA output, or code after live-range
+/// splitting) back into strict SSA. Together with lowerOutOfSsa this closes
+/// the round trip the paper's Section 1 discusses: splitting introduces
+/// moves, coalescing removes them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_SSACONSTRUCTION_H
+#define IR_SSACONSTRUCTION_H
+
+#include "ir/Dominance.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace rc {
+namespace ir {
+
+/// Computes dominance frontiers: DF[b] = blocks y such that b dominates a
+/// predecessor of y but does not strictly dominate y (Cooper–Harvey–Kennedy
+/// runner algorithm). Requires predecessors to be computed.
+std::vector<std::vector<BlockId>>
+computeDominanceFrontiers(const Function &F, const DominatorTree &DT);
+
+/// Statistics of an SSA construction run.
+struct SsaConstructionStats {
+  unsigned PhisInserted = 0;
+  unsigned ValuesRenamed = 0;
+};
+
+/// Rewrites the phi-free function \p F into strict SSA: places pruned phis
+/// on the iterated dominance frontiers of each multiply-defined value and
+/// renames definitions. Requires every use to be reached by at least one
+/// definition on every path (strict input). The result passes
+/// verifyStrictSsa.
+SsaConstructionStats constructSsa(Function &F);
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_SSACONSTRUCTION_H

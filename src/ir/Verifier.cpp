@@ -1,0 +1,134 @@
+//===- ir/Verifier.cpp - Strict SSA verifier ------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Dominance.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace rc;
+using namespace rc::ir;
+
+static bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+bool ir::verifyCfg(const Function &F, std::string *Error) {
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    std::ostringstream Where;
+    Where << "bb" << B << ": ";
+
+    if (BB.Body.empty() || !isTerminator(BB.Body.back().Op))
+      return fail(Error, Where.str() + "block is not terminated");
+    for (size_t I = 0; I + 1 < BB.Body.size(); ++I)
+      if (isTerminator(BB.Body[I].Op))
+        return fail(Error, Where.str() + "terminator in the middle");
+    for (const Instruction &I : BB.Phis)
+      if (I.Op != Opcode::Phi)
+        return fail(Error, Where.str() + "non-phi in the phi list");
+    for (const Instruction &I : BB.Body)
+      if (I.Op == Opcode::Phi)
+        return fail(Error, Where.str() + "phi in the body");
+
+    for (BlockId S : BB.Succs) {
+      if (S >= F.numBlocks())
+        return fail(Error, Where.str() + "successor out of range");
+      const auto &Preds = F.block(S).Preds;
+      if (std::count(Preds.begin(), Preds.end(), B) !=
+          std::count(BB.Succs.begin(), BB.Succs.end(), S))
+        return fail(Error, Where.str() + "pred/succ lists are inconsistent");
+    }
+
+    for (const Instruction &Phi : BB.Phis) {
+      if (Phi.PhiArgs.size() != BB.Preds.size())
+        return fail(Error,
+                    Where.str() + "phi arity differs from predecessor count");
+      // Each predecessor must appear exactly once among the phi args.
+      for (BlockId P : BB.Preds) {
+        unsigned Count = 0;
+        for (const PhiArg &Arg : Phi.PhiArgs)
+          if (Arg.Pred == P)
+            ++Count;
+        if (Count != 1)
+          return fail(Error, Where.str() +
+                                 "phi does not cover each predecessor once");
+      }
+    }
+  }
+  return true;
+}
+
+bool ir::verifyStrictSsa(const Function &F, std::string *Error) {
+  if (!verifyCfg(F, Error))
+    return false;
+
+  // Locate the unique definition of each value.
+  struct DefSite {
+    BlockId Block = NoBlock;
+    bool IsPhi = false;
+    unsigned BodyIndex = 0;
+  };
+  std::vector<DefSite> Defs(F.numValues());
+  std::vector<bool> HasDef(F.numValues(), false);
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    auto record = [&](ValueId V, bool IsPhi, unsigned Index) {
+      if (V == NoValue)
+        return true;
+      if (V >= F.numValues())
+        return false;
+      if (HasDef[V])
+        return false;
+      HasDef[V] = true;
+      Defs[V] = {B, IsPhi, Index};
+      return true;
+    };
+    for (const Instruction &I : BB.Phis)
+      if (!record(I.Dst, true, 0))
+        return fail(Error, "value " + F.valueName(I.Dst) +
+                               " defined more than once (or invalid)");
+    for (unsigned Idx = 0; Idx < BB.Body.size(); ++Idx)
+      if (!record(BB.Body[Idx].Dst, false, Idx))
+        return fail(Error, "value " + F.valueName(BB.Body[Idx].Dst) +
+                               " defined more than once (or invalid)");
+  }
+
+  DominatorTree DT = DominatorTree::build(F);
+
+  // A use at (Block, BodyIndex) is dominated by its def if the def is in a
+  // strictly dominating block, or earlier in the same block.
+  auto checkUse = [&](ValueId V, BlockId UseBlock, unsigned UseIndex,
+                      bool UseIsPhiInput) -> bool {
+    if (V >= F.numValues() || !HasDef[V])
+      return false;
+    const DefSite &D = Defs[V];
+    if (D.Block != UseBlock)
+      return DT.dominates(D.Block, UseBlock);
+    if (D.IsPhi)
+      return true; // Phi defs precede the whole body.
+    if (UseIsPhiInput)
+      return true; // Phi inputs are used at the end of the pred block.
+    return D.BodyIndex < UseIndex;
+  };
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    if (!DT.isReachable(B))
+      continue;
+    for (const Instruction &Phi : BB.Phis)
+      for (const PhiArg &Arg : Phi.PhiArgs)
+        if (!checkUse(Arg.Value, Arg.Pred, ~0u, /*UseIsPhiInput=*/true))
+          return fail(Error, "phi use of " + F.valueName(Arg.Value) +
+                                 " not dominated by its definition");
+    for (unsigned Idx = 0; Idx < BB.Body.size(); ++Idx)
+      for (ValueId V : BB.Body[Idx].Srcs)
+        if (!checkUse(V, B, Idx, /*UseIsPhiInput=*/false))
+          return fail(Error, "use of " + F.valueName(V) +
+                                 " not dominated by its definition");
+  }
+  return true;
+}

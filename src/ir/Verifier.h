@@ -1,0 +1,39 @@
+//===- ir/Verifier.h - Strict SSA verifier ----------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies the strict SSA properties assumed by Theorem 1: every value has
+/// exactly one definition, every use is dominated by that definition (phi
+/// uses at the end of the corresponding predecessor), blocks are well
+/// terminated, and phi argument lists match the predecessor lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_VERIFIER_H
+#define IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace rc {
+namespace ir {
+
+/// Checks that \p F is a well-formed CFG (terminated blocks, successor /
+/// predecessor consistency, phi args matching preds).
+///
+/// \param [out] Error filled with a diagnostic on failure.
+bool verifyCfg(const Function &F, std::string *Error = nullptr);
+
+/// Checks that \p F is a strict SSA program (on top of verifyCfg).
+///
+/// \param [out] Error filled with a diagnostic on failure.
+bool verifyStrictSsa(const Function &F, std::string *Error = nullptr);
+
+} // namespace ir
+} // namespace rc
+
+#endif // IR_VERIFIER_H

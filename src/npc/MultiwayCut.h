@@ -1,0 +1,56 @@
+//===- npc/MultiwayCut.h - Multiway cut -------------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multiway cut problem (Dahlhaus et al.), source of the Theorem 2
+/// reduction: remove at most K edges so that the k terminals fall into
+/// distinct connected components. Equivalently, label every vertex with a
+/// terminal index (terminal i labeled i) and count cross-label edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPC_MULTIWAYCUT_H
+#define NPC_MULTIWAYCUT_H
+
+#include "graph/Graph.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+/// A multiway cut instance.
+struct MultiwayCutInstance {
+  Graph G;
+  std::vector<unsigned> Terminals;
+};
+
+/// Result of an exact multiway cut search.
+struct MultiwayCutResult {
+  /// Minimum number of removed edges.
+  unsigned CutSize = 0;
+  /// Label per vertex (index into Terminals) achieving CutSize.
+  std::vector<unsigned> Labels;
+  uint64_t NodesExplored = 0;
+};
+
+/// Solves multiway cut exactly by branch and bound over vertex labelings.
+/// Exponential; intended for reduction verification on small instances.
+MultiwayCutResult solveMultiwayCutExact(const MultiwayCutInstance &Instance);
+
+/// Counts the edges of \p G whose endpoints carry different labels.
+unsigned countCutEdges(const Graph &G, const std::vector<unsigned> &Labels);
+
+/// Generates a random instance with \p NumTerminals distinct terminals.
+MultiwayCutInstance randomMultiwayCutInstance(unsigned NumVertices,
+                                              double EdgeProbability,
+                                              unsigned NumTerminals,
+                                              Rng &Rand);
+
+} // namespace rc
+
+#endif // NPC_MULTIWAYCUT_H

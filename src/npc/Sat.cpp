@@ -1,0 +1,180 @@
+//===- npc/Sat.cpp - CNF formulas and a DPLL solver ------------------------===//
+
+#include "npc/Sat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace rc;
+
+bool rc::evaluateCnf(const CnfFormula &F,
+                     const std::vector<bool> &Assignment) {
+  assert(Assignment.size() >= F.NumVars + 1 && "assignment too small");
+  for (const auto &Clause : F.Clauses) {
+    bool Satisfied = false;
+    for (int Lit : Clause) {
+      unsigned Var = static_cast<unsigned>(std::abs(Lit));
+      if (Assignment[Var] == (Lit > 0)) {
+        Satisfied = true;
+        break;
+      }
+    }
+    if (!Satisfied)
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Minimal recursive DPLL over a ternary assignment vector.
+class Dpll {
+public:
+  explicit Dpll(const CnfFormula &F) : F(F), Values(F.NumVars + 1, Unset) {}
+
+  SatResult run() {
+    SatResult Result;
+    Result.Satisfiable = solve();
+    Result.Decisions = Decisions;
+    if (Result.Satisfiable) {
+      Result.Assignment.assign(F.NumVars + 1, false);
+      for (unsigned V = 1; V <= F.NumVars; ++V)
+        Result.Assignment[V] = Values[V] == True;
+      assert(evaluateCnf(F, Result.Assignment) && "DPLL model is wrong");
+    }
+    return Result;
+  }
+
+  /// Pre-assigns a variable before the search starts.
+  void fix(unsigned Var, bool Value) { Values[Var] = Value ? True : False; }
+
+private:
+  enum Ternary : int8_t { False = 0, True = 1, Unset = 2 };
+
+  /// Clause status under the current partial assignment.
+  enum class ClauseState { Satisfied, Conflict, Unit, Open };
+
+  ClauseState inspect(const std::vector<int> &Clause, int &UnitLit) const {
+    unsigned Unassigned = 0;
+    for (int Lit : Clause) {
+      unsigned Var = static_cast<unsigned>(std::abs(Lit));
+      if (Values[Var] == Unset) {
+        ++Unassigned;
+        UnitLit = Lit;
+        continue;
+      }
+      if ((Values[Var] == True) == (Lit > 0))
+        return ClauseState::Satisfied;
+    }
+    if (Unassigned == 0)
+      return ClauseState::Conflict;
+    return Unassigned == 1 ? ClauseState::Unit : ClauseState::Open;
+  }
+
+  bool solve() {
+    ++Decisions;
+    // Unit propagation to a fixed point.
+    std::vector<unsigned> Trail;
+    for (;;) {
+      bool Propagated = false;
+      for (const auto &Clause : F.Clauses) {
+        int UnitLit = 0;
+        switch (inspect(Clause, UnitLit)) {
+        case ClauseState::Conflict:
+          undo(Trail);
+          return false;
+        case ClauseState::Unit: {
+          unsigned Var = static_cast<unsigned>(std::abs(UnitLit));
+          Values[Var] = UnitLit > 0 ? True : False;
+          Trail.push_back(Var);
+          Propagated = true;
+          break;
+        }
+        case ClauseState::Satisfied:
+        case ClauseState::Open:
+          break;
+        }
+      }
+      if (!Propagated)
+        break;
+    }
+
+    // Pick the first unset variable.
+    unsigned Branch = 0;
+    for (unsigned V = 1; V <= F.NumVars; ++V)
+      if (Values[V] == Unset) {
+        Branch = V;
+        break;
+      }
+    if (Branch == 0) {
+      // Full assignment with no conflicts: every clause is satisfied.
+      return true;
+    }
+
+    for (Ternary Choice : {True, False}) {
+      Values[Branch] = Choice;
+      if (solve())
+        return true;
+    }
+    Values[Branch] = Unset;
+    undo(Trail);
+    return false;
+  }
+
+  void undo(const std::vector<unsigned> &Trail) {
+    for (unsigned Var : Trail)
+      Values[Var] = Unset;
+  }
+
+  const CnfFormula &F;
+  std::vector<Ternary> Values;
+  uint64_t Decisions = 0;
+};
+
+} // namespace
+
+SatResult rc::solveDpll(const CnfFormula &F) { return Dpll(F).run(); }
+
+SatResult rc::solveDpllWithFixedVariable(const CnfFormula &F, unsigned Var,
+                                         bool Value) {
+  assert(Var >= 1 && Var <= F.NumVars && "variable out of range");
+  Dpll Solver(F);
+  Solver.fix(Var, Value);
+  return Solver.run();
+}
+
+CnfFormula rc::randomKSat(unsigned NumVars, unsigned NumClauses,
+                          unsigned LiteralsPerClause, Rng &Rand) {
+  assert(NumVars >= LiteralsPerClause && "not enough distinct variables");
+  CnfFormula F;
+  F.NumVars = NumVars;
+  for (unsigned C = 0; C < NumClauses; ++C) {
+    std::vector<unsigned> Vars;
+    while (Vars.size() < LiteralsPerClause) {
+      unsigned V = 1 + static_cast<unsigned>(Rand.nextBelow(NumVars));
+      if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+        Vars.push_back(V);
+    }
+    std::vector<int> Clause;
+    for (unsigned V : Vars)
+      Clause.push_back(Rand.flip(0.5) ? static_cast<int>(V)
+                                      : -static_cast<int>(V));
+    F.Clauses.push_back(std::move(Clause));
+  }
+  return F;
+}
+
+CnfFormula rc::threeSatToFourSat(const CnfFormula &F, unsigned *X0) {
+  CnfFormula Result;
+  Result.NumVars = F.NumVars + 1;
+  unsigned NewVar = Result.NumVars;
+  if (X0)
+    *X0 = NewVar;
+  for (const auto &Clause : F.Clauses) {
+    std::vector<int> NewClause = Clause;
+    NewClause.push_back(static_cast<int>(NewVar));
+    Result.Clauses.push_back(std::move(NewClause));
+  }
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- npc/Sat.h - CNF formulas and a DPLL solver ---------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CNF machinery for the Theorem 4 reduction: 3SAT instances, the paper's
+/// 3SAT -> 4SAT detour (add a fresh variable x0 to every clause; the 3SAT
+/// instance is satisfiable iff the 4SAT instance is satisfiable with x0
+/// false), and a small DPLL solver used as ground truth.
+///
+/// Literal encoding: nonzero ints; +v is variable v, -v its negation;
+/// variables are 1-based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPC_SAT_H
+#define NPC_SAT_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+/// A CNF formula over variables 1..NumVars.
+struct CnfFormula {
+  unsigned NumVars = 0;
+  std::vector<std::vector<int>> Clauses;
+};
+
+/// Result of a SAT search.
+struct SatResult {
+  bool Satisfiable = false;
+  /// Assignment[v] for v in 1..NumVars (index 0 unused) when Satisfiable.
+  std::vector<bool> Assignment;
+  /// Search nodes explored.
+  uint64_t Decisions = 0;
+};
+
+/// Evaluates \p F under \p Assignment (1-based, as in SatResult).
+bool evaluateCnf(const CnfFormula &F, const std::vector<bool> &Assignment);
+
+/// Decides satisfiability with DPLL (unit propagation + branching).
+SatResult solveDpll(const CnfFormula &F);
+
+/// Decides satisfiability with the extra constraint that variable \p Var is
+/// assigned \p Value.
+SatResult solveDpllWithFixedVariable(const CnfFormula &F, unsigned Var,
+                                     bool Value);
+
+/// Generates a random k-SAT formula with distinct variables per clause.
+CnfFormula randomKSat(unsigned NumVars, unsigned NumClauses,
+                      unsigned LiteralsPerClause, Rng &Rand);
+
+/// The paper's 3SAT -> 4SAT step: adds the fresh positive literal x0 =
+/// NumVars+1 to every clause.
+///
+/// \param [out] X0 receives the new variable's index.
+CnfFormula threeSatToFourSat(const CnfFormula &F, unsigned *X0 = nullptr);
+
+} // namespace rc
+
+#endif // NPC_SAT_H

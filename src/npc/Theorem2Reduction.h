@@ -1,0 +1,55 @@
+//===- npc/Theorem2Reduction.h - Multiway cut -> aggressive -----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Theorem 2 reduction: aggressive coalescing is NP-complete, by
+/// reduction from multiway cut. Given (G, S, K):
+///
+///  1. subdivide every edge e = (u, v) of G with a fresh vertex x_e
+///     (so that at most one of the two half-edges needs to be cut);
+///  2. the interference graph G'' has all these vertices and interferences
+///     forming a clique on the terminals S only (a triangle for |S| = 3);
+///  3. every subdivided half-edge becomes an affinity.
+///
+/// Then (G, S, K) has a multiway cut of size <= K iff (G'', A) has a
+/// coalescing leaving <= K affinities uncoalesced: each label class is one
+/// color, and cut edges correspond to uncoalesced affinities (Figure 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPC_THEOREM2REDUCTION_H
+#define NPC_THEOREM2REDUCTION_H
+
+#include "coalescing/Problem.h"
+#include "npc/MultiwayCut.h"
+
+#include <utility>
+#include <vector>
+
+namespace rc {
+
+/// The built Theorem 2 instance with its bookkeeping maps.
+struct Theorem2Reduction {
+  /// The aggressive coalescing instance (K is irrelevant and left 0).
+  CoalescingProblem Problem;
+  /// Vertex ids 0..|V|-1 of Problem.G are the original vertices; these are
+  /// the subdivision vertices, one per original edge, in edge order.
+  std::vector<unsigned> SubdivisionVertex;
+  /// The original edges, parallel to SubdivisionVertex.
+  std::vector<std::pair<unsigned, unsigned>> OriginalEdges;
+
+  /// Builds the reduction from a multiway cut instance.
+  static Theorem2Reduction build(const MultiwayCutInstance &Instance);
+
+  /// Maps a multiway cut labeling to a coalescing of Problem with exactly
+  /// countCutEdges(labels) uncoalesced affinities.
+  CoalescingSolution
+  solutionFromLabeling(const std::vector<unsigned> &Labels) const;
+};
+
+} // namespace rc
+
+#endif // NPC_THEOREM2REDUCTION_H

@@ -1,0 +1,52 @@
+//===- npc/Theorem3Reduction.h - k-colorability -> conservative -*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Theorem 3 reduction: conservative coalescing is NP-complete, by
+/// reduction from graph k-colorability (Figure 2). Given a graph H:
+///
+///  - the interference graph has the vertices of H plus, per edge
+///    e = (u, v) of H, a disjoint interference edge (x_e, y_e);
+///  - the affinities are (u, x_e) and (y_e, v).
+///
+/// Coalescing ALL affinities turns the instance into H itself, so the
+/// conservative coalescing instance admits a solution with zero uncoalesced
+/// affinities iff H is k-colorable. The interference graph is a set of
+/// disjoint edges, hence greedy-2-colorable: the hardness does not come
+/// from the structure of the input graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPC_THEOREM3REDUCTION_H
+#define NPC_THEOREM3REDUCTION_H
+
+#include "coalescing/Problem.h"
+
+#include <utility>
+#include <vector>
+
+namespace rc {
+
+/// The built Theorem 3 instance.
+struct Theorem3Reduction {
+  /// The conservative coalescing instance (K = the coloring target).
+  CoalescingProblem Problem;
+  /// Per original edge e: the pair (x_e, y_e) of fresh vertices.
+  std::vector<std::pair<unsigned, unsigned>> EdgeGadgets;
+  /// The original edges, parallel to EdgeGadgets.
+  std::vector<std::pair<unsigned, unsigned>> OriginalEdges;
+
+  /// Builds the reduction from the k-colorability instance (\p H, \p K).
+  static Theorem3Reduction build(const Graph &H, unsigned K);
+
+  /// Maps a k-coloring of H to a full coalescing (all affinities merged)
+  /// whose quotient is (isomorphic to a subgraph of) H.
+  CoalescingSolution fullCoalescing() const;
+};
+
+} // namespace rc
+
+#endif // NPC_THEOREM3REDUCTION_H

@@ -1,0 +1,61 @@
+//===- npc/VertexCover.h - Vertex cover -------------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vertex cover, the source problem of Theorem 6. NP-complete even when all
+/// vertices have degree at most three (Garey, Johnson, Stockmeyer), which is
+/// the restriction the paper's optimistic-coalescing gadget relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPC_VERTEXCOVER_H
+#define NPC_VERTEXCOVER_H
+
+#include "graph/Graph.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+/// Result of an exact vertex cover search.
+struct VertexCoverResult {
+  /// Minimum cover size.
+  unsigned Size = 0;
+  /// Characteristic vector of a minimum cover.
+  std::vector<bool> InCover;
+  uint64_t NodesExplored = 0;
+};
+
+/// Returns true if \p InCover touches every edge of \p G.
+bool isVertexCover(const Graph &G, const std::vector<bool> &InCover);
+
+/// Solves minimum vertex cover exactly by branch and bound (pick an
+/// uncovered edge, branch on which endpoint enters the cover).
+VertexCoverResult solveVertexCoverExact(const Graph &G);
+
+/// Result of an exact weighted vertex cover search.
+struct WeightedVertexCoverResult {
+  /// Minimum total weight of a cover.
+  double Weight = 0;
+  std::vector<bool> InCover;
+  uint64_t NodesExplored = 0;
+};
+
+/// Solves minimum-weight vertex cover exactly (same branch-and-bound with a
+/// weight bound). \p Weights must be positive.
+WeightedVertexCoverResult
+solveWeightedVertexCoverExact(const Graph &G,
+                              const std::vector<double> &Weights);
+
+/// Generates a random graph whose vertices all have degree <= \p MaxDegree.
+Graph randomBoundedDegreeGraph(unsigned NumVertices, unsigned MaxDegree,
+                               double EdgeProbability, Rng &Rand);
+
+} // namespace rc
+
+#endif // NPC_VERTEXCOVER_H

@@ -1,0 +1,65 @@
+//===- regalloc/Allocators.h - End-to-end register allocation ---*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two complete register allocators over the mini-IR, embodying the two
+/// architectures the paper's introduction contrasts:
+///
+///  - Chaitin-style (iterated register coalescing): spilling, coalescing and
+///    coloring in one framework; on a spill, rewrite with spill-everywhere
+///    code and rebuild the interference graph.
+///  - Two-phase (Appel–George style): first spill until the interference
+///    graph is greedy-k-colorable (register pressure <= k "everywhere" at
+///    the graph level), then coalesce with the strong merge-and-check test
+///    and color with affinity-biased select, with no further spills.
+///
+/// Both take an SSA or non-SSA function (phis are lowered first, creating
+/// the parallel-copy moves whose coalescing the paper studies) and return a
+/// runnable register-form function, so tests can interpret the original and
+/// the allocated code and compare results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGALLOC_ALLOCATORS_H
+#define REGALLOC_ALLOCATORS_H
+
+#include "ir/Function.h"
+
+namespace rc {
+namespace regalloc {
+
+/// Outcome of an end-to-end allocation.
+struct AllocationResult {
+  /// True if a valid allocation was produced within the iteration budget.
+  bool Success = false;
+  /// The register-form function (valid only when Success).
+  ir::Function Allocated;
+  /// Graph-rebuild iterations (Chaitin) or spill rounds (two-phase).
+  unsigned Iterations = 0;
+  /// Distinct source values sent to stack slots.
+  unsigned SpilledValues = 0;
+  unsigned LoadsInserted = 0;
+  unsigned StoresInserted = 0;
+  /// Move instructions deleted by coalescing/biasing.
+  unsigned MovesRemoved = 0;
+  /// Move instructions left in the final code.
+  unsigned MovesRemaining = 0;
+};
+
+/// Chaitin-style allocation with iterated register coalescing.
+/// \p K must be at least 3 (spill-everywhere temporaries need headroom).
+AllocationResult allocateChaitinIrc(ir::Function F, unsigned K,
+                                    unsigned MaxIterations = 64);
+
+/// Two-phase allocation: spill to greedy-k-colorability, then conservative
+/// coalescing (brute-force test) plus biased coloring, no further spills.
+AllocationResult allocateTwoPhase(ir::Function F, unsigned K,
+                                  unsigned MaxIterations = 64);
+
+} // namespace regalloc
+} // namespace rc
+
+#endif // REGALLOC_ALLOCATORS_H

@@ -1,0 +1,46 @@
+//===- regalloc/RegisterRewriter.h - Color -> register code -----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Materializes a register assignment: rewrites a phi-free function so that
+/// value v becomes physical register Colors[v] (values 0..K-1 of the new
+/// function). Copies whose source and destination land in the same register
+/// are deleted -- this is where coalescing pays off in actual code.
+///
+/// The rewritten program can be run by the interpreter; comparing its
+/// results with the original's is an end-to-end check that the coloring
+/// respected every interference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGALLOC_REGISTERREWRITER_H
+#define REGALLOC_REGISTERREWRITER_H
+
+#include "graph/Coloring.h"
+#include "ir/Function.h"
+
+namespace rc {
+namespace regalloc {
+
+/// Result of rewriting onto physical registers.
+struct RegisterRewriteResult {
+  /// The register-form function (values 0..K-1 are the registers).
+  ir::Function Rewritten;
+  /// Copies deleted because both sides shared a register.
+  unsigned MovesRemoved = 0;
+  /// Copies that remained as real register moves.
+  unsigned MovesRemaining = 0;
+};
+
+/// Rewrites the phi-free \p F onto \p K registers using \p Colors (one color
+/// in [0, K) per value).
+RegisterRewriteResult rewriteToRegisters(const ir::Function &F,
+                                         const Coloring &Colors, unsigned K);
+
+} // namespace regalloc
+} // namespace rc
+
+#endif // REGALLOC_REGISTERREWRITER_H

@@ -1,0 +1,70 @@
+//===- regalloc/SpillRewriter.cpp - Spill-everywhere rewriting ------------===//
+
+#include "regalloc/SpillRewriter.h"
+
+#include <map>
+
+using namespace rc;
+using namespace rc::regalloc;
+using namespace rc::ir;
+
+SpillRewriteStats
+regalloc::spillEverywhere(Function &F, const std::vector<unsigned> &Values,
+                          int64_t FirstSlot) {
+  std::map<ValueId, int64_t> Slot;
+  for (unsigned V : Values) {
+    assert(V < F.numValues() && "spilled value out of range");
+    Slot.emplace(V, FirstSlot + static_cast<int64_t>(Slot.size()));
+  }
+
+  SpillRewriteStats Stats;
+  Stats.SlotsUsed = static_cast<unsigned>(Slot.size());
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    assert(F.block(B).Phis.empty() &&
+           "spill rewriting requires phi-free code");
+    std::vector<Instruction> NewBody;
+    NewBody.reserve(F.block(B).Body.size());
+    for (Instruction &I : F.block(B).Body) {
+      // Reload every spilled operand into a fresh temp.
+      for (ValueId &Src : I.Srcs) {
+        auto It = Slot.find(Src);
+        if (It == Slot.end())
+          continue;
+        ValueId Temp = F.createValue("reload" + std::to_string(It->second));
+        Instruction Load;
+        Load.Op = Opcode::Load;
+        Load.Dst = Temp;
+        Load.Imm = It->second;
+        NewBody.push_back(std::move(Load));
+        Src = Temp;
+        ++Stats.LoadsInserted;
+        ++Stats.TempsCreated;
+      }
+      // Redirect a spilled definition through a temp + store.
+      int64_t StoreSlot = 0;
+      bool NeedStore = false;
+      if (I.Dst != NoValue) {
+        auto It = Slot.find(I.Dst);
+        if (It != Slot.end()) {
+          StoreSlot = It->second;
+          NeedStore = true;
+          I.Dst = F.createValue("spill" + std::to_string(It->second));
+          ++Stats.TempsCreated;
+        }
+      }
+      ValueId StoredTemp = I.Dst;
+      NewBody.push_back(std::move(I));
+      if (NeedStore) {
+        Instruction Store;
+        Store.Op = Opcode::Store;
+        Store.Srcs = {StoredTemp};
+        Store.Imm = StoreSlot;
+        NewBody.push_back(std::move(Store));
+        ++Stats.StoresInserted;
+      }
+    }
+    F.block(B).Body = std::move(NewBody);
+  }
+  return Stats;
+}

@@ -1,0 +1,45 @@
+//===- regalloc/SpillRewriter.h - Spill-everywhere rewriting ----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaitin's "spill everywhere" code rewriting: a spilled value lives in a
+/// stack slot; every definition is followed by a store and every use is
+/// preceded by a reload into a fresh short-lived temporary. This is the
+/// fallback the paper's introduction describes for Chaitin-style allocators
+/// ("no clearly-specified approach except spill-everywhere").
+///
+/// Operates on phi-free functions (run lowerOutOfSsa first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGALLOC_SPILLREWRITER_H
+#define REGALLOC_SPILLREWRITER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace rc {
+namespace regalloc {
+
+/// Statistics of one spill rewriting pass.
+struct SpillRewriteStats {
+  unsigned LoadsInserted = 0;
+  unsigned StoresInserted = 0;
+  unsigned SlotsUsed = 0;
+  unsigned TempsCreated = 0;
+};
+
+/// Rewrites \p F so that every value in \p Values lives in its own stack
+/// slot (slots numbered from \p FirstSlot). Requires a phi-free function.
+SpillRewriteStats spillEverywhere(ir::Function &F,
+                                  const std::vector<unsigned> &Values,
+                                  int64_t FirstSlot = 0);
+
+} // namespace regalloc
+} // namespace rc
+
+#endif // REGALLOC_SPILLREWRITER_H

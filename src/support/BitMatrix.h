@@ -1,0 +1,80 @@
+//===- support/BitMatrix.h - Symmetric boolean matrix -----------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact symmetric bit matrix used for O(1) interference queries. Only the
+/// strict lower triangle is stored; the diagonal is implicitly false (a
+/// variable never interferes with itself).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_BITMATRIX_H
+#define SUPPORT_BITMATRIX_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+/// Symmetric N x N bit matrix with a false diagonal.
+class BitMatrix {
+public:
+  explicit BitMatrix(unsigned N = 0) { reset(N); }
+
+  /// Clears the matrix and resizes it to \p N rows/columns.
+  void reset(unsigned N);
+
+  /// Grows the matrix to \p NewN rows/columns, preserving existing bits.
+  ///
+  /// The triangular index of a pair only depends on the pair itself, so
+  /// growing never relocates existing bits.
+  void grow(unsigned NewN);
+
+  /// Returns the number of rows (= columns).
+  unsigned size() const { return N; }
+
+  /// Returns the bit at (\p I, \p J). The diagonal is always false.
+  bool test(unsigned I, unsigned J) const {
+    assert(I < N && J < N && "index out of range");
+    if (I == J)
+      return false;
+    unsigned Idx = index(I, J);
+    return (Words[Idx >> 6] >> (Idx & 63)) & 1;
+  }
+
+  /// Sets the bit at (\p I, \p J) (and symmetrically (\p J, \p I)).
+  void set(unsigned I, unsigned J) {
+    assert(I < N && J < N && I != J && "cannot set the diagonal");
+    unsigned Idx = index(I, J);
+    Words[Idx >> 6] |= uint64_t(1) << (Idx & 63);
+  }
+
+  /// Clears the bit at (\p I, \p J).
+  void clear(unsigned I, unsigned J) {
+    assert(I < N && J < N && I != J && "cannot clear the diagonal");
+    unsigned Idx = index(I, J);
+    Words[Idx >> 6] &= ~(uint64_t(1) << (Idx & 63));
+  }
+
+  /// Returns the number of set bits (i.e. the number of edges).
+  unsigned count() const;
+
+private:
+  /// Maps the unordered pair {I, J}, I != J, to a dense triangular index.
+  static unsigned index(unsigned I, unsigned J) {
+    if (I < J)
+      std::swap(I, J);
+    return I * (I - 1) / 2 + J;
+  }
+
+  unsigned N = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_BITMATRIX_H

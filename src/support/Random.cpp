@@ -1,0 +1,63 @@
+//===- support/Random.cpp - Deterministic PRNG ----------------------------===//
+
+#include "support/Random.h"
+
+using namespace rc;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+uint64_t Rng::next() {
+  // xoshiro256** step.
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + static_cast<int64_t>(
+                  nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<unsigned> Rng::permutation(unsigned N) {
+  std::vector<unsigned> P(N);
+  for (unsigned I = 0; I < N; ++I)
+    P[I] = I;
+  shuffle(P);
+  return P;
+}

@@ -1,0 +1,62 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic pseudo-random generator (splitmix64 seeded
+/// xoshiro256**). All generators, tests and benchmarks take explicit seeds so
+/// that every experiment in EXPERIMENTS.md is exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_RANDOM_H
+#define SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+/// Deterministic 64-bit PRNG with convenience sampling helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Reseeds the generator; the same seed always yields the same stream.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P.
+  bool flip(double P) { return nextDouble() < P; }
+
+  /// Shuffles \p Values in place (Fisher-Yates).
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+  /// Returns a uniformly random permutation of 0..N-1.
+  std::vector<unsigned> permutation(unsigned N);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace rc
+
+#endif // SUPPORT_RANDOM_H

@@ -1,0 +1,53 @@
+//===- support/UnionFind.cpp - Disjoint-set forest ------------------------===//
+
+#include "support/UnionFind.h"
+
+using namespace rc;
+
+void UnionFind::reset(unsigned NumElements) {
+  Parent.resize(NumElements);
+  Rank.assign(NumElements, 0);
+  for (unsigned I = 0; I < NumElements; ++I)
+    Parent[I] = I;
+  NumClasses = NumElements;
+}
+
+unsigned UnionFind::find(unsigned X) const {
+  assert(X < Parent.size() && "element out of range");
+  unsigned Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression.
+  while (Parent[X] != Root) {
+    unsigned Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+bool UnionFind::merge(unsigned X, unsigned Y) {
+  unsigned RX = find(X), RY = find(Y);
+  if (RX == RY)
+    return false;
+  if (Rank[RX] < Rank[RY])
+    std::swap(RX, RY);
+  Parent[RY] = RX;
+  if (Rank[RX] == Rank[RY])
+    ++Rank[RX];
+  --NumClasses;
+  return true;
+}
+
+std::vector<unsigned> UnionFind::denseClassIds() const {
+  std::vector<unsigned> Ids(Parent.size(), ~0u);
+  std::vector<unsigned> RootId(Parent.size(), ~0u);
+  unsigned Next = 0;
+  for (unsigned I = 0; I < Parent.size(); ++I) {
+    unsigned Root = find(I);
+    if (RootId[Root] == ~0u)
+      RootId[Root] = Next++;
+    Ids[I] = RootId[Root];
+  }
+  return Ids;
+}

@@ -1,0 +1,63 @@
+//===- support/UnionFind.h - Disjoint-set forest ----------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A union-find (disjoint-set) structure with path compression and union by
+/// rank. Used to represent coalescing partitions: coalescing an affinity
+/// (u, v) merges the classes of u and v.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_UNIONFIND_H
+#define SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace rc {
+
+/// Disjoint-set forest over the integers 0..N-1.
+class UnionFind {
+public:
+  /// Creates a forest of \p NumElements singleton classes.
+  explicit UnionFind(unsigned NumElements = 0) { reset(NumElements); }
+
+  /// Resets the forest to \p NumElements singleton classes.
+  void reset(unsigned NumElements);
+
+  /// Returns the canonical representative of the class containing \p X.
+  unsigned find(unsigned X) const;
+
+  /// Merges the classes of \p X and \p Y.
+  ///
+  /// \returns true if the two classes were distinct (a merge happened).
+  bool merge(unsigned X, unsigned Y);
+
+  /// Returns true if \p X and \p Y are in the same class.
+  bool connected(unsigned X, unsigned Y) const { return find(X) == find(Y); }
+
+  /// Returns the number of elements in the forest.
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Returns the current number of distinct classes.
+  unsigned numClasses() const { return NumClasses; }
+
+  /// Returns a map from element to a dense class id in 0..numClasses()-1.
+  ///
+  /// Class ids are assigned in order of first appearance, so the result is
+  /// deterministic for a given merge history.
+  std::vector<unsigned> denseClassIds() const;
+
+private:
+  mutable std::vector<unsigned> Parent;
+  std::vector<unsigned> Rank;
+  unsigned NumClasses = 0;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_UNIONFIND_H

@@ -1,0 +1,146 @@
+//===- tests/ChallengeTest.cpp - challenge instances + strategy runner ------===//
+
+#include "challenge/ChallengeFormat.h"
+#include "challenge/ChallengeInstance.h"
+#include "challenge/StrategyRunner.h"
+#include "graph/Chordal.h"
+#include "graph/GreedyColorability.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace rc;
+
+TEST(ChallengeInstanceTest, SubtreeModeIsChordalAndFeasible) {
+  Rng Rand(161);
+  ChallengeOptions Options;
+  Options.NumValues = 60;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  EXPECT_TRUE(isChordal(P.G));
+  EXPECT_TRUE(isGreedyKColorable(P.G, P.K));
+  for (const Affinity &A : P.Affinities) {
+    EXPECT_FALSE(P.G.hasEdge(A.U, A.V));
+    EXPECT_GE(A.Weight, 1.0);
+  }
+}
+
+TEST(ChallengeInstanceTest, ProgramModeIsChordalAndFeasible) {
+  Rng Rand(162);
+  ProgramChallengeOptions Options;
+  CoalescingProblem P = generateProgramChallengeInstance(Options, Rand);
+  EXPECT_TRUE(isChordal(P.G));
+  EXPECT_TRUE(isGreedyKColorable(P.G, P.K));
+  EXPECT_FALSE(P.Affinities.empty());
+}
+
+TEST(ChallengeInstanceTest, PressureSlackRaisesK) {
+  Rng Rand(163);
+  ChallengeOptions Tight, Loose;
+  Tight.NumValues = Loose.NumValues = 40;
+  Loose.PressureSlack = 3;
+  CoalescingProblem PT = generateChallengeInstance(Tight, Rand);
+  Rand.reseed(163);
+  CoalescingProblem PL = generateChallengeInstance(Loose, Rand);
+  EXPECT_EQ(PL.K, PT.K + 3);
+}
+
+TEST(ChallengeFormatTest, RoundTrip) {
+  Rng Rand(164);
+  ChallengeOptions Options;
+  Options.NumValues = 30;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+
+  std::ostringstream OS;
+  writeChallenge(OS, P);
+  std::istringstream IS(OS.str());
+  CoalescingProblem Q;
+  std::string Error;
+  ASSERT_TRUE(readChallenge(IS, Q, &Error)) << Error;
+  EXPECT_EQ(Q.K, P.K);
+  EXPECT_EQ(Q.G.numVertices(), P.G.numVertices());
+  EXPECT_EQ(Q.G.numEdges(), P.G.numEdges());
+  ASSERT_EQ(Q.Affinities.size(), P.Affinities.size());
+  for (size_t I = 0; I < P.Affinities.size(); ++I)
+    EXPECT_TRUE(Q.Affinities[I] == P.Affinities[I]);
+}
+
+TEST(ChallengeFormatTest, ParseErrors) {
+  CoalescingProblem P;
+  std::string Error;
+  std::istringstream NoN("k 3\ne 0 1\n");
+  EXPECT_FALSE(readChallenge(NoN, P, &Error));
+  EXPECT_NE(Error.find("'e' before 'n'"), std::string::npos);
+
+  std::istringstream BadTag("n 3\nz 1 2\n");
+  EXPECT_FALSE(readChallenge(BadTag, P, &Error));
+
+  std::istringstream OutOfRange("n 2\ne 0 5\n");
+  EXPECT_FALSE(readChallenge(OutOfRange, P, &Error));
+
+  std::istringstream SelfLoop("n 2\ne 1 1\n");
+  EXPECT_FALSE(readChallenge(SelfLoop, P, &Error));
+
+  std::istringstream Good("# c\nn 2\nk 2\ne 0 1\na 0 1 2.5\n");
+  EXPECT_TRUE(readChallenge(Good, P, &Error)) << Error;
+  EXPECT_EQ(P.G.numEdges(), 1u);
+  ASSERT_EQ(P.Affinities.size(), 1u);
+  EXPECT_DOUBLE_EQ(P.Affinities[0].Weight, 2.5);
+}
+
+TEST(StrategyRunnerTest, AllStrategiesProduceValidResults) {
+  Rng Rand(165);
+  ChallengeOptions Options;
+  Options.NumValues = 50;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  auto Outcomes = runAllStrategies(P);
+  ASSERT_EQ(Outcomes.size(), allStrategies().size());
+  for (const StrategyOutcome &O : Outcomes) {
+    EXPECT_GE(O.CoalescedWeightRatio, 0.0);
+    EXPECT_LE(O.CoalescedWeightRatio, 1.0);
+    if (O.Which != Strategy::AggressiveGreedy) {
+      EXPECT_TRUE(O.QuotientGreedyKColorable)
+          << strategyName(O.Which) << " lost greedy-k-colorability";
+    }
+  }
+}
+
+TEST(StrategyRunnerTest, AggressiveIsAnUpperBound) {
+  Rng Rand(166);
+  ChallengeOptions Options;
+  Options.NumValues = 40;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  auto Outcomes = runAllStrategies(P);
+  double Aggressive = 0;
+  for (const StrategyOutcome &O : Outcomes)
+    if (O.Which == Strategy::AggressiveGreedy)
+      Aggressive = O.Stats.CoalescedWeight;
+  for (const StrategyOutcome &O : Outcomes) {
+    // Biased select may eliminate extra moves "by accident" (same color
+    // without a merge), so it is excluded from the merge-based bound.
+    if (O.Which == Strategy::AggressiveGreedy ||
+        O.Which == Strategy::BiasedSelect)
+      continue;
+    EXPECT_LE(O.Stats.CoalescedWeight, Aggressive + 1e-9)
+        << strategyName(O.Which);
+  }
+}
+
+TEST(StrategyRunnerTest, ComparisonTablePrints) {
+  Rng Rand(167);
+  ChallengeOptions Options;
+  Options.NumValues = 30;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  std::ostringstream OS;
+  printComparison(OS, runAllStrategies(P));
+  EXPECT_NE(OS.str().find("strategy"), std::string::npos);
+  EXPECT_NE(OS.str().find("optimistic"), std::string::npos);
+}
+
+TEST(StrategyRunnerTest, NamesAreUnique) {
+  std::set<std::string> Names;
+  for (Strategy S : allStrategies())
+    Names.insert(strategyName(S));
+  EXPECT_EQ(Names.size(), allStrategies().size());
+}

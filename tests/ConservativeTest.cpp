@@ -1,0 +1,339 @@
+//===- tests/ConservativeTest.cpp - conservative rules + Theorem 3 ---------===//
+
+#include "coalescing/Conservative.h"
+#include "graph/ExactColoring.h"
+#include "graph/Generators.h"
+#include "graph/GreedyColorability.h"
+#include "npc/Theorem3Reduction.h"
+
+#include <gtest/gtest.h>
+
+using namespace rc;
+
+namespace {
+
+/// Builds the Figure 3 (left) gadget: a permutation of Size values. Each
+/// source u_i interferes with every destination v_j except its partner v_i
+/// (the value it transfers), plus the affinities (u_i, v_i). With
+/// k = 2*Size - 2, coalescing ALL pairs yields K_Size (fine), but each
+/// single merged pair has degree exactly k.
+///
+/// When \p PadNeighbors, every u_j / v_j additionally gets a private
+/// triangle raising its degree to k ("due to other vertices not shown"),
+/// which makes the local Briggs/George rules reject every pair while the
+/// graph stays greedy-k-colorable and fully coalescable.
+CoalescingProblem permutationGadget(unsigned Size, bool PadNeighbors = false) {
+  assert(Size >= 3 && "gadget needs at least 3 pairs");
+  CoalescingProblem P;
+  P.G = Graph(2 * Size); // u_i = i, v_i = Size + i.
+  for (unsigned I = 0; I < Size; ++I)
+    for (unsigned J = 0; J < Size; ++J)
+      if (I != J)
+        P.G.addEdge(I, Size + J); // u_i -- v_j.
+  for (unsigned I = 0; I < Size; ++I)
+    P.Affinities.push_back({I, Size + I, 1.0});
+  P.K = 2 * Size - 2;
+  if (PadNeighbors) {
+    // Raise each vertex's degree from Size-1 to K by attaching a private
+    // clique of K - (Size - 1) low-degree vertices.
+    unsigned PadSize = P.K - (Size - 1);
+    for (unsigned V = 0; V < 2 * Size; ++V) {
+      unsigned First = P.G.addVertices(PadSize);
+      std::vector<unsigned> Clique{V};
+      for (unsigned I = 0; I < PadSize; ++I)
+        Clique.push_back(First + I);
+      P.G.addClique(Clique);
+    }
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(ConservativeRuleTest, BriggsAcceptsLowDegreeMerge) {
+  Graph G(4);
+  G.addEdge(0, 2);
+  G.addEdge(1, 3);
+  WorkGraph WG(G);
+  EXPECT_TRUE(briggsTest(WG, 0, 1, 2));
+}
+
+TEST(ConservativeRuleTest, BriggsCountsCommonNeighborsOnce) {
+  // Merging 0 and 1 with common neighbor 2 (degree 2 in a triangle-free
+  // graph): after the merge 2's degree drops to 1.
+  Graph G(4);
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  WorkGraph WG(G);
+  // k=2: neighbor 2 has degree 3, merged-degree 2 >= 2 -> 1 significant,
+  // which is < k, so Briggs accepts.
+  EXPECT_TRUE(briggsTest(WG, 0, 1, 2));
+}
+
+TEST(ConservativeRuleTest, GeorgeSubsumptionCase) {
+  // N(0) subset of N(1): George accepts merging 0 into 1 trivially.
+  Graph G(5);
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  G.addEdge(1, 3);
+  G.addEdge(1, 4);
+  WorkGraph WG(G);
+  EXPECT_TRUE(georgeTest(WG, 0, 1, 2));
+}
+
+TEST(ConservativeRuleTest, GeorgeRejectsUncoveredHighDegreeNeighbor) {
+  // 0's neighbor 2 has high degree and is not a neighbor of 1.
+  Graph G(6);
+  G.addEdge(0, 2);
+  G.addEdge(2, 3);
+  G.addEdge(2, 4);
+  G.addEdge(2, 5);
+  WorkGraph WG(G);
+  EXPECT_FALSE(georgeTest(WG, 0, 1, 2));
+  // Low-degree neighbors are ignored: with k = 4, degree(2) = 4 >= 4, still
+  // rejected; with k = 5 accepted.
+  EXPECT_FALSE(georgeTest(WG, 0, 1, 4));
+  EXPECT_TRUE(georgeTest(WG, 0, 1, 5));
+}
+
+TEST(ConservativeRuleTest, BruteForceMatchesDefinition) {
+  Rng Rand(81);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Graph G = randomGraph(10, 0.3, Rand);
+    unsigned K = coloringNumber(G);
+    WorkGraph WG(G);
+    // Find any mergeable pair and cross-check the brute-force test.
+    for (unsigned U = 0; U < 10; ++U)
+      for (unsigned V = U + 1; V < 10; ++V) {
+        if (!WG.canMerge(U, V))
+          continue;
+        WorkGraph Copy = WG;
+        Copy.merge(U, V);
+        EXPECT_EQ(bruteForceTest(WG, U, V, K),
+                  isGreedyKColorable(Copy.quotientGraph(), K));
+      }
+  }
+}
+
+TEST(ConservativeRuleTest, RulesPreserveGreedyColorability) {
+  // Fundamental soundness property of all three tests (Section 4).
+  Rng Rand(82);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    Graph G = randomGraph(12, 0.3, Rand);
+    unsigned K = coloringNumber(G);
+    WorkGraph WG(G);
+    for (unsigned U = 0; U < 12; ++U)
+      for (unsigned V = U + 1; V < 12; ++V) {
+        if (!WG.canMerge(U, V))
+          continue;
+        bool Briggs = briggsTest(WG, U, V, K);
+        bool George = georgeTest(WG, U, V, K) || georgeTest(WG, V, U, K);
+        if (!Briggs && !George)
+          continue;
+        WorkGraph Copy = WG;
+        Copy.merge(U, V);
+        EXPECT_TRUE(isGreedyKColorable(Copy.quotientGraph(), K))
+            << "unsound local rule: trial " << Trial << " merge (" << U
+            << "," << V << ") briggs=" << Briggs << " george=" << George;
+      }
+  }
+}
+
+// --- Figure 3: local rules are not enough -----------------------------------
+
+TEST(Figure3Test, PermutationCoalescableAsAWhole) {
+  for (unsigned Size : {3u, 4u, 5u}) {
+    CoalescingProblem P = permutationGadget(Size);
+    ASSERT_TRUE(isGreedyKColorable(P.G, P.K));
+    // Coalescing the whole permutation at once stays greedy-k-colorable.
+    WorkGraph WG(P.G);
+    for (const Affinity &A : P.Affinities) {
+      ASSERT_TRUE(WG.canMerge(A.U, A.V));
+      WG.merge(A.U, A.V);
+    }
+    EXPECT_TRUE(isGreedyKColorable(WG.quotientGraph(), P.K));
+  }
+}
+
+TEST(Figure3Test, MergedPairHasDegreeK) {
+  // The paper's middle figure: after coalescing one pair of a permutation
+  // of size 4 with k = 6, the merged vertex has degree 6 = k.
+  CoalescingProblem P = permutationGadget(4);
+  ASSERT_EQ(P.K, 6u);
+  WorkGraph WG(P.G);
+  WG.merge(P.Affinities[0].U, P.Affinities[0].V);
+  EXPECT_EQ(WG.degree(P.Affinities[0].U), 6u);
+}
+
+TEST(Figure3Test, BruteForceCoalescesPermutationIncrementally) {
+  // Merge-and-check sees that each pair merge keeps the graph
+  // greedy-k-colorable even though the merged degree reaches k.
+  CoalescingProblem P = permutationGadget(4);
+  ConservativeResult R =
+      conservativeCoalesce(P, ConservativeRule::BruteForce);
+  EXPECT_EQ(R.Stats.UncoalescedAffinities, 0u);
+}
+
+TEST(Figure3Test, RightGadgetNonIncremental) {
+  // Figure 3 right: a graph that stays greedy-3-colorable if (a,b) AND
+  // (a,c) are coalesced together, but not if only one of them is.
+  //
+  // Construction (two overlapping K3,3 obstructions):
+  //   a=0, b=1, c=2; x1..x3 = 3..5; u1..u3 = 6..8; y=9, y'=10.
+  //   Merging {a,b} completes the K3,3 on {ab, y, c} x {x1,x2,x3};
+  //   merging {a,c} completes the K3,3 on {ac, y', b} x {u1,u2,u3};
+  //   merging all three collapses c into the first obstruction (and b into
+  //   the second), leaving the x's and u's with degree 2.
+  Graph G(11);
+  const unsigned A = 0, B = 1, C = 2, X1 = 3, X2 = 4, X3 = 5, U1 = 6,
+                 U2 = 7, U3 = 8, Y = 9, YP = 10;
+  G.addEdge(A, X3);
+  G.addEdge(A, U3);
+  G.addEdge(B, X1);
+  G.addEdge(B, X2);
+  G.addEdge(B, U1);
+  G.addEdge(B, U2);
+  G.addEdge(B, U3);
+  G.addEdge(C, X1);
+  G.addEdge(C, X2);
+  G.addEdge(C, X3);
+  G.addEdge(C, U1);
+  G.addEdge(C, U2);
+  for (unsigned X : {X1, X2, X3})
+    G.addEdge(Y, X);
+  for (unsigned U : {U1, U2, U3})
+    G.addEdge(YP, U);
+
+  // The original graph is greedy-3-colorable, and the affinity endpoints
+  // do not interfere.
+  EXPECT_TRUE(isGreedyKColorable(G, 3));
+  EXPECT_FALSE(G.hasEdge(A, B));
+  EXPECT_FALSE(G.hasEdge(A, C));
+
+  auto mergedGreedy = [&G](std::vector<std::vector<unsigned>> Groups) {
+    std::vector<unsigned> Classes(G.numVertices(), ~0u);
+    unsigned Next = 0;
+    for (const auto &Group : Groups) {
+      for (unsigned V : Group)
+        Classes[V] = Next;
+      ++Next;
+    }
+    for (unsigned V = 0; V < G.numVertices(); ++V)
+      if (Classes[V] == ~0u)
+        Classes[V] = Next++;
+    return isGreedyKColorable(G.quotient(Classes, Next), 3);
+  };
+
+  EXPECT_TRUE(mergedGreedy({{A, B, C}}));  // Both coalesced: fine.
+  EXPECT_FALSE(mergedGreedy({{A, B}}));    // Only (a,b): K3,3 obstruction.
+  EXPECT_FALSE(mergedGreedy({{A, C}}));    // Only (a,c): K3,3 obstruction.
+}
+
+TEST(Figure3Test, LocalRulesRejectPaddedPermutation) {
+  // With the "other vertices not shown" padding, Briggs and George coalesce
+  // NOTHING on the permutation, while the brute-force merge-and-check test
+  // coalesces every pair. This is E9 of DESIGN.md.
+  CoalescingProblem P = permutationGadget(4, /*PadNeighbors=*/true);
+  ASSERT_TRUE(isGreedyKColorable(P.G, P.K));
+  ConservativeResult Briggs =
+      conservativeCoalesce(P, ConservativeRule::Briggs);
+  EXPECT_EQ(Briggs.Stats.CoalescedAffinities, 0u);
+  ConservativeResult George =
+      conservativeCoalesce(P, ConservativeRule::George);
+  EXPECT_EQ(George.Stats.CoalescedAffinities, 0u);
+  ConservativeResult Both =
+      conservativeCoalesce(P, ConservativeRule::BriggsOrGeorge);
+  EXPECT_EQ(Both.Stats.CoalescedAffinities, 0u);
+  ConservativeResult Brute =
+      conservativeCoalesce(P, ConservativeRule::BruteForce);
+  EXPECT_EQ(Brute.Stats.CoalescedAffinities, 4u);
+}
+
+// --- Driver behavior --------------------------------------------------------
+
+TEST(ConservativeDriverTest, KeepsGraphGreedyKColorable) {
+  Rng Rand(83);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    CoalescingProblem P;
+    P.G = randomChordalGraph(20, 10, 3, Rand);
+    P.K = coloringNumber(P.G);
+    for (int A = 0; A < 12; ++A) {
+      unsigned U = static_cast<unsigned>(Rand.nextBelow(20));
+      unsigned V = static_cast<unsigned>(Rand.nextBelow(20));
+      if (U != V && !P.G.hasEdge(U, V))
+        P.Affinities.push_back({U, V, 1.0});
+    }
+    for (ConservativeRule Rule :
+         {ConservativeRule::Briggs, ConservativeRule::George,
+          ConservativeRule::BriggsOrGeorge, ConservativeRule::BruteForce}) {
+      ConservativeResult R = conservativeCoalesce(P, Rule);
+      EXPECT_TRUE(isValidCoalescing(P.G, R.Solution));
+      EXPECT_TRUE(
+          isGreedyKColorable(buildCoalescedGraph(P.G, R.Solution), P.K));
+    }
+  }
+}
+
+TEST(ConservativeDriverTest, BruteForceDominatesLocalRules) {
+  Rng Rand(84);
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    CoalescingProblem P;
+    P.G = randomChordalGraph(18, 9, 3, Rand);
+    P.K = coloringNumber(P.G);
+    for (int A = 0; A < 10; ++A) {
+      unsigned U = static_cast<unsigned>(Rand.nextBelow(18));
+      unsigned V = static_cast<unsigned>(Rand.nextBelow(18));
+      if (U != V && !P.G.hasEdge(U, V))
+        P.Affinities.push_back({U, V, 1.0});
+    }
+    ConservativeResult Briggs =
+        conservativeCoalesce(P, ConservativeRule::Briggs);
+    ConservativeResult Brute =
+        conservativeCoalesce(P, ConservativeRule::BruteForce);
+    // The brute-force test accepts whenever Briggs accepts.
+    EXPECT_GE(Brute.Stats.CoalescedAffinities,
+              Briggs.Stats.CoalescedAffinities);
+  }
+}
+
+// --- Theorem 3 ---------------------------------------------------------------
+
+TEST(Theorem3Test, InputGraphIsGreedyTwoColorable) {
+  Rng Rand(85);
+  Graph H = randomGraph(8, 0.4, Rand);
+  Theorem3Reduction R = Theorem3Reduction::build(H, 3);
+  EXPECT_TRUE(isGreedyKColorable(R.Problem.G, 2));
+}
+
+TEST(Theorem3Test, FullCoalescingQuotientIsH) {
+  Rng Rand(86);
+  Graph H = randomGraph(7, 0.4, Rand);
+  Theorem3Reduction R = Theorem3Reduction::build(H, 3);
+  CoalescingSolution S = R.fullCoalescing();
+  EXPECT_TRUE(isValidCoalescing(R.Problem.G, S));
+  Graph Q = buildCoalescedGraph(R.Problem.G, S);
+  ASSERT_EQ(Q.numVertices(), H.numVertices());
+  for (unsigned U = 0; U < H.numVertices(); ++U)
+    for (unsigned V = U + 1; V < H.numVertices(); ++V)
+      EXPECT_EQ(Q.hasEdge(U, V), H.hasEdge(U, V));
+}
+
+struct Theorem3Sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Theorem3Sweep, ZeroCostCoalescingIffKColorable) {
+  Rng Rand(GetParam());
+  Graph H = randomGraph(6, 0.5, Rand);
+  unsigned K = 3;
+  Theorem3Reduction R = Theorem3Reduction::build(H, K);
+  ExactConservativeResult Exact =
+      conservativeCoalesceExact(R.Problem, /*RequireGreedy=*/false);
+  bool AllCoalesced =
+      Exact.Optimal && Exact.Stats.UncoalescedAffinities == 0;
+  EXPECT_EQ(AllCoalesced, exactKColoring(H, K).Colorable)
+      << "Theorem 3 equivalence violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem3Sweep,
+                         ::testing::Values(401u, 402u, 403u, 404u, 405u,
+                                           406u, 407u, 408u, 409u, 410u));

@@ -1,0 +1,75 @@
+//===- tests/DimacsTest.cpp - DIMACS I/O -------------------------------------===//
+
+#include "graph/DimacsIO.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace rc;
+
+TEST(DimacsTest, RoundTrip) {
+  Rng Rand(211);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    Graph G = randomGraph(25, 0.3, Rand);
+    std::ostringstream OS;
+    writeDimacs(OS, G);
+    std::istringstream IS(OS.str());
+    Graph H;
+    std::string Error;
+    ASSERT_TRUE(readDimacs(IS, H, &Error)) << Error;
+    ASSERT_EQ(H.numVertices(), G.numVertices());
+    ASSERT_EQ(H.numEdges(), G.numEdges());
+    for (unsigned U = 0; U < G.numVertices(); ++U)
+      for (unsigned V = U + 1; V < G.numVertices(); ++V)
+        EXPECT_EQ(H.hasEdge(U, V), G.hasEdge(U, V));
+  }
+}
+
+TEST(DimacsTest, ParsesStandardFile) {
+  std::istringstream IS("c a comment\n"
+                        "p edge 4 3\n"
+                        "e 1 2\n"
+                        "e 2 3\n"
+                        "e 3 4\n");
+  Graph G;
+  std::string Error;
+  ASSERT_TRUE(readDimacs(IS, G, &Error)) << Error;
+  EXPECT_EQ(G.numVertices(), 4u);
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_TRUE(G.hasEdge(2, 3));
+  EXPECT_FALSE(G.hasEdge(0, 2));
+}
+
+TEST(DimacsTest, AcceptsColVariantHeader) {
+  std::istringstream IS("p col 2 1\ne 1 2\n");
+  Graph G;
+  EXPECT_TRUE(readDimacs(IS, G));
+  EXPECT_TRUE(G.hasEdge(0, 1));
+}
+
+TEST(DimacsTest, RejectsMalformedInput) {
+  Graph G;
+  std::string Error;
+
+  std::istringstream NoHeader("e 1 2\n");
+  EXPECT_FALSE(readDimacs(NoHeader, G, &Error));
+  EXPECT_NE(Error.find("before the problem line"), std::string::npos);
+
+  std::istringstream BadEdge("p edge 2 1\ne 0 1\n");
+  EXPECT_FALSE(readDimacs(BadEdge, G, &Error)); // 0 is invalid (1-based).
+
+  std::istringstream OutOfRange("p edge 2 1\ne 1 3\n");
+  EXPECT_FALSE(readDimacs(OutOfRange, G, &Error));
+
+  std::istringstream SelfLoop("p edge 2 1\ne 1 1\n");
+  EXPECT_FALSE(readDimacs(SelfLoop, G, &Error));
+
+  std::istringstream DoubleHeader("p edge 2 0\np edge 3 0\n");
+  EXPECT_FALSE(readDimacs(DoubleHeader, G, &Error));
+
+  std::istringstream Empty("");
+  EXPECT_FALSE(readDimacs(Empty, G, &Error));
+}

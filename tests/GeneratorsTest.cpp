@@ -1,0 +1,115 @@
+//===- tests/GeneratorsTest.cpp - graph generators + Property 2 ------------===//
+
+#include "graph/Chordal.h"
+#include "graph/ExactColoring.h"
+#include "graph/Generators.h"
+#include "graph/GreedyColorability.h"
+#include "npc/VertexCover.h"
+
+#include <gtest/gtest.h>
+
+using namespace rc;
+
+TEST(GeneratorsTest, RandomGraphEdgeProbabilityExtremes) {
+  Rng Rand(31);
+  Graph Empty = randomGraph(10, 0.0, Rand);
+  EXPECT_EQ(Empty.numEdges(), 0u);
+  Graph Full = randomGraph(10, 1.0, Rand);
+  EXPECT_EQ(Full.numEdges(), 45u);
+}
+
+TEST(GeneratorsTest, RandomTreeIsATree) {
+  Rng Rand(32);
+  auto Tree = randomTree(20, Rand);
+  unsigned EdgeCount = 0;
+  for (const auto &Adj : Tree)
+    EdgeCount += static_cast<unsigned>(Adj.size());
+  EXPECT_EQ(EdgeCount, 2 * 19u); // n-1 undirected edges.
+}
+
+TEST(GeneratorsTest, RandomChordalGraphIsChordal) {
+  Rng Rand(33);
+  for (int Trial = 0; Trial < 30; ++Trial)
+    EXPECT_TRUE(isChordal(randomChordalGraph(30, 15, 4, Rand)));
+}
+
+TEST(GeneratorsTest, ChordalSubtreesExplainEdges) {
+  Rng Rand(34);
+  std::vector<std::vector<unsigned>> Subtrees;
+  Graph G = randomChordalGraph(20, 10, 3, Rand, &Subtrees);
+  ASSERT_EQ(Subtrees.size(), 20u);
+  for (unsigned U = 0; U < 20; ++U)
+    for (unsigned V = U + 1; V < 20; ++V) {
+      bool Intersect = false;
+      for (unsigned N1 : Subtrees[U])
+        for (unsigned N2 : Subtrees[V])
+          Intersect |= N1 == N2;
+      EXPECT_EQ(Intersect, G.hasEdge(U, V));
+    }
+}
+
+TEST(GeneratorsTest, RandomKColorableIsKColorable) {
+  Rng Rand(35);
+  for (unsigned K = 2; K <= 4; ++K)
+    for (int Trial = 0; Trial < 5; ++Trial) {
+      Graph G = randomKColorableGraph(14, K, 0.5, Rand);
+      EXPECT_TRUE(exactKColoring(G, K).Colorable);
+    }
+}
+
+TEST(GeneratorsTest, BoundedDegreeRespectsBound) {
+  Rng Rand(36);
+  Graph G = randomBoundedDegreeGraph(25, 3, 0.5, Rand);
+  for (unsigned V = 0; V < G.numVertices(); ++V)
+    EXPECT_LE(G.degree(V), 3u);
+}
+
+// --- Property 2: clique augmentation ---------------------------------------
+
+TEST(Property2Test, LiftsColorability) {
+  Rng Rand(37);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    Graph G = randomGraph(10, 0.35, Rand);
+    unsigned Chi = chromaticNumber(G);
+    for (unsigned P = 1; P <= 3; ++P) {
+      Graph GP = addDominatingClique(G, P);
+      EXPECT_EQ(chromaticNumber(GP), Chi + P);
+    }
+  }
+}
+
+TEST(Property2Test, PreservesChordalityBothWays) {
+  Rng Rand(38);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    Graph Chordal = randomChordalGraph(15, 8, 3, Rand);
+    EXPECT_TRUE(isChordal(addDominatingClique(Chordal, 2)));
+  }
+  Graph C4 = Graph::cycle(4); // Not chordal.
+  EXPECT_FALSE(isChordal(addDominatingClique(C4, 2)));
+}
+
+TEST(Property2Test, LiftsGreedyColorability) {
+  Rng Rand(39);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    Graph G = randomGraph(12, 0.3, Rand);
+    unsigned Col = coloringNumber(G);
+    for (unsigned P = 1; P <= 3; ++P) {
+      Graph GP = addDominatingClique(G, P);
+      EXPECT_TRUE(isGreedyKColorable(GP, Col + P));
+      EXPECT_FALSE(isGreedyKColorable(GP, Col + P - 1));
+    }
+  }
+}
+
+TEST(Property2Test, NewVerticesDominate) {
+  Graph G = Graph::path(4);
+  unsigned First = 0;
+  Graph GP = addDominatingClique(G, 2, &First);
+  EXPECT_EQ(First, 4u);
+  EXPECT_EQ(GP.numVertices(), 6u);
+  EXPECT_TRUE(GP.hasEdge(4, 5));
+  for (unsigned V = 0; V < 4; ++V) {
+    EXPECT_TRUE(GP.hasEdge(V, 4));
+    EXPECT_TRUE(GP.hasEdge(V, 5));
+  }
+}

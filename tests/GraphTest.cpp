@@ -1,0 +1,140 @@
+//===- tests/GraphTest.cpp - graph/Graph unit tests ------------------------===//
+
+#include "graph/Graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace rc;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph G;
+  EXPECT_EQ(G.numVertices(), 0u);
+  EXPECT_EQ(G.numEdges(), 0u);
+}
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph G(3);
+  EXPECT_TRUE(G.addEdge(0, 1));
+  EXPECT_FALSE(G.addEdge(1, 0)); // Duplicate (symmetric).
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_TRUE(G.hasEdge(1, 0));
+  EXPECT_FALSE(G.hasEdge(0, 2));
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_EQ(G.degree(0), 1u);
+  EXPECT_EQ(G.degree(2), 0u);
+}
+
+TEST(GraphTest, AddVertexGrows) {
+  Graph G(2);
+  G.addEdge(0, 1);
+  unsigned V = G.addVertex();
+  EXPECT_EQ(V, 2u);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.hasEdge(2, 1));
+}
+
+TEST(GraphTest, AddVerticesBatch) {
+  Graph G(1);
+  unsigned First = G.addVertices(4);
+  EXPECT_EQ(First, 1u);
+  EXPECT_EQ(G.numVertices(), 5u);
+}
+
+TEST(GraphTest, CliqueHelpers) {
+  Graph G(5);
+  G.addClique({0, 2, 4});
+  EXPECT_TRUE(G.isClique({0, 2, 4}));
+  EXPECT_TRUE(G.isClique({0, 2}));
+  EXPECT_FALSE(G.isClique({0, 1, 2}));
+  EXPECT_EQ(G.numEdges(), 3u);
+}
+
+TEST(GraphTest, CompleteCyclePath) {
+  Graph K4 = Graph::complete(4);
+  EXPECT_EQ(K4.numEdges(), 6u);
+  Graph C5 = Graph::cycle(5);
+  EXPECT_EQ(C5.numEdges(), 5u);
+  for (unsigned V = 0; V < 5; ++V)
+    EXPECT_EQ(C5.degree(V), 2u);
+  Graph P4 = Graph::path(4);
+  EXPECT_EQ(P4.numEdges(), 3u);
+  EXPECT_EQ(P4.degree(0), 1u);
+  EXPECT_EQ(P4.degree(1), 2u);
+}
+
+TEST(GraphTest, QuotientMergesClasses) {
+  // Square 0-1-2-3; merge 0 with 2 (non-adjacent).
+  Graph G = Graph::cycle(4);
+  std::vector<unsigned> Classes = {0, 1, 0, 2};
+  bool SelfLoop = true;
+  Graph Q = G.quotient(Classes, 3, &SelfLoop);
+  EXPECT_FALSE(SelfLoop);
+  EXPECT_EQ(Q.numVertices(), 3u);
+  EXPECT_TRUE(Q.hasEdge(0, 1));
+  EXPECT_TRUE(Q.hasEdge(0, 2));
+  EXPECT_FALSE(Q.hasEdge(1, 2));
+  EXPECT_EQ(Q.numEdges(), 2u);
+}
+
+TEST(GraphTest, QuotientDetectsSelfLoop) {
+  Graph G(2);
+  G.addEdge(0, 1);
+  bool SelfLoop = false;
+  Graph Q = G.quotient({0, 0}, 1, &SelfLoop);
+  EXPECT_TRUE(SelfLoop);
+  EXPECT_EQ(Q.numVertices(), 1u);
+  EXPECT_EQ(Q.numEdges(), 0u);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  Graph G = Graph::complete(5);
+  std::vector<unsigned> OldToNew;
+  Graph Sub = G.inducedSubgraph({1, 3, 4}, &OldToNew);
+  EXPECT_EQ(Sub.numVertices(), 3u);
+  EXPECT_EQ(Sub.numEdges(), 3u);
+  EXPECT_EQ(OldToNew[0], ~0u);
+  EXPECT_EQ(OldToNew[1], 0u);
+  EXPECT_EQ(OldToNew[3], 1u);
+  EXPECT_EQ(OldToNew[4], 2u);
+}
+
+TEST(GraphTest, InducedSubgraphDropsOutsideEdges) {
+  Graph G = Graph::path(4); // 0-1-2-3
+  Graph Sub = G.inducedSubgraph({0, 2});
+  EXPECT_EQ(Sub.numEdges(), 0u);
+  Graph Sub2 = G.inducedSubgraph({1, 2});
+  EXPECT_EQ(Sub2.numEdges(), 1u);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph G(6);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(3, 4);
+  auto Components = G.connectedComponents();
+  ASSERT_EQ(Components.size(), 3u);
+  EXPECT_EQ(Components[0], (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(Components[1], (std::vector<unsigned>{3, 4}));
+  EXPECT_EQ(Components[2], (std::vector<unsigned>{5}));
+}
+
+TEST(GraphTest, SameComponent) {
+  Graph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.sameComponent(0, 2));
+  EXPECT_TRUE(G.sameComponent(3, 3));
+  EXPECT_FALSE(G.sameComponent(0, 3));
+}
+
+TEST(GraphTest, NeighborsMatchEdges) {
+  Graph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 3);
+  auto N = G.neighbors(0);
+  std::sort(N.begin(), N.end());
+  EXPECT_EQ(N, (std::vector<unsigned>{1, 3}));
+}

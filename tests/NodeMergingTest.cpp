@@ -1,0 +1,60 @@
+//===- tests/NodeMergingTest.cpp - Vegdahl-style merging ----------------------===//
+
+#include "coalescing/NodeMerging.h"
+#include "graph/Generators.h"
+#include "graph/GreedyColorability.h"
+
+#include <gtest/gtest.h>
+
+using namespace rc;
+
+TEST(NodeMergingTest, FourCycleBecomesGreedyTwoColorable) {
+  // The canonical example: C4 is 2-colorable but not greedy-2-colorable;
+  // merging opposite corners yields a path.
+  Graph C4 = Graph::cycle(4);
+  ASSERT_FALSE(isGreedyKColorable(C4, 2));
+  NodeMergingResult R = mergeNodesForColorability(C4, 2);
+  EXPECT_TRUE(R.GreedyKColorable);
+  EXPECT_GE(R.Merges, 1u);
+  EXPECT_TRUE(
+      isGreedyKColorable(buildCoalescedGraph(C4, R.Solution), 2));
+}
+
+TEST(NodeMergingTest, AlreadyColorableNeedsNoMerge) {
+  Graph P5 = Graph::path(5);
+  NodeMergingResult R = mergeNodesForColorability(P5, 2);
+  EXPECT_TRUE(R.GreedyKColorable);
+  EXPECT_EQ(R.Merges, 0u);
+}
+
+TEST(NodeMergingTest, CliqueCannotBeHelped) {
+  // K5 at k=4: every pair is adjacent, nothing can merge.
+  Graph K5 = Graph::complete(5);
+  NodeMergingResult R = mergeNodesForColorability(K5, 4);
+  EXPECT_FALSE(R.GreedyKColorable);
+  EXPECT_EQ(R.Merges, 0u);
+}
+
+TEST(NodeMergingTest, EvenCyclesAtTwoColors) {
+  for (unsigned N = 4; N <= 10; N += 2) {
+    Graph C = Graph::cycle(N);
+    NodeMergingResult R = mergeNodesForColorability(C, 2);
+    EXPECT_TRUE(R.GreedyKColorable) << "C" << N;
+  }
+}
+
+TEST(NodeMergingTest, SolutionsAlwaysValid) {
+  Rng Rand(231);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Graph G = randomGraph(20, 0.25, Rand);
+    unsigned Col = coloringNumber(G);
+    if (Col < 2)
+      continue;
+    NodeMergingResult R = mergeNodesForColorability(G, Col - 1);
+    EXPECT_TRUE(isValidCoalescing(G, R.Solution));
+    if (R.GreedyKColorable) {
+      EXPECT_TRUE(isGreedyKColorable(buildCoalescedGraph(G, R.Solution),
+                                     Col - 1));
+    }
+  }
+}

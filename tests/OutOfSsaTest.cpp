@@ -1,0 +1,267 @@
+//===- tests/OutOfSsaTest.cpp - phi elimination ------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/OutOfSsa.h"
+#include "ir/ProgramGenerator.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+using namespace rc;
+using namespace rc::ir;
+
+namespace {
+
+/// Simulates a parallel copy followed by the produced sequence and checks
+/// both yield the same final state.
+void checkSequentialization(const ParallelCopy &PC, unsigned NumValues) {
+  unsigned Next = NumValues;
+  auto MakeTemp = [&Next]() { return Next++; };
+  auto Sequence = sequentializeParallelCopy(PC, MakeTemp);
+
+  // Initial state: value id as contents.
+  std::map<ValueId, int64_t> Parallel, Sequential;
+  for (unsigned V = 0; V < NumValues; ++V)
+    Parallel[V] = Sequential[V] = static_cast<int64_t>(V);
+
+  // Parallel semantics: read all sources first.
+  std::vector<std::pair<ValueId, int64_t>> Writes;
+  for (auto [Dst, Src] : PC.Copies)
+    Writes.emplace_back(Dst, Parallel[Src]);
+  for (auto [Dst, V] : Writes)
+    Parallel[Dst] = V;
+
+  // Sequential semantics.
+  for (auto [Dst, Src] : Sequence)
+    Sequential[Dst] = Sequential[Src];
+
+  for (unsigned V = 0; V < NumValues; ++V)
+    EXPECT_EQ(Parallel[V], Sequential[V]) << "location " << V;
+}
+
+} // namespace
+
+TEST(ParallelCopyTest, EmptyAndSelfCopies) {
+  ParallelCopy PC;
+  unsigned Temps = 0;
+  auto Seq = sequentializeParallelCopy(PC, [&] { return 100 + Temps++; });
+  EXPECT_TRUE(Seq.empty());
+
+  PC.Copies = {{3, 3}, {4, 4}};
+  Seq = sequentializeParallelCopy(PC, [&] { return 100 + Temps++; });
+  EXPECT_TRUE(Seq.empty());
+  EXPECT_EQ(Temps, 0u);
+}
+
+TEST(ParallelCopyTest, DisjointCopies) {
+  ParallelCopy PC;
+  PC.Copies = {{0, 1}, {2, 3}};
+  checkSequentialization(PC, 4);
+}
+
+TEST(ParallelCopyTest, ChainNeedsNoTemp) {
+  // a <- b <- c: emitting in the right order avoids temps.
+  ParallelCopy PC;
+  PC.Copies = {{0, 1}, {1, 2}};
+  unsigned Temps = 0;
+  auto Seq = sequentializeParallelCopy(PC, [&] {
+    ++Temps;
+    return 100u;
+  });
+  EXPECT_EQ(Temps, 0u);
+  EXPECT_EQ(Seq.size(), 2u);
+  checkSequentialization(PC, 3);
+}
+
+TEST(ParallelCopyTest, SwapNeedsOneTemp) {
+  ParallelCopy PC;
+  PC.Copies = {{0, 1}, {1, 0}};
+  unsigned Temps = 0;
+  auto Seq = sequentializeParallelCopy(PC, [&] {
+    ++Temps;
+    return 100u;
+  });
+  EXPECT_EQ(Temps, 1u);
+  EXPECT_EQ(Seq.size(), 3u);
+  checkSequentialization(PC, 2);
+}
+
+TEST(ParallelCopyTest, ThreeCycle) {
+  ParallelCopy PC;
+  PC.Copies = {{0, 1}, {1, 2}, {2, 0}};
+  unsigned Temps = 0;
+  sequentializeParallelCopy(PC, [&] {
+    ++Temps;
+    return 100u;
+  });
+  EXPECT_EQ(Temps, 1u);
+  checkSequentialization(PC, 3);
+}
+
+TEST(ParallelCopyTest, FanOutOneSourceManyDests) {
+  ParallelCopy PC;
+  PC.Copies = {{1, 0}, {2, 0}, {3, 0}};
+  checkSequentialization(PC, 4);
+}
+
+TEST(ParallelCopyTest, RandomPermutationsAndFunctions) {
+  Rng Rand(61);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    unsigned N = 2 + static_cast<unsigned>(Rand.nextBelow(8));
+    ParallelCopy PC;
+    // Random function: each dst picks a random src (dsts distinct).
+    std::vector<unsigned> Dsts = Rand.permutation(N);
+    unsigned NumCopies = 1 + static_cast<unsigned>(Rand.nextBelow(N));
+    for (unsigned I = 0; I < NumCopies; ++I)
+      PC.Copies.emplace_back(Dsts[I],
+                             static_cast<unsigned>(Rand.nextBelow(N)));
+    checkSequentialization(PC, N + 1);
+  }
+}
+
+TEST(CriticalEdgeTest, SplitsOnlyCriticalEdges) {
+  // bb0 branches to bb1 and bb2; both jump to bb3; bb3 also reachable from
+  // bb0? Build: bb0 -> {bb1, bb3}, bb1 -> bb3: edge bb0->bb3 is critical.
+  Function F;
+  BlockId B1 = F.createBlock(), B3 = F.createBlock();
+  ValueId C = F.emitConst(0, 1, "c");
+  F.emitBranch(0, C, B1, B3);
+  F.emitJump(B1, B3);
+  F.emitRet(B3, {});
+  F.computePredecessors();
+
+  unsigned Split = splitCriticalEdges(F);
+  EXPECT_EQ(Split, 1u);
+  EXPECT_EQ(F.numBlocks(), 4u);
+  std::string Error;
+  EXPECT_TRUE(verifyCfg(F, &Error)) << Error;
+  // bb0's second successor is now the forwarding block.
+  BlockId M = F.block(0).Succs[1];
+  EXPECT_NE(M, B3);
+  EXPECT_EQ(F.block(M).Succs, (std::vector<BlockId>{B3}));
+}
+
+TEST(CriticalEdgeTest, PhiArgsRetargeted) {
+  Function F;
+  BlockId B1 = F.createBlock(), B3 = F.createBlock();
+  ValueId C = F.emitConst(0, 1, "c");
+  ValueId X = F.emitConst(0, 5, "x");
+  F.emitBranch(0, C, B1, B3);
+  ValueId Y = F.emitConst(B1, 6, "y");
+  F.emitJump(B1, B3);
+  F.computePredecessors();
+  F.emitPhi(B3, {{0, X}, {B1, Y}}, "p");
+  F.emitRet(B3, {});
+  F.computePredecessors();
+
+  splitCriticalEdges(F);
+  std::string Error;
+  EXPECT_TRUE(verifyStrictSsa(F, &Error)) << Error;
+}
+
+TEST(OutOfSsaTest, DiamondLowering) {
+  Function F;
+  BlockId B1 = F.createBlock(), B2 = F.createBlock(), B3 = F.createBlock();
+  ValueId Cond = F.emitConst(0, 0, "cond");
+  F.emitBranch(0, Cond, B1, B2);
+  ValueId A = F.emitConst(B1, 10, "a");
+  F.emitJump(B1, B3);
+  ValueId B = F.emitConst(B2, 20, "b");
+  F.emitJump(B2, B3);
+  F.computePredecessors();
+  ValueId P = F.emitPhi(B3, {{B1, A}, {B2, B}}, "p");
+  F.emitRet(B3, {P});
+  F.computePredecessors();
+
+  ExecutionResult Before = interpret(F);
+  OutOfSsaStats Stats = lowerOutOfSsa(F);
+  EXPECT_EQ(Stats.PhisEliminated, 1u);
+  EXPECT_EQ(Stats.CopiesInserted, 2u);
+
+  // No phis remain; CFG is still well formed; semantics preserved.
+  for (BlockId BB = 0; BB < F.numBlocks(); ++BB)
+    EXPECT_TRUE(F.block(BB).Phis.empty());
+  std::string Error;
+  EXPECT_TRUE(verifyCfg(F, &Error)) << Error;
+  ExecutionResult After = interpret(F);
+  ASSERT_TRUE(Before.Ok && After.Ok);
+  EXPECT_EQ(Before.ReturnValues, After.ReturnValues);
+}
+
+TEST(OutOfSsaTest, SwapIdiomPreservesSemantics) {
+  // Loop with a swap phi pair: the classic case needing cycle breaking.
+  // bb0: x=1, y=2, n=3, jump bb1
+  // bb1: x1=phi(x, y1), y1=phi(y, x1'), i=phi(n, i-1); swap each iteration.
+  Function F;
+  BlockId B1 = F.createBlock(), B2 = F.createBlock();
+  ValueId X = F.emitConst(0, 1, "x");
+  ValueId Y = F.emitConst(0, 2, "y");
+  ValueId N = F.emitConst(0, 3, "n");
+  ValueId One = F.emitConst(0, 1, "one");
+  F.emitJump(0, B1);
+  F.computePredecessors();
+
+  ValueId X1 = F.createValue("x1");
+  ValueId Y1 = F.createValue("y1");
+  ValueId I1 = F.createValue("i1");
+  ValueId I2 = F.emitBinary(B1, Opcode::Sub, I1, One, "i2");
+  F.emitBranch(B1, I2, B1, B2);
+  F.emitRet(B2, {X1, Y1});
+  F.computePredecessors();
+
+  Instruction PhiX;
+  PhiX.Op = Opcode::Phi;
+  PhiX.Dst = X1;
+  PhiX.PhiArgs = {{0, X}, {B1, Y1}};
+  Instruction PhiY;
+  PhiY.Op = Opcode::Phi;
+  PhiY.Dst = Y1;
+  PhiY.PhiArgs = {{0, Y}, {B1, X1}};
+  Instruction PhiI;
+  PhiI.Op = Opcode::Phi;
+  PhiI.Dst = I1;
+  PhiI.PhiArgs = {{0, N}, {B1, I2}};
+  F.block(B1).Phis = {PhiX, PhiY, PhiI};
+
+  std::string Error;
+  ASSERT_TRUE(verifyStrictSsa(F, &Error)) << Error;
+  ExecutionResult Before = interpret(F);
+  ASSERT_TRUE(Before.Ok) << Before.Error;
+
+  OutOfSsaStats Stats = lowerOutOfSsa(F);
+  EXPECT_GE(Stats.TempsCreated, 1u); // The swap cycle needs a temp.
+  ExecutionResult After = interpret(F);
+  ASSERT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.ReturnValues, After.ReturnValues);
+}
+
+struct OutOfSsaSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OutOfSsaSweep, LoweringPreservesSemantics) {
+  Rng Rand(GetParam());
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    GeneratorOptions Options;
+    Options.NumBlocks = 4 + static_cast<unsigned>(Rand.nextBelow(16));
+    Options.MaxPhisPerJoin = 4;
+    Function F = generateRandomSsaFunction(Options, Rand);
+    ASSERT_TRUE(verifyStrictSsa(F));
+    ExecutionResult Before = interpret(F);
+    ASSERT_TRUE(Before.Ok) << Before.Error;
+
+    lowerOutOfSsa(F);
+    std::string Error;
+    ASSERT_TRUE(verifyCfg(F, &Error)) << Error;
+    for (BlockId B = 0; B < F.numBlocks(); ++B)
+      ASSERT_TRUE(F.block(B).Phis.empty());
+    ExecutionResult After = interpret(F);
+    ASSERT_TRUE(After.Ok) << After.Error;
+    EXPECT_EQ(Before.ReturnValues, After.ReturnValues);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OutOfSsaSweep,
+                         ::testing::Values(201u, 202u, 203u, 204u, 205u,
+                                           206u, 207u, 208u));

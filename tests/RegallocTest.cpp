@@ -1,0 +1,199 @@
+//===- tests/RegallocTest.cpp - end-to-end register allocation --------------===//
+
+#include "ir/Interpreter.h"
+#include "ir/ProgramGenerator.h"
+#include "ir/Verifier.h"
+#include "regalloc/Allocators.h"
+#include "regalloc/RegisterRewriter.h"
+#include "regalloc/SpillRewriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace rc;
+using namespace rc::ir;
+using namespace rc::regalloc;
+
+namespace {
+
+Function straightLine() {
+  Function F;
+  ValueId A = F.emitConst(0, 6, "a");
+  ValueId B = F.emitConst(0, 7, "b");
+  ValueId C = F.emitBinary(0, Opcode::Mul, A, B, "c");
+  ValueId D = F.emitCopy(0, C, "d");
+  F.emitRet(0, {D});
+  F.computePredecessors();
+  return F;
+}
+
+} // namespace
+
+TEST(SpillRewriterTest, SpillsAroundDefsAndUses) {
+  Function F = straightLine();
+  // Spill value 0 ("a"): one store after def, one reload before the mul.
+  SpillRewriteStats Stats = spillEverywhere(F, {0});
+  EXPECT_EQ(Stats.StoresInserted, 1u);
+  EXPECT_EQ(Stats.LoadsInserted, 1u);
+  EXPECT_EQ(Stats.SlotsUsed, 1u);
+  ExecutionResult R = interpret(F);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValues, (std::vector<int64_t>{42}));
+}
+
+TEST(SpillRewriterTest, MultipleUsesEachReload) {
+  Function F;
+  ValueId A = F.emitConst(0, 5, "a");
+  ValueId B = F.emitBinary(0, Opcode::Add, A, A, "b");
+  ValueId C = F.emitBinary(0, Opcode::Mul, B, A, "c");
+  F.emitRet(0, {C});
+  F.computePredecessors();
+  SpillRewriteStats Stats = spillEverywhere(F, {A});
+  EXPECT_EQ(Stats.LoadsInserted, 3u); // Two for the add, one for the mul.
+  ExecutionResult R = interpret(F);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValues, (std::vector<int64_t>{50}));
+}
+
+TEST(RegisterRewriterTest, RemovesCoalescedMoves) {
+  Function F = straightLine();
+  // a=r0, b=r1, c=r0, d=r0: the copy d = c becomes r0 = r0 and is deleted.
+  Coloring Colors = {0, 1, 0, 0};
+  RegisterRewriteResult RR = rewriteToRegisters(F, Colors, 2);
+  EXPECT_EQ(RR.MovesRemoved, 1u);
+  EXPECT_EQ(RR.MovesRemaining, 0u);
+  ExecutionResult R = interpret(RR.Rewritten);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReturnValues, (std::vector<int64_t>{42}));
+}
+
+TEST(RegisterRewriterTest, KeepsRealMoves) {
+  Function F = straightLine();
+  Coloring Colors = {0, 1, 0, 1}; // d in a different register: move stays.
+  RegisterRewriteResult RR = rewriteToRegisters(F, Colors, 2);
+  EXPECT_EQ(RR.MovesRemoved, 0u);
+  EXPECT_EQ(RR.MovesRemaining, 1u);
+  ExecutionResult R = interpret(RR.Rewritten);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReturnValues, (std::vector<int64_t>{42}));
+}
+
+TEST(AllocatorTest, StraightLineNeedsTwoRegisters) {
+  for (unsigned K : {3u, 4u}) {
+    AllocationResult R = allocateChaitinIrc(straightLine(), K);
+    ASSERT_TRUE(R.Success);
+    EXPECT_EQ(R.SpilledValues, 0u);
+    EXPECT_EQ(R.Allocated.numValues(), K);
+    ExecutionResult E = interpret(R.Allocated);
+    ASSERT_TRUE(E.Ok) << E.Error;
+    EXPECT_EQ(E.ReturnValues, (std::vector<int64_t>{42}));
+  }
+}
+
+TEST(AllocatorTest, SpillsUnderPressureAndStaysCorrect) {
+  // Many simultaneously live constants force spilling at K = 3.
+  Function F;
+  std::vector<ValueId> Vals;
+  for (int I = 0; I < 8; ++I)
+    Vals.push_back(F.emitConst(0, I + 1));
+  ValueId Sum = Vals[0];
+  for (int I = 1; I < 8; ++I)
+    Sum = F.emitBinary(0, Opcode::Add, Sum, Vals[I]);
+  F.emitRet(0, {Sum});
+  F.computePredecessors();
+  ExecutionResult Before = interpret(F);
+
+  AllocationResult R = allocateChaitinIrc(F, 3);
+  ASSERT_TRUE(R.Success);
+  EXPECT_GT(R.SpilledValues, 0u);
+  ExecutionResult After = interpret(R.Allocated);
+  ASSERT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(Before.ReturnValues, After.ReturnValues);
+}
+
+struct AllocatorSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllocatorSweep, BothAllocatorsPreserveSemantics) {
+  Rng Rand(GetParam());
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    GeneratorOptions Options;
+    Options.NumBlocks = 4 + static_cast<unsigned>(Rand.nextBelow(10));
+    Options.MaxPhisPerJoin = 3;
+    Function F = generateRandomSsaFunction(Options, Rand);
+    ASSERT_TRUE(verifyStrictSsa(F));
+    ExecutionResult Reference = interpret(F);
+    ASSERT_TRUE(Reference.Ok);
+
+    for (unsigned K : {4u, 6u, 10u}) {
+      AllocationResult Chaitin = allocateChaitinIrc(F, K);
+      ASSERT_TRUE(Chaitin.Success) << "Chaitin failed at K=" << K;
+      ExecutionResult RC = interpret(Chaitin.Allocated);
+      ASSERT_TRUE(RC.Ok) << RC.Error;
+      EXPECT_EQ(RC.ReturnValues, Reference.ReturnValues)
+          << "Chaitin broke semantics at K=" << K;
+      EXPECT_LE(Chaitin.Allocated.numValues(), K);
+
+      AllocationResult TwoPhase = allocateTwoPhase(F, K);
+      ASSERT_TRUE(TwoPhase.Success) << "two-phase failed at K=" << K;
+      ExecutionResult RT = interpret(TwoPhase.Allocated);
+      ASSERT_TRUE(RT.Ok) << RT.Error;
+      EXPECT_EQ(RT.ReturnValues, Reference.ReturnValues)
+          << "two-phase broke semantics at K=" << K;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorSweep,
+                         ::testing::Values(901u, 902u, 903u, 904u, 905u,
+                                           906u, 907u, 908u));
+
+TEST(AllocatorTest, MoreRegistersNeverMoreSpills) {
+  Rng Rand(911);
+  GeneratorOptions Options;
+  Options.NumBlocks = 12;
+  Function F = generateRandomSsaFunction(Options, Rand);
+  unsigned LastSpills = ~0u;
+  for (unsigned K = 4; K <= 16; K += 4) {
+    AllocationResult R = allocateChaitinIrc(F, K);
+    ASSERT_TRUE(R.Success);
+    EXPECT_LE(R.SpilledValues, LastSpills);
+    LastSpills = R.SpilledValues;
+  }
+}
+
+TEST(AllocatorTest, SwapLoopAllocatesWithoutSpills) {
+  // The phi-swap loop from the out_of_ssa example: the allocators must
+  // handle the parallel-copy cycle moves.
+  Function F;
+  BlockId B1 = F.createBlock(), B2 = F.createBlock();
+  ValueId X = F.emitConst(0, 1, "x0");
+  ValueId Y = F.emitConst(0, 2, "y0");
+  ValueId N = F.emitConst(0, 5, "n");
+  ValueId One = F.emitConst(0, 1, "one");
+  F.emitJump(0, B1);
+  F.computePredecessors();
+  ValueId X1 = F.createValue("x");
+  ValueId Y1 = F.createValue("y");
+  ValueId I1 = F.createValue("i");
+  ValueId I2 = F.emitBinary(B1, Opcode::Sub, I1, One, "i2");
+  F.emitBranch(B1, I2, B1, B2);
+  F.emitRet(B2, {X1, Y1});
+  F.computePredecessors();
+  Instruction P1, P2, P3;
+  P1.Op = P2.Op = P3.Op = Opcode::Phi;
+  P1.Dst = X1;
+  P1.PhiArgs = {{0, X}, {B1, Y1}};
+  P2.Dst = Y1;
+  P2.PhiArgs = {{0, Y}, {B1, X1}};
+  P3.Dst = I1;
+  P3.PhiArgs = {{0, N}, {B1, I2}};
+  F.block(B1).Phis = {P1, P2, P3};
+  ASSERT_TRUE(verifyStrictSsa(F));
+  ExecutionResult Reference = interpret(F);
+
+  AllocationResult R = allocateChaitinIrc(F, 6);
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.SpilledValues, 0u);
+  ExecutionResult After = interpret(R.Allocated);
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(After.ReturnValues, Reference.ReturnValues);
+}

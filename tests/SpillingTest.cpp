@@ -1,0 +1,72 @@
+//===- tests/SpillingTest.cpp - spill-to-greedy-k ----------------------------===//
+
+#include "coalescing/Spilling.h"
+#include "graph/Generators.h"
+#include "graph/GreedyColorability.h"
+
+#include <gtest/gtest.h>
+
+using namespace rc;
+
+TEST(SpillingTest, NoSpillsWhenAlreadyColorable) {
+  Graph G = Graph::cycle(5);
+  SpillResult R = spillToGreedyK(G, 3);
+  EXPECT_TRUE(R.Spilled.empty());
+  EXPECT_EQ(R.Kept.size(), 5u);
+  EXPECT_EQ(R.Remaining.numVertices(), 5u);
+}
+
+TEST(SpillingTest, CliqueSpillsDownToK) {
+  Graph G = Graph::complete(6);
+  SpillResult R = spillToGreedyK(G, 3);
+  EXPECT_EQ(R.Spilled.size(), 3u);
+  EXPECT_TRUE(isGreedyKColorable(R.Remaining, 3));
+}
+
+TEST(SpillingTest, RemainingIsAlwaysGreedyK) {
+  Rng Rand(201);
+  for (int Trial = 0; Trial < 15; ++Trial) {
+    Graph G = randomGraph(40, 0.25, Rand);
+    for (unsigned K = 2; K <= 6; K += 2) {
+      SpillResult R = spillToGreedyK(G, K);
+      EXPECT_TRUE(isGreedyKColorable(R.Remaining, K));
+      EXPECT_EQ(R.Kept.size() + R.Spilled.size(), G.numVertices());
+      // OldToNew is consistent.
+      for (unsigned V : R.Spilled)
+        EXPECT_EQ(R.OldToNew[V], ~0u);
+      for (unsigned I = 0; I < R.Kept.size(); ++I)
+        EXPECT_EQ(R.OldToNew[R.Kept[I]], I);
+    }
+  }
+}
+
+TEST(SpillingTest, CostsSteerVictimSelection) {
+  // K4 with k=3: one vertex must go; the cheapest one (by cost/degree).
+  Graph G = Graph::complete(4);
+  std::vector<double> Costs = {10.0, 10.0, 0.5, 10.0};
+  SpillResult R = spillToGreedyK(G, 3, Costs);
+  ASSERT_EQ(R.Spilled.size(), 1u);
+  EXPECT_EQ(R.Spilled[0], 2u);
+}
+
+TEST(SpillingTest, SpillCountIsMonotoneInK) {
+  Rng Rand(202);
+  Graph G = randomGraph(30, 0.4, Rand);
+  size_t Last = G.numVertices() + 1;
+  for (unsigned K = 2; K <= 10; ++K) {
+    SpillResult R = spillToGreedyK(G, K);
+    EXPECT_LE(R.Spilled.size(), Last);
+    Last = R.Spilled.size();
+  }
+}
+
+TEST(SpillingTest, TwoPhaseFlow) {
+  // The Appel-George flow: spill to k, then the remaining graph colors
+  // greedily with k colors.
+  Rng Rand(203);
+  Graph G = randomGraph(50, 0.2, Rand);
+  unsigned K = 5;
+  SpillResult R = spillToGreedyK(G, K);
+  Coloring C = colorGreedyKColorable(R.Remaining, K);
+  EXPECT_TRUE(isValidColoring(R.Remaining, C, static_cast<int>(K)));
+}

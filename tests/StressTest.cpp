@@ -1,0 +1,170 @@
+//===- tests/StressTest.cpp - differential stress tests ----------------------===//
+//
+// Randomized differential tests of the incremental data structures against
+// naive recompute-from-scratch oracles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalescing/IteratedRegisterCoalescing.h"
+#include "coalescing/WorkGraph.h"
+#include "graph/Generators.h"
+#include "ir/Liveness.h"
+#include "ir/ProgramGenerator.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace rc;
+
+// --- WorkGraph vs. rebuilt quotient ----------------------------------------
+
+struct WorkGraphStress : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WorkGraphStress, MatchesQuotientOracle) {
+  Rng Rand(GetParam());
+  Graph G = randomGraph(25, 0.2, Rand);
+  WorkGraph WG(G);
+  UnionFind Oracle(G.numVertices());
+
+  for (int Step = 0; Step < 60; ++Step) {
+    unsigned U = static_cast<unsigned>(Rand.nextBelow(G.numVertices()));
+    unsigned V = static_cast<unsigned>(Rand.nextBelow(G.numVertices()));
+    if (U == V)
+      continue;
+
+    // Oracle interference: any cross pair of the two classes adjacent in G.
+    auto classMembers = [&](unsigned X) {
+      std::vector<unsigned> Members;
+      for (unsigned W = 0; W < G.numVertices(); ++W)
+        if (Oracle.connected(W, X))
+          Members.push_back(W);
+      return Members;
+    };
+    bool OracleInterfere = false;
+    if (!Oracle.connected(U, V))
+      for (unsigned A : classMembers(U))
+        for (unsigned B : classMembers(V))
+          OracleInterfere |= G.hasEdge(A, B);
+
+    ASSERT_EQ(WG.sameClass(U, V), Oracle.connected(U, V));
+    if (!WG.sameClass(U, V)) {
+      ASSERT_EQ(WG.interfere(U, V), OracleInterfere)
+          << "step " << Step << " pair " << U << "," << V;
+    }
+
+    if (WG.canMerge(U, V)) {
+      WG.merge(U, V);
+      Oracle.merge(U, V);
+    }
+
+    // Degrees match the rebuilt quotient.
+    if (Step % 10 == 0) {
+      Graph Q = WG.quotientGraph();
+      CoalescingSolution S = WG.solution();
+      for (unsigned W = 0; W < G.numVertices(); ++W)
+        ASSERT_EQ(WG.degree(W), Q.degree(S.ClassIds[W]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkGraphStress,
+                         ::testing::Values(241u, 242u, 243u, 244u));
+
+// --- UnionFind vs. naive labeling -------------------------------------------
+
+TEST(UnionFindStress, MatchesNaiveLabels) {
+  Rng Rand(245);
+  const unsigned N = 60;
+  UnionFind UF(N);
+  std::vector<unsigned> Label(N);
+  for (unsigned I = 0; I < N; ++I)
+    Label[I] = I;
+
+  for (int Step = 0; Step < 300; ++Step) {
+    unsigned U = static_cast<unsigned>(Rand.nextBelow(N));
+    unsigned V = static_cast<unsigned>(Rand.nextBelow(N));
+    ASSERT_EQ(UF.connected(U, V), Label[U] == Label[V]);
+    if (Rand.flip(0.5)) {
+      UF.merge(U, V);
+      unsigned From = Label[V], To = Label[U];
+      for (unsigned I = 0; I < N; ++I)
+        if (Label[I] == From)
+          Label[I] = To;
+    }
+  }
+  std::set<unsigned> Distinct(Label.begin(), Label.end());
+  EXPECT_EQ(UF.numClasses(), Distinct.size());
+}
+
+// --- Liveness satisfies its dataflow equations -------------------------------
+
+TEST(LivenessStress, FixpointSatisfiesEquations) {
+  Rng Rand(246);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    ir::GeneratorOptions Options;
+    Options.NumBlocks = 10;
+    ir::Function F = ir::generateRandomSsaFunction(Options, Rand);
+    ir::Liveness L = ir::Liveness::compute(F);
+
+    for (ir::BlockId B = 0; B < F.numBlocks(); ++B) {
+      // LiveOut(B) == union over successors of (LiveIn(S) - phidefs(S))
+      //               + phi uses along the B->S edge.
+      BitSet Expected(F.numValues());
+      for (ir::BlockId S : F.block(B).Succs) {
+        BitSet FromSucc = L.liveIn(S);
+        for (const ir::Instruction &Phi : F.block(S).Phis)
+          FromSucc.reset(Phi.Dst);
+        for (const ir::Instruction &Phi : F.block(S).Phis)
+          for (const ir::PhiArg &Arg : Phi.PhiArgs)
+            if (Arg.Pred == B)
+              FromSucc.set(Arg.Value);
+        Expected.unionWith(FromSucc);
+      }
+      EXPECT_TRUE(L.liveOut(B) == Expected) << "block " << B;
+
+      // LiveIn(B) == transfer of the body applied to LiveOut(B).
+      BitSet In = L.liveOut(B);
+      const auto &Body = F.block(B).Body;
+      for (auto It = Body.rbegin(); It != Body.rend(); ++It) {
+        if (It->Dst != ir::NoValue)
+          In.reset(It->Dst);
+        for (ir::ValueId Src : It->Srcs)
+          In.set(Src);
+      }
+      EXPECT_TRUE(L.liveIn(B) == In) << "block " << B;
+    }
+  }
+}
+
+// --- IRC spill costs ---------------------------------------------------------
+
+TEST(IrcSpillCostTest, ExpensiveVertexAvoided) {
+  // K5 at k = 4: exactly one vertex must spill; a huge cost on vertex 0
+  // must push the choice elsewhere.
+  CoalescingProblem P;
+  P.G = Graph::complete(5);
+  P.K = 4;
+  IrcOptions Options;
+  Options.SpillCosts = {1e9, 1.0, 1.0, 1.0, 1.0};
+  IrcResult R = iteratedRegisterCoalescing(P, Options);
+  ASSERT_EQ(R.Spilled.size(), 1u);
+  EXPECT_NE(R.Spilled[0], 0u);
+}
+
+TEST(IrcSpillCostTest, UniformCostsPickHighDegree) {
+  // A clique K5 plus a pendant chain raising one vertex's degree: with
+  // uniform costs the max-degree vertex is the canonical victim.
+  CoalescingProblem P;
+  P.G = Graph::complete(5);
+  for (int I = 0; I < 4; ++I) {
+    unsigned V = P.G.addVertex();
+    P.G.addEdge(0, V);
+  }
+  P.K = 4;
+  IrcResult R = iteratedRegisterCoalescing(P);
+  ASSERT_FALSE(R.Spilled.empty());
+  EXPECT_EQ(R.Spilled[0], 0u); // Degree 8 beats the clique's 4s.
+}
