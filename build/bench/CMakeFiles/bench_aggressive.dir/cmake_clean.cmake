@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggressive.dir/bench_aggressive.cpp.o"
+  "CMakeFiles/bench_aggressive.dir/bench_aggressive.cpp.o.d"
+  "bench_aggressive"
+  "bench_aggressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

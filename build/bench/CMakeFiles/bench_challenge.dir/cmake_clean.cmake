@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_challenge.dir/bench_challenge.cpp.o"
+  "CMakeFiles/bench_challenge.dir/bench_challenge.cpp.o.d"
+  "bench_challenge"
+  "bench_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_colorability.dir/bench_colorability.cpp.o"
+  "CMakeFiles/bench_colorability.dir/bench_colorability.cpp.o.d"
+  "bench_colorability"
+  "bench_colorability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_colorability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

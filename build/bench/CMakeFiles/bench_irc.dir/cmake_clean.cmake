@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_irc.dir/bench_irc.cpp.o"
+  "CMakeFiles/bench_irc.dir/bench_irc.cpp.o.d"
+  "bench_irc"
+  "bench_irc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_irc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_localrules.dir/bench_localrules.cpp.o"
+  "CMakeFiles/bench_localrules.dir/bench_localrules.cpp.o.d"
+  "bench_localrules"
+  "bench_localrules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_localrules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outofssa.dir/bench_outofssa.cpp.o"
+  "CMakeFiles/bench_outofssa.dir/bench_outofssa.cpp.o.d"
+  "bench_outofssa"
+  "bench_outofssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outofssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalescing_challenge.dir/coalescing_challenge.cpp.o"
+  "CMakeFiles/coalescing_challenge.dir/coalescing_challenge.cpp.o.d"
+  "coalescing_challenge"
+  "coalescing_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalescing_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_ssa.dir/out_of_ssa.cpp.o"
+  "CMakeFiles/out_of_ssa.dir/out_of_ssa.cpp.o.d"
+  "out_of_ssa"
+  "out_of_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/challenge/CMakeFiles/rc_challenge.dir/DependInfo.cmake"
+  "/root/repo/build/src/npc/CMakeFiles/rc_npc.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/rc_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coalescing/CMakeFiles/rc_coalescing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_allocator.dir/register_allocator.cpp.o"
+  "CMakeFiles/register_allocator.dir/register_allocator.cpp.o.d"
+  "register_allocator"
+  "register_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

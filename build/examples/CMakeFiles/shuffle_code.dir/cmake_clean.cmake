@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_code.dir/shuffle_code.cpp.o"
+  "CMakeFiles/shuffle_code.dir/shuffle_code.cpp.o.d"
+  "shuffle_code"
+  "shuffle_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

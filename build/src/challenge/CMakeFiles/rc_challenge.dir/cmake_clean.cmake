@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_challenge.dir/ChallengeFormat.cpp.o"
+  "CMakeFiles/rc_challenge.dir/ChallengeFormat.cpp.o.d"
+  "CMakeFiles/rc_challenge.dir/ChallengeInstance.cpp.o"
+  "CMakeFiles/rc_challenge.dir/ChallengeInstance.cpp.o.d"
+  "CMakeFiles/rc_challenge.dir/StrategyRunner.cpp.o"
+  "CMakeFiles/rc_challenge.dir/StrategyRunner.cpp.o.d"
+  "librc_challenge.a"
+  "librc_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coalescing/Aggressive.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/Aggressive.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/Aggressive.cpp.o.d"
+  "/root/repo/src/coalescing/BiasedColoring.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/BiasedColoring.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/BiasedColoring.cpp.o.d"
+  "/root/repo/src/coalescing/ChordalIncremental.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/ChordalIncremental.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/ChordalIncremental.cpp.o.d"
+  "/root/repo/src/coalescing/ChordalStrategy.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/ChordalStrategy.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/ChordalStrategy.cpp.o.d"
+  "/root/repo/src/coalescing/Conservative.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/Conservative.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/Conservative.cpp.o.d"
+  "/root/repo/src/coalescing/IteratedRegisterCoalescing.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/IteratedRegisterCoalescing.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/IteratedRegisterCoalescing.cpp.o.d"
+  "/root/repo/src/coalescing/NodeMerging.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/NodeMerging.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/NodeMerging.cpp.o.d"
+  "/root/repo/src/coalescing/Optimistic.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/Optimistic.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/Optimistic.cpp.o.d"
+  "/root/repo/src/coalescing/Problem.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/Problem.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/Problem.cpp.o.d"
+  "/root/repo/src/coalescing/Spilling.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/Spilling.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/Spilling.cpp.o.d"
+  "/root/repo/src/coalescing/WorkGraph.cpp" "src/coalescing/CMakeFiles/rc_coalescing.dir/WorkGraph.cpp.o" "gcc" "src/coalescing/CMakeFiles/rc_coalescing.dir/WorkGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

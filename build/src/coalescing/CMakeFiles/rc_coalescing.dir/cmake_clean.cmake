@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_coalescing.dir/Aggressive.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/Aggressive.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/BiasedColoring.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/BiasedColoring.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/ChordalIncremental.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/ChordalIncremental.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/ChordalStrategy.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/ChordalStrategy.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/Conservative.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/Conservative.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/IteratedRegisterCoalescing.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/IteratedRegisterCoalescing.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/NodeMerging.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/NodeMerging.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/Optimistic.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/Optimistic.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/Problem.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/Problem.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/Spilling.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/Spilling.cpp.o.d"
+  "CMakeFiles/rc_coalescing.dir/WorkGraph.cpp.o"
+  "CMakeFiles/rc_coalescing.dir/WorkGraph.cpp.o.d"
+  "librc_coalescing.a"
+  "librc_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/Chordal.cpp" "src/graph/CMakeFiles/rc_graph.dir/Chordal.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/Chordal.cpp.o.d"
+  "/root/repo/src/graph/CliqueTree.cpp" "src/graph/CMakeFiles/rc_graph.dir/CliqueTree.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/CliqueTree.cpp.o.d"
+  "/root/repo/src/graph/Coloring.cpp" "src/graph/CMakeFiles/rc_graph.dir/Coloring.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/Coloring.cpp.o.d"
+  "/root/repo/src/graph/DimacsIO.cpp" "src/graph/CMakeFiles/rc_graph.dir/DimacsIO.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/DimacsIO.cpp.o.d"
+  "/root/repo/src/graph/ExactColoring.cpp" "src/graph/CMakeFiles/rc_graph.dir/ExactColoring.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/ExactColoring.cpp.o.d"
+  "/root/repo/src/graph/Generators.cpp" "src/graph/CMakeFiles/rc_graph.dir/Generators.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/Generators.cpp.o.d"
+  "/root/repo/src/graph/Graph.cpp" "src/graph/CMakeFiles/rc_graph.dir/Graph.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/Graph.cpp.o.d"
+  "/root/repo/src/graph/GraphWriter.cpp" "src/graph/CMakeFiles/rc_graph.dir/GraphWriter.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/GraphWriter.cpp.o.d"
+  "/root/repo/src/graph/GreedyColorability.cpp" "src/graph/CMakeFiles/rc_graph.dir/GreedyColorability.cpp.o" "gcc" "src/graph/CMakeFiles/rc_graph.dir/GreedyColorability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

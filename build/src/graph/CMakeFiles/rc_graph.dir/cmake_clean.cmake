@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_graph.dir/Chordal.cpp.o"
+  "CMakeFiles/rc_graph.dir/Chordal.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/CliqueTree.cpp.o"
+  "CMakeFiles/rc_graph.dir/CliqueTree.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/Coloring.cpp.o"
+  "CMakeFiles/rc_graph.dir/Coloring.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/DimacsIO.cpp.o"
+  "CMakeFiles/rc_graph.dir/DimacsIO.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/ExactColoring.cpp.o"
+  "CMakeFiles/rc_graph.dir/ExactColoring.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/Generators.cpp.o"
+  "CMakeFiles/rc_graph.dir/Generators.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/Graph.cpp.o"
+  "CMakeFiles/rc_graph.dir/Graph.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/GraphWriter.cpp.o"
+  "CMakeFiles/rc_graph.dir/GraphWriter.cpp.o.d"
+  "CMakeFiles/rc_graph.dir/GreedyColorability.cpp.o"
+  "CMakeFiles/rc_graph.dir/GreedyColorability.cpp.o.d"
+  "librc_graph.a"
+  "librc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/CoalescingAwareOutOfSsa.cpp" "src/ir/CMakeFiles/rc_ir.dir/CoalescingAwareOutOfSsa.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/CoalescingAwareOutOfSsa.cpp.o.d"
+  "/root/repo/src/ir/Dominance.cpp" "src/ir/CMakeFiles/rc_ir.dir/Dominance.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/Dominance.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/rc_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/InterferenceBuilder.cpp" "src/ir/CMakeFiles/rc_ir.dir/InterferenceBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/InterferenceBuilder.cpp.o.d"
+  "/root/repo/src/ir/Interpreter.cpp" "src/ir/CMakeFiles/rc_ir.dir/Interpreter.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/ir/LiveRangeSplitting.cpp" "src/ir/CMakeFiles/rc_ir.dir/LiveRangeSplitting.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/LiveRangeSplitting.cpp.o.d"
+  "/root/repo/src/ir/Liveness.cpp" "src/ir/CMakeFiles/rc_ir.dir/Liveness.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/Liveness.cpp.o.d"
+  "/root/repo/src/ir/OutOfSsa.cpp" "src/ir/CMakeFiles/rc_ir.dir/OutOfSsa.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/OutOfSsa.cpp.o.d"
+  "/root/repo/src/ir/ProgramGenerator.cpp" "src/ir/CMakeFiles/rc_ir.dir/ProgramGenerator.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/ProgramGenerator.cpp.o.d"
+  "/root/repo/src/ir/SsaConstruction.cpp" "src/ir/CMakeFiles/rc_ir.dir/SsaConstruction.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/SsaConstruction.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/rc_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/rc_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coalescing/CMakeFiles/rc_coalescing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_ir.dir/CoalescingAwareOutOfSsa.cpp.o"
+  "CMakeFiles/rc_ir.dir/CoalescingAwareOutOfSsa.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/Dominance.cpp.o"
+  "CMakeFiles/rc_ir.dir/Dominance.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/Function.cpp.o"
+  "CMakeFiles/rc_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/InterferenceBuilder.cpp.o"
+  "CMakeFiles/rc_ir.dir/InterferenceBuilder.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/Interpreter.cpp.o"
+  "CMakeFiles/rc_ir.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/LiveRangeSplitting.cpp.o"
+  "CMakeFiles/rc_ir.dir/LiveRangeSplitting.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/Liveness.cpp.o"
+  "CMakeFiles/rc_ir.dir/Liveness.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/OutOfSsa.cpp.o"
+  "CMakeFiles/rc_ir.dir/OutOfSsa.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/rc_ir.dir/ProgramGenerator.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/SsaConstruction.cpp.o"
+  "CMakeFiles/rc_ir.dir/SsaConstruction.cpp.o.d"
+  "CMakeFiles/rc_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/rc_ir.dir/Verifier.cpp.o.d"
+  "librc_ir.a"
+  "librc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

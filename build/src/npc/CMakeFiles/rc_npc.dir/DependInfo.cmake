@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npc/MultiwayCut.cpp" "src/npc/CMakeFiles/rc_npc.dir/MultiwayCut.cpp.o" "gcc" "src/npc/CMakeFiles/rc_npc.dir/MultiwayCut.cpp.o.d"
+  "/root/repo/src/npc/Sat.cpp" "src/npc/CMakeFiles/rc_npc.dir/Sat.cpp.o" "gcc" "src/npc/CMakeFiles/rc_npc.dir/Sat.cpp.o.d"
+  "/root/repo/src/npc/Theorem2Reduction.cpp" "src/npc/CMakeFiles/rc_npc.dir/Theorem2Reduction.cpp.o" "gcc" "src/npc/CMakeFiles/rc_npc.dir/Theorem2Reduction.cpp.o.d"
+  "/root/repo/src/npc/Theorem3Reduction.cpp" "src/npc/CMakeFiles/rc_npc.dir/Theorem3Reduction.cpp.o" "gcc" "src/npc/CMakeFiles/rc_npc.dir/Theorem3Reduction.cpp.o.d"
+  "/root/repo/src/npc/Theorem4Reduction.cpp" "src/npc/CMakeFiles/rc_npc.dir/Theorem4Reduction.cpp.o" "gcc" "src/npc/CMakeFiles/rc_npc.dir/Theorem4Reduction.cpp.o.d"
+  "/root/repo/src/npc/Theorem6Reduction.cpp" "src/npc/CMakeFiles/rc_npc.dir/Theorem6Reduction.cpp.o" "gcc" "src/npc/CMakeFiles/rc_npc.dir/Theorem6Reduction.cpp.o.d"
+  "/root/repo/src/npc/VertexCover.cpp" "src/npc/CMakeFiles/rc_npc.dir/VertexCover.cpp.o" "gcc" "src/npc/CMakeFiles/rc_npc.dir/VertexCover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coalescing/CMakeFiles/rc_coalescing.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_npc.dir/MultiwayCut.cpp.o"
+  "CMakeFiles/rc_npc.dir/MultiwayCut.cpp.o.d"
+  "CMakeFiles/rc_npc.dir/Sat.cpp.o"
+  "CMakeFiles/rc_npc.dir/Sat.cpp.o.d"
+  "CMakeFiles/rc_npc.dir/Theorem2Reduction.cpp.o"
+  "CMakeFiles/rc_npc.dir/Theorem2Reduction.cpp.o.d"
+  "CMakeFiles/rc_npc.dir/Theorem3Reduction.cpp.o"
+  "CMakeFiles/rc_npc.dir/Theorem3Reduction.cpp.o.d"
+  "CMakeFiles/rc_npc.dir/Theorem4Reduction.cpp.o"
+  "CMakeFiles/rc_npc.dir/Theorem4Reduction.cpp.o.d"
+  "CMakeFiles/rc_npc.dir/Theorem6Reduction.cpp.o"
+  "CMakeFiles/rc_npc.dir/Theorem6Reduction.cpp.o.d"
+  "CMakeFiles/rc_npc.dir/VertexCover.cpp.o"
+  "CMakeFiles/rc_npc.dir/VertexCover.cpp.o.d"
+  "librc_npc.a"
+  "librc_npc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_npc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rc_npc.
+# This may be replaced when dependencies are built.

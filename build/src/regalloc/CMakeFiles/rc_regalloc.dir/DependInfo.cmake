@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regalloc/Allocators.cpp" "src/regalloc/CMakeFiles/rc_regalloc.dir/Allocators.cpp.o" "gcc" "src/regalloc/CMakeFiles/rc_regalloc.dir/Allocators.cpp.o.d"
+  "/root/repo/src/regalloc/RegisterRewriter.cpp" "src/regalloc/CMakeFiles/rc_regalloc.dir/RegisterRewriter.cpp.o" "gcc" "src/regalloc/CMakeFiles/rc_regalloc.dir/RegisterRewriter.cpp.o.d"
+  "/root/repo/src/regalloc/SpillRewriter.cpp" "src/regalloc/CMakeFiles/rc_regalloc.dir/SpillRewriter.cpp.o" "gcc" "src/regalloc/CMakeFiles/rc_regalloc.dir/SpillRewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coalescing/CMakeFiles/rc_coalescing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_regalloc.dir/Allocators.cpp.o"
+  "CMakeFiles/rc_regalloc.dir/Allocators.cpp.o.d"
+  "CMakeFiles/rc_regalloc.dir/RegisterRewriter.cpp.o"
+  "CMakeFiles/rc_regalloc.dir/RegisterRewriter.cpp.o.d"
+  "CMakeFiles/rc_regalloc.dir/SpillRewriter.cpp.o"
+  "CMakeFiles/rc_regalloc.dir/SpillRewriter.cpp.o.d"
+  "librc_regalloc.a"
+  "librc_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

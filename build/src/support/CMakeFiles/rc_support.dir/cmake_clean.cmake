@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_support.dir/BitMatrix.cpp.o"
+  "CMakeFiles/rc_support.dir/BitMatrix.cpp.o.d"
+  "CMakeFiles/rc_support.dir/Random.cpp.o"
+  "CMakeFiles/rc_support.dir/Random.cpp.o.d"
+  "CMakeFiles/rc_support.dir/UnionFind.cpp.o"
+  "CMakeFiles/rc_support.dir/UnionFind.cpp.o.d"
+  "librc_support.a"
+  "librc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

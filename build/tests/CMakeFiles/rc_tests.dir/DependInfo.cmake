@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AggressiveTest.cpp" "tests/CMakeFiles/rc_tests.dir/AggressiveTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/AggressiveTest.cpp.o.d"
+  "/root/repo/tests/BiasedColoringTest.cpp" "tests/CMakeFiles/rc_tests.dir/BiasedColoringTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/BiasedColoringTest.cpp.o.d"
+  "/root/repo/tests/ChallengeTest.cpp" "tests/CMakeFiles/rc_tests.dir/ChallengeTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ChallengeTest.cpp.o.d"
+  "/root/repo/tests/ChordalIncrementalTest.cpp" "tests/CMakeFiles/rc_tests.dir/ChordalIncrementalTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ChordalIncrementalTest.cpp.o.d"
+  "/root/repo/tests/ChordalStrategyTest.cpp" "tests/CMakeFiles/rc_tests.dir/ChordalStrategyTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ChordalStrategyTest.cpp.o.d"
+  "/root/repo/tests/ChordalTest.cpp" "tests/CMakeFiles/rc_tests.dir/ChordalTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ChordalTest.cpp.o.d"
+  "/root/repo/tests/ChordalityOracleTest.cpp" "tests/CMakeFiles/rc_tests.dir/ChordalityOracleTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ChordalityOracleTest.cpp.o.d"
+  "/root/repo/tests/CoalescingCoreTest.cpp" "tests/CMakeFiles/rc_tests.dir/CoalescingCoreTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/CoalescingCoreTest.cpp.o.d"
+  "/root/repo/tests/CoalescingOutOfSsaTest.cpp" "tests/CMakeFiles/rc_tests.dir/CoalescingOutOfSsaTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/CoalescingOutOfSsaTest.cpp.o.d"
+  "/root/repo/tests/ColoringTest.cpp" "tests/CMakeFiles/rc_tests.dir/ColoringTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ColoringTest.cpp.o.d"
+  "/root/repo/tests/ConservativeTest.cpp" "tests/CMakeFiles/rc_tests.dir/ConservativeTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ConservativeTest.cpp.o.d"
+  "/root/repo/tests/DimacsTest.cpp" "tests/CMakeFiles/rc_tests.dir/DimacsTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/DimacsTest.cpp.o.d"
+  "/root/repo/tests/EdgeCasesTest.cpp" "tests/CMakeFiles/rc_tests.dir/EdgeCasesTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/EdgeCasesTest.cpp.o.d"
+  "/root/repo/tests/ExactColoringTest.cpp" "tests/CMakeFiles/rc_tests.dir/ExactColoringTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/ExactColoringTest.cpp.o.d"
+  "/root/repo/tests/GeneratorsTest.cpp" "tests/CMakeFiles/rc_tests.dir/GeneratorsTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/GeneratorsTest.cpp.o.d"
+  "/root/repo/tests/GraphTest.cpp" "tests/CMakeFiles/rc_tests.dir/GraphTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/GraphTest.cpp.o.d"
+  "/root/repo/tests/InterferenceTest.cpp" "tests/CMakeFiles/rc_tests.dir/InterferenceTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/InterferenceTest.cpp.o.d"
+  "/root/repo/tests/IrTest.cpp" "tests/CMakeFiles/rc_tests.dir/IrTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/IrTest.cpp.o.d"
+  "/root/repo/tests/IrcTest.cpp" "tests/CMakeFiles/rc_tests.dir/IrcTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/IrcTest.cpp.o.d"
+  "/root/repo/tests/NodeMergingTest.cpp" "tests/CMakeFiles/rc_tests.dir/NodeMergingTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/NodeMergingTest.cpp.o.d"
+  "/root/repo/tests/NpcSolversTest.cpp" "tests/CMakeFiles/rc_tests.dir/NpcSolversTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/NpcSolversTest.cpp.o.d"
+  "/root/repo/tests/OptimisticTest.cpp" "tests/CMakeFiles/rc_tests.dir/OptimisticTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/OptimisticTest.cpp.o.d"
+  "/root/repo/tests/OutOfSsaTest.cpp" "tests/CMakeFiles/rc_tests.dir/OutOfSsaTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/OutOfSsaTest.cpp.o.d"
+  "/root/repo/tests/PrintingTest.cpp" "tests/CMakeFiles/rc_tests.dir/PrintingTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/PrintingTest.cpp.o.d"
+  "/root/repo/tests/RegallocTest.cpp" "tests/CMakeFiles/rc_tests.dir/RegallocTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/RegallocTest.cpp.o.d"
+  "/root/repo/tests/SatTest.cpp" "tests/CMakeFiles/rc_tests.dir/SatTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/SatTest.cpp.o.d"
+  "/root/repo/tests/SpillingTest.cpp" "tests/CMakeFiles/rc_tests.dir/SpillingTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/SpillingTest.cpp.o.d"
+  "/root/repo/tests/SsaConstructionTest.cpp" "tests/CMakeFiles/rc_tests.dir/SsaConstructionTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/SsaConstructionTest.cpp.o.d"
+  "/root/repo/tests/StressTest.cpp" "tests/CMakeFiles/rc_tests.dir/StressTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/StressTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/rc_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/Theorem6Test.cpp" "tests/CMakeFiles/rc_tests.dir/Theorem6Test.cpp.o" "gcc" "tests/CMakeFiles/rc_tests.dir/Theorem6Test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/challenge/CMakeFiles/rc_challenge.dir/DependInfo.cmake"
+  "/root/repo/build/src/npc/CMakeFiles/rc_npc.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/rc_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coalescing/CMakeFiles/rc_coalescing.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
