@@ -14,6 +14,22 @@ static uint64_t splitmix64(uint64_t &X) {
 
 static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
 
+uint64_t rc::deriveSeed(uint64_t Base, uint64_t Stream) {
+  // Two splitmix64 rounds over an asymmetric mix of the inputs; one round
+  // already decorrelates consecutive stream ids, the second guards against
+  // adversarially related (Base, Stream) pairs.
+  uint64_t X = Base ^ (Stream * 0x9e3779b97f4a7c15ull + 0x7f4a7c159e3779b9ull);
+  X ^= splitmix64(X);
+  return splitmix64(X);
+}
+
+uint64_t rc::deriveSeed(uint64_t Base, const char *StreamName) {
+  uint64_t Hash = 0xcbf29ce484222325ull; // FNV-1a.
+  for (const char *C = StreamName; *C; ++C)
+    Hash = (Hash ^ static_cast<unsigned char>(*C)) * 0x100000001b3ull;
+  return deriveSeed(Base, Hash);
+}
+
 void Rng::reseed(uint64_t Seed) {
   uint64_t S = Seed;
   for (uint64_t &Word : State)

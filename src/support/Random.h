@@ -21,6 +21,17 @@
 
 namespace rc {
 
+/// Derives an independent child seed from a base seed and a stream id by
+/// hashing the pair through splitmix64. Distinct streams yield statistically
+/// independent generators, so a fuzzing run can give every (property, trial)
+/// pair its own `Rng` while remaining reproducible from one base seed: trial
+/// N can be replayed without running trials 0..N-1 first.
+uint64_t deriveSeed(uint64_t Base, uint64_t Stream);
+
+/// deriveSeed overload hashing a textual stream name (FNV-1a folded into the
+/// stream id). Used to key per-property sub-streams by property name.
+uint64_t deriveSeed(uint64_t Base, const char *StreamName);
+
 /// Deterministic 64-bit PRNG with convenience sampling helpers.
 class Rng {
 public:

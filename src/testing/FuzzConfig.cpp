@@ -1,0 +1,97 @@
+//===- testing/FuzzConfig.cpp - Fuzzing run configuration -----------------===//
+
+#include "testing/FuzzConfig.h"
+
+#include "support/Random.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace rc;
+using namespace rc::testing;
+
+uint64_t testing::trialSeed(uint64_t Seed, const std::string &Property,
+                            uint64_t Trial) {
+  return deriveSeed(deriveSeed(Seed, Property.c_str()), Trial);
+}
+
+static bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+static bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+bool testing::parseFuzzArgs(int Argc, const char *const *Argv,
+                            FuzzConfig &Config, std::string *Error) {
+  auto valueOf = [&](int &I, const std::string &Flag,
+                     std::string &Out) -> bool {
+    if (I + 1 >= Argc)
+      return fail(Error, Flag + " requires an argument");
+    Out = Argv[++I];
+    return true;
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    std::string Value;
+    uint64_t Number = 0;
+    if (Arg == "--seed") {
+      if (!valueOf(I, Arg, Value) || !parseU64(Value, Number))
+        return fail(Error, "--seed expects an unsigned integer");
+      Config.Seed = Number;
+    } else if (Arg == "--trials") {
+      if (!valueOf(I, Arg, Value) || !parseU64(Value, Number) || Number == 0)
+        return fail(Error, "--trials expects a positive integer");
+      Config.Trials = static_cast<unsigned>(Number);
+    } else if (Arg == "--max-size") {
+      if (!valueOf(I, Arg, Value) || !parseU64(Value, Number) || Number < 4)
+        return fail(Error, "--max-size expects an integer >= 4");
+      Config.MaxSize = static_cast<unsigned>(Number);
+    } else if (Arg == "--property") {
+      if (!valueOf(I, Arg, Value))
+        return false;
+      std::stringstream SS(Value);
+      std::string Name;
+      while (std::getline(SS, Name, ','))
+        if (!Name.empty())
+          Config.Properties.push_back(Name);
+    } else if (Arg == "--replay") {
+      if (!valueOf(I, Arg, Value))
+        return false;
+      Config.ReplayPath = Value;
+    } else if (Arg == "--repro-dir") {
+      if (!valueOf(I, Arg, Value))
+        return false;
+      Config.ReproDir = Value;
+    } else if (Arg == "--no-repro") {
+      Config.ReproDir.clear();
+    } else if (Arg == "--list") {
+      Config.List = true;
+    } else {
+      return fail(Error, "unknown flag: " + Arg);
+    }
+  }
+  return true;
+}
+
+std::string testing::fuzzUsage() {
+  return "usage: rc_fuzz [flags]\n"
+         "  --seed N           base seed (default 1); one seed reproduces a"
+         " whole run\n"
+         "  --trials N         trials per property (default 200)\n"
+         "  --max-size N       bound on instance sizes (default 40)\n"
+         "  --property a[,b]   run only the named properties (repeatable)\n"
+         "  --replay PATH      replay a reproducer file, or every *.repro in"
+         " a directory\n"
+         "  --repro-dir DIR    where to write reproducers (default .)\n"
+         "  --no-repro         do not write reproducer files\n"
+         "  --list             list registered properties and exit\n";
+}

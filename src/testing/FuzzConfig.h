@@ -1,0 +1,62 @@
+//===- testing/FuzzConfig.h - Fuzzing run configuration ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration shared by the rc_fuzz driver and the gtest smoke suite:
+/// which properties to run, how many trials, the base seed, instance size
+/// bounds, and where reproducers go. Also owns the deterministic per-trial
+/// seed schedule: trial T of property P always runs on
+/// deriveSeed(deriveSeed(Seed, P), T), so a single --seed reproduces an
+/// entire run and any individual trial can be replayed in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESTING_FUZZCONFIG_H
+#define TESTING_FUZZCONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rc {
+namespace testing {
+
+/// A parsed rc_fuzz command line.
+struct FuzzConfig {
+  /// Base seed; every trial seed is derived from it (never used directly).
+  uint64_t Seed = 1;
+  /// Trials per property.
+  unsigned Trials = 200;
+  /// Upper bound on generated instance sizes (graph vertices / CFG blocks).
+  unsigned MaxSize = 40;
+  /// Properties to run; empty means all registered properties.
+  std::vector<std::string> Properties;
+  /// Reproducer file or directory to replay instead of fuzzing.
+  std::string ReplayPath;
+  /// Directory for reproducer dumps; empty disables dumping.
+  std::string ReproDir = ".";
+  /// Print the registered properties and exit.
+  bool List = false;
+};
+
+/// Parses rc_fuzz flags (--seed N, --trials N, --max-size N,
+/// --property a[,b...], --replay PATH, --repro-dir DIR, --list).
+/// \returns false with a diagnostic in \p Error on malformed input.
+bool parseFuzzArgs(int Argc, const char *const *Argv, FuzzConfig &Config,
+                   std::string *Error);
+
+/// One-line-per-flag usage text for the driver.
+std::string fuzzUsage();
+
+/// The deterministic seed of trial \p Trial of property \p Property under
+/// base seed \p Seed.
+uint64_t trialSeed(uint64_t Seed, const std::string &Property,
+                   uint64_t Trial);
+
+} // namespace testing
+} // namespace rc
+
+#endif // TESTING_FUZZCONFIG_H

@@ -1,0 +1,376 @@
+//===- testing/Oracles.cpp - Paper invariants as predicates ---------------===//
+
+#include "testing/Oracles.h"
+
+#include "coalescing/ChordalStrategy.h"
+#include "coalescing/Conservative.h"
+#include "coalescing/IteratedRegisterCoalescing.h"
+#include "coalescing/WorkGraph.h"
+#include "graph/Chordal.h"
+#include "graph/ExactColoring.h"
+#include "graph/GreedyColorability.h"
+#include "ir/InterferenceBuilder.h"
+#include "ir/Interpreter.h"
+#include "ir/Liveness.h"
+#include "ir/OutOfSsa.h"
+#include "ir/Verifier.h"
+#include "support/UnionFind.h"
+
+#include <sstream>
+
+using namespace rc;
+using namespace rc::testing;
+
+static bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 1: Theorem 1.
+//===----------------------------------------------------------------------===//
+
+bool testing::checkSsaChordalMaxlive(const ir::Function &F, std::string *Error,
+                                     unsigned BruteForceLimit) {
+  std::string Why;
+  if (!ir::verifyStrictSsa(F, &Why))
+    return fail(Error, "generated function is not strict SSA: " + Why);
+
+  ir::InterferenceGraph IG = buildInterferenceGraph(F);
+  if (!isChordal(IG.G))
+    return fail(Error, "strict-SSA interference graph is not chordal");
+
+  unsigned Omega = IG.G.numVertices() ? chordalCliqueNumber(IG.G) : 0;
+  if (Omega != IG.Maxlive) {
+    std::ostringstream OS;
+    OS << "omega(G) = " << Omega << " but Maxlive = " << IG.Maxlive;
+    return fail(Error, OS.str());
+  }
+  if (IG.G.numVertices() > 0 && IG.G.numVertices() <= BruteForceLimit) {
+    unsigned BruteOmega = cliqueNumberBruteForce(IG.G);
+    if (BruteOmega != Omega) {
+      std::ostringstream OS;
+      OS << "chordal clique number " << Omega
+         << " disagrees with Bron-Kerbosch " << BruteOmega;
+      return fail(Error, OS.str());
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 2: out-of-SSA preserves semantics.
+//===----------------------------------------------------------------------===//
+
+bool testing::checkOutOfSsaSemantics(const ir::Function &F,
+                                     std::string *Error) {
+  std::string Why;
+  if (!ir::verifyStrictSsa(F, &Why))
+    return fail(Error, "input function is not strict SSA: " + Why);
+
+  ir::ExecutionResult Before = ir::interpret(F);
+  if (!Before.Ok)
+    return fail(Error, "SSA function does not terminate: " + Before.Error);
+
+  ir::Function Lowered = F;
+  ir::lowerOutOfSsa(Lowered);
+  if (!ir::verifyCfg(Lowered, &Why))
+    return fail(Error, "lowered function has a malformed CFG: " + Why);
+  for (ir::BlockId B = 0; B < Lowered.numBlocks(); ++B)
+    if (!Lowered.block(B).Phis.empty())
+      return fail(Error, "out-of-SSA left a phi behind");
+
+  ir::ExecutionResult After = ir::interpret(Lowered);
+  if (!After.Ok)
+    return fail(Error, "lowered function fails to run: " + After.Error);
+  if (After.ReturnValues != Before.ReturnValues) {
+    std::ostringstream OS;
+    OS << "out-of-SSA changed observable behavior: returned {";
+    for (int64_t V : After.ReturnValues)
+      OS << " " << V;
+    OS << " } instead of {";
+    for (int64_t V : Before.ReturnValues)
+      OS << " " << V;
+    OS << " }";
+    return fail(Error, OS.str());
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared solution soundness.
+//===----------------------------------------------------------------------===//
+
+bool testing::checkSolutionSound(const CoalescingProblem &P,
+                                 const CoalescingSolution &S,
+                                 bool RequireGreedy, std::string *Error) {
+  if (S.ClassIds.size() != P.G.numVertices())
+    return fail(Error, "solution size differs from vertex count");
+  std::vector<bool> Used(S.NumClasses, false);
+  for (unsigned V = 0; V < P.G.numVertices(); ++V) {
+    if (S.ClassIds[V] >= S.NumClasses)
+      return fail(Error, "class id out of range");
+    Used[S.ClassIds[V]] = true;
+  }
+  for (unsigned C = 0; C < S.NumClasses; ++C)
+    if (!Used[C])
+      return fail(Error, "class ids are not dense");
+  for (unsigned U = 0; U < P.G.numVertices(); ++U)
+    for (unsigned V : P.G.neighbors(U))
+      if (V > U && S.ClassIds[U] == S.ClassIds[V]) {
+        std::ostringstream OS;
+        OS << "interfering vertices " << U << " and " << V << " were merged";
+        return fail(Error, OS.str());
+      }
+  if (RequireGreedy) {
+    Graph Quotient = buildCoalescedGraph(P.G, S);
+    if (!isGreedyKColorable(Quotient, P.K)) {
+      std::ostringstream OS;
+      OS << "coalesced graph lost greedy-" << P.K << "-colorability";
+      return fail(Error, OS.str());
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 3: conservative coalescers stay sound.
+//===----------------------------------------------------------------------===//
+
+static const char *ruleName(ConservativeRule Rule) {
+  switch (Rule) {
+  case ConservativeRule::Briggs:
+    return "Briggs";
+  case ConservativeRule::George:
+    return "George";
+  case ConservativeRule::BriggsOrGeorge:
+    return "BriggsOrGeorge";
+  case ConservativeRule::BruteForce:
+    return "BruteForce";
+  }
+  return "?";
+}
+
+bool testing::checkCoalescerSoundness(const CoalescingProblem &P,
+                                      std::string *Error) {
+  bool InputGreedy = isGreedyKColorable(P.G, P.K);
+  std::string Why;
+
+  for (ConservativeRule Rule :
+       {ConservativeRule::Briggs, ConservativeRule::George,
+        ConservativeRule::BriggsOrGeorge, ConservativeRule::BruteForce}) {
+    ConservativeResult R = conservativeCoalesce(P, Rule);
+    if (!checkSolutionSound(P, R.Solution, InputGreedy, &Why))
+      return fail(Error, std::string("conservative/") + ruleName(Rule) +
+                             ": " + Why);
+    if (R.Stats.CoalescedAffinities + R.Stats.UncoalescedAffinities !=
+        P.Affinities.size())
+      return fail(Error, std::string("conservative/") + ruleName(Rule) +
+                             ": affinity stats do not add up");
+  }
+
+  IrcResult Irc = iteratedRegisterCoalescing(P);
+  if (!checkSolutionSound(P, Irc.Solution, /*RequireGreedy=*/false, &Why))
+    return fail(Error, "irc: " + Why);
+  if (InputGreedy && !Irc.Spilled.empty())
+    return fail(Error, "irc: spilled on a greedy-k-colorable input");
+  for (unsigned U = 0; U < P.G.numVertices(); ++U) {
+    int CU = Irc.Colors[U];
+    if (CU >= static_cast<int>(P.K))
+      return fail(Error, "irc: color out of range");
+    if (InputGreedy && CU < 0)
+      return fail(Error, "irc: uncolored vertex without a spill excuse");
+    if (CU < 0)
+      continue;
+    for (unsigned V : P.G.neighbors(U))
+      if (V > U && Irc.Colors[V] == CU) {
+        std::ostringstream OS;
+        OS << "irc: interfering vertices " << U << " and " << V
+           << " share color " << CU;
+        return fail(Error, OS.str());
+      }
+  }
+
+  unsigned Omega =
+      P.G.numVertices() && isChordal(P.G) ? chordalCliqueNumber(P.G) : ~0u;
+  if (Omega != ~0u && P.K >= Omega && P.K > 0) {
+    ChordalStrategyResult C = chordalCoalesce(P);
+    if (!checkSolutionSound(P, C.Solution, /*RequireGreedy=*/true, &Why))
+      return fail(Error, "chordal-strategy: " + Why);
+    Graph Quotient = buildCoalescedGraph(P.G, C.Solution);
+    if (!isChordal(Quotient))
+      return fail(Error, "chordal-strategy: quotient lost chordality");
+    if (Quotient.numVertices() && chordalCliqueNumber(Quotient) > P.K)
+      return fail(Error, "chordal-strategy: quotient clique number exceeds k");
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 4: differential against exact search.
+//===----------------------------------------------------------------------===//
+
+bool testing::checkDifferentialExact(const CoalescingProblem &P,
+                                     std::string *Error, double *GapOut) {
+  if (P.G.numVertices() > 14)
+    return fail(Error, "instance too large for the exact differential oracle");
+
+  bool InputGreedy = isGreedyKColorable(P.G, P.K);
+  ExactConservativeResult Exact =
+      conservativeCoalesceExact(P, /*RequireGreedy=*/true);
+  if (!Exact.Optimal)
+    return fail(Error, "exact conservative search did not complete");
+  const double Eps = 1e-6;
+  double WorstGap = 0;
+  std::string Why;
+
+  for (ConservativeRule Rule :
+       {ConservativeRule::Briggs, ConservativeRule::George,
+        ConservativeRule::BriggsOrGeorge, ConservativeRule::BruteForce}) {
+    ConservativeResult R = conservativeCoalesce(P, Rule);
+    if (!checkSolutionSound(P, R.Solution, InputGreedy, &Why))
+      return fail(Error, std::string("conservative/") + ruleName(Rule) +
+                             ": " + Why);
+    if (InputGreedy) {
+      if (R.Stats.CoalescedWeight > Exact.Stats.CoalescedWeight + Eps) {
+        std::ostringstream OS;
+        OS << "conservative/" << ruleName(Rule) << " coalesced weight "
+           << R.Stats.CoalescedWeight << " exceeds the exact optimum "
+           << Exact.Stats.CoalescedWeight << " (unsound merge)";
+        return fail(Error, OS.str());
+      }
+      // Greedy-k-colorability implies k-colorability; double-check with the
+      // independent exact search so a broken greedy checker cannot hide.
+      Graph Quotient = buildCoalescedGraph(P.G, R.Solution);
+      if (!exactKColoring(Quotient, P.K).Colorable) {
+        std::ostringstream OS;
+        OS << "conservative/" << ruleName(Rule)
+           << " quotient is not exactly " << P.K << "-colorable";
+        return fail(Error, OS.str());
+      }
+      WorstGap = std::max(
+          WorstGap, Exact.Stats.CoalescedWeight - R.Stats.CoalescedWeight);
+    }
+  }
+
+  // The Theorem 5 strategy may merge non-affinity chain vertices, so its
+  // partition is compared against the k-colorable (not greedy) optimum.
+  unsigned Omega =
+      P.G.numVertices() && isChordal(P.G) ? chordalCliqueNumber(P.G) : ~0u;
+  if (Omega != ~0u && P.K >= Omega && P.K > 0) {
+    ExactConservativeResult ExactAny =
+        conservativeCoalesceExact(P, /*RequireGreedy=*/false);
+    if (!ExactAny.Optimal)
+      return fail(Error, "exact (non-greedy) search did not complete");
+    ChordalStrategyResult C = chordalCoalesce(P);
+    if (!checkSolutionSound(P, C.Solution, /*RequireGreedy=*/true, &Why))
+      return fail(Error, "chordal-strategy: " + Why);
+    if (C.Stats.CoalescedWeight > ExactAny.Stats.CoalescedWeight + Eps) {
+      std::ostringstream OS;
+      OS << "chordal strategy coalesced weight " << C.Stats.CoalescedWeight
+         << " exceeds the exact optimum " << ExactAny.Stats.CoalescedWeight
+         << " (unsound merge)";
+      return fail(Error, OS.str());
+    }
+  }
+
+  if (GapOut)
+    *GapOut = WorstGap;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 5: WorkGraph vs rebuild-from-scratch.
+//===----------------------------------------------------------------------===//
+
+bool testing::checkWorkGraphIncremental(const Graph &G, unsigned Steps,
+                                        Rng &Rand, std::string *Error) {
+  const unsigned N = G.numVertices();
+  if (N < 2)
+    return true;
+  WorkGraph WG(G);
+  UnionFind Oracle(N);
+
+  auto classMembers = [&](unsigned X) {
+    std::vector<unsigned> Members;
+    for (unsigned W = 0; W < N; ++W)
+      if (Oracle.connected(W, X))
+        Members.push_back(W);
+    return Members;
+  };
+
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    unsigned U = static_cast<unsigned>(Rand.nextBelow(N));
+    unsigned V = static_cast<unsigned>(Rand.nextBelow(N));
+    if (U == V)
+      continue;
+    std::ostringstream Where;
+    Where << "step " << Step << " pair (" << U << ", " << V << "): ";
+
+    bool OracleSame = Oracle.connected(U, V);
+    if (WG.sameClass(U, V) != OracleSame)
+      return fail(Error, Where.str() + "sameClass diverged from rebuild");
+
+    if (!OracleSame) {
+      bool OracleInterfere = false;
+      for (unsigned A : classMembers(U)) {
+        for (unsigned B : classMembers(V))
+          if (G.hasEdge(A, B)) {
+            OracleInterfere = true;
+            break;
+          }
+        if (OracleInterfere)
+          break;
+      }
+      if (WG.interfere(U, V) != OracleInterfere)
+        return fail(Error, Where.str() + "interfere diverged from rebuild");
+      if (WG.canMerge(U, V) != !OracleInterfere)
+        return fail(Error, Where.str() + "canMerge diverged from rebuild");
+      if (!OracleInterfere) {
+        WG.merge(U, V);
+        Oracle.merge(U, V);
+      }
+    }
+
+    if (Step % 8 != 0)
+      continue;
+
+    // Full rebuild: partition, quotient adjacency, and per-class degrees.
+    if (WG.numClasses() != Oracle.numClasses())
+      return fail(Error, Where.str() + "class count diverged from rebuild");
+    CoalescingSolution S = WG.solution();
+    for (unsigned A = 0; A < N; ++A)
+      for (unsigned B = A + 1; B < N; ++B)
+        if (S.merged(A, B) != Oracle.connected(A, B))
+          return fail(Error, Where.str() + "partition diverged from rebuild");
+
+    Graph Q = WG.quotientGraph();
+    if (Q.numVertices() != S.NumClasses)
+      return fail(Error, Where.str() + "quotient size mismatch");
+    // Rebuild quotient adjacency by scanning all member pairs.
+    std::vector<std::vector<unsigned>> ByClass(S.NumClasses);
+    for (unsigned W = 0; W < N; ++W)
+      ByClass[S.ClassIds[W]].push_back(W);
+    for (unsigned C1 = 0; C1 < S.NumClasses; ++C1)
+      for (unsigned C2 = C1 + 1; C2 < S.NumClasses; ++C2) {
+        bool Expect = false;
+        for (unsigned A : ByClass[C1]) {
+          for (unsigned B : ByClass[C2])
+            if (G.hasEdge(A, B)) {
+              Expect = true;
+              break;
+            }
+          if (Expect)
+            break;
+        }
+        if (Q.hasEdge(C1, C2) != Expect)
+          return fail(Error,
+                      Where.str() + "quotient adjacency diverged from rebuild");
+      }
+    for (unsigned W = 0; W < N; ++W)
+      if (WG.degree(W) != Q.degree(S.ClassIds[W]))
+        return fail(Error, Where.str() + "degree diverged from quotient");
+  }
+  return true;
+}

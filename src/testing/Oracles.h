@@ -1,0 +1,92 @@
+//===- testing/Oracles.h - Paper invariants as predicates -------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's headline results, packaged as reusable oracle predicates over
+/// generated programs and graphs. Every oracle returns true when the
+/// invariant holds and fills a diagnostic string otherwise; the fuzzing
+/// harness (testing/PropertyCheck) runs them over thousands of random
+/// instances and the unit tests call them directly on hand-built ones.
+///
+///  1. checkSsaChordalMaxlive     -- Theorem 1: strict-SSA interference
+///     graphs are chordal with omega(G) = Maxlive.
+///  2. checkOutOfSsaSemantics     -- Section 3: out-of-SSA lowering (a form
+///     of aggressive coalescing) preserves observable behavior.
+///  3. checkCoalescerSoundness    -- Section 4: conservative coalescers must
+///     never merge interfering nodes and must preserve
+///     greedy-k-colorability.
+///  4. checkDifferentialExact     -- heuristics differentially compared to
+///     the exact branch-and-bound on small instances: a heuristic beating
+///     the optimum proves an unsound merge.
+///  5. checkWorkGraphIncremental  -- the incremental merged-graph state
+///     matches a rebuild-from-scratch quotient after every operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESTING_ORACLES_H
+#define TESTING_ORACLES_H
+
+#include "coalescing/Problem.h"
+#include "graph/Graph.h"
+#include "ir/Function.h"
+#include "support/Random.h"
+
+#include <string>
+
+namespace rc {
+namespace testing {
+
+/// Oracle 1 (Theorem 1). Verifies that \p F is strict SSA, that its
+/// interference graph is chordal, and that the clique number equals Maxlive.
+/// On graphs of at most \p BruteForceLimit vertices the clique number is
+/// cross-checked against Bron-Kerbosch enumeration.
+bool checkSsaChordalMaxlive(const ir::Function &F, std::string *Error,
+                            unsigned BruteForceLimit = 12);
+
+/// Oracle 2 (Section 3). Interprets \p F, lowers a copy out of SSA, and
+/// checks that the lowered program is a valid CFG producing identical return
+/// values. \p F must be strict SSA.
+bool checkOutOfSsaSemantics(const ir::Function &F, std::string *Error);
+
+/// Shared soundness predicate for one produced solution: class ids dense and
+/// valid, no two interfering vertices merged, affinity stats consistent,
+/// and -- when \p RequireGreedy -- the coalesced graph G_f still
+/// greedy-k-colorable with \p P.K colors.
+bool checkSolutionSound(const CoalescingProblem &P,
+                        const CoalescingSolution &S, bool RequireGreedy,
+                        std::string *Error);
+
+/// Oracle 3 (Section 4). Runs every conservative rule (Briggs, George,
+/// BriggsOrGeorge, BruteForce), iterated register coalescing, and -- when
+/// \p P.G is chordal with omega <= k -- the Theorem 5 chordal strategy, and
+/// checks each output with checkSolutionSound. Greedy-k-colorability of the
+/// quotient is required whenever the input graph is greedy-k-colorable; the
+/// chordal strategy's quotient must additionally stay chordal with
+/// omega <= k.
+bool checkCoalescerSoundness(const CoalescingProblem &P, std::string *Error);
+
+/// Oracle 4. Differential comparison against exact search, intended for
+/// instances of at most ~12 vertices: the branch-and-bound optimum
+/// (conservativeCoalesceExact) upper-bounds every heuristic's coalesced
+/// weight -- a heuristic exceeding it has performed a merge outside the
+/// feasible space (unsound). Also re-validates each heuristic quotient with
+/// an exact k-coloring. \p GapOut, when non-null, receives the worst
+/// heuristic optimality gap (optimum minus heuristic weight).
+bool checkDifferentialExact(const CoalescingProblem &P, std::string *Error,
+                            double *GapOut = nullptr);
+
+/// Oracle 5. Drives a WorkGraph over \p Steps random merge attempts drawn
+/// from \p Rand and compares, after every operation, sameClass / interfere /
+/// degree / numClasses and periodically the whole quotient graph against a
+/// naive rebuild-from-scratch oracle (union-find labels + all-pairs member
+/// scans on the original graph).
+bool checkWorkGraphIncremental(const Graph &G, unsigned Steps, Rng &Rand,
+                               std::string *Error);
+
+} // namespace testing
+} // namespace rc
+
+#endif // TESTING_ORACLES_H

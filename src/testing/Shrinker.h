@@ -1,0 +1,53 @@
+//===- testing/Shrinker.h - Greedy failure minimization ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging of failing fuzz instances. Given an instance and a
+/// predicate "does this instance still fail?", the shrinkers repeatedly try
+/// structure-removing edits (drop a vertex, an edge, an affinity; drop a
+/// dead instruction, a phi, a return value) and keep every edit that
+/// preserves the failure, until a fixed point. The result is the minimized
+/// reproducer rc_fuzz writes to disk.
+///
+/// Function shrinking only removes definitions with no remaining uses, so a
+/// strict-SSA input stays strict SSA throughout -- the predicate keeps
+/// failing for the original reason, not because shrinking corrupted the
+/// instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TESTING_SHRINKER_H
+#define TESTING_SHRINKER_H
+
+#include "coalescing/Problem.h"
+#include "ir/Function.h"
+
+#include <functional>
+
+namespace rc {
+namespace testing {
+
+/// Returns true when the instance still triggers the failure under
+/// investigation.
+using ProblemPredicate = std::function<bool(const CoalescingProblem &)>;
+using FunctionPredicate = std::function<bool(const ir::Function &)>;
+
+/// Minimizes a failing coalescing instance: greedily drops vertices (with
+/// affinity remapping), then affinities, then interference edges, repeating
+/// until no single removal preserves the failure. \p Fails must return true
+/// on \p P itself.
+CoalescingProblem shrinkProblem(CoalescingProblem P,
+                                const ProblemPredicate &Fails);
+
+/// Minimizes a failing function: greedily drops return values, unused
+/// non-terminator instructions and unused phis until no single removal
+/// preserves the failure. \p Fails must return true on \p F itself.
+ir::Function shrinkFunction(ir::Function F, const FunctionPredicate &Fails);
+
+} // namespace testing
+} // namespace rc
+
+#endif // TESTING_SHRINKER_H

@@ -6,68 +6,32 @@
 //===----------------------------------------------------------------------===//
 
 #include "coalescing/IteratedRegisterCoalescing.h"
-#include "coalescing/WorkGraph.h"
 #include "graph/Generators.h"
 #include "ir/Liveness.h"
 #include "ir/ProgramGenerator.h"
 #include "support/UnionFind.h"
+#include "testing/Oracles.h"
 
 #include <gtest/gtest.h>
 
-#include <map>
 #include <set>
 
 using namespace rc;
 
 // --- WorkGraph vs. rebuilt quotient ----------------------------------------
+//
+// The rebuild-from-scratch oracle itself lives in testing/Oracles.cpp
+// (checkWorkGraphIncremental) so rc_fuzz and this suite share one
+// implementation; here we just pin a few seeds as regression anchors.
 
 struct WorkGraphStress : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(WorkGraphStress, MatchesQuotientOracle) {
   Rng Rand(GetParam());
   Graph G = randomGraph(25, 0.2, Rand);
-  WorkGraph WG(G);
-  UnionFind Oracle(G.numVertices());
-
-  for (int Step = 0; Step < 60; ++Step) {
-    unsigned U = static_cast<unsigned>(Rand.nextBelow(G.numVertices()));
-    unsigned V = static_cast<unsigned>(Rand.nextBelow(G.numVertices()));
-    if (U == V)
-      continue;
-
-    // Oracle interference: any cross pair of the two classes adjacent in G.
-    auto classMembers = [&](unsigned X) {
-      std::vector<unsigned> Members;
-      for (unsigned W = 0; W < G.numVertices(); ++W)
-        if (Oracle.connected(W, X))
-          Members.push_back(W);
-      return Members;
-    };
-    bool OracleInterfere = false;
-    if (!Oracle.connected(U, V))
-      for (unsigned A : classMembers(U))
-        for (unsigned B : classMembers(V))
-          OracleInterfere |= G.hasEdge(A, B);
-
-    ASSERT_EQ(WG.sameClass(U, V), Oracle.connected(U, V));
-    if (!WG.sameClass(U, V)) {
-      ASSERT_EQ(WG.interfere(U, V), OracleInterfere)
-          << "step " << Step << " pair " << U << "," << V;
-    }
-
-    if (WG.canMerge(U, V)) {
-      WG.merge(U, V);
-      Oracle.merge(U, V);
-    }
-
-    // Degrees match the rebuilt quotient.
-    if (Step % 10 == 0) {
-      Graph Q = WG.quotientGraph();
-      CoalescingSolution S = WG.solution();
-      for (unsigned W = 0; W < G.numVertices(); ++W)
-        ASSERT_EQ(WG.degree(W), Q.degree(S.ClassIds[W]));
-    }
-  }
+  std::string Error;
+  EXPECT_TRUE(rc::testing::checkWorkGraphIncremental(G, 60, Rand, &Error))
+      << Error;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WorkGraphStress,
