@@ -1,0 +1,100 @@
+//===- bench/BenchCommon.h - shared bench instance builders -----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instance builders shared by the bench_* drivers. Every bench used to
+/// carry its own makeInstance / makeFunction / makeChordal copy; these
+/// helpers replace them. Each builder seeds a fresh Rng and draws exactly
+/// the same random sequence as the per-bench originals, so historical
+/// workloads (and their recorded timings) are preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCHCOMMON_H
+#define BENCH_BENCHCOMMON_H
+
+#include "challenge/ChallengeInstance.h"
+#include "graph/Generators.h"
+#include "ir/ProgramGenerator.h"
+#include "npc/VertexCover.h"
+
+namespace rc {
+namespace bench {
+
+/// Challenge instance in subtree mode with the canonical bench shape
+/// (TreeSize = N/2). \p AffinityFraction <= 0 keeps the generator default.
+inline CoalescingProblem makeChallengeProblem(unsigned N, uint64_t Seed,
+                                              unsigned Slack = 0,
+                                              double AffinityFraction = 0) {
+  Rng Rand(Seed);
+  ChallengeOptions Options;
+  Options.NumValues = N;
+  Options.TreeSize = N / 2;
+  Options.PressureSlack = Slack;
+  if (AffinityFraction > 0)
+    Options.AffinityFraction = AffinityFraction;
+  return generateChallengeInstance(Options, Rand);
+}
+
+/// Challenge instance in program mode (random SSA function substrate).
+inline CoalescingProblem makeProgramChallengeProblem(unsigned Blocks,
+                                                     uint64_t Seed,
+                                                     unsigned Slack = 0) {
+  Rng Rand(Seed);
+  ProgramChallengeOptions Options;
+  Options.NumBlocks = Blocks;
+  Options.PressureSlack = Slack;
+  return generateProgramChallengeInstance(Options, Rand);
+}
+
+/// Random strict-SSA function; knobs other than NumBlocks come from
+/// \p Options.
+inline ir::Function makeSsaFunction(unsigned NumBlocks, uint64_t Seed,
+                                    ir::GeneratorOptions Options = {}) {
+  Rng Rand(Seed);
+  Options.NumBlocks = NumBlocks;
+  return ir::generateRandomSsaFunction(Options, Rand);
+}
+
+/// The knob set the SSA-pipeline and allocator benches share: denser
+/// blocks, more phis, explicit copies.
+inline ir::GeneratorOptions denseSsaKnobs() {
+  ir::GeneratorOptions Options;
+  Options.MaxInstructionsPerBlock = 8;
+  Options.MaxPhisPerJoin = 4;
+  Options.CopyProbability = 0.3;
+  return Options;
+}
+
+/// Random chordal substrate graph with the canonical bench shape
+/// (N/2 planted cliques of size <= 4).
+inline Graph makeChordalGraph(unsigned N, uint64_t Seed) {
+  Rng Rand(Seed);
+  return randomChordalGraph(N, N / 2, 4, Rand);
+}
+
+/// Sparse Erdos-Renyi graph at constant average degree \p AvgDegree.
+inline Graph makeSparseGraph(unsigned N, double AvgDegree, uint64_t Seed) {
+  Rng Rand(Seed);
+  return randomGraph(N, AvgDegree / N, Rand);
+}
+
+/// Dense (p = 0.5) random graph, the hard regime for the exact solvers.
+inline Graph makeDenseGraph(unsigned N, uint64_t Seed) {
+  Rng Rand(Seed);
+  return randomGraph(N, 0.5, Rand);
+}
+
+/// Bounded-degree (max 3) random graph, the Theorem 6 gadget substrate.
+inline Graph makeBoundedDegreeGraph(unsigned N, uint64_t Seed) {
+  Rng Rand(Seed);
+  return randomBoundedDegreeGraph(N, 3, 0.5, Rand);
+}
+
+} // namespace bench
+} // namespace rc
+
+#endif // BENCH_BENCHCOMMON_H

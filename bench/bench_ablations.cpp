@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "challenge/ChallengeInstance.h"
+#include "BenchCommon.h"
 #include "coalescing/Aggressive.h"
 #include "coalescing/Conservative.h"
 #include "coalescing/Optimistic.h"
@@ -23,12 +23,8 @@ using namespace rc;
 
 static CoalescingProblem makeInstance(unsigned N, uint64_t Seed,
                                       bool ShuffleWeights) {
-  Rng Rand(Seed);
-  ChallengeOptions Options;
-  Options.NumValues = N;
-  Options.TreeSize = N / 2;
-  Options.AffinityFraction = 2.0; // Dense moves: real de-coalescing work.
-  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  // AffinityFraction 2.0: dense moves, real de-coalescing work.
+  CoalescingProblem P = bench::makeChallengeProblem(N, Seed, 0, 2.0);
   if (ShuffleWeights)
     // Uniform weights: the driver's weight ordering degenerates to input
     // order, isolating the ordering's contribution.
@@ -55,9 +51,8 @@ BENCHMARK(BM_AggressiveOrdering)->Args({512, 0})->Args({512, 1});
 /// Gadget workload where de-coalescing decisions genuinely matter: the
 /// Theorem 6 structures force dissolutions.
 static CoalescingProblem makeGadgetInstance(unsigned N, uint64_t Seed) {
-  Rng Rand(Seed);
-  Graph G = randomBoundedDegreeGraph(N, 3, 0.5, Rand);
-  return Theorem6Reduction::build(G).Problem;
+  return Theorem6Reduction::build(bench::makeBoundedDegreeGraph(N, Seed))
+      .Problem;
 }
 
 static void BM_OptimisticRestoreAblation(benchmark::State &State) {
@@ -130,3 +125,51 @@ static void BM_QuotientRebuildBaseline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_QuotientRebuildBaseline)->Range(128, 1024);
+
+static void BM_CheckpointRollback(benchmark::State &State) {
+  // The undo-log engine: probe every affinity with checkpoint / merge /
+  // colorability check / rollback -- the brute-force test's inner loop.
+  CoalescingProblem P =
+      makeInstance(static_cast<unsigned>(State.range(0)), 114, false);
+  for (auto _ : State) {
+    WorkGraph WG(P.G);
+    unsigned Accepted = 0;
+    for (const Affinity &A : P.Affinities) {
+      if (!WG.canMerge(A.U, A.V))
+        continue;
+      WG.checkpoint();
+      WG.merge(A.U, A.V);
+      if (WG.quotientGreedyKColorable(P.K)) {
+        WG.commit();
+        ++Accepted;
+      } else {
+        WG.rollback();
+      }
+    }
+    benchmark::DoNotOptimize(Accepted);
+  }
+}
+BENCHMARK(BM_CheckpointRollback)->Range(128, 1024);
+
+static void BM_CopyGraphBaseline(benchmark::State &State) {
+  // What checkpoint/rollback replaced: deep-copy the WorkGraph before each
+  // speculative merge and throw the copy away.
+  CoalescingProblem P =
+      makeInstance(static_cast<unsigned>(State.range(0)), 114, false);
+  for (auto _ : State) {
+    WorkGraph WG(P.G);
+    unsigned Accepted = 0;
+    for (const Affinity &A : P.Affinities) {
+      if (!WG.canMerge(A.U, A.V))
+        continue;
+      WorkGraph Probe(WG);
+      Probe.merge(A.U, A.V);
+      if (Probe.quotientGreedyKColorable(P.K)) {
+        WG.merge(A.U, A.V);
+        ++Accepted;
+      }
+    }
+    benchmark::DoNotOptimize(Accepted);
+  }
+}
+BENCHMARK(BM_CopyGraphBaseline)->Range(128, 1024);

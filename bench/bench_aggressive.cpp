@@ -7,7 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "challenge/ChallengeInstance.h"
+#include "BenchCommon.h"
 #include "coalescing/Aggressive.h"
 #include "npc/MultiwayCut.h"
 #include "npc/Theorem2Reduction.h"
@@ -17,11 +17,8 @@
 using namespace rc;
 
 static void BM_AggressiveGreedy(benchmark::State &State) {
-  Rng Rand(31);
-  ChallengeOptions Options;
-  Options.NumValues = static_cast<unsigned>(State.range(0));
-  Options.TreeSize = Options.NumValues / 2;
-  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  CoalescingProblem P = bench::makeChallengeProblem(
+      static_cast<unsigned>(State.range(0)), 31);
   double Ratio = 0;
   for (auto _ : State) {
     AggressiveResult R = aggressiveCoalesceGreedy(P);

@@ -1,77 +1,78 @@
 //===- bench/bench_challenge.cpp - E11: strategy comparison ------------------===//
 //
 // Experiment E11: the Appel-George-style comparison on synthetic challenge
-// suites. For each strategy, reports the fraction of move weight coalesced
-// at two pressure levels (k = omega, the hard regime, and k = omega + 2).
-// Expected shape: briggs <= briggs+george <= brute-conservative ~ optimistic
-// <= aggressive, with the gap widening at high pressure.
+// suites. For each registered strategy, reports the fraction of move weight
+// coalesced at two pressure levels (k = omega, the hard regime, and
+// k = omega + 2). Expected shape: briggs <= briggs+george <=
+// brute-conservative ~ optimistic <= aggressive, with the gap widening at
+// high pressure.
 //
 //===----------------------------------------------------------------------===//
 
-#include "challenge/ChallengeInstance.h"
+#include "BenchCommon.h"
 #include "challenge/StrategyRunner.h"
 
 #include <benchmark/benchmark.h>
 
 using namespace rc;
 
-static void runSuite(benchmark::State &State, Strategy S, unsigned Slack,
-                     bool ProgramMode) {
+static void runSuite(benchmark::State &State, const char *Spec,
+                     unsigned Slack, bool ProgramMode) {
   unsigned N = static_cast<unsigned>(State.range(0));
   double RatioSum = 0;
   unsigned Instances = 0;
   int64_t Micro = 0;
+  uint64_t Tests = 0;
   for (auto _ : State) {
-    Rng Rand(7000 + Instances);
-    CoalescingProblem P;
-    if (ProgramMode) {
-      ProgramChallengeOptions Options;
-      Options.NumBlocks = N;
-      Options.PressureSlack = Slack;
-      P = generateProgramChallengeInstance(Options, Rand);
-    } else {
-      ChallengeOptions Options;
-      Options.NumValues = N;
-      Options.TreeSize = N / 2;
-      Options.PressureSlack = Slack;
-      P = generateChallengeInstance(Options, Rand);
-    }
-    StrategyOutcome O = runStrategy(P, S);
+    CoalescingProblem P =
+        ProgramMode
+            ? bench::makeProgramChallengeProblem(N, 7000 + Instances, Slack)
+            : bench::makeChallengeProblem(N, 7000 + Instances, Slack);
+    StrategyOutcome O = runStrategy(P, Spec);
     RatioSum += O.CoalescedWeightRatio;
     Micro += O.Microseconds;
+    Tests += O.Telemetry.conservativeTests();
     ++Instances;
     benchmark::DoNotOptimize(O.Stats.CoalescedAffinities);
   }
   if (Instances) {
     State.counters["avg_weight_ratio"] = RatioSum / Instances;
-    State.counters["avg_us"] =
-        static_cast<double>(Micro) / Instances;
+    State.counters["avg_us"] = static_cast<double>(Micro) / Instances;
+    State.counters["avg_tests"] =
+        static_cast<double>(Tests) / Instances;
   }
 }
 
-#define CHALLENGE_BENCH(NAME, STRATEGY, SLACK, PROGRAM)                      \
+#define CHALLENGE_BENCH(NAME, SPEC, SLACK, PROGRAM)                          \
   static void NAME(benchmark::State &State) {                               \
-    runSuite(State, STRATEGY, SLACK, PROGRAM);                              \
+    runSuite(State, SPEC, SLACK, PROGRAM);                                  \
   }                                                                         \
   BENCHMARK(NAME)->Arg(256)->Iterations(8)
 
-CHALLENGE_BENCH(BM_TightAggressive, Strategy::AggressiveGreedy, 0, false);
-CHALLENGE_BENCH(BM_TightBriggs, Strategy::ConservativeBriggs, 0, false);
-CHALLENGE_BENCH(BM_TightGeorge, Strategy::ConservativeGeorge, 0, false);
-CHALLENGE_BENCH(BM_TightBoth, Strategy::ConservativeBoth, 0, false);
-CHALLENGE_BENCH(BM_TightBrute, Strategy::ConservativeBrute, 0, false);
-CHALLENGE_BENCH(BM_TightOptimistic, Strategy::Optimistic, 0, false);
-CHALLENGE_BENCH(BM_TightIrc, Strategy::Irc, 0, false);
-CHALLENGE_BENCH(BM_TightChordalThm5, Strategy::ChordalThm5, 0, false);
+CHALLENGE_BENCH(BM_TightAggressive, "aggressive", 0, false);
+CHALLENGE_BENCH(BM_TightBriggs, "briggs", 0, false);
+CHALLENGE_BENCH(BM_TightGeorge, "george", 0, false);
+CHALLENGE_BENCH(BM_TightBoth, "briggs+george", 0, false);
+CHALLENGE_BENCH(BM_TightBrute, "brute-conservative", 0, false);
+CHALLENGE_BENCH(BM_TightOptimistic, "optimistic", 0, false);
+CHALLENGE_BENCH(BM_TightIrc, "irc", 0, false);
+CHALLENGE_BENCH(BM_TightChordalThm5, "chordal-thm5", 0, false);
 
-CHALLENGE_BENCH(BM_SlackAggressive, Strategy::AggressiveGreedy, 2, false);
-CHALLENGE_BENCH(BM_SlackBriggs, Strategy::ConservativeBriggs, 2, false);
-CHALLENGE_BENCH(BM_SlackBoth, Strategy::ConservativeBoth, 2, false);
-CHALLENGE_BENCH(BM_SlackBrute, Strategy::ConservativeBrute, 2, false);
-CHALLENGE_BENCH(BM_SlackOptimistic, Strategy::Optimistic, 2, false);
-CHALLENGE_BENCH(BM_SlackIrc, Strategy::Irc, 2, false);
+CHALLENGE_BENCH(BM_SlackAggressive, "aggressive", 2, false);
+CHALLENGE_BENCH(BM_SlackBriggs, "briggs", 2, false);
+CHALLENGE_BENCH(BM_SlackBoth, "briggs+george", 2, false);
+CHALLENGE_BENCH(BM_SlackBrute, "brute-conservative", 2, false);
+CHALLENGE_BENCH(BM_SlackOptimistic, "optimistic", 2, false);
+CHALLENGE_BENCH(BM_SlackIrc, "irc", 2, false);
 
-CHALLENGE_BENCH(BM_ProgramBriggs, Strategy::ConservativeBriggs, 0, true);
-CHALLENGE_BENCH(BM_ProgramBrute, Strategy::ConservativeBrute, 0, true);
-CHALLENGE_BENCH(BM_ProgramOptimistic, Strategy::Optimistic, 0, true);
-CHALLENGE_BENCH(BM_ProgramIrc, Strategy::Irc, 0, true);
+CHALLENGE_BENCH(BM_ProgramBriggs, "briggs", 0, true);
+CHALLENGE_BENCH(BM_ProgramBrute, "brute-conservative", 0, true);
+CHALLENGE_BENCH(BM_ProgramOptimistic, "optimistic", 0, true);
+CHALLENGE_BENCH(BM_ProgramIrc, "irc", 0, true);
+
+// Option-spec ablations, dispatched through the registry's string parser:
+// the same knobs DESIGN.md's ablation table varies, now reachable from any
+// consumer without dedicated API calls.
+CHALLENGE_BENCH(BM_TightOptimisticNoRestore, "optimistic:restore=0", 0,
+                false);
+CHALLENGE_BENCH(BM_TightIrcNoGeorge, "irc:george=0", 0, false);

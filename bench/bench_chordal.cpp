@@ -5,17 +5,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "graph/Chordal.h"
 #include "graph/CliqueTree.h"
-#include "graph/Generators.h"
 
 #include <benchmark/benchmark.h>
 
 using namespace rc;
 
 static Graph makeChordal(unsigned N, uint64_t Seed) {
-  Rng Rand(Seed);
-  return randomChordalGraph(N, N / 2, 4, Rand);
+  return bench::makeChordalGraph(N, Seed);
 }
 
 static void BM_McsOrder(benchmark::State &State) {

@@ -6,8 +6,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "graph/Chordal.h"
-#include "graph/Generators.h"
 #include "graph/GreedyColorability.h"
 
 #include <benchmark/benchmark.h>
@@ -15,9 +15,8 @@
 using namespace rc;
 
 static void BM_GreedyEliminate(benchmark::State &State) {
-  Rng Rand(7);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomGraph(N, 8.0 / N, Rand); // Constant average degree 8.
+  Graph G = bench::makeSparseGraph(N, 8.0, 7);
   unsigned K = coloringNumber(G);
   for (auto _ : State) {
     EliminationResult E = greedyEliminate(G, K);
@@ -29,9 +28,8 @@ static void BM_GreedyEliminate(benchmark::State &State) {
 BENCHMARK(BM_GreedyEliminate)->Range(64, 16384);
 
 static void BM_ColoringNumber(benchmark::State &State) {
-  Rng Rand(8);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomGraph(N, 8.0 / N, Rand);
+  Graph G = bench::makeSparseGraph(N, 8.0, 8);
   for (auto _ : State) {
     unsigned Col = coloringNumber(G);
     benchmark::DoNotOptimize(Col);
@@ -40,9 +38,8 @@ static void BM_ColoringNumber(benchmark::State &State) {
 BENCHMARK(BM_ColoringNumber)->Range(64, 16384);
 
 static void BM_Property1Certificate(benchmark::State &State) {
-  Rng Rand(9);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomChordalGraph(N, N / 2, 4, Rand);
+  Graph G = bench::makeChordalGraph(N, 9);
   unsigned Omega = chordalCliqueNumber(G);
   bool Holds = true;
   for (auto _ : State) {
@@ -55,9 +52,8 @@ static void BM_Property1Certificate(benchmark::State &State) {
 BENCHMARK(BM_Property1Certificate)->Range(64, 8192);
 
 static void BM_ColorGreedyKColorable(benchmark::State &State) {
-  Rng Rand(10);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomChordalGraph(N, N / 2, 4, Rand);
+  Graph G = bench::makeChordalGraph(N, 10);
   unsigned K = coloringNumber(G);
   for (auto _ : State) {
     Coloring C = colorGreedyKColorable(G, K);

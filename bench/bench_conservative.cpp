@@ -6,27 +6,18 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "challenge/ChallengeInstance.h"
+#include "BenchCommon.h"
 #include "coalescing/Conservative.h"
 #include "graph/ExactColoring.h"
-#include "graph/Generators.h"
 #include "npc/Theorem3Reduction.h"
 
 #include <benchmark/benchmark.h>
 
 using namespace rc;
 
-static CoalescingProblem makeInstance(unsigned N, uint64_t Seed) {
-  Rng Rand(Seed);
-  ChallengeOptions Options;
-  Options.NumValues = N;
-  Options.TreeSize = N / 2;
-  return generateChallengeInstance(Options, Rand);
-}
-
 template <ConservativeRule Rule>
 static void BM_ConservativeRule(benchmark::State &State) {
-  CoalescingProblem P = makeInstance(
+  CoalescingProblem P = bench::makeChallengeProblem(
       static_cast<unsigned>(State.range(0)), 41);
   unsigned Coalesced = 0;
   for (auto _ : State) {
@@ -47,9 +38,8 @@ BENCHMARK(BM_ConservativeRule<ConservativeRule::BruteForce>)
 static void BM_Theorem3ExactSearch(benchmark::State &State) {
   // Exponential: optimal conservative coalescing on the k-colorability
   // reduction, growing the source graph.
-  Rng Rand(42);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph H = randomGraph(N, 0.5, Rand);
+  Graph H = bench::makeDenseGraph(N, 42);
   Theorem3Reduction R = Theorem3Reduction::build(H, 3);
   uint64_t Nodes = 0;
   bool AllCoalesced = false;

@@ -7,11 +7,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "coalescing/ChordalIncremental.h"
 #include "coalescing/ChordalStrategy.h"
 #include "graph/Chordal.h"
 #include "graph/ExactColoring.h"
-#include "graph/Generators.h"
 
 #include <benchmark/benchmark.h>
 
@@ -25,9 +25,8 @@ struct Instance {
 };
 
 Instance makeInstance(unsigned N, uint64_t Seed) {
-  Rng Rand(Seed);
   Instance I;
-  I.G = randomChordalGraph(N, N / 2, 4, Rand);
+  I.G = bench::makeChordalGraph(N, Seed);
   I.K = chordalCliqueNumber(I.G);
   // First non-adjacent pair in different cliques.
   for (unsigned U = 0; U < N; ++U)

@@ -7,7 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "challenge/ChallengeInstance.h"
+#include "BenchCommon.h"
 #include "coalescing/IteratedRegisterCoalescing.h"
 #include "graph/Chordal.h"
 
@@ -15,19 +15,9 @@
 
 using namespace rc;
 
-static CoalescingProblem makeInstance(unsigned N, unsigned Slack,
-                                      uint64_t Seed) {
-  Rng Rand(Seed);
-  ChallengeOptions Options;
-  Options.NumValues = N;
-  Options.TreeSize = N / 2;
-  Options.PressureSlack = Slack;
-  return generateChallengeInstance(Options, Rand);
-}
-
 static void BM_IrcThroughput(benchmark::State &State) {
   CoalescingProblem P =
-      makeInstance(static_cast<unsigned>(State.range(0)), 0, 91);
+      bench::makeChallengeProblem(static_cast<unsigned>(State.range(0)), 91);
   unsigned Coalesced = 0, Spilled = 0;
   for (auto _ : State) {
     IrcResult R = iteratedRegisterCoalescing(P);
@@ -44,7 +34,7 @@ static void BM_IrcGeorgeAblation(benchmark::State &State) {
   // Ablation (DESIGN.md): Briggs-only vs Briggs+George inside IRC.
   bool UseGeorge = State.range(1) != 0;
   CoalescingProblem P =
-      makeInstance(static_cast<unsigned>(State.range(0)), 0, 92);
+      bench::makeChallengeProblem(static_cast<unsigned>(State.range(0)), 92);
   IrcOptions Options;
   Options.UseGeorge = UseGeorge;
   unsigned Coalesced = 0;
@@ -64,7 +54,7 @@ BENCHMARK(BM_IrcGeorgeAblation)
 
 static void BM_IrcUnderSpillPressure(benchmark::State &State) {
   // Shrink k below omega: IRC must spill; reports the spill count.
-  CoalescingProblem P = makeInstance(512, 0, 93);
+  CoalescingProblem P = bench::makeChallengeProblem(512, 93);
   unsigned Shrink = static_cast<unsigned>(State.range(0));
   P.K = P.K > Shrink ? P.K - Shrink : 1;
   unsigned Spilled = 0;

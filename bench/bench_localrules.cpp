@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "coalescing/Conservative.h"
 #include "graph/GreedyColorability.h"
 
@@ -69,7 +70,7 @@ static void BM_PermutationWholeSetCheck(benchmark::State &State) {
     for (const Affinity &A : P.Affinities)
       if (WG.canMerge(A.U, A.V))
         WG.merge(A.U, A.V);
-    Accepted = isGreedyKColorable(WG.quotientGraph(), P.K);
+    Accepted = WG.quotientGreedyKColorable(P.K);
     benchmark::DoNotOptimize(Accepted);
   }
   State.counters["whole_set_accepted"] = Accepted ? 1 : 0; // Must be 1.

@@ -6,7 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "challenge/ChallengeInstance.h"
+#include "BenchCommon.h"
 #include "coalescing/Optimistic.h"
 #include "npc/Theorem6Reduction.h"
 #include "npc/VertexCover.h"
@@ -16,11 +16,8 @@
 using namespace rc;
 
 static void BM_OptimisticHeuristic(benchmark::State &State) {
-  Rng Rand(61);
-  ChallengeOptions Options;
-  Options.NumValues = static_cast<unsigned>(State.range(0));
-  Options.TreeSize = Options.NumValues / 2;
-  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  CoalescingProblem P = bench::makeChallengeProblem(
+      static_cast<unsigned>(State.range(0)), 61);
   unsigned Dissolutions = 0;
   double Ratio = 0;
   for (auto _ : State) {
@@ -35,9 +32,8 @@ static void BM_OptimisticHeuristic(benchmark::State &State) {
 BENCHMARK(BM_OptimisticHeuristic)->Range(64, 2048);
 
 static void BM_ExactDeCoalescingOnTheorem6(benchmark::State &State) {
-  Rng Rand(62);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomBoundedDegreeGraph(N, 3, 0.5, Rand);
+  Graph G = bench::makeBoundedDegreeGraph(N, 62);
   Theorem6Reduction R = Theorem6Reduction::build(G);
   uint64_t Nodes = 0;
   unsigned Given = 0;
@@ -58,9 +54,8 @@ BENCHMARK(BM_ExactDeCoalescingOnTheorem6)->DenseRange(3, 8, 1);
 static void BM_OptimisticOnTheorem6Gadgets(benchmark::State &State) {
   // The heuristic on the adversarial gadgets: reports its cost against the
   // optimum (min vertex cover).
-  Rng Rand(63);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomBoundedDegreeGraph(N, 3, 0.5, Rand);
+  Graph G = bench::makeBoundedDegreeGraph(N, 63);
   Theorem6Reduction R = Theorem6Reduction::build(G);
   unsigned Given = 0;
   for (auto _ : State) {

@@ -7,9 +7,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "ir/CoalescingAwareOutOfSsa.h"
 #include "ir/OutOfSsa.h"
-#include "ir/ProgramGenerator.h"
 
 #include <benchmark/benchmark.h>
 
@@ -17,11 +17,9 @@ using namespace rc;
 using namespace rc::ir;
 
 static Function makeFunction(unsigned NumBlocks, uint64_t Seed) {
-  Rng Rand(Seed);
   GeneratorOptions Options;
-  Options.NumBlocks = NumBlocks;
   Options.MaxPhisPerJoin = 5;
-  return generateRandomSsaFunction(Options, Rand);
+  return bench::makeSsaFunction(NumBlocks, Seed, Options);
 }
 
 static void BM_LowerOutOfSsa(benchmark::State &State) {

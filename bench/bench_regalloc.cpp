@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "ir/ProgramGenerator.h"
+#include "BenchCommon.h"
 #include "regalloc/Allocators.h"
 
 #include <benchmark/benchmark.h>
@@ -18,13 +18,7 @@ using namespace rc::ir;
 using namespace rc::regalloc;
 
 static Function makeFunction(unsigned Blocks, uint64_t Seed) {
-  Rng Rand(Seed);
-  GeneratorOptions Options;
-  Options.NumBlocks = Blocks;
-  Options.MaxInstructionsPerBlock = 8;
-  Options.MaxPhisPerJoin = 4;
-  Options.CopyProbability = 0.3;
-  return generateRandomSsaFunction(Options, Rand);
+  return bench::makeSsaFunction(Blocks, Seed, bench::denseSsaKnobs());
 }
 
 static void BM_ChaitinIrc(benchmark::State &State) {

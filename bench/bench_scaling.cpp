@@ -7,11 +7,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "coalescing/Aggressive.h"
 #include "coalescing/ChordalIncremental.h"
 #include "graph/Chordal.h"
 #include "graph/ExactColoring.h"
-#include "graph/Generators.h"
 #include "graph/GreedyColorability.h"
 
 #include <benchmark/benchmark.h>
@@ -21,18 +21,16 @@ using namespace rc;
 // --- Polynomial side --------------------------------------------------------
 
 static void BM_PolyGreedyElimination(benchmark::State &State) {
-  Rng Rand(71);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomGraph(N, 10.0 / N, Rand);
+  Graph G = bench::makeSparseGraph(N, 10.0, 71);
   for (auto _ : State)
     benchmark::DoNotOptimize(greedyEliminate(G, 6).Success);
 }
 BENCHMARK(BM_PolyGreedyElimination)->RangeMultiplier(4)->Range(64, 16384);
 
 static void BM_PolyTheorem5(benchmark::State &State) {
-  Rng Rand(72);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomChordalGraph(N, N / 2, 4, Rand);
+  Graph G = bench::makeChordalGraph(N, 72);
   unsigned K = chordalCliqueNumber(G);
   unsigned X = 0, Y = 0;
   for (unsigned U = 0; U < N && Y == 0; ++U)
@@ -51,9 +49,8 @@ BENCHMARK(BM_PolyTheorem5)->RangeMultiplier(4)->Range(64, 4096);
 // --- Exponential side -------------------------------------------------------
 
 static void BM_ExpChromaticNumber(benchmark::State &State) {
-  Rng Rand(73);
   unsigned N = static_cast<unsigned>(State.range(0));
-  Graph G = randomGraph(N, 0.5, Rand);
+  Graph G = bench::makeDenseGraph(N, 73);
   uint64_t Nodes = 0;
   for (auto _ : State) {
     unsigned Chi = chromaticNumber(G);

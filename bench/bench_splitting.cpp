@@ -7,11 +7,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "challenge/StrategyRunner.h"
 #include "ir/InterferenceBuilder.h"
 #include "ir/LiveRangeSplitting.h"
 #include "ir/OutOfSsa.h"
-#include "ir/ProgramGenerator.h"
 
 #include <benchmark/benchmark.h>
 
@@ -20,11 +20,9 @@ using namespace rc::ir;
 
 static CoalescingProblem makeSplitInstance(unsigned Blocks, uint64_t Seed,
                                            SplitStats *StatsOut) {
-  Rng Rand(Seed);
   GeneratorOptions Options;
-  Options.NumBlocks = Blocks;
   Options.MaxPhisPerJoin = 3;
-  Function F = generateRandomSsaFunction(Options, Rand);
+  Function F = bench::makeSsaFunction(Blocks, Seed, Options);
   lowerOutOfSsa(F);
   SplitStats Stats = splitLiveRangesAtBlockBoundaries(F);
   if (StatsOut)
@@ -37,13 +35,13 @@ static CoalescingProblem makeSplitInstance(unsigned Blocks, uint64_t Seed,
   return P;
 }
 
-static void BM_SplitThenCoalesce(benchmark::State &State, Strategy S) {
+static void BM_SplitThenCoalesce(benchmark::State &State, const char *Spec) {
   SplitStats Split;
   CoalescingProblem P =
       makeSplitInstance(static_cast<unsigned>(State.range(0)), 121, &Split);
   double Ratio = 0;
   for (auto _ : State) {
-    StrategyOutcome O = runStrategy(P, S);
+    StrategyOutcome O = runStrategy(P, Spec);
     Ratio = O.CoalescedWeightRatio;
     benchmark::DoNotOptimize(&Ratio);
   }
@@ -53,25 +51,25 @@ static void BM_SplitThenCoalesce(benchmark::State &State, Strategy S) {
   State.counters["weight_recovered"] = Ratio;
 }
 
-#define SPLIT_BENCH(NAME, STRATEGY)                                          \
+#define SPLIT_BENCH(NAME, SPEC)                                              \
   static void NAME(benchmark::State &State) {                               \
-    BM_SplitThenCoalesce(State, STRATEGY);                                  \
+    BM_SplitThenCoalesce(State, SPEC);                                      \
   }                                                                         \
   BENCHMARK(NAME)->Arg(32)->Arg(96)
 
-SPLIT_BENCH(BM_SplitBriggs, Strategy::ConservativeBriggs);
-SPLIT_BENCH(BM_SplitBoth, Strategy::ConservativeBoth);
-SPLIT_BENCH(BM_SplitOptimistic, Strategy::Optimistic);
-SPLIT_BENCH(BM_SplitIrc, Strategy::Irc);
-SPLIT_BENCH(BM_SplitAggressive, Strategy::AggressiveGreedy);
+SPLIT_BENCH(BM_SplitBriggs, "briggs");
+SPLIT_BENCH(BM_SplitBoth, "briggs+george");
+SPLIT_BENCH(BM_SplitOptimistic, "optimistic");
+SPLIT_BENCH(BM_SplitIrc, "irc");
+SPLIT_BENCH(BM_SplitAggressive, "aggressive");
 
 // The quadratic-ish strategies only run the small size.
 static void BM_SplitBrute(benchmark::State &State) {
-  BM_SplitThenCoalesce(State, Strategy::ConservativeBrute);
+  BM_SplitThenCoalesce(State, "brute-conservative");
 }
 BENCHMARK(BM_SplitBrute)->Arg(32);
 static void BM_SplitChordalThm5(benchmark::State &State) {
-  BM_SplitThenCoalesce(State, Strategy::ChordalThm5);
+  BM_SplitThenCoalesce(State, "chordal-thm5");
 }
 BENCHMARK(BM_SplitChordalThm5)->Arg(32);
 
@@ -79,10 +77,7 @@ static void BM_SplittingItself(benchmark::State &State) {
   unsigned Blocks = static_cast<unsigned>(State.range(0));
   SplitStats Stats;
   for (auto _ : State) {
-    Rng Rand(122);
-    GeneratorOptions Options;
-    Options.NumBlocks = Blocks;
-    Function F = generateRandomSsaFunction(Options, Rand);
+    Function F = bench::makeSsaFunction(Blocks, 122);
     lowerOutOfSsa(F);
     Stats = splitLiveRangesAtBlockBoundaries(F);
     benchmark::DoNotOptimize(F.numValues());

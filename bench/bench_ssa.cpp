@@ -7,9 +7,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "graph/Chordal.h"
 #include "ir/InterferenceBuilder.h"
-#include "ir/ProgramGenerator.h"
 #include "ir/Verifier.h"
 
 #include <benchmark/benchmark.h>
@@ -18,13 +18,7 @@ using namespace rc;
 using namespace rc::ir;
 
 static Function makeFunction(unsigned NumBlocks, uint64_t Seed) {
-  Rng Rand(Seed);
-  GeneratorOptions Options;
-  Options.NumBlocks = NumBlocks;
-  Options.MaxInstructionsPerBlock = 8;
-  Options.MaxPhisPerJoin = 4;
-  Options.CopyProbability = 0.3;
-  return generateRandomSsaFunction(Options, Rand);
+  return bench::makeSsaFunction(NumBlocks, Seed, bench::denseSsaKnobs());
 }
 
 static void BM_BuildInterferenceGraph(benchmark::State &State) {

@@ -1,11 +1,16 @@
 //===- examples/coalescing_challenge.cpp - strategy shoot-out ----------------===//
 //
 // Generates a suite of synthetic Appel-George-style challenge instances and
-// compares every coalescing strategy of the library, at the register
+// compares coalescing strategies from the registry, at the register
 // pressure the paper calls hard (k = Maxlive) and with slack. Optionally
-// dumps/loads instances in the text format.
+// dumps/loads instances in the text format, restricts the run to explicit
+// strategy specs, or emits machine-readable JSON (one outcome object per
+// strategy, including engine telemetry).
 //
 // Run: ./coalescing_challenge [num-values] [instances] [slack] [seed]
+//      ./coalescing_challenge --strategies irc,optimistic:restore=0 [...]
+//      ./coalescing_challenge --json [...]
+//      ./coalescing_challenge --list
 //      ./coalescing_challenge --dump file.txt [num-values] [seed]
 //      ./coalescing_challenge --load file.txt
 //
@@ -21,65 +26,167 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 using namespace rc;
 
-static int runOnProblem(const CoalescingProblem &P) {
+namespace {
+
+struct SuiteRow {
+  double RatioSum = 0;
+  int64_t TimeSum = 0;
+  CoalescingTelemetry Telemetry;
+};
+
+std::vector<std::string> splitSpecs(const std::string &List) {
+  std::vector<std::string> Specs;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    // Option lists inside a spec also use commas; a comma starts a new spec
+    // only when the next chunk, up to its colon or '=', has no '='. That
+    // keeps "optimistic:restore=0,dissolve=biggest,irc" splitting after
+    // "biggest".
+    while (Comma != std::string::npos) {
+      size_t Next = List.find_first_of(",=:", Comma + 1);
+      if (Next == std::string::npos || List[Next] != '=')
+        break;
+      Comma = List.find(',', Comma + 1);
+    }
+    Specs.push_back(List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Specs;
+}
+
+std::vector<StrategyOutcome> runSelected(const CoalescingProblem &P,
+                                         const std::vector<std::string> &Specs) {
+  if (Specs.empty())
+    return runAllStrategies(P);
+  std::vector<StrategyOutcome> Outcomes;
+  for (const std::string &Spec : Specs)
+    Outcomes.push_back(runStrategy(P, Spec));
+  return Outcomes;
+}
+
+int runOnProblem(const CoalescingProblem &P,
+                 const std::vector<std::string> &Specs, bool Json) {
+  std::vector<StrategyOutcome> Outcomes = runSelected(P, Specs);
+  if (Json) {
+    std::cout << "[";
+    for (size_t I = 0; I < Outcomes.size(); ++I) {
+      if (I)
+        std::cout << ",";
+      writeOutcomeJson(std::cout, Outcomes[I]);
+    }
+    std::cout << "]\n";
+    return 0;
+  }
   std::cout << "instance: " << P.G.numVertices() << " vertices, "
             << P.G.numEdges() << " interferences, " << P.Affinities.size()
             << " moves, k = " << P.K << "\n";
-  printComparison(std::cout, runAllStrategies(P));
+  printComparison(std::cout, Outcomes);
   return 0;
 }
 
+} // namespace
+
 int main(int Argc, char **Argv) {
-  std::string First = Argc > 1 ? Argv[1] : "";
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  std::vector<std::string> Specs;
+  bool Json = false;
+  for (size_t I = 0; I < Args.size();) {
+    if (Args[I] == "--json") {
+      Json = true;
+      Args.erase(Args.begin() + static_cast<long>(I));
+    } else if (Args[I] == "--strategies" && I + 1 < Args.size()) {
+      Specs = splitSpecs(Args[I + 1]);
+      Args.erase(Args.begin() + static_cast<long>(I),
+                 Args.begin() + static_cast<long>(I) + 2);
+    } else {
+      ++I;
+    }
+  }
+  for (const std::string &Spec : Specs) {
+    std::string Name, Error;
+    StrategyOptions Options;
+    if (!parseStrategySpec(Spec, Name, Options, &Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    if (!StrategyRegistry::instance().lookup(Name)) {
+      std::cerr << "error: unknown strategy '" << Name
+                << "' (try --list)\n";
+      return 1;
+    }
+  }
+
+  std::string First = Args.empty() ? "" : Args[0];
+  if (First == "--list") {
+    for (const StrategyInfo &S : StrategyRegistry::instance().strategies())
+      std::cout << std::left << std::setw(20) << S.Name << S.Summary << "\n";
+    return 0;
+  }
   if (First == "--load") {
-    if (Argc < 3) {
+    if (Args.size() < 2) {
       std::cerr << "usage: coalescing_challenge --load file.txt\n";
       return 1;
     }
-    std::ifstream In(Argv[2]);
+    std::ifstream In(Args[1]);
     CoalescingProblem P;
     std::string Error;
     if (!In || !readChallenge(In, P, &Error)) {
-      std::cerr << "error: cannot read " << Argv[2] << ": " << Error << "\n";
+      std::cerr << "error: cannot read " << Args[1] << ": " << Error << "\n";
       return 1;
     }
-    return runOnProblem(P);
+    return runOnProblem(P, Specs, Json);
   }
   if (First == "--dump") {
-    if (Argc < 3) {
+    if (Args.size() < 2) {
       std::cerr << "usage: coalescing_challenge --dump file.txt [n] [seed]\n";
       return 1;
     }
-    unsigned N = Argc > 3 ? static_cast<unsigned>(std::atoi(Argv[3])) : 200;
-    uint64_t Seed = Argc > 4 ? static_cast<uint64_t>(std::atoll(Argv[4]))
-                             : 1;
+    unsigned N =
+        Args.size() > 2 ? static_cast<unsigned>(std::atoi(Args[2].c_str()))
+                        : 200;
+    uint64_t Seed =
+        Args.size() > 3 ? static_cast<uint64_t>(std::atoll(Args[3].c_str()))
+                        : 1;
     Rng Rand(Seed);
     ChallengeOptions Options;
     Options.NumValues = N;
     Options.TreeSize = N / 2;
     CoalescingProblem P = generateChallengeInstance(Options, Rand);
-    std::ofstream Out(Argv[2]);
+    std::ofstream Out(Args[1]);
     writeChallenge(Out, P);
-    std::cout << "wrote " << Argv[2] << " (" << P.G.numVertices()
+    std::cout << "wrote " << Args[1] << " (" << P.G.numVertices()
               << " vertices)\n";
     return 0;
   }
 
-  unsigned N = Argc > 1 ? static_cast<unsigned>(std::atoi(Argv[1])) : 200;
-  unsigned Instances = Argc > 2 ? static_cast<unsigned>(std::atoi(Argv[2]))
-                                : 5;
-  unsigned Slack = Argc > 3 ? static_cast<unsigned>(std::atoi(Argv[3])) : 0;
-  uint64_t Seed = Argc > 4 ? static_cast<uint64_t>(std::atoll(Argv[4])) : 1;
+  unsigned N =
+      Args.size() > 0 ? static_cast<unsigned>(std::atoi(Args[0].c_str()))
+                      : 200;
+  unsigned Instances =
+      Args.size() > 1 ? static_cast<unsigned>(std::atoi(Args[1].c_str())) : 5;
+  unsigned Slack =
+      Args.size() > 2 ? static_cast<unsigned>(std::atoi(Args[2].c_str())) : 0;
+  uint64_t Seed =
+      Args.size() > 3 ? static_cast<uint64_t>(std::atoll(Args[3].c_str()))
+                      : 1;
 
-  std::cout << "suite: " << Instances << " instances, " << N
-            << " values each, pressure slack " << Slack << ", seed " << Seed
-            << "\n\n";
+  if (!Json)
+    std::cout << "suite: " << Instances << " instances, " << N
+              << " values each, pressure slack " << Slack << ", seed " << Seed
+              << "\n\n";
 
-  std::map<Strategy, double> RatioSum;
-  std::map<Strategy, int64_t> TimeSum;
+  // Keyed by outcome name; Order preserves first-appearance order so the
+  // summary matches the registry (or --strategies) order.
+  std::map<std::string, SuiteRow> Rows;
+  std::vector<std::string> Order;
   for (unsigned I = 0; I < Instances; ++I) {
     Rng Rand(Seed + I);
     ChallengeOptions Options;
@@ -87,20 +194,48 @@ int main(int Argc, char **Argv) {
     Options.TreeSize = N / 2;
     Options.PressureSlack = Slack;
     CoalescingProblem P = generateChallengeInstance(Options, Rand);
-    for (const StrategyOutcome &O : runAllStrategies(P)) {
-      RatioSum[O.Which] += O.CoalescedWeightRatio;
-      TimeSum[O.Which] += O.Microseconds;
+    for (const StrategyOutcome &O : runSelected(P, Specs)) {
+      if (!Rows.count(O.Name))
+        Order.push_back(O.Name);
+      SuiteRow &Row = Rows[O.Name];
+      Row.RatioSum += O.CoalescedWeightRatio;
+      Row.TimeSum += O.Microseconds;
+      Row.Telemetry.add(O.Telemetry);
     }
+  }
+
+  if (Json) {
+    std::cout << "[";
+    for (size_t I = 0; I < Order.size(); ++I) {
+      const SuiteRow &Row = Rows[Order[I]];
+      if (I)
+        std::cout << ",";
+      std::cout << "{\"strategy\":\"" << Order[I] << "\""
+                << ",\"instances\":" << Instances
+                << ",\"avg_coalesced_weight_ratio\":"
+                << Row.RatioSum / Instances
+                << ",\"total_microseconds\":" << Row.TimeSum
+                << ",\"telemetry\":";
+      writeTelemetryJson(std::cout, Row.Telemetry);
+      std::cout << "}";
+    }
+    std::cout << "]\n";
+    return 0;
   }
 
   std::cout << std::left << std::setw(20) << "strategy" << std::right
             << std::setw(16) << "avg weight %" << std::setw(14)
-            << "total time" << "\n";
-  for (Strategy S : allStrategies())
-    std::cout << std::left << std::setw(20) << strategyName(S) << std::right
+            << "total time" << std::setw(12) << "tests" << std::setw(12)
+            << "colorchk" << "\n";
+  for (const std::string &Name : Order) {
+    const SuiteRow &Row = Rows[Name];
+    std::cout << std::left << std::setw(20) << Name << std::right
               << std::setw(15) << std::fixed << std::setprecision(1)
-              << 100.0 * RatioSum[S] / Instances << "%" << std::setw(12)
-              << TimeSum[S] << "us\n";
+              << 100.0 * Row.RatioSum / Instances << "%" << std::setw(12)
+              << Row.TimeSum << "us" << std::setw(12)
+              << Row.Telemetry.conservativeTests() << std::setw(12)
+              << Row.Telemetry.ColorabilityChecks << "\n";
+  }
   std::cout << "\n(aggressive ignores k and upper-bounds the others; at "
                "slack 0 the local rules starve, cf. Section 4)\n";
   return 0;

@@ -1,0 +1,184 @@
+//===- challenge/StrategyRegistry.cpp - Named strategy registry -----------===//
+
+#include "challenge/StrategyRegistry.h"
+
+#include "coalescing/Aggressive.h"
+#include "coalescing/BiasedColoring.h"
+#include "coalescing/ChordalStrategy.h"
+#include "coalescing/Conservative.h"
+#include "coalescing/IteratedRegisterCoalescing.h"
+#include "coalescing/Optimistic.h"
+#include "graph/Chordal.h"
+#include "graph/GreedyColorability.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rc;
+
+void StrategyOptions::set(const std::string &Key, const std::string &Value) {
+  for (auto &Entry : Entries)
+    if (Entry.first == Key) {
+      Entry.second = Value;
+      return;
+    }
+  Entries.emplace_back(Key, Value);
+}
+
+bool StrategyOptions::has(const std::string &Key) const {
+  return std::any_of(Entries.begin(), Entries.end(),
+                     [&Key](const auto &E) { return E.first == Key; });
+}
+
+std::string StrategyOptions::get(const std::string &Key,
+                                 const std::string &Default) const {
+  for (const auto &Entry : Entries)
+    if (Entry.first == Key)
+      return Entry.second;
+  return Default;
+}
+
+bool StrategyOptions::getBool(const std::string &Key, bool Default) const {
+  if (!has(Key))
+    return Default;
+  std::string V = get(Key);
+  if (V == "1" || V == "true" || V == "yes")
+    return true;
+  assert((V == "0" || V == "false" || V == "no") &&
+         "strategy option is not a bool");
+  return false;
+}
+
+bool rc::parseStrategySpec(const std::string &Spec, std::string &Name,
+                           StrategyOptions &Options, std::string *Error) {
+  Options = StrategyOptions();
+  size_t Colon = Spec.find(':');
+  Name = Spec.substr(0, Colon);
+  if (Name.empty()) {
+    if (Error)
+      *Error = "empty strategy name in spec '" + Spec + "'";
+    return false;
+  }
+  if (Colon == std::string::npos)
+    return true;
+  std::string Rest = Spec.substr(Colon + 1);
+  size_t Pos = 0;
+  while (Pos <= Rest.size()) {
+    size_t Comma = Rest.find(',', Pos);
+    std::string Item = Rest.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    size_t Eq = Item.find('=');
+    if (Item.empty() || Eq == 0 || Eq == std::string::npos) {
+      if (Error)
+        *Error = "malformed option '" + Item + "' in spec '" + Spec +
+                 "' (expected key=value)";
+      return false;
+    }
+    Options.set(Item.substr(0, Eq), Item.substr(Eq + 1));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+StrategyRegistry &StrategyRegistry::instance() {
+  static StrategyRegistry Registry;
+  return Registry;
+}
+
+void StrategyRegistry::add(StrategyInfo Info) {
+  assert(!Info.Name.empty() && "strategy must be named");
+  assert(!lookup(Info.Name) && "duplicate strategy name");
+  assert(Info.Run && "strategy must have a runner");
+  Strategies.push_back(std::move(Info));
+}
+
+const StrategyInfo *StrategyRegistry::lookup(const std::string &Name) const {
+  for (const StrategyInfo &S : Strategies)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  std::vector<std::string> Names;
+  Names.reserve(Strategies.size());
+  for (const StrategyInfo &S : Strategies)
+    Names.push_back(S.Name);
+  return Names;
+}
+
+StrategyRegistry::StrategyRegistry() {
+  // Built-ins, in the historical comparison order of allStrategies().
+  add({"aggressive", "weight-greedy merging, no register bound (upper bound)",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          CoalescingTelemetry &T) {
+         return aggressiveCoalesceGreedy(P, &T).Solution;
+       }});
+  add({"briggs", "conservative coalescing, Briggs' test only",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          CoalescingTelemetry &T) {
+         return conservativeCoalesce(P, ConservativeRule::Briggs, &T)
+             .Solution;
+       }});
+  add({"george", "conservative coalescing, George's test (both directions)",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          CoalescingTelemetry &T) {
+         return conservativeCoalesce(P, ConservativeRule::George, &T)
+             .Solution;
+       }});
+  add({"briggs+george", "conservative coalescing, either test suffices",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          CoalescingTelemetry &T) {
+         return conservativeCoalesce(P, ConservativeRule::BriggsOrGeorge, &T)
+             .Solution;
+       }});
+  add({"brute-conservative",
+       "conservative coalescing, merge-and-check greedy-k-colorability",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          CoalescingTelemetry &T) {
+         return conservativeCoalesce(P, ConservativeRule::BruteForce, &T)
+             .Solution;
+       }});
+  add({"optimistic",
+       "Park-Moon aggressive + de-coalescing + restore "
+       "(options: restore=bool, dissolve=cheapest|biggest)",
+       [](const CoalescingProblem &P, const StrategyOptions &Options,
+          CoalescingTelemetry &T) {
+         OptimisticOptions OO;
+         OO.Restore = Options.getBool("restore", true);
+         std::string Dissolve = Options.get("dissolve", "cheapest");
+         assert((Dissolve == "cheapest" || Dissolve == "biggest") &&
+                "dissolve must be cheapest or biggest");
+         OO.DissolveCheapest = Dissolve != "biggest";
+         return optimisticCoalesce(P, OO, &T).Solution;
+       }});
+  add({"irc",
+       "iterated register coalescing, George-Appel worklists "
+       "(options: george=bool)",
+       [](const CoalescingProblem &P, const StrategyOptions &Options,
+          CoalescingTelemetry &T) {
+         IrcOptions IO;
+         IO.UseGeorge = Options.getBool("george", true);
+         return iteratedRegisterCoalescing(P, IO, &T).Solution;
+       }});
+  add({"chordal-thm5",
+       "Theorem 5 chain strategy on chordal inputs with k >= omega "
+       "(falls back to brute-conservative otherwise)",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          CoalescingTelemetry &T) {
+         if (isChordal(P.G) && P.K >= chordalCliqueNumber(P.G))
+           return chordalCoalesce(P, &T).Solution;
+         return conservativeCoalesce(P, ConservativeRule::BruteForce, &T)
+             .Solution;
+       }});
+  add({"biased-select",
+       "no merging; biased select-phase coloring only (Section 1)",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          CoalescingTelemetry &) {
+         if (isGreedyKColorable(P.G, P.K))
+           return biasedColoring(P).Solution;
+         return identitySolution(P.G);
+       }});
+}

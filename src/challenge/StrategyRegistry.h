@@ -1,0 +1,108 @@
+//===- challenge/StrategyRegistry.h - Named strategy registry ---*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named coalescing strategies with string-parsed options,
+/// replacing the old hard-coded Strategy enum. Every consumer — the
+/// StrategyRunner comparison, examples/coalescing_challenge, tools/rc_fuzz,
+/// and the bench drivers — dispatches through the registry, so adding a
+/// strategy (or an option knob) is one registration, not five switch
+/// statements.
+///
+/// A strategy spec is "name" or "name:key=val,key2=val2", e.g.
+/// "optimistic:restore=0,dissolve=biggest" or "irc:george=0".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHALLENGE_STRATEGYREGISTRY_H
+#define CHALLENGE_STRATEGYREGISTRY_H
+
+#include "coalescing/Problem.h"
+#include "coalescing/Telemetry.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rc {
+
+/// Key/value options parsed from a strategy spec string. Keys are unique;
+/// lookups are linear (specs carry a handful of entries).
+class StrategyOptions {
+public:
+  /// Sets \p Key to \p Value, replacing any existing entry.
+  void set(const std::string &Key, const std::string &Value);
+
+  /// Returns true if \p Key is present.
+  bool has(const std::string &Key) const;
+
+  /// Returns the raw value of \p Key, or \p Default when absent.
+  std::string get(const std::string &Key,
+                  const std::string &Default = "") const;
+
+  /// Returns \p Key parsed as a bool ("1"/"true"/"yes" vs "0"/"false"/"no",
+  /// case-sensitive), or \p Default when absent. Asserts on other values.
+  bool getBool(const std::string &Key, bool Default) const;
+
+  /// All entries in insertion order.
+  const std::vector<std::pair<std::string, std::string>> &entries() const {
+    return Entries;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::string>> Entries;
+};
+
+/// A factory-registered named strategy.
+struct StrategyInfo {
+  /// Unique registry name (also the display name, e.g. "briggs+george").
+  std::string Name;
+  /// One-line description for listings.
+  std::string Summary;
+  /// Runs the strategy: produces the coalescing partition, accumulating
+  /// engine counters into the telemetry sink.
+  std::function<CoalescingSolution(const CoalescingProblem &,
+                                   const StrategyOptions &,
+                                   CoalescingTelemetry &)>
+      Run;
+};
+
+/// The process-wide strategy registry. The built-in strategies of the
+/// library (aggressive, briggs, george, briggs+george, brute-conservative,
+/// optimistic, irc, chordal-thm5, biased-select) are registered on first
+/// access, in comparison order.
+class StrategyRegistry {
+public:
+  /// Returns the singleton, with built-ins registered.
+  static StrategyRegistry &instance();
+
+  /// Registers \p Info. The name must be unique (asserted).
+  void add(StrategyInfo Info);
+
+  /// Returns the strategy named \p Name, or null.
+  const StrategyInfo *lookup(const std::string &Name) const;
+
+  /// All registered strategy names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// All registered strategies, in registration order.
+  const std::vector<StrategyInfo> &strategies() const { return Strategies; }
+
+private:
+  StrategyRegistry();
+  std::vector<StrategyInfo> Strategies;
+};
+
+/// Parses a strategy spec "name[:key=val[,key=val...]]" into \p Name and
+/// \p Options. Does not check that the name is registered.
+/// \returns false (with \p Error set, if non-null) on malformed input.
+bool parseStrategySpec(const std::string &Spec, std::string &Name,
+                       StrategyOptions &Options, std::string *Error = nullptr);
+
+} // namespace rc
+
+#endif // CHALLENGE_STRATEGYREGISTRY_H

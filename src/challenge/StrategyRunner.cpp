@@ -2,98 +2,21 @@
 
 #include "challenge/StrategyRunner.h"
 
-#include "coalescing/Aggressive.h"
-#include "coalescing/BiasedColoring.h"
-#include "coalescing/ChordalStrategy.h"
-#include "coalescing/Conservative.h"
-#include "coalescing/IteratedRegisterCoalescing.h"
-#include "coalescing/Optimistic.h"
-#include "graph/Chordal.h"
 #include "graph/GreedyColorability.h"
 
+#include <cassert>
 #include <chrono>
 #include <iomanip>
 
 using namespace rc;
 
-const char *rc::strategyName(Strategy S) {
-  switch (S) {
-  case Strategy::AggressiveGreedy:
-    return "aggressive";
-  case Strategy::ConservativeBriggs:
-    return "briggs";
-  case Strategy::ConservativeGeorge:
-    return "george";
-  case Strategy::ConservativeBoth:
-    return "briggs+george";
-  case Strategy::ConservativeBrute:
-    return "brute-conservative";
-  case Strategy::Optimistic:
-    return "optimistic";
-  case Strategy::Irc:
-    return "irc";
-  case Strategy::ChordalThm5:
-    return "chordal-thm5";
-  case Strategy::BiasedSelect:
-    return "biased-select";
-  }
-  return "?";
-}
-
-std::vector<Strategy> rc::allStrategies() {
-  return {Strategy::AggressiveGreedy,   Strategy::ConservativeBriggs,
-          Strategy::ConservativeGeorge, Strategy::ConservativeBoth,
-          Strategy::ConservativeBrute,  Strategy::Optimistic,
-          Strategy::Irc,                Strategy::ChordalThm5,
-          Strategy::BiasedSelect};
-}
-
-StrategyOutcome rc::runStrategy(const CoalescingProblem &P, Strategy S) {
+StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
+                                const StrategyInfo &Info,
+                                const StrategyOptions &Options) {
   StrategyOutcome Outcome;
-  Outcome.Which = S;
+  Outcome.Name = Info.Name;
   auto Start = std::chrono::steady_clock::now();
-
-  CoalescingSolution Solution;
-  switch (S) {
-  case Strategy::AggressiveGreedy:
-    Solution = aggressiveCoalesceGreedy(P).Solution;
-    break;
-  case Strategy::ConservativeBriggs:
-    Solution = conservativeCoalesce(P, ConservativeRule::Briggs).Solution;
-    break;
-  case Strategy::ConservativeGeorge:
-    Solution = conservativeCoalesce(P, ConservativeRule::George).Solution;
-    break;
-  case Strategy::ConservativeBoth:
-    Solution =
-        conservativeCoalesce(P, ConservativeRule::BriggsOrGeorge).Solution;
-    break;
-  case Strategy::ConservativeBrute:
-    Solution = conservativeCoalesce(P, ConservativeRule::BruteForce).Solution;
-    break;
-  case Strategy::Optimistic:
-    Solution = optimisticCoalesce(P).Solution;
-    break;
-  case Strategy::Irc:
-    Solution = iteratedRegisterCoalescing(P).Solution;
-    break;
-  case Strategy::ChordalThm5:
-    // The Theorem 5 strategy needs a chordal input with k >= omega; on
-    // anything else fall back to the brute-force conservative driver.
-    if (isChordal(P.G) && P.K >= chordalCliqueNumber(P.G))
-      Solution = chordalCoalesce(P).Solution;
-    else
-      Solution =
-          conservativeCoalesce(P, ConservativeRule::BruteForce).Solution;
-    break;
-  case Strategy::BiasedSelect:
-    if (isGreedyKColorable(P.G, P.K))
-      Solution = biasedColoring(P).Solution;
-    else
-      Solution = identitySolution(P.G);
-    break;
-  }
-
+  CoalescingSolution Solution = Info.Run(P, Options, Outcome.Telemetry);
   auto End = std::chrono::steady_clock::now();
   Outcome.Microseconds =
       std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
@@ -107,24 +30,55 @@ StrategyOutcome rc::runStrategy(const CoalescingProblem &P, Strategy S) {
   return Outcome;
 }
 
+StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
+                                const std::string &Spec) {
+  std::string Name;
+  StrategyOptions Options;
+  [[maybe_unused]] bool Parsed = parseStrategySpec(Spec, Name, Options);
+  assert(Parsed && "malformed strategy spec");
+  const StrategyInfo *Info = StrategyRegistry::instance().lookup(Name);
+  assert(Info && "unknown strategy name");
+  return runStrategy(P, *Info, Options);
+}
+
 std::vector<StrategyOutcome>
 rc::runAllStrategies(const CoalescingProblem &P) {
   std::vector<StrategyOutcome> Outcomes;
-  for (Strategy S : allStrategies())
-    Outcomes.push_back(runStrategy(P, S));
+  for (const StrategyInfo &Info : StrategyRegistry::instance().strategies())
+    Outcomes.push_back(runStrategy(P, Info));
   return Outcomes;
 }
 
 void rc::printComparison(std::ostream &OS,
                          const std::vector<StrategyOutcome> &Outcomes) {
   OS << std::left << std::setw(20) << "strategy" << std::right
-     << std::setw(12) << "coalesced" << std::setw(12) << "weight%"
-     << std::setw(10) << "greedy-k" << std::setw(12) << "time(us)" << "\n";
+     << std::setw(11) << "coalesced" << std::setw(10) << "weight%"
+     << std::setw(10) << "greedy-k" << std::setw(9) << "tests" << std::setw(8)
+     << "t-fail" << std::setw(10) << "colorchk" << std::setw(9) << "undone"
+     << std::setw(11) << "time(us)" << "\n";
   for (const StrategyOutcome &O : Outcomes) {
-    OS << std::left << std::setw(20) << strategyName(O.Which) << std::right
-       << std::setw(12) << O.Stats.CoalescedAffinities << std::setw(11)
-       << std::fixed << std::setprecision(1) << 100.0 * O.CoalescedWeightRatio
-       << "%" << std::setw(10) << (O.QuotientGreedyKColorable ? "yes" : "NO")
-       << std::setw(12) << O.Microseconds << "\n";
+    OS << std::left << std::setw(20) << O.Name << std::right << std::setw(11)
+       << O.Stats.CoalescedAffinities << std::setw(9) << std::fixed
+       << std::setprecision(1) << 100.0 * O.CoalescedWeightRatio << "%"
+       << std::setw(10) << (O.QuotientGreedyKColorable ? "yes" : "NO")
+       << std::setw(9) << O.Telemetry.conservativeTests() << std::setw(8)
+       << O.Telemetry.conservativeTestFailures() << std::setw(10)
+       << O.Telemetry.ColorabilityChecks << std::setw(9)
+       << O.Telemetry.MergesRolledBack << std::setw(11) << O.Microseconds
+       << "\n";
   }
+}
+
+void rc::writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O) {
+  OS << "{\"strategy\":\"" << O.Name << "\""
+     << ",\"coalesced_affinities\":" << O.Stats.CoalescedAffinities
+     << ",\"uncoalesced_affinities\":" << O.Stats.UncoalescedAffinities
+     << ",\"coalesced_weight\":" << O.Stats.CoalescedWeight
+     << ",\"uncoalesced_weight\":" << O.Stats.UncoalescedWeight
+     << ",\"coalesced_weight_ratio\":" << O.CoalescedWeightRatio
+     << ",\"quotient_greedy_k_colorable\":"
+     << (O.QuotientGreedyKColorable ? "true" : "false")
+     << ",\"microseconds\":" << O.Microseconds << ",\"telemetry\":";
+  writeTelemetryJson(OS, O.Telemetry);
+  OS << "}";
 }

@@ -5,19 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs every coalescing strategy of the library on an instance and collects
-/// comparable metrics (coalesced move weight, validity, wall time). This
-/// reproduces the shape of the Appel–George coalescing-challenge comparison
-/// the paper's introduction and conclusion refer to: conservative local
-/// rules (Briggs / George) versus brute-force conservative tests and
-/// optimistic coalescing, under register pressure.
+/// Runs coalescing strategies from the StrategyRegistry on an instance and
+/// collects comparable metrics (coalesced move weight, validity, wall time,
+/// engine telemetry). This reproduces the shape of the Appel–George
+/// coalescing-challenge comparison the paper's introduction and conclusion
+/// refer to: conservative local rules (Briggs / George) versus brute-force
+/// conservative tests and optimistic coalescing, under register pressure —
+/// now with per-strategy counters showing how much engine work each one
+/// paid for its result.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHALLENGE_STRATEGYRUNNER_H
 #define CHALLENGE_STRATEGYRUNNER_H
 
+#include "challenge/StrategyRegistry.h"
 #include "coalescing/Problem.h"
+#include "coalescing/Telemetry.h"
 
 #include <ostream>
 #include <string>
@@ -25,29 +29,10 @@
 
 namespace rc {
 
-/// The strategies the runner compares.
-enum class Strategy {
-  AggressiveGreedy,   ///< No register bound (upper bound on coalescing).
-  ConservativeBriggs, ///< Briggs' rule only.
-  ConservativeGeorge, ///< George's rule only (both directions).
-  ConservativeBoth,   ///< Briggs or George.
-  ConservativeBrute,  ///< Merge-and-check greedy-k-colorability.
-  Optimistic,         ///< Park–Moon aggressive + de-coalescing + restore.
-  Irc,                ///< Iterated register coalescing (George–Appel).
-  ChordalThm5,        ///< Theorem 5 chain strategy (chordal inputs; falls
-                      ///< back to ConservativeBrute otherwise).
-  BiasedSelect,       ///< No merging; biased coloring only (Section 1).
-};
-
-/// Returns a short display name for \p S.
-const char *strategyName(Strategy S);
-
-/// All strategies in comparison order.
-std::vector<Strategy> allStrategies();
-
 /// Metrics of one strategy on one instance.
 struct StrategyOutcome {
-  Strategy Which = Strategy::AggressiveGreedy;
+  /// Registry name of the strategy.
+  std::string Name;
   CoalescingStats Stats;
   /// Fraction of total affinity weight coalesced (1.0 = everything).
   double CoalescedWeightRatio = 0;
@@ -56,17 +41,33 @@ struct StrategyOutcome {
   bool QuotientGreedyKColorable = false;
   /// Wall time in microseconds.
   int64_t Microseconds = 0;
+  /// Engine counters accumulated during the run.
+  CoalescingTelemetry Telemetry;
 };
 
-/// Runs \p S on \p P.
-StrategyOutcome runStrategy(const CoalescingProblem &P, Strategy S);
+/// Runs the registered strategy \p Info on \p P with \p Options.
+StrategyOutcome runStrategy(const CoalescingProblem &P,
+                            const StrategyInfo &Info,
+                            const StrategyOptions &Options = {});
 
-/// Runs all strategies on \p P.
+/// Runs the strategy described by \p Spec ("name[:key=val,...]") on \p P.
+/// The name must be registered (asserted); validate with
+/// StrategyRegistry::instance().lookup first for user-supplied specs.
+StrategyOutcome runStrategy(const CoalescingProblem &P,
+                            const std::string &Spec);
+
+/// Runs every registered strategy on \p P with default options, in
+/// registration order.
 std::vector<StrategyOutcome> runAllStrategies(const CoalescingProblem &P);
 
-/// Prints an aligned comparison table.
+/// Prints an aligned comparison table including telemetry counters
+/// (conservative tests run/failed, colorability checks, merges rolled
+/// back).
 void printComparison(std::ostream &OS,
                      const std::vector<StrategyOutcome> &Outcomes);
+
+/// Writes \p O as one JSON object (stats + telemetry, no trailing newline).
+void writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O);
 
 } // namespace rc
 

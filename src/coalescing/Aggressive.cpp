@@ -9,8 +9,10 @@
 
 using namespace rc;
 
-AggressiveResult rc::aggressiveCoalesceGreedy(const CoalescingProblem &P) {
+AggressiveResult rc::aggressiveCoalesceGreedy(const CoalescingProblem &P,
+                                              CoalescingTelemetry *Telemetry) {
   WorkGraph WG(P.G);
+  WG.attachTelemetry(Telemetry);
   std::vector<unsigned> Order(P.Affinities.size());
   std::iota(Order.begin(), Order.end(), 0u);
   std::stable_sort(Order.begin(), Order.end(), [&P](unsigned A, unsigned B) {
@@ -19,7 +21,10 @@ AggressiveResult rc::aggressiveCoalesceGreedy(const CoalescingProblem &P) {
 
   for (unsigned Idx : Order) {
     const Affinity &A = P.Affinities[Idx];
-    if (!WG.sameClass(A.U, A.V) && !WG.interfere(A.U, A.V))
+    if (WG.sameClass(A.U, A.V))
+      continue;
+    WG.note(EngineEvent::MergeAttempted, A.U, A.V);
+    if (!WG.interfere(A.U, A.V))
       WG.merge(A.U, A.V);
   }
 
@@ -32,10 +37,11 @@ AggressiveResult rc::aggressiveCoalesceGreedy(const CoalescingProblem &P) {
 namespace {
 
 /// Depth-first branch and bound over include/exclude decisions per affinity.
+/// Branches speculate on the shared engine via checkpoint/rollback.
 class AggressiveSearch {
 public:
   AggressiveSearch(const CoalescingProblem &P, uint64_t NodeLimit)
-      : P(P), NodeLimit(NodeLimit) {
+      : P(P), WG(P.G), NodeLimit(NodeLimit) {
     // Suffix weights for the admissible bound: the best we can still gain
     // from affinity Index onward.
     SuffixWeight.assign(P.Affinities.size() + 1, 0);
@@ -49,8 +55,7 @@ public:
     Best = Greedy.Solution;
     BestWeight = Greedy.Stats.CoalescedWeight;
 
-    WorkGraph WG(P.G);
-    recurse(0, 0.0, WG);
+    recurse(0, 0.0);
 
     AggressiveResult Result;
     Result.Solution = Best;
@@ -61,7 +66,7 @@ public:
   }
 
 private:
-  void recurse(size_t Index, double Gained, const WorkGraph &WG) {
+  void recurse(size_t Index, double Gained) {
     if (LimitHit)
       return;
     if (++Nodes > NodeLimit) {
@@ -80,18 +85,20 @@ private:
     const Affinity &A = P.Affinities[Index];
     // Transitive merges may have coalesced this affinity already.
     if (WG.sameClass(A.U, A.V)) {
-      recurse(Index + 1, Gained + A.Weight, WG);
+      recurse(Index + 1, Gained + A.Weight);
       return;
     }
     if (!WG.interfere(A.U, A.V)) {
-      WorkGraph Copy = WG; // Copy-on-branch; instances are small.
-      Copy.merge(A.U, A.V);
-      recurse(Index + 1, Gained + A.Weight, Copy);
+      WG.checkpoint();
+      WG.merge(A.U, A.V);
+      recurse(Index + 1, Gained + A.Weight);
+      WG.rollback();
     }
-    recurse(Index + 1, Gained, WG);
+    recurse(Index + 1, Gained);
   }
 
   const CoalescingProblem &P;
+  WorkGraph WG;
   uint64_t NodeLimit;
   uint64_t Nodes = 0;
   bool LimitHit = false;

@@ -17,6 +17,7 @@
 #define COALESCING_AGGRESSIVE_H
 
 #include "coalescing/Problem.h"
+#include "coalescing/Telemetry.h"
 
 #include <cstdint>
 
@@ -34,8 +35,11 @@ struct AggressiveResult {
 
 /// Weight-greedy aggressive coalescing: processes affinities in decreasing
 /// weight order, merging whenever the two classes do not interfere.
-/// Runs in roughly O(A log A + E alpha(V)).
-AggressiveResult aggressiveCoalesceGreedy(const CoalescingProblem &P);
+/// Runs in roughly O(A log A + E alpha(V)). When \p Telemetry is non-null
+/// the engine's event counters accumulate into it.
+AggressiveResult aggressiveCoalesceGreedy(const CoalescingProblem &P,
+                                          CoalescingTelemetry *Telemetry =
+                                              nullptr);
 
 /// Exact aggressive coalescing by branch and bound over the affinity list:
 /// maximizes the coalesced weight. Exponential; intended for instances with

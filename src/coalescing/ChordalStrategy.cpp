@@ -11,7 +11,12 @@
 
 using namespace rc;
 
-ChordalStrategyResult rc::chordalCoalesce(const CoalescingProblem &P) {
+ChordalStrategyResult rc::chordalCoalesce(const CoalescingProblem &P,
+                                          CoalescingTelemetry *Telemetry) {
+  auto Count = [Telemetry](EngineEvent E) {
+    if (Telemetry)
+      Telemetry->count(E);
+  };
   assert(isChordal(P.G) && "chordal strategy requires a chordal graph");
   assert(P.K >= chordalCliqueNumber(P.G) &&
          "chordal strategy requires k >= omega");
@@ -44,6 +49,7 @@ ChordalStrategyResult rc::chordalCoalesce(const CoalescingProblem &P) {
     unsigned X = DenseIds[A.U], Y = DenseIds[A.V];
     if (X == Y)
       continue; // Already coalesced (directly or by a chain).
+    Count(EngineEvent::MergeAttempted);
     if (Current.hasEdge(X, Y)) {
       ++Result.InfeasibleAffinities;
       continue;
@@ -66,8 +72,10 @@ ChordalStrategyResult rc::chordalCoalesce(const CoalescingProblem &P) {
                     Decision.MergedChain.end(),
                     DenseIds[Vertex]) != Decision.MergedChain.end())
         Reps.push_back(Vertex);
-    for (size_t I = 1; I < Reps.size(); ++I)
+    for (size_t I = 1; I < Reps.size(); ++I) {
       Classes.merge(Reps[0], Reps[I]);
+      Count(EngineEvent::MergeCommitted);
+    }
     rebuild();
   }
 

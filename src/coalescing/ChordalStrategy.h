@@ -24,6 +24,7 @@
 #define COALESCING_CHORDALSTRATEGY_H
 
 #include "coalescing/Problem.h"
+#include "coalescing/Telemetry.h"
 
 namespace rc {
 
@@ -38,8 +39,11 @@ struct ChordalStrategyResult {
 };
 
 /// Runs the Theorem 5 strategy on \p P. Requires \p P.G chordal and
-/// \p P.K >= omega(P.G) (asserted).
-ChordalStrategyResult chordalCoalesce(const CoalescingProblem &P);
+/// \p P.K >= omega(P.G) (asserted). When \p Telemetry is non-null, merge
+/// attempt/commit counters accumulate into it.
+ChordalStrategyResult chordalCoalesce(const CoalescingProblem &P,
+                                      CoalescingTelemetry *Telemetry =
+                                          nullptr);
 
 } // namespace rc
 

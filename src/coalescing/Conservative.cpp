@@ -11,6 +11,7 @@
 using namespace rc;
 
 bool rc::briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K) {
+  WG.note(EngineEvent::BriggsTestRun, U, V);
   unsigned CU = WG.classOf(U), CV = WG.classOf(V);
   assert(CU != CV && "testing a merge of one class with itself");
   // Count neighbors of the merged node whose post-merge degree is >= k.
@@ -20,41 +21,50 @@ bool rc::briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K) {
     if (N == CV)
       continue;
     unsigned Deg = WG.degree(N);
-    if (WG.neighborClasses(CV).count(N))
+    if (WG.classesAdjacent(CV, N))
       --Deg;
     if (Deg >= K)
       ++HighDegree;
   }
   for (unsigned N : WG.neighborClasses(CV)) {
-    if (N == CU || WG.neighborClasses(CU).count(N))
+    if (N == CU || WG.classesAdjacent(CU, N))
       continue; // Common neighbors were counted in the first loop.
     if (WG.degree(N) >= K)
       ++HighDegree;
   }
-  return HighDegree < K;
+  bool Passed = HighDegree < K;
+  if (Passed)
+    WG.note(EngineEvent::BriggsTestPassed, U, V);
+  return Passed;
 }
 
 bool rc::georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K) {
+  WG.note(EngineEvent::GeorgeTestRun, U, V);
   unsigned CU = WG.classOf(U), CV = WG.classOf(V);
   assert(CU != CV && "testing a merge of one class with itself");
   for (unsigned N : WG.neighborClasses(CU)) {
     if (N == CV)
       continue;
-    if (WG.degree(N) >= K && !WG.neighborClasses(CV).count(N))
+    if (WG.degree(N) >= K && !WG.classesAdjacent(CV, N))
       return false;
   }
+  WG.note(EngineEvent::GeorgeTestPassed, U, V);
   return true;
 }
 
-bool rc::bruteForceTest(const WorkGraph &WG, unsigned U, unsigned V,
-                        unsigned K) {
-  WorkGraph Copy = WG;
-  Copy.merge(U, V);
-  return isGreedyKColorable(Copy.quotientGraph(), K);
+bool rc::bruteForceTest(WorkGraph &WG, unsigned U, unsigned V, unsigned K) {
+  WG.note(EngineEvent::BruteForceTestRun, U, V);
+  WG.checkpoint();
+  WG.merge(U, V);
+  bool Passed = WG.quotientGreedyKColorable(K);
+  WG.rollback();
+  if (Passed)
+    WG.note(EngineEvent::BruteForceTestPassed, U, V);
+  return Passed;
 }
 
-static bool ruleAllows(const WorkGraph &WG, unsigned U, unsigned V,
-                       unsigned K, ConservativeRule Rule) {
+static bool ruleAllows(WorkGraph &WG, unsigned U, unsigned V, unsigned K,
+                       ConservativeRule Rule) {
   switch (Rule) {
   case ConservativeRule::Briggs:
     return briggsTest(WG, U, V, K);
@@ -71,8 +81,10 @@ static bool ruleAllows(const WorkGraph &WG, unsigned U, unsigned V,
 }
 
 ConservativeResult rc::conservativeCoalesce(const CoalescingProblem &P,
-                                            ConservativeRule Rule) {
+                                            ConservativeRule Rule,
+                                            CoalescingTelemetry *Telemetry) {
   WorkGraph WG(P.G);
+  WG.attachTelemetry(Telemetry);
   std::vector<unsigned> Order(P.Affinities.size());
   std::iota(Order.begin(), Order.end(), 0u);
   std::stable_sort(Order.begin(), Order.end(), [&P](unsigned A, unsigned B) {
@@ -96,6 +108,7 @@ ConservativeResult rc::conservativeCoalesce(const CoalescingProblem &P,
         Done[Idx] = true;
         continue;
       }
+      WG.note(EngineEvent::MergeAttempted, A.U, A.V);
       if (WG.interfere(A.U, A.V)) {
         ++Result.InterferenceRejections;
         continue;
@@ -123,20 +136,21 @@ ConservativeResult rc::conservativeCoalesce(const CoalescingProblem &P,
 namespace {
 
 /// Exhaustive include/exclude search over affinities with a feasibility
-/// check (k-colorability of the quotient) at the leaves.
+/// check (k-colorability of the quotient) at the leaves. Branches merge on
+/// the shared engine under a checkpoint and roll back on return instead of
+/// copying the graph.
 class ExactConservativeSearch {
 public:
   ExactConservativeSearch(const CoalescingProblem &P, bool RequireGreedy,
                           uint64_t NodeLimit)
-      : P(P), RequireGreedy(RequireGreedy), NodeLimit(NodeLimit) {
+      : P(P), WG(P.G), RequireGreedy(RequireGreedy), NodeLimit(NodeLimit) {
     SuffixWeight.assign(P.Affinities.size() + 1, 0);
     for (size_t I = P.Affinities.size(); I > 0; --I)
       SuffixWeight[I - 1] = SuffixWeight[I] + P.Affinities[I - 1].Weight;
   }
 
   ExactConservativeResult run() {
-    WorkGraph WG(P.G);
-    recurse(0, 0.0, WG);
+    recurse(0, 0.0);
     ExactConservativeResult Result;
     if (HasBest) {
       Result.Solution = Best;
@@ -152,14 +166,13 @@ public:
   }
 
 private:
-  bool feasible(const WorkGraph &WG) {
-    Graph Quotient = WG.quotientGraph();
+  bool feasible() {
     if (RequireGreedy)
-      return isGreedyKColorable(Quotient, P.K);
-    return exactKColoring(Quotient, P.K).Colorable;
+      return WG.quotientGreedyKColorable(P.K);
+    return exactKColoring(WG.quotientGraph(), P.K).Colorable;
   }
 
-  void recurse(size_t Index, double Gained, const WorkGraph &WG) {
+  void recurse(size_t Index, double Gained) {
     if (LimitHit)
       return;
     if (++Nodes > NodeLimit) {
@@ -169,7 +182,7 @@ private:
     if (HasBest && Gained + SuffixWeight[Index] <= BestWeight + 1e-12)
       return;
     if (Index == P.Affinities.size()) {
-      if (!feasible(WG))
+      if (!feasible())
         return;
       Best = WG.solution();
       BestWeight = Gained;
@@ -178,18 +191,20 @@ private:
     }
     const Affinity &A = P.Affinities[Index];
     if (WG.sameClass(A.U, A.V)) {
-      recurse(Index + 1, Gained + A.Weight, WG);
+      recurse(Index + 1, Gained + A.Weight);
       return;
     }
     if (!WG.interfere(A.U, A.V)) {
-      WorkGraph Copy = WG;
-      Copy.merge(A.U, A.V);
-      recurse(Index + 1, Gained + A.Weight, Copy);
+      WG.checkpoint();
+      WG.merge(A.U, A.V);
+      recurse(Index + 1, Gained + A.Weight);
+      WG.rollback();
     }
-    recurse(Index + 1, Gained, WG);
+    recurse(Index + 1, Gained);
   }
 
   const CoalescingProblem &P;
+  WorkGraph WG;
   bool RequireGreedy;
   uint64_t NodeLimit;
   uint64_t Nodes = 0;

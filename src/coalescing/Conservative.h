@@ -53,8 +53,10 @@ bool briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
 bool georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
 
 /// Returns true if the quotient graph remains greedy-k-colorable after
-/// merging the classes of \p U and \p V (linear-time full check).
-bool bruteForceTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
+/// merging the classes of \p U and \p V (linear-time full check). The merge
+/// is probed under a checkpoint and rolled back, so \p WG is unchanged on
+/// return (but must be mutable).
+bool bruteForceTest(WorkGraph &WG, unsigned U, unsigned V, unsigned K);
 
 /// Result of a conservative coalescing run.
 struct ConservativeResult {
@@ -69,9 +71,12 @@ struct ConservativeResult {
 /// Conservative coalescing driver: processes affinities in decreasing
 /// weight order, merging when the classes do not interfere and \p Rule
 /// deems the merge safe. Repeats passes until a fixed point, since a merge
-/// can enable previously rejected affinities.
+/// can enable previously rejected affinities. When \p Telemetry is non-null
+/// the engine's event counters accumulate into it.
 ConservativeResult conservativeCoalesce(const CoalescingProblem &P,
-                                        ConservativeRule Rule);
+                                        ConservativeRule Rule,
+                                        CoalescingTelemetry *Telemetry =
+                                            nullptr);
 
 /// Exact conservative coalescing for tiny instances: maximizes coalesced
 /// weight over all partitions induced by affinity subsets, subject to the

@@ -20,8 +20,10 @@ namespace {
 
 class Irc {
 public:
-  Irc(const CoalescingProblem &P, const IrcOptions &Options)
-      : P(P), Options(Options), K(P.K), N(P.G.numVertices()) {}
+  Irc(const CoalescingProblem &P, const IrcOptions &Options,
+      CoalescingTelemetry *Telemetry)
+      : P(P), Options(Options), Telemetry(Telemetry), K(P.K),
+        N(P.G.numVertices()) {}
 
   IrcResult run();
 
@@ -85,8 +87,14 @@ private:
   void freezeMoves(unsigned U);
   void removeFromWorklist(unsigned N0);
 
+  void count(EngineEvent E) const {
+    if (Telemetry)
+      Telemetry->count(E);
+  }
+
   const CoalescingProblem &P;
   IrcOptions Options;
+  CoalescingTelemetry *Telemetry;
   unsigned K;
   unsigned N;
 
@@ -231,13 +239,17 @@ bool Irc::ok(unsigned T, unsigned R) const {
 }
 
 bool Irc::georgeOk(unsigned U, unsigned V) const {
+  count(EngineEvent::GeorgeTestRun);
   // Every significant neighbor of V must be a neighbor of U.
   bool AllOk = true;
   forEachAdjacent(V, [&](unsigned T) { AllOk = AllOk && ok(T, U); });
+  if (AllOk)
+    count(EngineEvent::GeorgeTestPassed);
   return AllOk;
 }
 
 bool Irc::briggsOk(unsigned U, unsigned V) const {
+  count(EngineEvent::BriggsTestRun);
   // Conservative (Briggs): merged node has < K significant neighbors.
   std::set<unsigned> Neighbors;
   forEachAdjacent(U, [&](unsigned T) { Neighbors.insert(T); });
@@ -251,6 +263,8 @@ bool Irc::briggsOk(unsigned U, unsigned V) const {
     if (D >= K)
       ++Significant;
   }
+  if (Significant < K)
+    count(EngineEvent::BriggsTestPassed);
   return Significant < K;
 }
 
@@ -259,6 +273,7 @@ void Irc::coalesce() {
   WorklistMoves.pop_back();
   unsigned U = getAlias(P.Affinities[M].U);
   unsigned V = getAlias(P.Affinities[M].V);
+  count(EngineEvent::MergeAttempted);
 
   if (U == V) {
     MState[M] = MoveState::Coalesced;
@@ -283,6 +298,7 @@ void Irc::coalesce() {
 
 void Irc::combine(unsigned U, unsigned V) {
   // V is absorbed into U.
+  count(EngineEvent::MergeCommitted);
   removeFromWorklist(V);
   State[V] = NodeState::Coalesced;
   Alias[V] = U;
@@ -435,7 +451,8 @@ IrcResult Irc::run() {
 } // namespace
 
 IrcResult rc::iteratedRegisterCoalescing(const CoalescingProblem &P,
-                                         const IrcOptions &Options) {
-  Irc Allocator(P, Options);
+                                         const IrcOptions &Options,
+                                         CoalescingTelemetry *Telemetry) {
+  Irc Allocator(P, Options, Telemetry);
   return Allocator.run();
 }

@@ -21,6 +21,7 @@
 #define COALESCING_ITERATEDREGISTERCOALESCING_H
 
 #include "coalescing/Problem.h"
+#include "coalescing/Telemetry.h"
 #include "graph/Coloring.h"
 
 #include <vector>
@@ -53,9 +54,12 @@ struct IrcResult {
   unsigned FrozenMoves = 0;
 };
 
-/// Runs iterated register coalescing on \p P with \p P.K registers.
+/// Runs iterated register coalescing on \p P with \p P.K registers. When
+/// \p Telemetry is non-null, merge attempts and Briggs/George test
+/// run/outcome counters accumulate into it.
 IrcResult iteratedRegisterCoalescing(const CoalescingProblem &P,
-                                     const IrcOptions &Options = {});
+                                     const IrcOptions &Options = {},
+                                     CoalescingTelemetry *Telemetry = nullptr);
 
 } // namespace rc
 

@@ -34,13 +34,21 @@ NodeMergingResult rc::mergeNodesForColorability(const Graph &G, unsigned K) {
         unsigned B = RepOfDense[E.Stuck[J]];
         if (WG.interfere(A, B))
           continue;
+        // Two-pointer intersection count over the sorted neighbor lists.
         unsigned Common = 0;
-        const auto &NA = WG.neighborClasses(A);
-        const auto &NB = WG.neighborClasses(B);
-        const auto &Small = NA.size() <= NB.size() ? NA : NB;
-        const auto &Large = NA.size() <= NB.size() ? NB : NA;
-        for (unsigned N : Small)
-          Common += Large.count(N);
+        const std::vector<unsigned> &NA = WG.neighborClasses(A);
+        const std::vector<unsigned> &NB = WG.neighborClasses(B);
+        for (size_t IA = 0, IB = 0; IA < NA.size() && IB < NB.size();) {
+          if (NA[IA] < NB[IB])
+            ++IA;
+          else if (NA[IA] > NB[IB])
+            ++IB;
+          else {
+            ++Common;
+            ++IA;
+            ++IB;
+          }
+        }
         if (Common > BestCommon) {
           BestA = A;
           BestB = B;

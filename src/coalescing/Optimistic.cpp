@@ -4,78 +4,66 @@
 
 #include "coalescing/WorkGraph.h"
 #include "graph/GreedyColorability.h"
-#include "support/UnionFind.h"
 
 #include <algorithm>
 #include <numeric>
 
 using namespace rc;
 
-namespace {
+OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
+                                        const OptimisticOptions &Options,
+                                        CoalescingTelemetry *Telemetry) {
+  OptimisticResult Result;
+  unsigned NumAffinities = static_cast<unsigned>(P.Affinities.size());
 
-/// Rebuilds the partition induced by the kept affinities in decreasing
-/// weight order (so conflicting merges resolve in favor of expensive moves,
-/// like the aggressive phase), skipping any kept affinity that became
-/// conflicting.
-WorkGraph buildPartition(const CoalescingProblem &P,
-                         const std::vector<bool> &Kept) {
-  std::vector<unsigned> Order(P.Affinities.size());
+  std::vector<unsigned> Order(NumAffinities);
   std::iota(Order.begin(), Order.end(), 0u);
   std::stable_sort(Order.begin(), Order.end(), [&P](unsigned A, unsigned B) {
     return P.Affinities[A].Weight > P.Affinities[B].Weight;
   });
+
+  // One engine for every phase: partitions for a kept affinity set are
+  // re-derived by rolling back to the base checkpoint and re-merging in
+  // decreasing weight order (so conflicting merges resolve in favor of
+  // expensive moves, like the aggressive phase), skipping any kept affinity
+  // that became conflicting.
   WorkGraph WG(P.G);
-  for (unsigned Idx : Order) {
-    if (!Kept[Idx])
-      continue;
-    const Affinity &A = P.Affinities[Idx];
-    if (!WG.sameClass(A.U, A.V) && !WG.interfere(A.U, A.V))
-      WG.merge(A.U, A.V);
-  }
-  return WG;
-}
-
-} // namespace
-
-OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
-                                        const OptimisticOptions &Options) {
-  OptimisticResult Result;
-  unsigned NumAffinities = static_cast<unsigned>(P.Affinities.size());
+  WG.attachTelemetry(Telemetry);
+  WorkGraph::Checkpoint Base = WG.checkpoint();
+  auto applyKept = [&](const std::vector<bool> &Kept) {
+    for (unsigned Idx : Order) {
+      if (!Kept[Idx])
+        continue;
+      const Affinity &A = P.Affinities[Idx];
+      if (!WG.sameClass(A.U, A.V) && !WG.interfere(A.U, A.V))
+        WG.merge(A.U, A.V);
+    }
+  };
 
   // Phase 1 -- aggressive: keep everything the greedy aggressive pass can
   // coalesce.
   std::vector<bool> Kept(NumAffinities, false);
-  {
-    WorkGraph WG = buildPartition(
-        P, std::vector<bool>(NumAffinities, true));
-    for (unsigned Idx = 0; Idx < NumAffinities; ++Idx)
-      Kept[Idx] = WG.sameClass(P.Affinities[Idx].U, P.Affinities[Idx].V);
-  }
+  applyKept(std::vector<bool>(NumAffinities, true));
+  for (unsigned Idx = 0; Idx < NumAffinities; ++Idx)
+    Kept[Idx] = WG.sameClass(P.Affinities[Idx].U, P.Affinities[Idx].V);
 
   // Phase 2 -- de-coalesce: while the quotient is not greedy-k-colorable,
   // dissolve the stuck merged class whose internal kept affinities are
   // cheapest to give up.
   for (;;) {
-    WorkGraph WG = buildPartition(P, Kept);
-    Graph Quotient = WG.quotientGraph();
-    EliminationResult E = greedyEliminate(Quotient, P.K);
-    if (E.Success) {
+    WG.rollbackTo(Base);
+    applyKept(Kept);
+    std::vector<unsigned> StuckReps;
+    if (WG.quotientGreedyKColorable(P.K, &StuckReps)) {
       Result.GreedyKColorable = true;
       break;
     }
 
-    // Map stuck quotient ids back to class representatives.
-    CoalescingSolution S = WG.solution();
-    std::vector<unsigned> RepOfDense(S.NumClasses, ~0u);
-    for (unsigned V = 0; V < P.G.numVertices(); ++V)
-      if (RepOfDense[S.ClassIds[V]] == ~0u)
-        RepOfDense[S.ClassIds[V]] = WG.classOf(V);
+    std::vector<bool> Stuck(P.G.numVertices(), false);
+    for (unsigned R : StuckReps)
+      Stuck[R] = true;
 
     // Internal kept affinity weight per stuck class.
-    std::vector<bool> Stuck(P.G.numVertices(), false);
-    for (unsigned DenseId : E.Stuck)
-      Stuck[RepOfDense[DenseId]] = true;
-
     unsigned BestClass = ~0u;
     double BestScore = 0;
     std::vector<double> Cost(P.G.numVertices(), 0);
@@ -112,35 +100,33 @@ OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
     for (unsigned Idx = 0; Idx < NumAffinities; ++Idx)
       if (Kept[Idx] && WG.classOf(P.Affinities[Idx].U) == BestClass)
         Kept[Idx] = false;
+    WG.note(EngineEvent::DeCoalesce, BestClass);
     ++Result.Dissolutions;
   }
 
   // Phase 3 -- restore: re-coalesce given-up affinities that are safe now
-  // (Park and Moon's second chance), most expensive first.
-  WorkGraph WG = buildPartition(P, Kept);
+  // (Park and Moon's second chance), most expensive first. The loop-exit
+  // engine state is already the partition induced by Kept.
   if (Result.GreedyKColorable && Options.Restore) {
-    std::vector<unsigned> Order(NumAffinities);
-    std::iota(Order.begin(), Order.end(), 0u);
-    std::stable_sort(Order.begin(), Order.end(),
-                     [&P](unsigned A, unsigned B) {
-                       return P.Affinities[A].Weight > P.Affinities[B].Weight;
-                     });
     for (unsigned Idx : Order) {
       if (Kept[Idx])
         continue;
       const Affinity &A = P.Affinities[Idx];
       if (WG.sameClass(A.U, A.V))
         continue;
+      WG.note(EngineEvent::MergeAttempted, A.U, A.V);
       if (WG.interfere(A.U, A.V))
         continue;
       if (!bruteForceTest(WG, A.U, A.V, P.K))
         continue;
       WG.merge(A.U, A.V);
       Kept[Idx] = true;
+      WG.note(EngineEvent::AffinityRestored, A.U, A.V);
       ++Result.Restored;
     }
   }
 
+  WG.commit();
   Result.Solution = WG.solution();
   Result.Stats = evaluateSolution(P, Result.Solution);
   assert((!Result.GreedyKColorable ||

@@ -55,9 +55,11 @@ struct OptimisticResult {
 /// repeatedly dissolve the cheapest merged class stuck in the greedy
 /// elimination, then conservatively restore given-up affinities that have
 /// become safe. If \p P.G itself is greedy-k-colorable the result always is
-/// (dissolving everything restores G).
+/// (dissolving everything restores G). When \p Telemetry is non-null the
+/// engine's event counters accumulate into it.
 OptimisticResult optimisticCoalesce(const CoalescingProblem &P,
-                                    const OptimisticOptions &Options = {});
+                                    const OptimisticOptions &Options = {},
+                                    CoalescingTelemetry *Telemetry = nullptr);
 
 /// Exact minimum-weight de-coalescing for tiny instances: maximizes kept
 /// affinity weight subject to the induced quotient being greedy-k-colorable.

@@ -1,0 +1,131 @@
+//===- coalescing/Telemetry.cpp - Engine instrumentation ------------------===//
+
+#include "coalescing/Telemetry.h"
+
+#include <ostream>
+
+using namespace rc;
+
+const char *rc::engineEventName(EngineEvent E) {
+  switch (E) {
+  case EngineEvent::MergeAttempted:
+    return "merge-attempted";
+  case EngineEvent::MergeCommitted:
+    return "merge-committed";
+  case EngineEvent::MergeRolledBack:
+    return "merge-rolled-back";
+  case EngineEvent::CheckpointTaken:
+    return "checkpoint";
+  case EngineEvent::RollbackPerformed:
+    return "rollback";
+  case EngineEvent::InterferenceQuery:
+    return "interference-query";
+  case EngineEvent::BriggsTestRun:
+    return "briggs-test";
+  case EngineEvent::BriggsTestPassed:
+    return "briggs-passed";
+  case EngineEvent::GeorgeTestRun:
+    return "george-test";
+  case EngineEvent::GeorgeTestPassed:
+    return "george-passed";
+  case EngineEvent::BruteForceTestRun:
+    return "brute-force-test";
+  case EngineEvent::BruteForceTestPassed:
+    return "brute-force-passed";
+  case EngineEvent::ColorabilityCheck:
+    return "colorability-check";
+  case EngineEvent::DeCoalesce:
+    return "de-coalesce";
+  case EngineEvent::AffinityRestored:
+    return "affinity-restored";
+  }
+  return "?";
+}
+
+void CoalescingTelemetry::count(EngineEvent E) {
+  switch (E) {
+  case EngineEvent::MergeAttempted:
+    ++MergeAttempts;
+    break;
+  case EngineEvent::MergeCommitted:
+    ++Merges;
+    break;
+  case EngineEvent::MergeRolledBack:
+    ++MergesRolledBack;
+    break;
+  case EngineEvent::CheckpointTaken:
+    ++Checkpoints;
+    break;
+  case EngineEvent::RollbackPerformed:
+    ++Rollbacks;
+    break;
+  case EngineEvent::InterferenceQuery:
+    ++InterferenceQueries;
+    break;
+  case EngineEvent::BriggsTestRun:
+    ++BriggsTests;
+    break;
+  case EngineEvent::BriggsTestPassed:
+    ++BriggsPassed;
+    break;
+  case EngineEvent::GeorgeTestRun:
+    ++GeorgeTests;
+    break;
+  case EngineEvent::GeorgeTestPassed:
+    ++GeorgePassed;
+    break;
+  case EngineEvent::BruteForceTestRun:
+    ++BruteForceTests;
+    break;
+  case EngineEvent::BruteForceTestPassed:
+    ++BruteForcePassed;
+    break;
+  case EngineEvent::ColorabilityCheck:
+    ++ColorabilityChecks;
+    break;
+  case EngineEvent::DeCoalesce:
+    ++DeCoalesces;
+    break;
+  case EngineEvent::AffinityRestored:
+    ++Restores;
+    break;
+  }
+}
+
+void CoalescingTelemetry::add(const CoalescingTelemetry &Other) {
+  MergeAttempts += Other.MergeAttempts;
+  Merges += Other.Merges;
+  MergesRolledBack += Other.MergesRolledBack;
+  Checkpoints += Other.Checkpoints;
+  Rollbacks += Other.Rollbacks;
+  InterferenceQueries += Other.InterferenceQueries;
+  BriggsTests += Other.BriggsTests;
+  BriggsPassed += Other.BriggsPassed;
+  GeorgeTests += Other.GeorgeTests;
+  GeorgePassed += Other.GeorgePassed;
+  BruteForceTests += Other.BruteForceTests;
+  BruteForcePassed += Other.BruteForcePassed;
+  ColorabilityChecks += Other.ColorabilityChecks;
+  DeCoalesces += Other.DeCoalesces;
+  Restores += Other.Restores;
+  ColorabilityMicros += Other.ColorabilityMicros;
+}
+
+void rc::writeTelemetryJson(std::ostream &OS, const CoalescingTelemetry &T) {
+  OS << "{\"merge_attempts\":" << T.MergeAttempts
+     << ",\"merges\":" << T.Merges
+     << ",\"merges_rolled_back\":" << T.MergesRolledBack
+     << ",\"checkpoints\":" << T.Checkpoints
+     << ",\"rollbacks\":" << T.Rollbacks
+     << ",\"interference_queries\":" << T.InterferenceQueries
+     << ",\"briggs_tests\":" << T.BriggsTests
+     << ",\"briggs_passed\":" << T.BriggsPassed
+     << ",\"george_tests\":" << T.GeorgeTests
+     << ",\"george_passed\":" << T.GeorgePassed
+     << ",\"brute_force_tests\":" << T.BruteForceTests
+     << ",\"brute_force_passed\":" << T.BruteForcePassed
+     << ",\"colorability_checks\":" << T.ColorabilityChecks
+     << ",\"colorability_micros\":" << T.ColorabilityMicros
+     << ",\"de_coalesces\":" << T.DeCoalesces
+     << ",\"restores\":" << T.Restores << "}";
+}

@@ -1,58 +1,241 @@
-//===- coalescing/WorkGraph.cpp - Mergeable interference graph ------------===//
+//===- coalescing/WorkGraph.cpp - Unified coalescing merge engine ---------===//
 
 #include "coalescing/WorkGraph.h"
 
 using namespace rc;
 
-WorkGraph::WorkGraph(const Graph &G)
-    : Original(G), UF(G.numVertices()), Adj(G.numVertices()),
-      Members(G.numVertices()) {
+WorkGraph::WorkGraph(const Graph &G, unsigned DenseThreshold)
+    : Original(G), Dense(G.numVertices() <= DenseThreshold),
+      Rep(G.numVertices()), Rank(G.numVertices(), 0),
+      ClassAdj(G.numVertices()), Members(G.numVertices()),
+      NumClasses(G.numVertices()) {
+  if (Dense)
+    ClassEdges = G.edgeMatrix();
   for (unsigned V = 0; V < G.numVertices(); ++V) {
+    Rep[V] = V;
     Members[V] = {V};
-    for (unsigned W : G.neighbors(V))
-      Adj[V].insert(W);
+    ClassAdj[V] = G.neighbors(V);
+    std::sort(ClassAdj[V].begin(), ClassAdj[V].end());
   }
-}
-
-bool WorkGraph::interfere(unsigned U, unsigned V) const {
-  unsigned CU = classOf(U), CV = classOf(V);
-  if (CU == CV)
-    return false;
-  // Query from the smaller adjacency set.
-  if (Adj[CU].size() > Adj[CV].size())
-    std::swap(CU, CV);
-  return Adj[CU].count(CV) != 0;
 }
 
 unsigned WorkGraph::merge(unsigned U, unsigned V) {
   assert(canMerge(U, V) && "merging interfering or identical classes");
-  unsigned CU = classOf(U), CV = classOf(V);
-  UF.merge(CU, CV);
-  unsigned Root = UF.find(CU);
+  unsigned CU = Rep[U], CV = Rep[V];
+  // Union by rank, replicating support/UnionFind::merge(CU, CV): the higher
+  // rank wins; on a tie the first argument wins and its rank is bumped.
+  unsigned Root = Rank[CU] >= Rank[CV] ? CU : CV;
   unsigned Loser = Root == CU ? CV : CU;
+  bool RankBumped = Rank[Root] == Rank[Loser];
+  if (RankBumped)
+    ++Rank[Root];
 
-  for (unsigned N : Adj[Loser]) {
-    Adj[N].erase(Loser);
-    Adj[N].insert(Root);
-    Adj[Root].insert(N);
+  std::vector<unsigned> &RootAdj = ClassAdj[Root];
+  std::vector<unsigned> &LoserAdj = ClassAdj[Loser];
+
+  // Loser neighbors not already adjacent to Root (both lists sorted).
+  std::vector<unsigned> NewNeighbors;
+  std::set_difference(LoserAdj.begin(), LoserAdj.end(), RootAdj.begin(),
+                      RootAdj.end(), std::back_inserter(NewNeighbors));
+
+  // Relink the loser's neighbors: drop Loser everywhere, add Root where it
+  // was not already adjacent. canMerge guarantees Root is not in LoserAdj.
+  for (unsigned X : LoserAdj) {
+    std::vector<unsigned> &XA = ClassAdj[X];
+    auto It = std::lower_bound(XA.begin(), XA.end(), Loser);
+    assert(It != XA.end() && *It == Loser && "asymmetric class adjacency");
+    XA.erase(It);
   }
-  Adj[Loser].clear();
+  for (unsigned X : NewNeighbors) {
+    std::vector<unsigned> &XA = ClassAdj[X];
+    XA.insert(std::lower_bound(XA.begin(), XA.end(), Root), Root);
+    if (Dense)
+      ClassEdges.set(Root, X);
+  }
+  if (!NewNeighbors.empty()) {
+    std::vector<unsigned> Merged;
+    Merged.reserve(RootAdj.size() + NewNeighbors.size());
+    std::merge(RootAdj.begin(), RootAdj.end(), NewNeighbors.begin(),
+               NewNeighbors.end(), std::back_inserter(Merged));
+    RootAdj.swap(Merged);
+  }
 
+  unsigned RootMembersBefore = static_cast<unsigned>(Members[Root].size());
+  for (unsigned M : Members[Loser])
+    Rep[M] = Root;
   Members[Root].insert(Members[Root].end(), Members[Loser].begin(),
                        Members[Loser].end());
-  Members[Loser].clear();
-  Members[Loser].shrink_to_fit();
+  --NumClasses;
+
+  if (!Marks.empty()) {
+    // Speculating: park the loser's storage in the undo-log so rollback
+    // can restore it without rebuilding.
+    MergeRecord Rec;
+    Rec.Root = Root;
+    Rec.Loser = Loser;
+    Rec.RootMembersBefore = RootMembersBefore;
+    Rec.RankBumped = RankBumped;
+    Rec.LoserAdj = std::move(ClassAdj[Loser]);
+    Rec.LoserMembers = std::move(Members[Loser]);
+    Rec.NewRootNeighbors = std::move(NewNeighbors);
+    ClassAdj[Loser].clear();
+    Members[Loser].clear();
+    UndoLog.push_back(std::move(Rec));
+  } else {
+    // Committed for good: release the loser's storage instead of leaving
+    // it alive for the rest of the run.
+    std::vector<unsigned>().swap(ClassAdj[Loser]);
+    std::vector<unsigned>().swap(Members[Loser]);
+  }
+
+  note(EngineEvent::MergeCommitted, Root, Loser);
   return Root;
 }
 
+void WorkGraph::undoMerge(MergeRecord &Rec) {
+  unsigned Root = Rec.Root, Loser = Rec.Loser;
+  if (Rec.RankBumped)
+    --Rank[Root];
+
+  Members[Root].resize(Rec.RootMembersBefore);
+  Members[Loser] = std::move(Rec.LoserMembers);
+  for (unsigned M : Members[Loser])
+    Rep[M] = Loser;
+
+  // Undo the adjacency relink. Bits between the (dead) Loser and its
+  // neighbors were never cleared, so only the Root-side bits move.
+  for (unsigned X : Rec.NewRootNeighbors) {
+    std::vector<unsigned> &XA = ClassAdj[X];
+    auto It = std::lower_bound(XA.begin(), XA.end(), Root);
+    assert(It != XA.end() && *It == Root && "undo of unrecorded neighbor");
+    XA.erase(It);
+    if (Dense)
+      ClassEdges.clear(Root, X);
+  }
+  if (!Rec.NewRootNeighbors.empty()) {
+    std::vector<unsigned> &RootAdj = ClassAdj[Root];
+    std::vector<unsigned> Restored;
+    Restored.reserve(RootAdj.size() - Rec.NewRootNeighbors.size());
+    std::set_difference(RootAdj.begin(), RootAdj.end(),
+                        Rec.NewRootNeighbors.begin(),
+                        Rec.NewRootNeighbors.end(),
+                        std::back_inserter(Restored));
+    RootAdj.swap(Restored);
+  }
+  ClassAdj[Loser] = std::move(Rec.LoserAdj);
+  for (unsigned X : ClassAdj[Loser]) {
+    std::vector<unsigned> &XA = ClassAdj[X];
+    XA.insert(std::lower_bound(XA.begin(), XA.end(), Loser), Loser);
+  }
+
+  ++NumClasses;
+  note(EngineEvent::MergeRolledBack, Root, Loser);
+}
+
+WorkGraph::Checkpoint WorkGraph::checkpoint() {
+  Marks.push_back(UndoLog.size());
+  note(EngineEvent::CheckpointTaken);
+  return UndoLog.size();
+}
+
+void WorkGraph::rollback() {
+  assert(!Marks.empty() && "rollback without an active checkpoint");
+  size_t Target = Marks.back();
+  Marks.pop_back();
+  while (UndoLog.size() > Target) {
+    undoMerge(UndoLog.back());
+    UndoLog.pop_back();
+  }
+  note(EngineEvent::RollbackPerformed);
+}
+
+void WorkGraph::rollbackTo(Checkpoint C) {
+  assert(!Marks.empty() && Marks.front() <= C &&
+         "rolling back past every active checkpoint");
+  while (!Marks.empty() && Marks.back() > C)
+    Marks.pop_back();
+  while (UndoLog.size() > C) {
+    undoMerge(UndoLog.back());
+    UndoLog.pop_back();
+  }
+  note(EngineEvent::RollbackPerformed);
+}
+
+void WorkGraph::commit() {
+  assert(!Marks.empty() && "commit without an active checkpoint");
+  Marks.pop_back();
+  if (Marks.empty()) {
+    UndoLog.clear();
+    UndoLog.shrink_to_fit();
+  }
+}
+
 CoalescingSolution WorkGraph::solution() const {
+  unsigned N = numOriginalVertices();
   CoalescingSolution S;
-  S.ClassIds = UF.denseClassIds();
-  S.NumClasses = UF.numClasses();
+  S.ClassIds.assign(N, 0);
+  // Dense ids in order of first appearance by vertex id, matching
+  // UnionFind::denseClassIds.
+  std::vector<unsigned> DenseId(N, ~0u);
+  unsigned Next = 0;
+  for (unsigned V = 0; V < N; ++V) {
+    unsigned R = Rep[V];
+    if (DenseId[R] == ~0u)
+      DenseId[R] = Next++;
+    S.ClassIds[V] = DenseId[R];
+  }
+  assert(Next == NumClasses && "class count out of sync");
+  S.NumClasses = Next;
   return S;
 }
 
 Graph WorkGraph::quotientGraph() const {
   CoalescingSolution S = solution();
   return Original.quotient(S.ClassIds, S.NumClasses);
+}
+
+bool WorkGraph::quotientGreedyKColorable(
+    unsigned K, std::vector<unsigned> *StuckReps) const {
+  note(EngineEvent::ColorabilityCheck);
+  ScopedMicros Timer(Telemetry ? &Telemetry->ColorabilityMicros : nullptr);
+
+  // Greedy elimination (empty-k-core test, Section 2.2) directly over the
+  // class adjacency: repeatedly remove classes of degree < k. The result
+  // is elimination-order independent, so it equals running greedyEliminate
+  // on a materialized quotient.
+  unsigned N = numOriginalVertices();
+  std::vector<unsigned> Deg(N, 0);
+  std::vector<bool> Removed(N, true);
+  std::vector<unsigned> Queue;
+  for (unsigned V = 0; V < N; ++V) {
+    if (Rep[V] != V)
+      continue;
+    Removed[V] = false;
+    Deg[V] = static_cast<unsigned>(ClassAdj[V].size());
+    if (Deg[V] < K)
+      Queue.push_back(V);
+  }
+  unsigned Eliminated = 0;
+  while (!Queue.empty()) {
+    unsigned V = Queue.back();
+    Queue.pop_back();
+    if (Removed[V])
+      continue;
+    Removed[V] = true;
+    ++Eliminated;
+    for (unsigned W : ClassAdj[V]) {
+      if (Removed[W])
+        continue;
+      if (Deg[W]-- == K)
+        Queue.push_back(W);
+    }
+  }
+  if (StuckReps) {
+    StuckReps->clear();
+    if (Eliminated != NumClasses)
+      for (unsigned V = 0; V < N; ++V)
+        if (Rep[V] == V && !Removed[V])
+          StuckReps->push_back(V);
+  }
+  return Eliminated == NumClasses;
 }

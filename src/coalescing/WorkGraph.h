@@ -1,4 +1,4 @@
-//===- coalescing/WorkGraph.h - Mergeable interference graph ----*- C++ -*-===//
+//===- coalescing/WorkGraph.h - Unified coalescing merge engine -*- C++ -*-===//
 //
 // Part of the register-coalescing-complexity project.
 //
@@ -7,7 +7,26 @@
 /// \file
 /// A dynamic view of an interference graph under coalescing merges: classes
 /// of merged vertices with class-level adjacency. All coalescing heuristics
-/// (conservative rules, optimistic de-coalescing) operate on a WorkGraph.
+/// (aggressive, conservative rules, optimistic de-coalescing, exact
+/// searches) operate on one WorkGraph — this is the shared merge engine the
+/// Appel–George comparison pays for uniformly.
+///
+/// Engine features:
+///  - Hybrid adjacency. Class adjacency is kept as sorted vectors of class
+///    representatives; below a size threshold a triangular BitMatrix over
+///    class pairs additionally provides O(1) interference tests (dense
+///    mode). Above the threshold, tests binary-search the smaller list.
+///  - Merge undo-log. checkpoint()/rollback() bracket speculative merges so
+///    probing strategies (brute-force conservative test, exact branch and
+///    bound, optimistic de-coalescing) no longer deep-copy the graph.
+///  - Instrumentation. An optional CoalescingTelemetry sink counts engine
+///    events (merges, rollbacks, interference queries, colorability
+///    checks); an optional EngineObserver sees the raw event stream.
+///
+/// Class representatives follow the historical union-by-rank policy of
+/// support/UnionFind (higher rank wins; ties keep the first argument and
+/// bump its rank), so partitions — and rep-order-sensitive tie-breaks in
+/// drivers — are bit-compatible with the previous implementation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,76 +34,192 @@
 #define COALESCING_WORKGRAPH_H
 
 #include "coalescing/Problem.h"
+#include "coalescing/Telemetry.h"
 #include "graph/Graph.h"
-#include "support/UnionFind.h"
+#include "support/BitMatrix.h"
 
-#include <unordered_set>
+#include <algorithm>
 #include <vector>
 
 namespace rc {
 
 /// An interference graph whose vertices can be merged (coalesced). Classes
-/// are named by their union-find representative.
+/// are named by a representative original vertex.
 class WorkGraph {
 public:
-  explicit WorkGraph(const Graph &G);
+  /// Largest vertex count for which the dense class-pair bit matrix is
+  /// kept. 4096 vertices cost one megabyte of matrix.
+  static constexpr unsigned DefaultDenseThreshold = 4096;
+
+  explicit WorkGraph(const Graph &G,
+                     unsigned DenseThreshold = DefaultDenseThreshold);
+
+  WorkGraph(const WorkGraph &) = default;
+  WorkGraph &operator=(const WorkGraph &) = delete;
 
   /// Number of original vertices.
   unsigned numOriginalVertices() const { return Original.numVertices(); }
 
   /// Number of current classes.
-  unsigned numClasses() const { return UF.numClasses(); }
+  unsigned numClasses() const { return NumClasses; }
+
+  /// True when the dense class-pair bit matrix is active.
+  bool usesDenseAdjacency() const { return Dense; }
 
   /// Returns the class representative of original vertex \p V.
-  unsigned classOf(unsigned V) const { return UF.find(V); }
+  unsigned classOf(unsigned V) const { return Rep[V]; }
 
   /// Returns true if \p U and \p V have been merged.
-  bool sameClass(unsigned U, unsigned V) const {
-    return UF.connected(U, V);
-  }
+  bool sameClass(unsigned U, unsigned V) const { return Rep[U] == Rep[V]; }
 
   /// Returns true if the classes of \p U and \p V interfere.
-  bool interfere(unsigned U, unsigned V) const;
-
-  /// Number of interfering neighbor classes of the class of \p V.
-  unsigned degree(unsigned V) const {
-    return static_cast<unsigned>(Adj[classOf(V)].size());
+  bool interfere(unsigned U, unsigned V) const {
+    note(EngineEvent::InterferenceQuery, U, V);
+    return classesAdjacent(Rep[U], Rep[V]);
   }
 
-  /// The neighbor classes (as representatives) of the class of \p V.
-  const std::unordered_set<unsigned> &neighborClasses(unsigned V) const {
-    return Adj[classOf(V)];
+  /// Returns true if classes \p CU and \p CV (representatives) interfere.
+  /// Not an event source — drivers and tests may probe freely.
+  bool classesAdjacent(unsigned CU, unsigned CV) const {
+    if (CU == CV)
+      return false;
+    if (Dense)
+      return ClassEdges.test(CU, CV);
+    const std::vector<unsigned> &A =
+        ClassAdj[CU].size() <= ClassAdj[CV].size() ? ClassAdj[CU]
+                                                   : ClassAdj[CV];
+    unsigned Other = &A == &ClassAdj[CU] ? CV : CU;
+    return std::binary_search(A.begin(), A.end(), Other);
+  }
+
+  /// Number of interfering neighbor classes of the class of \p V (cached:
+  /// the size of the maintained class adjacency).
+  unsigned degree(unsigned V) const {
+    return static_cast<unsigned>(ClassAdj[Rep[V]].size());
+  }
+
+  /// The neighbor classes (as representatives, sorted ascending) of the
+  /// class of \p V.
+  const std::vector<unsigned> &neighborClasses(unsigned V) const {
+    return ClassAdj[Rep[V]];
   }
 
   /// Original vertices in the class of \p V.
   const std::vector<unsigned> &members(unsigned V) const {
-    return Members[classOf(V)];
+    return Members[Rep[V]];
   }
 
   /// Returns true if \p U and \p V may be merged (distinct, non-interfering
   /// classes).
   bool canMerge(unsigned U, unsigned V) const {
-    return !sameClass(U, V) && !interfere(U, V);
+    return !sameClass(U, V) && !classesAdjacent(Rep[U], Rep[V]);
   }
 
   /// Merges the classes of \p U and \p V. Requires canMerge.
   /// \returns the representative of the merged class.
   unsigned merge(unsigned U, unsigned V);
 
-  /// Extracts the current partition as a CoalescingSolution.
+  // --- Speculation -------------------------------------------------------
+
+  /// A position in the merge undo-log.
+  using Checkpoint = size_t;
+
+  /// Marks the current state. While at least one checkpoint is active,
+  /// merges are recorded in the undo-log (and the loser's storage is
+  /// retained for restoration instead of being released).
+  Checkpoint checkpoint();
+
+  /// Undoes all merges since the most recent checkpoint and deactivates it.
+  void rollback();
+
+  /// Undoes all merges back to \p C. Checkpoints taken after \p C are
+  /// deactivated; the checkpoint that produced \p C stays active, so the
+  /// caller can keep merging and roll back to it again.
+  void rollbackTo(Checkpoint C);
+
+  /// Deactivates the most recent checkpoint, keeping all merges. When no
+  /// checkpoint remains active the undo-log is discarded.
+  void commit();
+
+  // --- Extraction --------------------------------------------------------
+
+  /// Extracts the current partition as a CoalescingSolution (dense class
+  /// ids in order of first appearance by vertex id).
   CoalescingSolution solution() const;
 
-  /// Materializes the current quotient graph. Class c of the quotient is the
-  /// class with dense id c in solution().
+  /// Materializes the current quotient graph. Class c of the quotient is
+  /// the class with dense id c in solution().
   Graph quotientGraph() const;
 
+  /// Returns true if the current quotient graph is greedy-k-colorable,
+  /// computed in-engine (k-core elimination over the class adjacency)
+  /// without materializing the quotient. Equivalent to
+  /// isGreedyKColorable(quotientGraph(), K) — greedy elimination is
+  /// order-independent. When \p StuckReps is non-null it receives the
+  /// representatives of the classes left stuck (the unique maximal k-core;
+  /// empty on success), sorted ascending.
+  bool quotientGreedyKColorable(unsigned K,
+                                std::vector<unsigned> *StuckReps =
+                                    nullptr) const;
+
+  // --- Instrumentation ---------------------------------------------------
+
+  /// Attaches (or detaches, with null) a telemetry counter sink.
+  void attachTelemetry(CoalescingTelemetry *T) { Telemetry = T; }
+
+  /// Attaches (or detaches, with null) a raw event observer.
+  void setObserver(EngineObserver *O) { Observer = O; }
+
+  /// Routes one event to the attached telemetry/observer. Drivers use this
+  /// to report decisions (test outcomes, de-coalesces) through the engine's
+  /// sinks.
+  void note(EngineEvent E, unsigned U = ~0u, unsigned V = ~0u) const {
+    if (Telemetry)
+      Telemetry->count(E);
+    if (Observer)
+      Observer->onEvent(E, U, V);
+  }
+
 private:
+  /// Everything needed to undo one merge. The loser's adjacency and member
+  /// storage are moved here, so rollback restores them without rebuilding.
+  struct MergeRecord {
+    unsigned Root = 0;
+    unsigned Loser = 0;
+    /// Members[Root].size() before the splice.
+    unsigned RootMembersBefore = 0;
+    /// True when the merge bumped Rank[Root] (equal-rank tie).
+    bool RankBumped = false;
+    std::vector<unsigned> LoserAdj;
+    std::vector<unsigned> LoserMembers;
+    /// Loser neighbors that were not already Root neighbors (sorted).
+    std::vector<unsigned> NewRootNeighbors;
+  };
+
+  void undoMerge(MergeRecord &Rec);
+
   const Graph &Original;
-  UnionFind UF;
-  /// Keyed by class representative; entries are class representatives.
-  std::vector<std::unordered_set<unsigned>> Adj;
-  /// Keyed by class representative.
+  bool Dense;
+  /// Dense mode only: interference bits between class representatives.
+  /// Bits of dead (merged-away) representatives go stale and are never
+  /// queried; rollback revives them unchanged.
+  BitMatrix ClassEdges;
+  /// Per original vertex: its class representative (eagerly maintained).
+  std::vector<unsigned> Rep;
+  /// Union-by-rank state per representative (see file comment).
+  std::vector<unsigned> Rank;
+  /// Keyed by representative; sorted vectors of representatives.
+  std::vector<std::vector<unsigned>> ClassAdj;
+  /// Keyed by representative.
   std::vector<std::vector<unsigned>> Members;
+  unsigned NumClasses = 0;
+
+  std::vector<MergeRecord> UndoLog;
+  /// Active checkpoints (positions into UndoLog, non-decreasing).
+  std::vector<size_t> Marks;
+
+  CoalescingTelemetry *Telemetry = nullptr;
+  EngineObserver *Observer = nullptr;
 };
 
 } // namespace rc

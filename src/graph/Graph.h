@@ -62,6 +62,10 @@ public:
     return Adj[V];
   }
 
+  /// Read access to the triangular edge bit matrix (e.g. to seed the dense
+  /// adjacency mode of coalescing/WorkGraph without re-inserting edges).
+  const BitMatrix &edgeMatrix() const { return Edges; }
+
   /// Adds all edges among \p Vertices, turning them into a clique.
   void addClique(const std::vector<unsigned> &Vertices);
 

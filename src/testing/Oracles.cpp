@@ -2,6 +2,7 @@
 
 #include "testing/Oracles.h"
 
+#include "challenge/StrategyRegistry.h"
 #include "coalescing/ChordalStrategy.h"
 #include "coalescing/Conservative.h"
 #include "coalescing/IteratedRegisterCoalescing.h"
@@ -156,20 +157,39 @@ bool testing::checkCoalescerSoundness(const CoalescingProblem &P,
                                       std::string *Error) {
   bool InputGreedy = isGreedyKColorable(P.G, P.K);
   std::string Why;
+  unsigned Omega =
+      P.G.numVertices() && isChordal(P.G) ? chordalCliqueNumber(P.G) : ~0u;
+  bool ChordalCase = Omega != ~0u && P.K >= Omega && P.K > 0;
 
-  for (ConservativeRule Rule :
-       {ConservativeRule::Briggs, ConservativeRule::George,
-        ConservativeRule::BriggsOrGeorge, ConservativeRule::BruteForce}) {
-    ConservativeResult R = conservativeCoalesce(P, Rule);
-    if (!checkSolutionSound(P, R.Solution, InputGreedy, &Why))
-      return fail(Error, std::string("conservative/") + ruleName(Rule) +
-                             ": " + Why);
-    if (R.Stats.CoalescedAffinities + R.Stats.UncoalescedAffinities !=
+  for (const StrategyInfo &Info : StrategyRegistry::instance().strategies()) {
+    CoalescingTelemetry T;
+    CoalescingSolution S = Info.Run(P, StrategyOptions(), T);
+    // Aggressive merging deliberately ignores k; everyone else must keep a
+    // greedy-k-colorable input greedy-k-colorable.
+    bool RequireGreedy = InputGreedy && Info.Name != "aggressive";
+    if (!checkSolutionSound(P, S, RequireGreedy, &Why))
+      return fail(Error, Info.Name + ": " + Why);
+    CoalescingStats Stats = evaluateSolution(P, S);
+    if (Stats.CoalescedAffinities + Stats.UncoalescedAffinities !=
         P.Affinities.size())
-      return fail(Error, std::string("conservative/") + ruleName(Rule) +
-                             ": affinity stats do not add up");
+      return fail(Error, Info.Name + ": affinity stats do not add up");
+    // Note Rollbacks may exceed Checkpoints: rollbackTo() replays against
+    // one mark arbitrarily often (the optimistic phase-2 loop does).
+    if (T.BriggsPassed > T.BriggsTests || T.GeorgePassed > T.GeorgeTests ||
+        T.BruteForcePassed > T.BruteForceTests ||
+        T.MergesRolledBack > T.Merges)
+      return fail(Error, Info.Name + ": telemetry counters inconsistent");
+    if (Info.Name == "chordal-thm5" && ChordalCase) {
+      Graph Quotient = buildCoalescedGraph(P.G, S);
+      if (!isChordal(Quotient))
+        return fail(Error, "chordal-thm5: quotient lost chordality");
+      if (Quotient.numVertices() && chordalCliqueNumber(Quotient) > P.K)
+        return fail(Error, "chordal-thm5: quotient clique number exceeds k");
+    }
   }
 
+  // IRC's colors and spill set are not visible through the registry's
+  // solution interface; re-run it directly for the coloring checks.
   IrcResult Irc = iteratedRegisterCoalescing(P);
   if (!checkSolutionSound(P, Irc.Solution, /*RequireGreedy=*/false, &Why))
     return fail(Error, "irc: " + Why);
@@ -192,18 +212,6 @@ bool testing::checkCoalescerSoundness(const CoalescingProblem &P,
       }
   }
 
-  unsigned Omega =
-      P.G.numVertices() && isChordal(P.G) ? chordalCliqueNumber(P.G) : ~0u;
-  if (Omega != ~0u && P.K >= Omega && P.K > 0) {
-    ChordalStrategyResult C = chordalCoalesce(P);
-    if (!checkSolutionSound(P, C.Solution, /*RequireGreedy=*/true, &Why))
-      return fail(Error, "chordal-strategy: " + Why);
-    Graph Quotient = buildCoalescedGraph(P.G, C.Solution);
-    if (!isChordal(Quotient))
-      return fail(Error, "chordal-strategy: quotient lost chordality");
-    if (Quotient.numVertices() && chordalCliqueNumber(Quotient) > P.K)
-      return fail(Error, "chordal-strategy: quotient clique number exceeds k");
-  }
   return true;
 }
 
@@ -372,5 +380,135 @@ bool testing::checkWorkGraphIncremental(const Graph &G, unsigned Steps,
       if (WG.degree(W) != Q.degree(S.ClassIds[W]))
         return fail(Error, Where.str() + "degree diverged from quotient");
   }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 6: checkpoint/rollback round-trips and dense-vs-sparse agreement.
+//===----------------------------------------------------------------------===//
+
+static bool sameGraph(const Graph &A, const Graph &B) {
+  if (A.numVertices() != B.numVertices() || A.numEdges() != B.numEdges())
+    return false;
+  for (unsigned U = 0; U < A.numVertices(); ++U)
+    for (unsigned V : A.neighbors(U))
+      if (V > U && !B.hasEdge(U, V))
+        return false;
+  return true;
+}
+
+bool testing::checkWorkGraphRollback(const Graph &G, unsigned Steps,
+                                     Rng &Rand, std::string *Error) {
+  const unsigned N = G.numVertices();
+  if (N < 2)
+    return true;
+  // The same operation sequence through both adjacency representations:
+  // forced-dense (threshold above N) and forced-sparse (threshold 0). Both
+  // must agree bit-for-bit, and every rollback must restore the partition
+  // snapshotted at the matching checkpoint.
+  WorkGraph Dense(G, /*DenseThreshold=*/N + 1);
+  WorkGraph Sparse(G, /*DenseThreshold=*/0);
+  CoalescingTelemetry T;
+  Dense.attachTelemetry(&T);
+
+  struct Snapshot {
+    CoalescingSolution Solution;
+    unsigned NumClasses;
+  };
+  std::vector<Snapshot> Stack;
+  uint64_t RollbacksDone = 0;
+
+  auto compareReps = [&](const char *Where) -> bool {
+    if (Dense.numClasses() != Sparse.numClasses())
+      return fail(Error, std::string(Where) +
+                             ": dense and sparse class counts diverged");
+    CoalescingSolution SD = Dense.solution();
+    CoalescingSolution SS = Sparse.solution();
+    if (SD.ClassIds != SS.ClassIds || SD.NumClasses != SS.NumClasses)
+      return fail(Error, std::string(Where) +
+                             ": dense and sparse partitions diverged");
+    if (!sameGraph(Dense.quotientGraph(), Sparse.quotientGraph()))
+      return fail(Error, std::string(Where) +
+                             ": dense and sparse quotients diverged");
+    return true;
+  };
+
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    std::ostringstream Where;
+    Where << "step " << Step;
+    unsigned U = static_cast<unsigned>(Rand.nextBelow(N));
+    unsigned V = static_cast<unsigned>(Rand.nextBelow(N));
+
+    if (U != V && !Dense.sameClass(U, V)) {
+      if (Dense.interfere(U, V) != Sparse.interfere(U, V))
+        return fail(Error,
+                    Where.str() + ": dense and sparse interfere diverged");
+      if (Dense.degree(U) != Sparse.degree(U))
+        return fail(Error,
+                    Where.str() + ": dense and sparse degree diverged");
+    }
+
+    bool WantRollback = !Stack.empty() && Rand.nextBelow(4) == 0;
+    if (WantRollback) {
+      Dense.rollback();
+      Sparse.rollback();
+      ++RollbacksDone;
+      const Snapshot &Snap = Stack.back();
+      CoalescingSolution Now = Dense.solution();
+      if (Now.ClassIds != Snap.Solution.ClassIds ||
+          Now.NumClasses != Snap.Solution.NumClasses ||
+          Dense.numClasses() != Snap.NumClasses)
+        return fail(Error, Where.str() +
+                               ": rollback did not restore the checkpoint");
+      Stack.pop_back();
+      if (!compareReps(Where.str().c_str()))
+        return false;
+      continue;
+    }
+
+    if (U == V || !Dense.canMerge(U, V))
+      continue;
+    if (Rand.nextBelow(2) == 0) {
+      Stack.push_back({Dense.solution(), Dense.numClasses()});
+      Dense.checkpoint();
+      Sparse.checkpoint();
+    }
+    Dense.merge(U, V);
+    Sparse.merge(U, V);
+    if (Step % 8 == 0 && !compareReps(Where.str().c_str()))
+      return false;
+  }
+
+  // Unwind everything still open; each level must restore its snapshot.
+  while (!Stack.empty()) {
+    Dense.rollback();
+    Sparse.rollback();
+    ++RollbacksDone;
+    const Snapshot &Snap = Stack.back();
+    CoalescingSolution Now = Dense.solution();
+    if (Now.ClassIds != Snap.Solution.ClassIds ||
+        Now.NumClasses != Snap.Solution.NumClasses)
+      return fail(Error, "final unwind did not restore its checkpoint");
+    Stack.pop_back();
+  }
+  if (!compareReps("final state"))
+    return false;
+
+  if (T.Rollbacks != RollbacksDone || T.MergesRolledBack > T.Merges ||
+      T.Rollbacks > T.Checkpoints)
+    return fail(Error, "telemetry counters inconsistent with the op script");
+
+  // The surviving state must match a from-scratch replay of the committed
+  // merges (checkWorkGraphIncremental covers random scripts; this pins the
+  // specific end state).
+  WorkGraph Fresh(G);
+  CoalescingSolution End = Dense.solution();
+  for (unsigned A = 0; A < N; ++A)
+    for (unsigned B = A + 1; B < N; ++B)
+      if (End.ClassIds[A] == End.ClassIds[B] && !Fresh.sameClass(A, B))
+        Fresh.merge(A, B);
+  CoalescingSolution Replayed = Fresh.solution();
+  if (Replayed.ClassIds != End.ClassIds)
+    return fail(Error, "replaying the surviving merges diverged");
   return true;
 }

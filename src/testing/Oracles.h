@@ -23,6 +23,9 @@
 ///     the optimum proves an unsound merge.
 ///  5. checkWorkGraphIncremental  -- the incremental merged-graph state
 ///     matches a rebuild-from-scratch quotient after every operation.
+///  6. checkWorkGraphRollback     -- checkpoint/rollback round-trips restore
+///     the exact partition, and the dense (BitMatrix) and sparse
+///     (sorted-vector) adjacency representations agree on everything.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,13 +62,14 @@ bool checkSolutionSound(const CoalescingProblem &P,
                         const CoalescingSolution &S, bool RequireGreedy,
                         std::string *Error);
 
-/// Oracle 3 (Section 4). Runs every conservative rule (Briggs, George,
-/// BriggsOrGeorge, BruteForce), iterated register coalescing, and -- when
-/// \p P.G is chordal with omega <= k -- the Theorem 5 chordal strategy, and
-/// checks each output with checkSolutionSound. Greedy-k-colorability of the
-/// quotient is required whenever the input graph is greedy-k-colorable; the
-/// chordal strategy's quotient must additionally stay chordal with
-/// omega <= k.
+/// Oracle 3 (Section 4). Runs every strategy in the StrategyRegistry with
+/// default options and checks each output with checkSolutionSound, plus
+/// IRC's coloring/spill invariants directly. Greedy-k-colorability of the
+/// quotient is required whenever the input graph is greedy-k-colorable
+/// (except for the aggressive baseline, which ignores k by design); on
+/// chordal inputs with omega <= k the chordal strategy's quotient must
+/// additionally stay chordal with omega <= k. Engine telemetry counters
+/// must stay mutually consistent for every strategy.
 bool checkCoalescerSoundness(const CoalescingProblem &P, std::string *Error);
 
 /// Oracle 4. Differential comparison against exact search, intended for
@@ -85,6 +89,15 @@ bool checkDifferentialExact(const CoalescingProblem &P, std::string *Error,
 /// scans on the original graph).
 bool checkWorkGraphIncremental(const Graph &G, unsigned Steps, Rng &Rand,
                                std::string *Error);
+
+/// Oracle 6. Drives a forced-dense and a forced-sparse WorkGraph through
+/// the same \p Steps random checkpoint / merge / rollback script and
+/// checks that (a) every rollback restores the partition captured at its
+/// checkpoint, (b) both adjacency representations agree on interference,
+/// degrees, partitions and quotients throughout, and (c) the engine
+/// telemetry counters are consistent with the script.
+bool checkWorkGraphRollback(const Graph &G, unsigned Steps, Rng &Rand,
+                            std::string *Error);
 
 } // namespace testing
 } // namespace rc

@@ -275,6 +275,16 @@ static bool checkWorkGraphOnInstance(const CoalescingProblem &P,
                                    Error);
 }
 
+/// Rollback-script oracle wrapper; like the merge-script wrapper, the op
+/// sequence is derived from the trial seed so reproducers replay exactly.
+static bool checkRollbackOnInstance(const CoalescingProblem &P,
+                                    uint64_t TrialSeedValue,
+                                    std::string *Error) {
+  Rng OpRand(deriveSeed(TrialSeedValue, "workgraph-rollback-ops"));
+  return checkWorkGraphRollback(P.G, 6 * P.G.numVertices() + 8, OpRand,
+                                Error);
+}
+
 static bool checkSoundnessOnInstance(const CoalescingProblem &P, uint64_t,
                                      std::string *Error) {
   return checkCoalescerSoundness(P, Error);
@@ -347,6 +357,20 @@ const std::vector<Property> &testing::allProperties() {
                                   checkWorkGraphOnInstance, Config, Trial);
          },
          checkWorkGraphOnInstance});
+
+    Props.push_back(
+        {"workgraph-rollback",
+         "checkpoint/rollback restores the partition; dense and sparse "
+         "adjacency representations agree",
+         [](Rng &Rand, const FuzzConfig &Config, uint64_t Trial) {
+           CoalescingProblem P;
+           unsigned N = 2 + static_cast<unsigned>(Rand.nextBelow(
+                                std::max(4u, Config.MaxSize)));
+           P.G = randomGraph(N, 0.05 + 0.45 * Rand.nextDouble(), Rand);
+           return runProblemTrial("workgraph-rollback", P,
+                                  checkRollbackOnInstance, Config, Trial);
+         },
+         checkRollbackOnInstance});
 
     return Props;
   }();

@@ -95,13 +95,13 @@ TEST(StrategyRunnerTest, AllStrategiesProduceValidResults) {
   Options.NumValues = 50;
   CoalescingProblem P = generateChallengeInstance(Options, Rand);
   auto Outcomes = runAllStrategies(P);
-  ASSERT_EQ(Outcomes.size(), allStrategies().size());
+  ASSERT_EQ(Outcomes.size(), StrategyRegistry::instance().names().size());
   for (const StrategyOutcome &O : Outcomes) {
     EXPECT_GE(O.CoalescedWeightRatio, 0.0);
     EXPECT_LE(O.CoalescedWeightRatio, 1.0);
-    if (O.Which != Strategy::AggressiveGreedy) {
+    if (O.Name != "aggressive") {
       EXPECT_TRUE(O.QuotientGreedyKColorable)
-          << strategyName(O.Which) << " lost greedy-k-colorability";
+          << O.Name << " lost greedy-k-colorability";
     }
   }
 }
@@ -114,16 +114,14 @@ TEST(StrategyRunnerTest, AggressiveIsAnUpperBound) {
   auto Outcomes = runAllStrategies(P);
   double Aggressive = 0;
   for (const StrategyOutcome &O : Outcomes)
-    if (O.Which == Strategy::AggressiveGreedy)
+    if (O.Name == "aggressive")
       Aggressive = O.Stats.CoalescedWeight;
   for (const StrategyOutcome &O : Outcomes) {
     // Biased select may eliminate extra moves "by accident" (same color
     // without a merge), so it is excluded from the merge-based bound.
-    if (O.Which == Strategy::AggressiveGreedy ||
-        O.Which == Strategy::BiasedSelect)
+    if (O.Name == "aggressive" || O.Name == "biased-select")
       continue;
-    EXPECT_LE(O.Stats.CoalescedWeight, Aggressive + 1e-9)
-        << strategyName(O.Which);
+    EXPECT_LE(O.Stats.CoalescedWeight, Aggressive + 1e-9) << O.Name;
   }
 }
 
@@ -139,8 +137,57 @@ TEST(StrategyRunnerTest, ComparisonTablePrints) {
 }
 
 TEST(StrategyRunnerTest, NamesAreUnique) {
-  std::set<std::string> Names;
-  for (Strategy S : allStrategies())
-    Names.insert(strategyName(S));
-  EXPECT_EQ(Names.size(), allStrategies().size());
+  std::vector<std::string> All = StrategyRegistry::instance().names();
+  std::set<std::string> Names(All.begin(), All.end());
+  EXPECT_EQ(Names.size(), All.size());
+}
+
+TEST(StrategyRunnerTest, SpecParsing) {
+  std::string Name;
+  StrategyOptions Options;
+  EXPECT_TRUE(parseStrategySpec("irc", Name, Options));
+  EXPECT_EQ(Name, "irc");
+  EXPECT_TRUE(Options.entries().empty());
+
+  EXPECT_TRUE(
+      parseStrategySpec("optimistic:restore=0,dissolve=biggest", Name,
+                        Options));
+  EXPECT_EQ(Name, "optimistic");
+  EXPECT_FALSE(Options.getBool("restore", true));
+  EXPECT_EQ(Options.get("dissolve"), "biggest");
+
+  std::string Error;
+  EXPECT_FALSE(parseStrategySpec("", Name, Options, &Error));
+  EXPECT_FALSE(parseStrategySpec(":restore=0", Name, Options, &Error));
+  EXPECT_FALSE(parseStrategySpec("irc:george", Name, Options, &Error));
+  EXPECT_NE(Error.find("key=value"), std::string::npos);
+}
+
+TEST(StrategyRunnerTest, SpecOptionsChangeBehavior) {
+  Rng Rand(168);
+  ChallengeOptions Options;
+  Options.NumValues = 60;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  StrategyOutcome Restore = runStrategy(P, "optimistic:restore=1");
+  StrategyOutcome NoRestore = runStrategy(P, "optimistic:restore=0");
+  // Without the restore phase the optimizer can only lose weight.
+  EXPECT_LE(NoRestore.Stats.CoalescedWeight,
+            Restore.Stats.CoalescedWeight + 1e-9);
+  EXPECT_EQ(NoRestore.Telemetry.Restores, 0u);
+}
+
+TEST(StrategyRunnerTest, OutcomeJsonRoundTrips) {
+  Rng Rand(169);
+  ChallengeOptions Options;
+  Options.NumValues = 30;
+  CoalescingProblem P = generateChallengeInstance(Options, Rand);
+  StrategyOutcome O = runStrategy(P, "briggs+george");
+  std::ostringstream OS;
+  writeOutcomeJson(OS, O);
+  std::string Json = OS.str();
+  EXPECT_NE(Json.find("\"strategy\":\"briggs+george\""), std::string::npos);
+  EXPECT_NE(Json.find("\"telemetry\":{"), std::string::npos);
+  EXPECT_NE(Json.find("\"briggs_tests\":"), std::string::npos);
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
 }

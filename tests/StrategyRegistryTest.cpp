@@ -1,0 +1,124 @@
+//===- tests/StrategyRegistryTest.cpp - named strategy registry -----------===//
+//
+// The StrategyRegistry that replaced the hard-coded Strategy enum: the
+// built-in set must match the historical allStrategies() list exactly and
+// in comparison order, lookup and option parsing must behave, and external
+// registration must extend (not disturb) the built-ins.
+//
+//===----------------------------------------------------------------------===//
+
+#include "challenge/ChallengeInstance.h"
+#include "challenge/StrategyRegistry.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace rc;
+
+namespace {
+
+const std::vector<std::string> &historicalStrategySet() {
+  // The exact set (and order) of the pre-registry allStrategies() helper.
+  static const std::vector<std::string> Names = {
+      "aggressive",   "briggs",       "george",
+      "briggs+george", "brute-conservative", "optimistic",
+      "irc",          "chordal-thm5", "biased-select"};
+  return Names;
+}
+
+CoalescingProblem smallInstance(uint64_t Seed) {
+  Rng Rand(Seed);
+  ChallengeOptions Options;
+  Options.NumValues = 48;
+  Options.TreeSize = 24;
+  return generateChallengeInstance(Options, Rand);
+}
+
+} // namespace
+
+TEST(StrategyRegistryTest, BuiltinsMatchHistoricalSetInOrder) {
+  std::vector<std::string> Names = StrategyRegistry::instance().names();
+  const std::vector<std::string> &Historical = historicalStrategySet();
+  // Tests may register extra strategies behind the built-ins, so compare
+  // the prefix; the built-ins themselves must match exactly and in order.
+  ASSERT_GE(Names.size(), Historical.size());
+  for (size_t I = 0; I < Historical.size(); ++I)
+    EXPECT_EQ(Names[I], Historical[I]) << "built-in slot " << I;
+}
+
+TEST(StrategyRegistryTest, LookupFindsEveryBuiltinAndRunsIt) {
+  CoalescingProblem P = smallInstance(11);
+  for (const std::string &Name : historicalStrategySet()) {
+    const StrategyInfo *Info = StrategyRegistry::instance().lookup(Name);
+    ASSERT_NE(Info, nullptr) << Name;
+    EXPECT_EQ(Info->Name, Name);
+    EXPECT_FALSE(Info->Summary.empty()) << Name;
+    CoalescingTelemetry T;
+    CoalescingSolution S = Info->Run(P, StrategyOptions(), T);
+    EXPECT_TRUE(isValidCoalescing(P.G, S)) << Name;
+  }
+}
+
+TEST(StrategyRegistryTest, LookupMissReturnsNull) {
+  EXPECT_EQ(StrategyRegistry::instance().lookup("no-such-strategy"), nullptr);
+  EXPECT_EQ(StrategyRegistry::instance().lookup(""), nullptr);
+}
+
+TEST(StrategyRegistryTest, OptionsAccessors) {
+  StrategyOptions Options;
+  EXPECT_FALSE(Options.has("restore"));
+  EXPECT_EQ(Options.get("restore", "fallback"), "fallback");
+  EXPECT_TRUE(Options.getBool("restore", true));
+
+  Options.set("restore", "0");
+  Options.set("dissolve", "biggest");
+  EXPECT_TRUE(Options.has("restore"));
+  EXPECT_FALSE(Options.getBool("restore", true));
+  EXPECT_EQ(Options.get("dissolve"), "biggest");
+
+  Options.set("restore", "true"); // replaces, does not duplicate
+  EXPECT_TRUE(Options.getBool("restore", false));
+  ASSERT_EQ(Options.entries().size(), 2u);
+  EXPECT_EQ(Options.entries()[0].first, "restore");
+  EXPECT_EQ(Options.entries()[1].first, "dissolve");
+}
+
+TEST(StrategyRegistryTest, SpecParsingSplitsNameAndOptions) {
+  std::string Name;
+  StrategyOptions Options;
+  ASSERT_TRUE(parseStrategySpec("optimistic:restore=0,dissolve=biggest",
+                                Name, Options));
+  EXPECT_EQ(Name, "optimistic");
+  ASSERT_EQ(Options.entries().size(), 2u);
+  EXPECT_EQ(Options.get("restore"), "0");
+  EXPECT_EQ(Options.get("dissolve"), "biggest");
+}
+
+TEST(StrategyRegistryTest, RegistrationExtendsTheRegistry) {
+  // Register once per process; gtest may repeat tests under --gtest_repeat.
+  static bool Registered = false;
+  if (!Registered) {
+    StrategyInfo Info;
+    Info.Name = "test-noop";
+    Info.Summary = "identity partition, registered by StrategyRegistryTest";
+    Info.Run = [](const CoalescingProblem &P, const StrategyOptions &,
+                  CoalescingTelemetry &) { return identitySolution(P.G); };
+    StrategyRegistry::instance().add(std::move(Info));
+    Registered = true;
+  }
+
+  const StrategyInfo *Info = StrategyRegistry::instance().lookup("test-noop");
+  ASSERT_NE(Info, nullptr);
+  CoalescingProblem P = smallInstance(12);
+  CoalescingTelemetry T;
+  CoalescingSolution S = Info->Run(P, StrategyOptions(), T);
+  EXPECT_EQ(S.NumClasses, P.G.numVertices());
+
+  // The built-ins are untouched; the newcomer sits at the back.
+  std::vector<std::string> Names = StrategyRegistry::instance().names();
+  EXPECT_EQ(Names[historicalStrategySet().size() - 1], "biased-select");
+  EXPECT_NE(std::find(Names.begin(), Names.end(), "test-noop"), Names.end());
+}

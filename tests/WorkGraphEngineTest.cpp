@@ -1,0 +1,244 @@
+//===- tests/WorkGraphEngineTest.cpp - checkpoint/rollback + hybrid adjacency -===//
+//
+// The unified merge engine: checkpoint/rollback round-trips, dense-vs-sparse
+// representation equivalence, the in-engine colorability check, and the
+// telemetry/observer hooks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coalescing/Telemetry.h"
+#include "coalescing/WorkGraph.h"
+#include "graph/Generators.h"
+#include "graph/GreedyColorability.h"
+#include "support/Random.h"
+#include "testing/Oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace rc;
+
+namespace {
+
+/// Path 0-1-2-3 plus isolated 4: small enough to reason about by hand.
+Graph pathGraph() {
+  Graph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  return G;
+}
+
+} // namespace
+
+TEST(WorkGraphRollbackTest, SingleMergeRoundTrip) {
+  Graph G = pathGraph();
+  WorkGraph WG(G);
+  CoalescingSolution Before = WG.solution();
+  unsigned DegreeBefore = WG.degree(0);
+
+  WG.checkpoint();
+  WG.merge(0, 2);
+  EXPECT_TRUE(WG.sameClass(0, 2));
+  EXPECT_EQ(WG.numClasses(), 4u);
+  WG.rollback();
+
+  EXPECT_FALSE(WG.sameClass(0, 2));
+  EXPECT_EQ(WG.numClasses(), 5u);
+  EXPECT_EQ(WG.degree(0), DegreeBefore);
+  CoalescingSolution After = WG.solution();
+  EXPECT_EQ(After.ClassIds, Before.ClassIds);
+  EXPECT_EQ(After.NumClasses, Before.NumClasses);
+}
+
+TEST(WorkGraphRollbackTest, NestedCheckpointsUnwindInOrder) {
+  Graph G = pathGraph();
+  WorkGraph WG(G);
+
+  WG.checkpoint();
+  WG.merge(0, 2); // classes: {0,2} 1 3 4
+  CoalescingSolution Mid = WG.solution();
+  WG.checkpoint();
+  WG.merge(1, 3); // classes: {0,2} {1,3} 4
+  WG.merge(0, 4); // classes: {0,2,4} {1,3}
+  EXPECT_EQ(WG.numClasses(), 2u);
+
+  WG.rollback(); // back to the inner checkpoint
+  CoalescingSolution AfterInner = WG.solution();
+  EXPECT_EQ(AfterInner.ClassIds, Mid.ClassIds);
+  EXPECT_EQ(WG.numClasses(), 4u);
+
+  WG.rollback(); // back to pristine
+  EXPECT_EQ(WG.numClasses(), 5u);
+  for (unsigned V = 0; V < 5; ++V)
+    EXPECT_EQ(WG.classOf(V), V);
+}
+
+TEST(WorkGraphRollbackTest, RollbackToReplaysAgainstOneMark) {
+  // The optimistic phase-2 pattern: one base checkpoint, many replays.
+  Graph G = pathGraph();
+  WorkGraph WG(G);
+  WorkGraph::Checkpoint Base = WG.checkpoint();
+  for (int Round = 0; Round < 3; ++Round) {
+    WG.rollbackTo(Base);
+    EXPECT_EQ(WG.numClasses(), 5u);
+    WG.merge(0, 2);
+    if (Round > 0)
+      WG.merge(1, 3);
+    EXPECT_EQ(WG.numClasses(), Round > 0 ? 3u : 4u);
+  }
+  WG.commit();
+  EXPECT_TRUE(WG.sameClass(0, 2));
+  EXPECT_TRUE(WG.sameClass(1, 3));
+}
+
+TEST(WorkGraphRollbackTest, CommitKeepsOuterCheckpointLive) {
+  Graph G = pathGraph();
+  WorkGraph WG(G);
+  WG.checkpoint();
+  WG.merge(0, 2);
+  WG.checkpoint();
+  WG.merge(1, 3);
+  WG.commit(); // inner merge becomes part of the outer span
+  EXPECT_TRUE(WG.sameClass(1, 3));
+  WG.rollback(); // outer rollback undoes both merges
+  EXPECT_FALSE(WG.sameClass(0, 2));
+  EXPECT_FALSE(WG.sameClass(1, 3));
+  EXPECT_EQ(WG.numClasses(), 5u);
+}
+
+TEST(WorkGraphRollbackTest, RoundTripsMatchRebuildOnRandomGraphs) {
+  for (uint64_t Seed : {1u, 7u, 23u, 55u, 91u}) {
+    Rng GraphRand(Seed);
+    Graph G = randomGraph(24, 0.2, GraphRand);
+    Rng OpRand(Seed * 977 + 3);
+    std::string Error;
+    EXPECT_TRUE(rc::testing::checkWorkGraphRollback(G, 160, OpRand, &Error))
+        << "seed " << Seed << ": " << Error;
+  }
+}
+
+TEST(WorkGraphHybridTest, DenseAndSparseAgreeOnRandomMergeScripts) {
+  for (uint64_t Seed : {3u, 17u, 42u}) {
+    Rng Rand(Seed);
+    Graph G = randomGraph(32, 0.15, Rand);
+    WorkGraph Dense(G, /*DenseThreshold=*/64);
+    WorkGraph Sparse(G, /*DenseThreshold=*/0);
+    for (int Step = 0; Step < 200; ++Step) {
+      unsigned U = static_cast<unsigned>(Rand.nextBelow(32));
+      unsigned V = static_cast<unsigned>(Rand.nextBelow(32));
+      if (U == V)
+        continue;
+      ASSERT_EQ(Dense.sameClass(U, V), Sparse.sameClass(U, V));
+      if (Dense.sameClass(U, V))
+        continue;
+      ASSERT_EQ(Dense.interfere(U, V), Sparse.interfere(U, V));
+      if (Dense.canMerge(U, V)) {
+        Dense.merge(U, V);
+        Sparse.merge(U, V);
+      }
+    }
+    CoalescingSolution SD = Dense.solution();
+    CoalescingSolution SS = Sparse.solution();
+    EXPECT_EQ(SD.ClassIds, SS.ClassIds);
+    EXPECT_EQ(SD.NumClasses, SS.NumClasses);
+    for (unsigned V = 0; V < 32; ++V) {
+      EXPECT_EQ(Dense.degree(V), Sparse.degree(V));
+      EXPECT_EQ(Dense.neighborClasses(V), Sparse.neighborClasses(V));
+    }
+  }
+}
+
+TEST(WorkGraphHybridTest, ThresholdSelectsRepresentation) {
+  // Behavioral equivalence at the boundary: N == threshold is dense,
+  // N > threshold is sparse; both answer identically.
+  Rng Rand(5);
+  Graph G = randomGraph(16, 0.3, Rand);
+  WorkGraph AtThreshold(G, 16);
+  WorkGraph BelowThreshold(G, 15);
+  EXPECT_TRUE(AtThreshold.usesDenseAdjacency());
+  EXPECT_FALSE(BelowThreshold.usesDenseAdjacency());
+  for (unsigned U = 0; U < 16; ++U)
+    for (unsigned V = U + 1; V < 16; ++V)
+      EXPECT_EQ(AtThreshold.interfere(U, V), BelowThreshold.interfere(U, V));
+}
+
+TEST(WorkGraphColorabilityTest, MatchesMaterializedQuotient) {
+  Rng Rand(29);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Graph G = randomGraph(18, 0.25, Rand);
+    WorkGraph WG(G);
+    for (int M = 0; M < 6; ++M) {
+      unsigned U = static_cast<unsigned>(Rand.nextBelow(18));
+      unsigned V = static_cast<unsigned>(Rand.nextBelow(18));
+      if (U != V && WG.canMerge(U, V))
+        WG.merge(U, V);
+    }
+    for (unsigned K = 1; K <= 6; ++K)
+      EXPECT_EQ(WG.quotientGreedyKColorable(K),
+                isGreedyKColorable(WG.quotientGraph(), K))
+          << "trial " << Trial << " k=" << K;
+  }
+}
+
+TEST(WorkGraphColorabilityTest, StuckRepsNameTheKCore) {
+  // K3 needs 3 colors: with k=2 every vertex is stuck; with k=3 none.
+  Graph G(4);
+  G.addClique({0, 1, 2});
+  WorkGraph WG(G);
+  std::vector<unsigned> Stuck;
+  EXPECT_FALSE(WG.quotientGreedyKColorable(2, &Stuck));
+  EXPECT_EQ(Stuck, (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_TRUE(WG.quotientGreedyKColorable(3, &Stuck));
+  EXPECT_TRUE(Stuck.empty());
+}
+
+TEST(WorkGraphTelemetryTest, CountersTrackTheOpScript) {
+  Graph G = pathGraph();
+  WorkGraph WG(G);
+  CoalescingTelemetry T;
+  WG.attachTelemetry(&T);
+
+  WG.interfere(0, 1);
+  WG.checkpoint();
+  WG.merge(0, 2);
+  WG.rollback();
+  WG.checkpoint();
+  WG.merge(1, 3);
+  WG.commit();
+  WG.quotientGreedyKColorable(2);
+
+  EXPECT_EQ(T.InterferenceQueries, 1u);
+  EXPECT_EQ(T.Checkpoints, 2u);
+  EXPECT_EQ(T.Merges, 2u);
+  EXPECT_EQ(T.MergesRolledBack, 1u);
+  EXPECT_EQ(T.Rollbacks, 1u);
+  EXPECT_EQ(T.ColorabilityChecks, 1u);
+}
+
+namespace {
+
+struct RecordingObserver final : EngineObserver {
+  std::vector<EngineEvent> Events;
+  void onEvent(EngineEvent E, unsigned, unsigned) override {
+    Events.push_back(E);
+  }
+};
+
+} // namespace
+
+TEST(WorkGraphTelemetryTest, ObserverSeesTheEventStream) {
+  Graph G = pathGraph();
+  WorkGraph WG(G);
+  RecordingObserver Obs;
+  WG.setObserver(&Obs);
+  WG.checkpoint();
+  WG.merge(0, 2);
+  WG.rollback();
+  ASSERT_EQ(Obs.Events.size(), 4u);
+  EXPECT_EQ(Obs.Events[0], EngineEvent::CheckpointTaken);
+  EXPECT_EQ(Obs.Events[1], EngineEvent::MergeCommitted);
+  EXPECT_EQ(Obs.Events[2], EngineEvent::MergeRolledBack);
+  EXPECT_EQ(Obs.Events[3], EngineEvent::RollbackPerformed);
+}
