@@ -1,0 +1,84 @@
+//===- bench/bench_batch.cpp - E12: batch-runner scaling ---------------------===//
+//
+// Experiment E12: throughput of the parallel batch runner as the worker
+// count grows. The workload is a fixed instance x strategy matrix (16
+// subtree instances x 4 strategies); jobs are embarrassingly parallel, so
+// on a machine with enough cores the 8-worker configuration approaches 8x
+// the 1-worker throughput. The observed scaling is hardware-dependent: on a
+// single-core container every configuration collapses to ~1x and only the
+// pool overhead is measured. Also reports the deadline path: a batch run
+// under a tiny --timeout-ms where the brute-force strategy times out on
+// every job while the cheap strategies complete.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "runner/BatchRunner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rc;
+
+namespace {
+
+/// The shared matrix: 16 mid-size instances x 4 strategies of increasing
+/// cost. Built once; jobs borrow the problems.
+const std::vector<LabeledProblem> &suiteProblems() {
+  static const std::vector<LabeledProblem> Problems = [] {
+    std::vector<LabeledProblem> Out;
+    for (unsigned I = 0; I < 16; ++I) {
+      LabeledProblem LP;
+      LP.Label = "bench seed=" + std::to_string(9000 + I);
+      LP.Problem = bench::makeChallengeProblem(128, 9000 + I);
+      Out.push_back(std::move(LP));
+    }
+    return Out;
+  }();
+  return Problems;
+}
+
+const std::vector<std::string> &suiteSpecs() {
+  static const std::vector<std::string> Specs = {
+      "briggs", "briggs+george", "optimistic", "irc"};
+  return Specs;
+}
+
+void BM_BatchWorkers(benchmark::State &State) {
+  std::vector<BatchJob> Jobs = crossJobs(suiteProblems(), suiteSpecs());
+  BatchOptions Options;
+  Options.Workers = static_cast<unsigned>(State.range(0));
+  size_t Completed = 0;
+  for (auto _ : State) {
+    BatchReport Report = runBatch(Jobs, Options);
+    Completed += Report.Jobs.size() - Report.failedJobs();
+    benchmark::DoNotOptimize(Report.WallMicros);
+  }
+  State.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(Completed), benchmark::Counter::kIsRate);
+}
+
+void BM_BatchDeadline(benchmark::State &State) {
+  // brute-conservative on 128-vertex instances blows any 1ms budget, so
+  // this measures the cancel-token path: poll overhead + partial-outcome
+  // assembly, not search completion.
+  std::vector<BatchJob> Jobs =
+      crossJobs(suiteProblems(), {"brute-conservative", "briggs"});
+  BatchOptions Options;
+  Options.Workers = static_cast<unsigned>(State.range(0));
+  Options.TimeoutMillis = 1;
+  size_t TimedOut = 0;
+  for (auto _ : State) {
+    BatchReport Report = runBatch(Jobs, Options);
+    TimedOut += Report.timedOutJobs();
+    benchmark::DoNotOptimize(Report.WallMicros);
+  }
+  State.counters["timed_out"] =
+      static_cast<double>(TimedOut) / State.iterations();
+}
+
+} // namespace
+
+BENCHMARK(BM_BatchWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchDeadline)->Arg(1)->Arg(4)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);

@@ -28,7 +28,10 @@ static void runSuite(benchmark::State &State, const char *Spec,
         ProgramMode
             ? bench::makeProgramChallengeProblem(N, 7000 + Instances, Slack)
             : bench::makeChallengeProblem(N, 7000 + Instances, Slack);
-    StrategyOutcome O = runStrategy(P, Spec);
+    RunRequest Request;
+    Request.Problem = &P;
+    Request.Spec = Spec;
+    StrategyOutcome O = runStrategy(Request).Outcome;
     RatioSum += O.CoalescedWeightRatio;
     Micro += O.Microseconds;
     Tests += O.Telemetry.conservativeTests();

@@ -40,8 +40,11 @@ static void BM_SplitThenCoalesce(benchmark::State &State, const char *Spec) {
   CoalescingProblem P =
       makeSplitInstance(static_cast<unsigned>(State.range(0)), 121, &Split);
   double Ratio = 0;
+  RunRequest Request;
+  Request.Problem = &P;
+  Request.Spec = Spec;
   for (auto _ : State) {
-    StrategyOutcome O = runStrategy(P, Spec);
+    StrategyOutcome O = runStrategy(Request).Outcome;
     Ratio = O.CoalescedWeightRatio;
     benchmark::DoNotOptimize(&Ratio);
   }

@@ -2,14 +2,17 @@
 //
 // Generates a suite of synthetic Appel-George-style challenge instances and
 // compares coalescing strategies from the registry, at the register
-// pressure the paper calls hard (k = Maxlive) and with slack. Optionally
-// dumps/loads instances in the text format, restricts the run to explicit
-// strategy specs, or emits machine-readable JSON (one outcome object per
-// strategy, including engine telemetry).
+// pressure the paper calls hard (k = Maxlive) and with slack. The suite is
+// evaluated through the parallel batch runner: --jobs fans the instance x
+// strategy matrix across worker threads (results are deterministic and,
+// with --no-timing, byte-identical at any worker count), --timeout-ms puts
+// a deadline on every job so brute-force strategies degrade to flagged
+// partial outcomes instead of hanging the suite.
 //
 // Run: ./coalescing_challenge [num-values] [instances] [slack] [seed]
 //      ./coalescing_challenge --strategies irc,optimistic:restore=0 [...]
-//      ./coalescing_challenge --json [...]
+//      ./coalescing_challenge --json --jobs 8 --no-timing [...]
+//      ./coalescing_challenge --timeout-ms 50 [...]
 //      ./coalescing_challenge --list
 //      ./coalescing_challenge --dump file.txt [num-values] [seed]
 //      ./coalescing_challenge --load file.txt
@@ -18,13 +21,12 @@
 
 #include "challenge/ChallengeFormat.h"
 #include "challenge/ChallengeInstance.h"
-#include "challenge/StrategyRunner.h"
+#include "runner/BatchRunner.h"
 
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -32,64 +34,17 @@ using namespace rc;
 
 namespace {
 
-struct SuiteRow {
-  double RatioSum = 0;
-  int64_t TimeSum = 0;
-  CoalescingTelemetry Telemetry;
-};
-
-std::vector<std::string> splitSpecs(const std::string &List) {
-  std::vector<std::string> Specs;
-  size_t Pos = 0;
-  while (Pos <= List.size()) {
-    size_t Comma = List.find(',', Pos);
-    // Option lists inside a spec also use commas; a comma starts a new spec
-    // only when the next chunk, up to its colon or '=', has no '='. That
-    // keeps "optimistic:restore=0,dissolve=biggest,irc" splitting after
-    // "biggest".
-    while (Comma != std::string::npos) {
-      size_t Next = List.find_first_of(",=:", Comma + 1);
-      if (Next == std::string::npos || List[Next] != '=')
-        break;
-      Comma = List.find(',', Comma + 1);
-    }
-    Specs.push_back(List.substr(
-        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos));
-    if (Comma == std::string::npos)
-      break;
-    Pos = Comma + 1;
-  }
-  return Specs;
-}
-
-std::vector<StrategyOutcome> runSelected(const CoalescingProblem &P,
-                                         const std::vector<std::string> &Specs) {
+int runSweep(std::vector<LabeledProblem> Problems,
+             std::vector<std::string> Specs, const BatchOptions &Options,
+             bool Json, bool Timing) {
   if (Specs.empty())
-    return runAllStrategies(P);
-  std::vector<StrategyOutcome> Outcomes;
-  for (const std::string &Spec : Specs)
-    Outcomes.push_back(runStrategy(P, Spec));
-  return Outcomes;
-}
-
-int runOnProblem(const CoalescingProblem &P,
-                 const std::vector<std::string> &Specs, bool Json) {
-  std::vector<StrategyOutcome> Outcomes = runSelected(P, Specs);
-  if (Json) {
-    std::cout << "[";
-    for (size_t I = 0; I < Outcomes.size(); ++I) {
-      if (I)
-        std::cout << ",";
-      writeOutcomeJson(std::cout, Outcomes[I]);
-    }
-    std::cout << "]\n";
-    return 0;
-  }
-  std::cout << "instance: " << P.G.numVertices() << " vertices, "
-            << P.G.numEdges() << " interferences, " << P.Affinities.size()
-            << " moves, k = " << P.K << "\n";
-  printComparison(std::cout, Outcomes);
-  return 0;
+    Specs = StrategyRegistry::instance().names();
+  BatchReport Report = runBatch(crossJobs(Problems, Specs), Options);
+  if (Json)
+    writeBatchJsonl(std::cout, Report, Timing);
+  else
+    printBatchSummary(std::cout, Report);
+  return Report.failedJobs() ? 1 : 0;
 }
 
 } // namespace
@@ -97,29 +52,48 @@ int runOnProblem(const CoalescingProblem &P,
 int main(int Argc, char **Argv) {
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   std::vector<std::string> Specs;
+  BatchOptions Options;
   bool Json = false;
+  bool Timing = true;
+
+  // Flags may appear anywhere; positionals keep their historic order.
   for (size_t I = 0; I < Args.size();) {
+    auto eat = [&](size_t Count) {
+      Args.erase(Args.begin() + static_cast<long>(I),
+                 Args.begin() + static_cast<long>(I + Count));
+    };
     if (Args[I] == "--json") {
       Json = true;
-      Args.erase(Args.begin() + static_cast<long>(I));
+      eat(1);
+    } else if (Args[I] == "--no-timing") {
+      Timing = false;
+      eat(1);
     } else if (Args[I] == "--strategies" && I + 1 < Args.size()) {
-      Specs = splitSpecs(Args[I + 1]);
-      Args.erase(Args.begin() + static_cast<long>(I),
-                 Args.begin() + static_cast<long>(I) + 2);
+      Specs = splitStrategySpecs(Args[I + 1]);
+      eat(2);
+    } else if (Args[I] == "--jobs" && I + 1 < Args.size()) {
+      int N = std::atoi(Args[I + 1].c_str());
+      if (N < 1) {
+        std::cerr << "error: --jobs expects a positive integer\n";
+        return 1;
+      }
+      Options.Workers = static_cast<unsigned>(N);
+      eat(2);
+    } else if (Args[I] == "--timeout-ms" && I + 1 < Args.size()) {
+      Options.TimeoutMillis = std::atoll(Args[I + 1].c_str());
+      if (Options.TimeoutMillis <= 0) {
+        std::cerr << "error: --timeout-ms expects a positive integer\n";
+        return 1;
+      }
+      eat(2);
     } else {
       ++I;
     }
   }
   for (const std::string &Spec : Specs) {
-    std::string Name, Error;
-    StrategyOptions Options;
-    if (!parseStrategySpec(Spec, Name, Options, &Error)) {
-      std::cerr << "error: " << Error << "\n";
-      return 1;
-    }
-    if (!StrategyRegistry::instance().lookup(Name)) {
-      std::cerr << "error: unknown strategy '" << Name
-                << "' (try --list)\n";
+    std::string Message;
+    if (checkStrategySpec(Spec, &Message) != RunStatus::Ok) {
+      std::cerr << "error: " << Message << "\n";
       return 1;
     }
   }
@@ -136,13 +110,17 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::ifstream In(Args[1]);
-    CoalescingProblem P;
+    LabeledProblem LP;
+    LP.Label = Args[1];
     std::string Error;
-    if (!In || !readChallenge(In, P, &Error)) {
+    if (!In || !readChallenge(In, LP.Problem, &Error)) {
       std::cerr << "error: cannot read " << Args[1] << ": " << Error << "\n";
       return 1;
     }
-    return runOnProblem(P, Specs, Json);
+    std::vector<LabeledProblem> Problems;
+    Problems.push_back(std::move(LP));
+    return runSweep(std::move(Problems), std::move(Specs), Options, Json,
+                    Timing);
   }
   if (First == "--dump") {
     if (Args.size() < 2) {
@@ -156,10 +134,10 @@ int main(int Argc, char **Argv) {
         Args.size() > 3 ? static_cast<uint64_t>(std::atoll(Args[3].c_str()))
                         : 1;
     Rng Rand(Seed);
-    ChallengeOptions Options;
-    Options.NumValues = N;
-    Options.TreeSize = N / 2;
-    CoalescingProblem P = generateChallengeInstance(Options, Rand);
+    ChallengeOptions ChallengeOpts;
+    ChallengeOpts.NumValues = N;
+    ChallengeOpts.TreeSize = N / 2;
+    CoalescingProblem P = generateChallengeInstance(ChallengeOpts, Rand);
     std::ofstream Out(Args[1]);
     writeChallenge(Out, P);
     std::cout << "wrote " << Args[1] << " (" << P.G.numVertices()
@@ -181,62 +159,27 @@ int main(int Argc, char **Argv) {
   if (!Json)
     std::cout << "suite: " << Instances << " instances, " << N
               << " values each, pressure slack " << Slack << ", seed " << Seed
-              << "\n\n";
+              << ", " << (Options.Workers > 1 ? Options.Workers : 1)
+              << " worker(s)\n\n";
 
-  // Keyed by outcome name; Order preserves first-appearance order so the
-  // summary matches the registry (or --strategies) order.
-  std::map<std::string, SuiteRow> Rows;
-  std::vector<std::string> Order;
+  std::vector<LabeledProblem> Problems;
+  Problems.reserve(Instances);
   for (unsigned I = 0; I < Instances; ++I) {
     Rng Rand(Seed + I);
-    ChallengeOptions Options;
-    Options.NumValues = N;
-    Options.TreeSize = N / 2;
-    Options.PressureSlack = Slack;
-    CoalescingProblem P = generateChallengeInstance(Options, Rand);
-    for (const StrategyOutcome &O : runSelected(P, Specs)) {
-      if (!Rows.count(O.Name))
-        Order.push_back(O.Name);
-      SuiteRow &Row = Rows[O.Name];
-      Row.RatioSum += O.CoalescedWeightRatio;
-      Row.TimeSum += O.Microseconds;
-      Row.Telemetry.add(O.Telemetry);
-    }
+    ChallengeOptions ChallengeOpts;
+    ChallengeOpts.NumValues = N;
+    ChallengeOpts.TreeSize = N / 2;
+    ChallengeOpts.PressureSlack = Slack;
+    LabeledProblem LP;
+    LP.Label = "suite seed=" + std::to_string(Seed + I) +
+               " n=" + std::to_string(N) + " slack=" + std::to_string(Slack);
+    LP.Problem = generateChallengeInstance(ChallengeOpts, Rand);
+    Problems.push_back(std::move(LP));
   }
-
-  if (Json) {
-    std::cout << "[";
-    for (size_t I = 0; I < Order.size(); ++I) {
-      const SuiteRow &Row = Rows[Order[I]];
-      if (I)
-        std::cout << ",";
-      std::cout << "{\"strategy\":\"" << Order[I] << "\""
-                << ",\"instances\":" << Instances
-                << ",\"avg_coalesced_weight_ratio\":"
-                << Row.RatioSum / Instances
-                << ",\"total_microseconds\":" << Row.TimeSum
-                << ",\"telemetry\":";
-      writeTelemetryJson(std::cout, Row.Telemetry);
-      std::cout << "}";
-    }
-    std::cout << "]\n";
-    return 0;
-  }
-
-  std::cout << std::left << std::setw(20) << "strategy" << std::right
-            << std::setw(16) << "avg weight %" << std::setw(14)
-            << "total time" << std::setw(12) << "tests" << std::setw(12)
-            << "colorchk" << "\n";
-  for (const std::string &Name : Order) {
-    const SuiteRow &Row = Rows[Name];
-    std::cout << std::left << std::setw(20) << Name << std::right
-              << std::setw(15) << std::fixed << std::setprecision(1)
-              << 100.0 * Row.RatioSum / Instances << "%" << std::setw(12)
-              << Row.TimeSum << "us" << std::setw(12)
-              << Row.Telemetry.conservativeTests() << std::setw(12)
-              << Row.Telemetry.ColorabilityChecks << "\n";
-  }
-  std::cout << "\n(aggressive ignores k and upper-bounds the others; at "
-               "slack 0 the local rules starve, cf. Section 4)\n";
-  return 0;
+  int Exit = runSweep(std::move(Problems), std::move(Specs), Options, Json,
+                      Timing);
+  if (!Json)
+    std::cout << "\n(aggressive ignores k and upper-bounds the others; at "
+                 "slack 0 the local rules starve, cf. Section 4)\n";
+  return Exit;
 }

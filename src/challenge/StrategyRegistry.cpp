@@ -82,6 +82,51 @@ bool rc::parseStrategySpec(const std::string &Spec, std::string &Name,
   return true;
 }
 
+static bool isBoolValue(const std::string &V) {
+  return V == "1" || V == "true" || V == "yes" || V == "0" || V == "false" ||
+         V == "no";
+}
+
+bool rc::validateStrategyOptions(const StrategyInfo &Info,
+                                 const StrategyOptions &Options,
+                                 std::string *Error) {
+  auto fail = [Error](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  for (const auto &[Key, Value] : Options.entries()) {
+    const StrategyOptionSpec *Spec = nullptr;
+    for (const StrategyOptionSpec &S : Info.OptionSpecs)
+      if (S.Key == Key) {
+        Spec = &S;
+        break;
+      }
+    if (!Spec) {
+      std::string Known;
+      for (const StrategyOptionSpec &S : Info.OptionSpecs)
+        Known += (Known.empty() ? "" : ", ") + S.Key;
+      return fail("strategy '" + Info.Name + "' does not take option '" +
+                  Key + "'" +
+                  (Known.empty() ? " (it takes none)"
+                                 : " (options: " + Known + ")"));
+    }
+    if (Spec->Values.empty()) {
+      if (!isBoolValue(Value))
+        return fail("option '" + Key + "' of strategy '" + Info.Name +
+                    "' expects a boolean, got '" + Value + "'");
+    } else if (std::find(Spec->Values.begin(), Spec->Values.end(), Value) ==
+               Spec->Values.end()) {
+      std::string Allowed;
+      for (const std::string &V : Spec->Values)
+        Allowed += (Allowed.empty() ? "" : "|") + V;
+      return fail("option '" + Key + "' of strategy '" + Info.Name +
+                  "' must be one of " + Allowed + ", got '" + Value + "'");
+    }
+  }
+  return true;
+}
+
 StrategyRegistry &StrategyRegistry::instance() {
   static StrategyRegistry Registry;
   return Registry;
@@ -110,75 +155,79 @@ std::vector<std::string> StrategyRegistry::names() const {
 }
 
 StrategyRegistry::StrategyRegistry() {
+  auto conservative = [](ConservativeRule Rule) {
+    return [Rule](const CoalescingProblem &P, const StrategyOptions &,
+                  StrategyContext &Ctx) {
+      ConservativeResult R =
+          conservativeCoalesce(P, Rule, &Ctx.Telemetry, Ctx.Cancel);
+      Ctx.TimedOut = R.TimedOut;
+      return R.Solution;
+    };
+  };
+
   // Built-ins, in the historical comparison order of allStrategies().
   add({"aggressive", "weight-greedy merging, no register bound (upper bound)",
        [](const CoalescingProblem &P, const StrategyOptions &,
-          CoalescingTelemetry &T) {
-         return aggressiveCoalesceGreedy(P, &T).Solution;
-       }});
+          StrategyContext &Ctx) {
+         return aggressiveCoalesceGreedy(P, &Ctx.Telemetry).Solution;
+       },
+       {}});
   add({"briggs", "conservative coalescing, Briggs' test only",
-       [](const CoalescingProblem &P, const StrategyOptions &,
-          CoalescingTelemetry &T) {
-         return conservativeCoalesce(P, ConservativeRule::Briggs, &T)
-             .Solution;
-       }});
+       conservative(ConservativeRule::Briggs), {}});
   add({"george", "conservative coalescing, George's test (both directions)",
-       [](const CoalescingProblem &P, const StrategyOptions &,
-          CoalescingTelemetry &T) {
-         return conservativeCoalesce(P, ConservativeRule::George, &T)
-             .Solution;
-       }});
+       conservative(ConservativeRule::George), {}});
   add({"briggs+george", "conservative coalescing, either test suffices",
-       [](const CoalescingProblem &P, const StrategyOptions &,
-          CoalescingTelemetry &T) {
-         return conservativeCoalesce(P, ConservativeRule::BriggsOrGeorge, &T)
-             .Solution;
-       }});
+       conservative(ConservativeRule::BriggsOrGeorge), {}});
   add({"brute-conservative",
        "conservative coalescing, merge-and-check greedy-k-colorability",
-       [](const CoalescingProblem &P, const StrategyOptions &,
-          CoalescingTelemetry &T) {
-         return conservativeCoalesce(P, ConservativeRule::BruteForce, &T)
-             .Solution;
-       }});
+       conservative(ConservativeRule::BruteForce), {}});
   add({"optimistic",
        "Park-Moon aggressive + de-coalescing + restore "
        "(options: restore=bool, dissolve=cheapest|biggest)",
        [](const CoalescingProblem &P, const StrategyOptions &Options,
-          CoalescingTelemetry &T) {
+          StrategyContext &Ctx) {
          OptimisticOptions OO;
          OO.Restore = Options.getBool("restore", true);
          std::string Dissolve = Options.get("dissolve", "cheapest");
          assert((Dissolve == "cheapest" || Dissolve == "biggest") &&
                 "dissolve must be cheapest or biggest");
          OO.DissolveCheapest = Dissolve != "biggest";
-         return optimisticCoalesce(P, OO, &T).Solution;
-       }});
+         OptimisticResult R =
+             optimisticCoalesce(P, OO, &Ctx.Telemetry, Ctx.Cancel);
+         Ctx.TimedOut = R.TimedOut;
+         return R.Solution;
+       },
+       {{"restore", {}}, {"dissolve", {"cheapest", "biggest"}}}});
   add({"irc",
        "iterated register coalescing, George-Appel worklists "
        "(options: george=bool)",
        [](const CoalescingProblem &P, const StrategyOptions &Options,
-          CoalescingTelemetry &T) {
+          StrategyContext &Ctx) {
          IrcOptions IO;
          IO.UseGeorge = Options.getBool("george", true);
-         return iteratedRegisterCoalescing(P, IO, &T).Solution;
-       }});
+         return iteratedRegisterCoalescing(P, IO, &Ctx.Telemetry).Solution;
+       },
+       {{"george", {}}}});
   add({"chordal-thm5",
        "Theorem 5 chain strategy on chordal inputs with k >= omega "
        "(falls back to brute-conservative otherwise)",
        [](const CoalescingProblem &P, const StrategyOptions &,
-          CoalescingTelemetry &T) {
+          StrategyContext &Ctx) {
          if (isChordal(P.G) && P.K >= chordalCliqueNumber(P.G))
-           return chordalCoalesce(P, &T).Solution;
-         return conservativeCoalesce(P, ConservativeRule::BruteForce, &T)
-             .Solution;
-       }});
+           return chordalCoalesce(P, &Ctx.Telemetry).Solution;
+         ConservativeResult R = conservativeCoalesce(
+             P, ConservativeRule::BruteForce, &Ctx.Telemetry, Ctx.Cancel);
+         Ctx.TimedOut = R.TimedOut;
+         return R.Solution;
+       },
+       {}});
   add({"biased-select",
        "no merging; biased select-phase coloring only (Section 1)",
        [](const CoalescingProblem &P, const StrategyOptions &,
-          CoalescingTelemetry &) {
+          StrategyContext &) {
          if (isGreedyKColorable(P.G, P.K))
            return biasedColoring(P).Solution;
          return identitySolution(P.G);
-       }});
+       },
+       {}});
 }

@@ -22,6 +22,7 @@
 
 #include "coalescing/Problem.h"
 #include "coalescing/Telemetry.h"
+#include "support/CancelToken.h"
 
 #include <functional>
 #include <string>
@@ -57,6 +58,35 @@ private:
   std::vector<std::pair<std::string, std::string>> Entries;
 };
 
+/// Per-run context handed to a strategy: where telemetry accumulates, the
+/// optional cancellation token the strategy should honor, and the flags it
+/// reports back. One context per run; never shared across runs.
+struct StrategyContext {
+  explicit StrategyContext(CoalescingTelemetry &Telemetry,
+                           const CancelToken *Cancel = nullptr)
+      : Telemetry(Telemetry), Cancel(Cancel) {}
+
+  /// Engine counters accumulate here.
+  CoalescingTelemetry &Telemetry;
+  /// Cooperative cancellation token; null means "not cancellable".
+  /// Cancellation-aware strategies forward it to their drivers.
+  const CancelToken *Cancel = nullptr;
+  /// Set by the strategy when it abandoned work on an expired token. The
+  /// returned solution must still be a valid (partial) coalescing.
+  bool TimedOut = false;
+};
+
+/// Declares one option key a strategy accepts, so malformed user specs are
+/// rejected before the strategy runs (instead of tripping asserts inside
+/// it).
+struct StrategyOptionSpec {
+  /// Option key, e.g. "restore".
+  std::string Key;
+  /// Allowed values; empty means boolean ("1"/"true"/"yes" or
+  /// "0"/"false"/"no").
+  std::vector<std::string> Values;
+};
+
 /// A factory-registered named strategy.
 struct StrategyInfo {
   /// Unique registry name (also the display name, e.g. "briggs+george").
@@ -64,11 +94,15 @@ struct StrategyInfo {
   /// One-line description for listings.
   std::string Summary;
   /// Runs the strategy: produces the coalescing partition, accumulating
-  /// engine counters into the telemetry sink.
+  /// engine counters (and cancellation flags) into the context. Options are
+  /// pre-validated against OptionSpecs by the RunRequest API; strategies
+  /// may assert on them.
   std::function<CoalescingSolution(const CoalescingProblem &,
                                    const StrategyOptions &,
-                                   CoalescingTelemetry &)>
+                                   StrategyContext &)>
       Run;
+  /// The option keys this strategy understands (empty: takes no options).
+  std::vector<StrategyOptionSpec> OptionSpecs;
 };
 
 /// The process-wide strategy registry. The built-in strategies of the
@@ -102,6 +136,13 @@ private:
 /// \returns false (with \p Error set, if non-null) on malformed input.
 bool parseStrategySpec(const std::string &Spec, std::string &Name,
                        StrategyOptions &Options, std::string *Error = nullptr);
+
+/// Checks \p Options against \p Info.OptionSpecs: every key must be
+/// declared, booleans must parse, enumerated values must be listed.
+/// \returns false (with a diagnostic in \p Error, if non-null) otherwise.
+bool validateStrategyOptions(const StrategyInfo &Info,
+                             const StrategyOptions &Options,
+                             std::string *Error = nullptr);
 
 } // namespace rc
 

@@ -7,20 +7,114 @@
 #include <cassert>
 #include <chrono>
 #include <iomanip>
+#include <sstream>
 
 using namespace rc;
 
-StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
-                                const StrategyInfo &Info,
-                                const StrategyOptions &Options) {
+const char *rc::runStatusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Ok:
+    return "ok";
+  case RunStatus::UnknownStrategy:
+    return "unknown-strategy";
+  case RunStatus::BadOption:
+    return "bad-option";
+  case RunStatus::TimedOut:
+    return "timed-out";
+  }
+  return "?";
+}
+
+/// Formats the registered names for UnknownStrategy diagnostics.
+static std::string registeredNames() {
+  std::string Names;
+  for (const std::string &Name : StrategyRegistry::instance().names())
+    Names += (Names.empty() ? "" : ", ") + Name;
+  return Names;
+}
+
+/// Resolves Spec/Strategy+Options of \p Request into \p Info and
+/// \p Options. Returns Ok, UnknownStrategy or BadOption.
+static RunStatus resolveRequest(const RunRequest &Request,
+                                const StrategyInfo *&Info,
+                                StrategyOptions &Options,
+                                std::string *Message) {
+  std::string Error;
+  if (Request.Strategy) {
+    Info = Request.Strategy;
+    Options = Request.Options;
+  } else {
+    std::string Name;
+    if (!parseStrategySpec(Request.Spec, Name, Options, &Error)) {
+      if (Message)
+        *Message = Error;
+      return RunStatus::BadOption;
+    }
+    Info = StrategyRegistry::instance().lookup(Name);
+    if (!Info) {
+      if (Message)
+        *Message = "unknown strategy '" + Name +
+                   "' (registered: " + registeredNames() + ")";
+      return RunStatus::UnknownStrategy;
+    }
+  }
+  if (!validateStrategyOptions(*Info, Options, &Error)) {
+    if (Message)
+      *Message = Error;
+    return RunStatus::BadOption;
+  }
+  return RunStatus::Ok;
+}
+
+RunStatus rc::checkStrategySpec(const std::string &Spec,
+                                std::string *Message) {
+  RunRequest Request;
+  Request.Spec = Spec;
+  const StrategyInfo *Info = nullptr;
+  StrategyOptions Options;
+  return resolveRequest(Request, Info, Options, Message);
+}
+
+std::vector<std::string> rc::splitStrategySpecs(const std::string &List) {
+  std::vector<std::string> Specs;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    // Option lists inside a spec also use commas; a comma starts a new spec
+    // only when the next chunk, up to its colon or '=', has no '='. That
+    // keeps "optimistic:restore=0,dissolve=biggest,irc" splitting after
+    // "biggest".
+    while (Comma != std::string::npos) {
+      size_t Next = List.find_first_of(",=:", Comma + 1);
+      if (Next == std::string::npos || List[Next] != '=')
+        break;
+      Comma = List.find(',', Comma + 1);
+    }
+    Specs.push_back(List.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Specs;
+}
+
+/// Runs a resolved (validated) strategy and measures it.
+static StrategyOutcome runResolved(const CoalescingProblem &P,
+                                   const StrategyInfo &Info,
+                                   const StrategyOptions &Options,
+                                   const CancelToken *Cancel) {
   StrategyOutcome Outcome;
   Outcome.Name = Info.Name;
+  StrategyContext Ctx(Outcome.Telemetry, Cancel);
   auto Start = std::chrono::steady_clock::now();
-  CoalescingSolution Solution = Info.Run(P, Options, Outcome.Telemetry);
+  CoalescingSolution Solution = Info.Run(P, Options, Ctx);
   auto End = std::chrono::steady_clock::now();
   Outcome.Microseconds =
       std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
           .count();
+  Outcome.TimedOut = Ctx.TimedOut;
+  Outcome.Partial = Ctx.TimedOut;
   Outcome.Stats = evaluateSolution(P, Solution);
   double Total = totalAffinityWeight(P);
   Outcome.CoalescedWeightRatio =
@@ -30,15 +124,55 @@ StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
   return Outcome;
 }
 
+RunResult rc::runStrategy(const RunRequest &Request) {
+  assert(Request.Problem && "RunRequest without a problem");
+  RunResult Result;
+  const StrategyInfo *Info = nullptr;
+  StrategyOptions Options;
+  Result.Status = resolveRequest(Request, Info, Options, &Result.Message);
+  if (Result.Status != RunStatus::Ok)
+    return Result;
+
+  // Arm the per-run deadline, chaining any external token under it so
+  // either source expires the run.
+  CancelToken Deadline;
+  const CancelToken *Cancel = Request.Cancel;
+  if (Request.TimeoutMillis > 0) {
+    Deadline.setDeadline(std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(Request.TimeoutMillis));
+    Deadline.setParent(Request.Cancel);
+    Cancel = &Deadline;
+  }
+
+  Result.Outcome = runResolved(*Request.Problem, *Info, Options, Cancel);
+  if (Result.Outcome.TimedOut) {
+    Result.Status = RunStatus::TimedOut;
+    std::ostringstream OS;
+    OS << "strategy '" << Info->Name << "' hit its deadline";
+    if (Request.TimeoutMillis > 0)
+      OS << " (" << Request.TimeoutMillis << " ms)";
+    OS << "; outcome is partial";
+    Result.Message = OS.str();
+  }
+  return Result;
+}
+
+StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
+                                const StrategyInfo &Info,
+                                const StrategyOptions &Options) {
+  [[maybe_unused]] std::string Error;
+  assert(validateStrategyOptions(Info, Options, &Error) && "invalid options");
+  return runResolved(P, Info, Options, /*Cancel=*/nullptr);
+}
+
 StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
                                 const std::string &Spec) {
-  std::string Name;
-  StrategyOptions Options;
-  [[maybe_unused]] bool Parsed = parseStrategySpec(Spec, Name, Options);
-  assert(Parsed && "malformed strategy spec");
-  const StrategyInfo *Info = StrategyRegistry::instance().lookup(Name);
-  assert(Info && "unknown strategy name");
-  return runStrategy(P, *Info, Options);
+  RunRequest Request;
+  Request.Problem = &P;
+  Request.Spec = Spec;
+  RunResult Result = runStrategy(Request);
+  assert(Result.ok() && "malformed or unknown strategy spec");
+  return Result.Outcome;
 }
 
 std::vector<StrategyOutcome>
@@ -65,11 +199,15 @@ void rc::printComparison(std::ostream &OS,
        << O.Telemetry.conservativeTestFailures() << std::setw(10)
        << O.Telemetry.ColorabilityChecks << std::setw(9)
        << O.Telemetry.MergesRolledBack << std::setw(11) << O.Microseconds
-       << "\n";
+       << (O.TimedOut ? "  TIMEOUT" : "") << "\n";
   }
 }
 
-void rc::writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O) {
+void rc::writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O,
+                          bool IncludeTiming) {
+  CoalescingTelemetry Telemetry = O.Telemetry;
+  if (!IncludeTiming)
+    Telemetry.ColorabilityMicros = 0;
   OS << "{\"strategy\":\"" << O.Name << "\""
      << ",\"coalesced_affinities\":" << O.Stats.CoalescedAffinities
      << ",\"uncoalesced_affinities\":" << O.Stats.UncoalescedAffinities
@@ -78,7 +216,10 @@ void rc::writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O) {
      << ",\"coalesced_weight_ratio\":" << O.CoalescedWeightRatio
      << ",\"quotient_greedy_k_colorable\":"
      << (O.QuotientGreedyKColorable ? "true" : "false")
-     << ",\"microseconds\":" << O.Microseconds << ",\"telemetry\":";
-  writeTelemetryJson(OS, O.Telemetry);
+     << ",\"timed_out\":" << (O.TimedOut ? "true" : "false")
+     << ",\"partial\":" << (O.Partial ? "true" : "false")
+     << ",\"microseconds\":" << (IncludeTiming ? O.Microseconds : 0)
+     << ",\"telemetry\":";
+  writeTelemetryJson(OS, Telemetry);
   OS << "}";
 }

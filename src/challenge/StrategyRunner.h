@@ -39,20 +39,105 @@ struct StrategyOutcome {
   /// Whether the coalesced graph is greedy-k-colorable (false is expected
   /// for the aggressive baseline under pressure).
   bool QuotientGreedyKColorable = false;
+  /// The run hit its deadline (or an external cancel) and stopped early.
+  bool TimedOut = false;
+  /// The metrics describe an incomplete run (today: exactly when TimedOut;
+  /// kept separate so other partial sources — node limits — can reuse it).
+  bool Partial = false;
   /// Wall time in microseconds.
   int64_t Microseconds = 0;
   /// Engine counters accumulated during the run.
   CoalescingTelemetry Telemetry;
 };
 
-/// Runs the registered strategy \p Info on \p P with \p Options.
+//===----------------------------------------------------------------------===//
+// Request/outcome API
+//===----------------------------------------------------------------------===//
+
+/// How a RunRequest ended.
+enum class RunStatus {
+  /// The strategy ran to completion; the outcome is full-fidelity.
+  Ok,
+  /// The spec named a strategy that is not registered. No outcome.
+  UnknownStrategy,
+  /// The spec was malformed or carried an option the strategy rejects
+  /// (unknown key, non-boolean value, value outside the allowed set).
+  /// No outcome.
+  BadOption,
+  /// The deadline (or external token) expired mid-run; the outcome holds
+  /// the partial result, flagged TimedOut/Partial.
+  TimedOut,
+};
+
+/// Short stable name of \p S ("ok", "unknown-strategy", "bad-option",
+/// "timed-out") for logs and JSON.
+const char *runStatusName(RunStatus S);
+
+/// One strategy evaluation, fully described. Problem and token are borrowed
+/// references and must outlive the run.
+struct RunRequest {
+  /// The instance to run on. Required.
+  const CoalescingProblem *Problem = nullptr;
+  /// Strategy spec "name[:key=val,...]"; used when Strategy is null.
+  std::string Spec;
+  /// Pre-resolved strategy; takes precedence over Spec when non-null.
+  const StrategyInfo *Strategy = nullptr;
+  /// Options for a pre-resolved Strategy (Spec carries its own).
+  StrategyOptions Options;
+  /// Per-run deadline in milliseconds; 0 means none.
+  int64_t TimeoutMillis = 0;
+  /// Optional external cancellation (e.g. the whole-batch token); chained
+  /// under the deadline so either source stops the run.
+  const CancelToken *Cancel = nullptr;
+};
+
+/// Outcome of a RunRequest: a status plus — for Ok and TimedOut — the
+/// measured StrategyOutcome. Error statuses are recoverable: Message says
+/// what was wrong (including the registered names for UnknownStrategy).
+struct RunResult {
+  RunStatus Status = RunStatus::Ok;
+  /// Diagnostic for non-Ok statuses.
+  std::string Message;
+  /// Valid when Status is Ok (complete) or TimedOut (partial).
+  StrategyOutcome Outcome;
+
+  bool ok() const { return Status == RunStatus::Ok; }
+  /// True when Outcome carries usable metrics.
+  bool hasOutcome() const {
+    return Status == RunStatus::Ok || Status == RunStatus::TimedOut;
+  }
+};
+
+/// Evaluates \p Request: resolves/validates the spec against the registry,
+/// arms the deadline, runs the strategy, and reports errors as statuses
+/// instead of asserting. This is the single entry point every driver
+/// (batch runner, examples, tools) goes through.
+RunResult runStrategy(const RunRequest &Request);
+
+/// Parses and validates \p Spec against the registry without running
+/// anything: returns Ok, UnknownStrategy or BadOption, with a diagnostic
+/// in \p Message. Drivers use it to reject bad command lines up front.
+RunStatus checkStrategySpec(const std::string &Spec,
+                            std::string *Message = nullptr);
+
+/// Splits a comma-separated list of strategy specs, treating a comma as a
+/// separator only when it does not continue an option list — so
+/// "optimistic:restore=0,dissolve=biggest,irc" yields two specs. Used by
+/// every driver that takes a --strategies flag.
+std::vector<std::string> splitStrategySpecs(const std::string &List);
+
+//===----------------------------------------------------------------------===//
+// Deprecated shims (pre-RunRequest API)
+//===----------------------------------------------------------------------===//
+
+/// Deprecated: use runStrategy(RunRequest). Runs the registered strategy
+/// \p Info on \p P with \p Options; asserts the options are valid.
 StrategyOutcome runStrategy(const CoalescingProblem &P,
                             const StrategyInfo &Info,
                             const StrategyOptions &Options = {});
 
-/// Runs the strategy described by \p Spec ("name[:key=val,...]") on \p P.
-/// The name must be registered (asserted); validate with
-/// StrategyRegistry::instance().lookup first for user-supplied specs.
+/// Deprecated: use runStrategy(RunRequest), which reports unknown or
+/// malformed specs as recoverable statuses. This shim asserts on them.
 StrategyOutcome runStrategy(const CoalescingProblem &P,
                             const std::string &Spec);
 
@@ -67,7 +152,10 @@ void printComparison(std::ostream &OS,
                      const std::vector<StrategyOutcome> &Outcomes);
 
 /// Writes \p O as one JSON object (stats + telemetry, no trailing newline).
-void writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O);
+/// With \p IncludeTiming false every wall-clock field is emitted as 0, so
+/// runs of the same jobs are byte-identical regardless of scheduling.
+void writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O,
+                      bool IncludeTiming = true);
 
 } // namespace rc
 

@@ -82,9 +82,11 @@ static bool ruleAllows(WorkGraph &WG, unsigned U, unsigned V, unsigned K,
 
 ConservativeResult rc::conservativeCoalesce(const CoalescingProblem &P,
                                             ConservativeRule Rule,
-                                            CoalescingTelemetry *Telemetry) {
+                                            CoalescingTelemetry *Telemetry,
+                                            const CancelToken *Cancel) {
   WorkGraph WG(P.G);
   WG.attachTelemetry(Telemetry);
+  WG.setCancelToken(Cancel);
   std::vector<unsigned> Order(P.Affinities.size());
   std::iota(Order.begin(), Order.end(), 0u);
   std::stable_sort(Order.begin(), Order.end(), [&P](unsigned A, unsigned B) {
@@ -96,11 +98,17 @@ ConservativeResult rc::conservativeCoalesce(const CoalescingProblem &P,
   ConservativeResult Result;
   std::vector<bool> Done(P.Affinities.size(), false);
   bool Progress = true;
-  while (Progress) {
+  while (Progress && !Result.TimedOut) {
     Progress = false;
+    if (Cancel)
+      Cancel->pollNow();
     Result.TestRejections = 0;
     Result.InterferenceRejections = 0;
     for (unsigned Idx : Order) {
+      if (WG.cancelRequested()) {
+        Result.TimedOut = true;
+        break;
+      }
       if (Done[Idx])
         continue;
       const Affinity &A = P.Affinities[Idx];
@@ -142,8 +150,9 @@ namespace {
 class ExactConservativeSearch {
 public:
   ExactConservativeSearch(const CoalescingProblem &P, bool RequireGreedy,
-                          uint64_t NodeLimit)
+                          uint64_t NodeLimit, const CancelToken *Cancel)
       : P(P), WG(P.G), RequireGreedy(RequireGreedy), NodeLimit(NodeLimit) {
+    WG.setCancelToken(Cancel);
     SuffixWeight.assign(P.Affinities.size() + 1, 0);
     for (size_t I = P.Affinities.size(); I > 0; --I)
       SuffixWeight[I - 1] = SuffixWeight[I] + P.Affinities[I - 1].Weight;
@@ -160,8 +169,9 @@ public:
       Result.Solution = identitySolution(P.G);
     }
     Result.Stats = evaluateSolution(P, Result.Solution);
-    Result.Optimal = HasBest && !LimitHit;
+    Result.Optimal = HasBest && !LimitHit && !CancelHit;
     Result.NodesExplored = Nodes;
+    Result.TimedOut = CancelHit;
     return Result;
   }
 
@@ -173,8 +183,14 @@ private:
   }
 
   void recurse(size_t Index, double Gained) {
-    if (LimitHit)
+    if (LimitHit || CancelHit)
       return;
+    if (WG.cancelRequested()) {
+      // Unwinds through the pending rollback() calls below, so the engine
+      // lands back in its consistent pre-search state.
+      CancelHit = true;
+      return;
+    }
     if (++Nodes > NodeLimit) {
       LimitHit = true;
       return;
@@ -209,6 +225,7 @@ private:
   uint64_t NodeLimit;
   uint64_t Nodes = 0;
   bool LimitHit = false;
+  bool CancelHit = false;
   bool HasBest = false;
   std::vector<double> SuffixWeight;
   CoalescingSolution Best;
@@ -219,6 +236,7 @@ private:
 
 ExactConservativeResult
 rc::conservativeCoalesceExact(const CoalescingProblem &P, bool RequireGreedy,
-                              uint64_t NodeLimit) {
-  return ExactConservativeSearch(P, RequireGreedy, NodeLimit).run();
+                              uint64_t NodeLimit,
+                              const CancelToken *Cancel) {
+  return ExactConservativeSearch(P, RequireGreedy, NodeLimit, Cancel).run();
 }

@@ -66,17 +66,24 @@ struct ConservativeResult {
   unsigned TestRejections = 0;
   /// Affinities rejected because their classes interfere.
   unsigned InterferenceRejections = 0;
+  /// True when the run stopped on an expired CancelToken. The solution is
+  /// the valid partial coalescing reached so far (conservative merges
+  /// preserve greedy-k-colorability at every prefix).
+  bool TimedOut = false;
 };
 
 /// Conservative coalescing driver: processes affinities in decreasing
 /// weight order, merging when the classes do not interfere and \p Rule
 /// deems the merge safe. Repeats passes until a fixed point, since a merge
 /// can enable previously rejected affinities. When \p Telemetry is non-null
-/// the engine's event counters accumulate into it.
+/// the engine's event counters accumulate into it. When \p Cancel is
+/// non-null the driver stops at the first affinity boundary after the token
+/// expires, returning the partial result with TimedOut set.
 ConservativeResult conservativeCoalesce(const CoalescingProblem &P,
                                         ConservativeRule Rule,
                                         CoalescingTelemetry *Telemetry =
-                                            nullptr);
+                                            nullptr,
+                                        const CancelToken *Cancel = nullptr);
 
 /// Exact conservative coalescing for tiny instances: maximizes coalesced
 /// weight over all partitions induced by affinity subsets, subject to the
@@ -87,10 +94,14 @@ struct ExactConservativeResult {
   CoalescingStats Stats;
   bool Optimal = false;
   uint64_t NodesExplored = 0;
+  /// True when the search was abandoned on an expired CancelToken; the
+  /// solution is the best feasible one found so far (Optimal stays false).
+  bool TimedOut = false;
 };
 ExactConservativeResult
 conservativeCoalesceExact(const CoalescingProblem &P, bool RequireGreedy,
-                          uint64_t NodeLimit = UINT64_MAX);
+                          uint64_t NodeLimit = UINT64_MAX,
+                          const CancelToken *Cancel = nullptr);
 
 } // namespace rc
 

@@ -12,7 +12,8 @@ using namespace rc;
 
 OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
                                         const OptimisticOptions &Options,
-                                        CoalescingTelemetry *Telemetry) {
+                                        CoalescingTelemetry *Telemetry,
+                                        const CancelToken *Cancel) {
   OptimisticResult Result;
   unsigned NumAffinities = static_cast<unsigned>(P.Affinities.size());
 
@@ -29,6 +30,7 @@ OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
   // that became conflicting.
   WorkGraph WG(P.G);
   WG.attachTelemetry(Telemetry);
+  WG.setCancelToken(Cancel);
   WorkGraph::Checkpoint Base = WG.checkpoint();
   auto applyKept = [&](const std::vector<bool> &Kept) {
     for (unsigned Idx : Order) {
@@ -56,6 +58,12 @@ OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
     std::vector<unsigned> StuckReps;
     if (WG.quotientGreedyKColorable(P.K, &StuckReps)) {
       Result.GreedyKColorable = true;
+      break;
+    }
+    if (WG.cancelRequested()) {
+      // Stop dissolving: the engine holds the valid Kept-induced partition,
+      // but it never reached greedy-k-colorability.
+      Result.TimedOut = true;
       break;
     }
 
@@ -109,6 +117,10 @@ OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
   // engine state is already the partition induced by Kept.
   if (Result.GreedyKColorable && Options.Restore) {
     for (unsigned Idx : Order) {
+      if (WG.cancelRequested()) {
+        Result.TimedOut = true;
+        break;
+      }
       if (Kept[Idx])
         continue;
       const Affinity &A = P.Affinities[Idx];

@@ -49,6 +49,10 @@ struct OptimisticResult {
   unsigned Dissolutions = 0;
   /// Affinities re-coalesced by the final conservative restore pass.
   unsigned Restored = 0;
+  /// True when the run stopped on an expired CancelToken. The solution is
+  /// the valid partition induced by the affinities kept so far, but the
+  /// de-coalescing loop may not have reached greedy-k-colorability.
+  bool TimedOut = false;
 };
 
 /// The Park–Moon-style heuristic: aggressive phase (weight-greedy), then
@@ -56,10 +60,13 @@ struct OptimisticResult {
 /// elimination, then conservatively restore given-up affinities that have
 /// become safe. If \p P.G itself is greedy-k-colorable the result always is
 /// (dissolving everything restores G). When \p Telemetry is non-null the
-/// engine's event counters accumulate into it.
+/// engine's event counters accumulate into it. When \p Cancel is non-null
+/// the driver stops at the next dissolve/restore boundary after the token
+/// expires and returns the partial result with TimedOut set.
 OptimisticResult optimisticCoalesce(const CoalescingProblem &P,
                                     const OptimisticOptions &Options = {},
-                                    CoalescingTelemetry *Telemetry = nullptr);
+                                    CoalescingTelemetry *Telemetry = nullptr,
+                                    const CancelToken *Cancel = nullptr);
 
 /// Exact minimum-weight de-coalescing for tiny instances: maximizes kept
 /// affinity weight subject to the induced quotient being greedy-k-colorable.
@@ -68,8 +75,10 @@ OptimisticResult optimisticCoalesce(const CoalescingProblem &P,
 /// verifying Theorem 6.
 inline ExactConservativeResult
 optimisticDeCoalesceExact(const CoalescingProblem &P,
-                          uint64_t NodeLimit = UINT64_MAX) {
-  return conservativeCoalesceExact(P, /*RequireGreedy=*/true, NodeLimit);
+                          uint64_t NodeLimit = UINT64_MAX,
+                          const CancelToken *Cancel = nullptr) {
+  return conservativeCoalesceExact(P, /*RequireGreedy=*/true, NodeLimit,
+                                   Cancel);
 }
 
 } // namespace rc

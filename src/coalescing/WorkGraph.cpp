@@ -21,6 +21,8 @@ WorkGraph::WorkGraph(const Graph &G, unsigned DenseThreshold)
 
 unsigned WorkGraph::merge(unsigned U, unsigned V) {
   assert(canMerge(U, V) && "merging interfering or identical classes");
+  if (Cancel)
+    Cancel->poll();
   unsigned CU = Rep[U], CV = Rep[V];
   // Union by rank, replicating support/UnionFind::merge(CU, CV): the higher
   // rank wins; on a tie the first argument wins and its rank is bumped.
@@ -133,6 +135,8 @@ void WorkGraph::undoMerge(MergeRecord &Rec) {
 }
 
 WorkGraph::Checkpoint WorkGraph::checkpoint() {
+  if (Cancel)
+    Cancel->poll();
   Marks.push_back(UndoLog.size());
   note(EngineEvent::CheckpointTaken);
   return UndoLog.size();
@@ -196,6 +200,8 @@ Graph WorkGraph::quotientGraph() const {
 
 bool WorkGraph::quotientGreedyKColorable(
     unsigned K, std::vector<unsigned> *StuckReps) const {
+  if (Cancel)
+    Cancel->poll();
   note(EngineEvent::ColorabilityCheck);
   ScopedMicros Timer(Telemetry ? &Telemetry->ColorabilityMicros : nullptr);
 

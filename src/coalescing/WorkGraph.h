@@ -37,6 +37,7 @@
 #include "coalescing/Telemetry.h"
 #include "graph/Graph.h"
 #include "support/BitMatrix.h"
+#include "support/CancelToken.h"
 
 #include <algorithm>
 #include <vector>
@@ -162,6 +163,20 @@ public:
                                 std::vector<unsigned> *StuckReps =
                                     nullptr) const;
 
+  // --- Cancellation ------------------------------------------------------
+
+  /// Attaches (or detaches, with null) a cooperative cancellation token.
+  /// The engine polls it at its natural work boundaries — every merge(),
+  /// checkpoint() and quotientGreedyKColorable() — so drivers only need to
+  /// read cancelRequested() at their loop heads. The engine itself never
+  /// aborts: merges and rollbacks always complete, keeping the graph
+  /// consistent; stopping is the driver's job.
+  void setCancelToken(const CancelToken *C) { Cancel = C; }
+
+  /// True once the attached token has expired. One relaxed atomic load
+  /// (plus a null test); safe in hot loops.
+  bool cancelRequested() const { return Cancel && Cancel->expired(); }
+
   // --- Instrumentation ---------------------------------------------------
 
   /// Attaches (or detaches, with null) a telemetry counter sink.
@@ -220,6 +235,7 @@ private:
 
   CoalescingTelemetry *Telemetry = nullptr;
   EngineObserver *Observer = nullptr;
+  const CancelToken *Cancel = nullptr;
 };
 
 } // namespace rc

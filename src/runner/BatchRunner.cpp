@@ -1,0 +1,231 @@
+//===- runner/BatchRunner.cpp - Parallel batch evaluation -----------------===//
+
+#include "runner/BatchRunner.h"
+
+#include <atomic>
+#include <chrono>
+#include <iomanip>
+#include <map>
+#include <thread>
+
+using namespace rc;
+
+bool BatchReport::allOk() const {
+  for (const BatchJobResult &Job : Jobs)
+    if (!Job.Result.ok())
+      return false;
+  return true;
+}
+
+unsigned BatchReport::failedJobs() const {
+  unsigned N = 0;
+  for (const BatchJobResult &Job : Jobs)
+    if (!Job.Result.hasOutcome())
+      ++N;
+  return N;
+}
+
+unsigned BatchReport::timedOutJobs() const {
+  unsigned N = 0;
+  for (const BatchJobResult &Job : Jobs)
+    if (Job.Result.Status == RunStatus::TimedOut)
+      ++N;
+  return N;
+}
+
+std::vector<BatchJob> rc::crossJobs(const std::vector<LabeledProblem> &Problems,
+                                    const std::vector<std::string> &Specs) {
+  std::vector<BatchJob> Jobs;
+  Jobs.reserve(Problems.size() * Specs.size());
+  for (const LabeledProblem &LP : Problems)
+    for (const std::string &Spec : Specs) {
+      BatchJob Job;
+      Job.Problem = &LP.Problem;
+      Job.Instance = LP.Label;
+      Job.Spec = Spec;
+      Jobs.push_back(std::move(Job));
+    }
+  return Jobs;
+}
+
+/// Runs one job; shared by the inline and the worker-pool paths.
+static RunResult runOne(const BatchJob &Job, const BatchOptions &Options) {
+  RunRequest Request;
+  Request.Problem = Job.Problem;
+  Request.Spec = Job.Spec;
+  Request.TimeoutMillis = Options.TimeoutMillis;
+  Request.Cancel = Options.Cancel;
+  return runStrategy(Request);
+}
+
+BatchReport rc::runBatch(const std::vector<BatchJob> &Jobs,
+                         const BatchOptions &Options) {
+  BatchReport Report;
+  auto Start = std::chrono::steady_clock::now();
+
+  std::vector<RunResult> Results(Jobs.size());
+  unsigned Workers = Options.Workers;
+  if (Workers > Jobs.size())
+    Workers = static_cast<unsigned>(Jobs.size());
+  Report.WorkersUsed = Workers > 1 ? Workers : 1;
+
+  if (Workers <= 1) {
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Results[I] = runOne(Jobs[I], Options);
+  } else {
+    // Self-scheduling pool: each worker claims the next unclaimed job index
+    // and writes into that job's slot, so no two threads ever touch the
+    // same element and no locks are needed.
+    std::atomic<size_t> Next{0};
+    auto Work = [&]() {
+      for (;;) {
+        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Jobs.size())
+          return;
+        Results[I] = runOne(Jobs[I], Options);
+      }
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Sequential aggregation in job-index order: deterministic rollup sums
+  // and first-appearance ordering, independent of which worker finished
+  // when.
+  Report.Jobs.reserve(Jobs.size());
+  std::map<std::string, size_t> RollupIndex;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    BatchJobResult JR;
+    JR.Index = I;
+    JR.Instance = Jobs[I].Instance;
+    JR.Spec = Jobs[I].Spec;
+    JR.Result = std::move(Results[I]);
+
+    auto It = RollupIndex.find(JR.Spec);
+    if (It == RollupIndex.end()) {
+      It = RollupIndex.emplace(JR.Spec, Report.Rollups.size()).first;
+      Report.Rollups.emplace_back();
+      Report.Rollups.back().Spec = JR.Spec;
+    }
+    StrategyRollup &Rollup = Report.Rollups[It->second];
+    ++Rollup.Runs;
+    switch (JR.Result.Status) {
+    case RunStatus::Ok:
+      ++Rollup.Completed;
+      break;
+    case RunStatus::TimedOut:
+      ++Rollup.TimedOut;
+      break;
+    case RunStatus::UnknownStrategy:
+    case RunStatus::BadOption:
+      ++Rollup.Failed;
+      break;
+    }
+    if (JR.Result.hasOutcome()) {
+      Rollup.RatioSum += JR.Result.Outcome.CoalescedWeightRatio;
+      Rollup.Micros += JR.Result.Outcome.Microseconds;
+      Rollup.Telemetry.add(JR.Result.Outcome.Telemetry);
+    }
+    Report.Jobs.push_back(std::move(JR));
+  }
+
+  Report.WallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - Start)
+                          .count();
+  return Report;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+static void writeJsonString(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        OS << ' ';
+      else
+        OS << C;
+    }
+  }
+  OS << '"';
+}
+
+void rc::writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
+                         bool IncludeTiming) {
+  for (const BatchJobResult &Job : Report.Jobs) {
+    OS << "{\"index\":" << Job.Index << ",\"instance\":";
+    writeJsonString(OS, Job.Instance);
+    OS << ",\"spec\":";
+    writeJsonString(OS, Job.Spec);
+    OS << ",\"status\":\"" << runStatusName(Job.Result.Status) << "\"";
+    if (!Job.Result.Message.empty()) {
+      OS << ",\"message\":";
+      writeJsonString(OS, Job.Result.Message);
+    }
+    if (Job.Result.hasOutcome()) {
+      OS << ",\"outcome\":";
+      writeOutcomeJson(OS, Job.Result.Outcome, IncludeTiming);
+    }
+    OS << "}\n";
+  }
+  for (const StrategyRollup &Rollup : Report.Rollups) {
+    CoalescingTelemetry Telemetry = Rollup.Telemetry;
+    if (!IncludeTiming)
+      Telemetry.ColorabilityMicros = 0;
+    OS << "{\"rollup\":";
+    writeJsonString(OS, Rollup.Spec);
+    OS << ",\"runs\":" << Rollup.Runs << ",\"completed\":" << Rollup.Completed
+       << ",\"timed_out\":" << Rollup.TimedOut
+       << ",\"failed\":" << Rollup.Failed
+       << ",\"mean_weight_ratio\":" << Rollup.meanRatio()
+       << ",\"microseconds\":" << (IncludeTiming ? Rollup.Micros : 0)
+       << ",\"telemetry\":";
+    writeTelemetryJson(OS, Telemetry);
+    OS << "}\n";
+  }
+  OS << "{\"batch\":{\"jobs\":" << Report.Jobs.size()
+     << ",\"failed\":" << Report.failedJobs()
+     << ",\"timed_out\":" << Report.timedOutJobs();
+  // Workers and wall time vary run to run; the timing-suppressed form drops
+  // them so equal batches stay byte-identical at any worker count.
+  if (IncludeTiming)
+    OS << ",\"workers\":" << Report.WorkersUsed
+       << ",\"wall_microseconds\":" << Report.WallMicros;
+  OS << "}}\n";
+}
+
+void rc::printBatchSummary(std::ostream &OS, const BatchReport &Report) {
+  OS << std::left << std::setw(28) << "strategy" << std::right << std::setw(6)
+     << "runs" << std::setw(6) << "ok" << std::setw(9) << "timeout"
+     << std::setw(8) << "failed" << std::setw(12) << "weight%" << std::setw(12)
+     << "time(us)" << "\n";
+  for (const StrategyRollup &Rollup : Report.Rollups) {
+    OS << std::left << std::setw(28) << Rollup.Spec << std::right
+       << std::setw(6) << Rollup.Runs << std::setw(6) << Rollup.Completed
+       << std::setw(9) << Rollup.TimedOut << std::setw(8) << Rollup.Failed
+       << std::setw(11) << std::fixed << std::setprecision(1)
+       << 100.0 * Rollup.meanRatio() << "%" << std::setw(12) << Rollup.Micros
+       << "\n";
+  }
+  OS << "\n"
+     << Report.Jobs.size() << " jobs, " << Report.failedJobs() << " failed, "
+     << Report.timedOutJobs() << " timed out, " << Report.WorkersUsed
+     << (Report.WorkersUsed == 1 ? " worker, " : " workers, ")
+     << Report.WallMicros << " us\n";
+}

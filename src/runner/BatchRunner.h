@@ -1,0 +1,133 @@
+//===- runner/BatchRunner.h - Parallel batch evaluation ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans an instance x strategy job matrix across a fixed-size worker pool
+/// and aggregates the results deterministically. Each job is one RunRequest
+/// (challenge/StrategyRunner): workers pull the next job index from an
+/// atomic counter, run it with the shared per-job deadline and batch-wide
+/// CancelToken, and write the RunResult into that job's pre-allocated slot.
+/// Aggregation then walks the slots in job-index order on the calling
+/// thread, so a BatchReport -- rollups, JSONL, summary table -- is
+/// byte-identical whatever the worker count or completion order, modulo the
+/// wall-clock fields (which writeBatchJsonl can suppress).
+///
+/// A job whose strategy hits the deadline comes back as RunStatus::TimedOut
+/// with a partial, clearly-flagged outcome; bad specs come back as
+/// recoverable UnknownStrategy/BadOption results without poisoning the rest
+/// of the batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUNNER_BATCHRUNNER_H
+#define RUNNER_BATCHRUNNER_H
+
+#include "challenge/StrategyRunner.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+/// One cell of the batch matrix: a strategy spec applied to an instance.
+/// Problem is borrowed and must outlive runBatch.
+struct BatchJob {
+  const CoalescingProblem *Problem = nullptr;
+  /// Human-readable instance label ("subtree seed=3 n=96 slack=0", a file
+  /// path, ...); carried through to the report and JSONL.
+  std::string Instance;
+  /// Strategy spec "name[:key=val,...]".
+  std::string Spec;
+};
+
+/// Knobs for one runBatch call.
+struct BatchOptions {
+  /// Worker threads; values <= 1 run the batch inline on the caller.
+  unsigned Workers = 1;
+  /// Per-job deadline in milliseconds; 0 means none.
+  int64_t TimeoutMillis = 0;
+  /// Optional batch-wide cancellation, chained under every job's deadline.
+  const CancelToken *Cancel = nullptr;
+};
+
+/// One job's result, tagged with its position in the input matrix.
+struct BatchJobResult {
+  size_t Index = 0;
+  std::string Instance;
+  std::string Spec;
+  RunResult Result;
+};
+
+/// Per-spec aggregate over every job of the batch that used it.
+struct StrategyRollup {
+  std::string Spec;
+  unsigned Runs = 0;
+  /// Ran to completion (RunStatus::Ok).
+  unsigned Completed = 0;
+  /// Hit the deadline; partial outcome still counted into the sums.
+  unsigned TimedOut = 0;
+  /// UnknownStrategy / BadOption; no outcome.
+  unsigned Failed = 0;
+  /// Sum of CoalescedWeightRatio over jobs with an outcome (accumulated in
+  /// job-index order, so the double is reproducible).
+  double RatioSum = 0;
+  int64_t Micros = 0;
+  CoalescingTelemetry Telemetry;
+
+  double meanRatio() const {
+    unsigned WithOutcome = Completed + TimedOut;
+    return WithOutcome ? RatioSum / WithOutcome : 0;
+  }
+};
+
+/// Everything runBatch produces. Jobs is ordered by job index (input
+/// order), never by completion order; Rollups by first appearance of each
+/// spec in the input.
+struct BatchReport {
+  std::vector<BatchJobResult> Jobs;
+  std::vector<StrategyRollup> Rollups;
+  /// Threads actually used (clamped to the job count).
+  unsigned WorkersUsed = 1;
+  /// Whole-batch wall time.
+  int64_t WallMicros = 0;
+
+  bool allOk() const;
+  /// Jobs that came back UnknownStrategy or BadOption.
+  unsigned failedJobs() const;
+  /// Jobs that hit their deadline.
+  unsigned timedOutJobs() const;
+};
+
+/// Runs every job of \p Jobs and aggregates. Safe to call with an empty
+/// matrix (returns an empty report).
+BatchReport runBatch(const std::vector<BatchJob> &Jobs,
+                     const BatchOptions &Options = {});
+
+/// Builds the full cross product of \p Problems (label, instance pairs) and
+/// \p Specs, instances outermost -- the canonical batch matrix.
+struct LabeledProblem {
+  std::string Label;
+  CoalescingProblem Problem;
+};
+std::vector<BatchJob> crossJobs(const std::vector<LabeledProblem> &Problems,
+                                const std::vector<std::string> &Specs);
+
+/// Emits the report as JSONL: one object per job (index order), then one
+/// rollup object per strategy, then one batch trailer. With
+/// \p IncludeTiming false every wall-clock field is written as 0 and the
+/// trailer omits WorkersUsed, so equal batches serialize byte-identically
+/// regardless of worker count.
+void writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
+                     bool IncludeTiming = true);
+
+/// Prints an aligned per-strategy summary table plus a one-line batch
+/// footer (jobs, failures, timeouts, wall time).
+void printBatchSummary(std::ostream &OS, const BatchReport &Report);
+
+} // namespace rc
+
+#endif // RUNNER_BATCHRUNNER_H

@@ -1,0 +1,76 @@
+//===- runner/SweepManifest.h - Declarative instance sweeps -----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented manifest format describing a reproducible set of
+/// coalescing instances for tools/rc_sweep. Three entry kinds:
+///
+///   # comment / blank lines ignored
+///   subtree seed=3 n=96 slack=0 [affinity=0.8]
+///   program seed=7 blocks=40 [slack=2]
+///   file tests/corpus/instance.txt
+///
+/// "subtree" regenerates a synthetic subtree-interference challenge with
+/// the exact parameters of the golden-seed scheme (TreeSize = n/2,
+/// Rng(seed)), so a manifest of seeds 1..24 replays the recorded suite.
+/// "program" generates a CFG-based instance; "file" loads the challenge
+/// text format written by coalescing_challenge --dump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUNNER_SWEEPMANIFEST_H
+#define RUNNER_SWEEPMANIFEST_H
+
+#include "runner/BatchRunner.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+/// One manifest line, parsed but not yet materialized.
+struct SweepEntry {
+  enum class Kind { Subtree, Program, File };
+  Kind K = Kind::Subtree;
+  uint64_t Seed = 1;
+  /// Subtree: vertex count. Required.
+  unsigned N = 0;
+  /// Program: CFG block count. Required.
+  unsigned Blocks = 0;
+  /// Pressure slack over omega (both generators).
+  unsigned Slack = 0;
+  /// Subtree: fraction of candidate affinities kept (default 0.8).
+  double Affinity = 0.8;
+  /// File: path to a --dump'ed instance.
+  std::string Path;
+
+  /// Stable label used as the BatchJob instance tag.
+  std::string label() const;
+};
+
+/// A parsed manifest.
+struct SweepManifest {
+  std::vector<SweepEntry> Entries;
+};
+
+/// Parses manifest text from \p In. Unknown kinds, unknown keys, and
+/// missing required keys are errors (diagnostic names the line number).
+bool parseSweepManifest(std::istream &In, SweepManifest &Manifest,
+                        std::string *Error);
+
+/// Reads and parses the manifest at \p Path.
+bool loadSweepManifest(const std::string &Path, SweepManifest &Manifest,
+                       std::string *Error);
+
+/// Generates or loads every entry, in manifest order. Fails (with the
+/// offending entry's label in \p Error) if a file entry cannot be read.
+bool materializeSweep(const SweepManifest &Manifest,
+                      std::vector<LabeledProblem> &Out, std::string *Error);
+
+} // namespace rc
+
+#endif // RUNNER_SWEEPMANIFEST_H

@@ -1,0 +1,110 @@
+//===- support/CancelToken.h - Cooperative cancellation ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation with optional deadlines. A CancelToken is the
+/// contract between a caller that wants to bound a computation (the batch
+/// runner's per-job deadline, an external Ctrl-C handler) and long-running
+/// code that agrees to stop at safe points (the WorkGraph engine's merge /
+/// checkpoint boundaries, the strategy drivers' affinity loops).
+///
+/// Two sides, two costs:
+///  - Consumers call expired() — one relaxed atomic load — as often as they
+///    like; the engine reads it once per affinity iteration.
+///  - Producers of expiry are either an external cancel() (any thread) or
+///    the deadline, which poll() re-checks against the steady clock only
+///    every PollStride calls so hot loops never pay a clock read per merge.
+///
+/// Tokens chain: a per-job token with a deadline can have the whole-batch
+/// token as its parent, so cancelling the batch expires every job at its
+/// next poll. Tokens are neither copyable nor movable; share by pointer.
+/// A null `const CancelToken *` everywhere means "not cancellable" and
+/// costs a pointer test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_CANCELTOKEN_H
+#define SUPPORT_CANCELTOKEN_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rc {
+
+class CancelToken {
+public:
+  /// Deadline re-checks happen once per this many poll() calls.
+  static constexpr unsigned PollStride = 64;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Makes a token that expires \p Timeout from construction
+  /// (non-positive values expire on the first poll).
+  explicit CancelToken(std::chrono::milliseconds Timeout) {
+    setDeadline(std::chrono::steady_clock::now() + Timeout);
+  }
+
+  /// Arms the deadline. Checked lazily by poll(); an already-past deadline
+  /// is noticed on the first poll.
+  void setDeadline(std::chrono::steady_clock::time_point D) {
+    Deadline = D;
+    HasDeadline = true;
+  }
+
+  /// Chains \p P: this token also expires once \p P does (noticed by
+  /// poll()). Set up before sharing the token; not thread-safe.
+  void setParent(const CancelToken *P) { Parent = P; }
+
+  /// Requests cancellation. Callable from any thread.
+  void cancel() const { Expired.store(true, std::memory_order_relaxed); }
+
+  /// True once the token has been cancelled or poll() saw the deadline
+  /// pass. One relaxed load — safe to call in hot loops.
+  bool expired() const { return Expired.load(std::memory_order_relaxed); }
+
+  /// Expiry check for cancellable code's safe points: every PollStride
+  /// calls, re-checks the deadline and the parent against the clock.
+  /// \returns expired(). Counting is racy under concurrent polling, which
+  /// only perturbs when the stride boundary lands — never correctness.
+  bool poll() const {
+    if (Expired.load(std::memory_order_relaxed))
+      return true;
+    unsigned Count = PollCount.load(std::memory_order_relaxed);
+    PollCount.store(Count + 1, std::memory_order_relaxed);
+    if (Count % PollStride != 0)
+      return false;
+    return pollNow();
+  }
+
+  /// Unstrided expiry check: consults the parent and the clock right now.
+  bool pollNow() const {
+    if (Expired.load(std::memory_order_relaxed))
+      return true;
+    if (Parent && Parent->pollNow()) {
+      cancel();
+      return true;
+    }
+    if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+      cancel();
+      return true;
+    }
+    return false;
+  }
+
+private:
+  mutable std::atomic<bool> Expired{false};
+  mutable std::atomic<unsigned> PollCount{0};
+  std::chrono::steady_clock::time_point Deadline{};
+  bool HasDeadline = false;
+  const CancelToken *Parent = nullptr;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_CANCELTOKEN_H

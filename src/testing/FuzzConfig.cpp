@@ -63,6 +63,14 @@ bool testing::parseFuzzArgs(int Argc, const char *const *Argv,
       while (std::getline(SS, Name, ','))
         if (!Name.empty())
           Config.Properties.push_back(Name);
+    } else if (Arg == "--strategies") {
+      if (!valueOf(I, Arg, Value))
+        return false;
+      std::stringstream SS(Value);
+      std::string Name;
+      while (std::getline(SS, Name, ','))
+        if (!Name.empty())
+          Config.Strategies.push_back(Name);
     } else if (Arg == "--replay") {
       if (!valueOf(I, Arg, Value))
         return false;
@@ -89,6 +97,8 @@ std::string testing::fuzzUsage() {
          "  --trials N         trials per property (default 200)\n"
          "  --max-size N       bound on instance sizes (default 40)\n"
          "  --property a[,b]   run only the named properties (repeatable)\n"
+         "  --strategies a[,b] restrict coalescer-sound to these registered"
+         " strategies\n"
          "  --replay PATH      replay a reproducer file, or every *.repro in"
          " a directory\n"
          "  --repro-dir DIR    where to write reproducers (default .)\n"

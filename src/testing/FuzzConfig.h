@@ -34,6 +34,10 @@ struct FuzzConfig {
   unsigned MaxSize = 40;
   /// Properties to run; empty means all registered properties.
   std::vector<std::string> Properties;
+  /// Strategies the coalescer-sound property checks; empty means all
+  /// registered strategies. Names are validated by the driver against the
+  /// StrategyRegistry before fuzzing starts.
+  std::vector<std::string> Strategies;
   /// Reproducer file or directory to replay instead of fuzzing.
   std::string ReplayPath;
   /// Directory for reproducer dumps; empty disables dumping.
@@ -43,7 +47,8 @@ struct FuzzConfig {
 };
 
 /// Parses rc_fuzz flags (--seed N, --trials N, --max-size N,
-/// --property a[,b...], --replay PATH, --repro-dir DIR, --list).
+/// --property a[,b...], --strategies a[,b...], --replay PATH,
+/// --repro-dir DIR, --list).
 /// \returns false with a diagnostic in \p Error on malformed input.
 bool parseFuzzArgs(int Argc, const char *const *Argv, FuzzConfig &Config,
                    std::string *Error);

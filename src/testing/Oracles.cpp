@@ -17,6 +17,7 @@
 #include "ir/Verifier.h"
 #include "support/UnionFind.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace rc;
@@ -154,7 +155,8 @@ static const char *ruleName(ConservativeRule Rule) {
 }
 
 bool testing::checkCoalescerSoundness(const CoalescingProblem &P,
-                                      std::string *Error) {
+                                      std::string *Error,
+                                      const std::vector<std::string> *Only) {
   bool InputGreedy = isGreedyKColorable(P.G, P.K);
   std::string Why;
   unsigned Omega =
@@ -162,8 +164,12 @@ bool testing::checkCoalescerSoundness(const CoalescingProblem &P,
   bool ChordalCase = Omega != ~0u && P.K >= Omega && P.K > 0;
 
   for (const StrategyInfo &Info : StrategyRegistry::instance().strategies()) {
+    if (Only && !Only->empty() &&
+        std::find(Only->begin(), Only->end(), Info.Name) == Only->end())
+      continue;
     CoalescingTelemetry T;
-    CoalescingSolution S = Info.Run(P, StrategyOptions(), T);
+    StrategyContext Ctx(T);
+    CoalescingSolution S = Info.Run(P, StrategyOptions(), Ctx);
     // Aggressive merging deliberately ignores k; everyone else must keep a
     // greedy-k-colorable input greedy-k-colorable.
     bool RequireGreedy = InputGreedy && Info.Name != "aggressive";
@@ -190,6 +196,9 @@ bool testing::checkCoalescerSoundness(const CoalescingProblem &P,
 
   // IRC's colors and spill set are not visible through the registry's
   // solution interface; re-run it directly for the coloring checks.
+  if (Only && !Only->empty() &&
+      std::find(Only->begin(), Only->end(), "irc") == Only->end())
+    return true;
   IrcResult Irc = iteratedRegisterCoalescing(P);
   if (!checkSolutionSound(P, Irc.Solution, /*RequireGreedy=*/false, &Why))
     return fail(Error, "irc: " + Why);

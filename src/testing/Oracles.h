@@ -69,8 +69,11 @@ bool checkSolutionSound(const CoalescingProblem &P,
 /// (except for the aggressive baseline, which ignores k by design); on
 /// chordal inputs with omega <= k the chordal strategy's quotient must
 /// additionally stay chordal with omega <= k. Engine telemetry counters
-/// must stay mutually consistent for every strategy.
-bool checkCoalescerSoundness(const CoalescingProblem &P, std::string *Error);
+/// must stay mutually consistent for every strategy. \p Only, when non-null
+/// and non-empty, restricts the check to the named strategies (the
+/// rc_fuzz --strategies filter).
+bool checkCoalescerSoundness(const CoalescingProblem &P, std::string *Error,
+                             const std::vector<std::string> *Only = nullptr);
 
 /// Oracle 4. Differential comparison against exact search, intended for
 /// instances of at most ~12 vertices: the branch-and-bound optimum

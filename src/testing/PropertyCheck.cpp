@@ -329,8 +329,17 @@ const std::vector<Property> &testing::allProperties() {
          [](Rng &Rand, const FuzzConfig &Config, uint64_t Trial) {
            CoalescingProblem P =
                generateSoundnessInstance(Rand, Config.MaxSize);
-           return runProblemTrial("coalescer-sound", P,
-                                  checkSoundnessOnInstance, Config, Trial);
+           // Honor the --strategies filter; replay (below) always re-checks
+           // every registered strategy.
+           const std::vector<std::string> *Only =
+               Config.Strategies.empty() ? nullptr : &Config.Strategies;
+           return runProblemTrial(
+               "coalescer-sound", P,
+               [Only](const CoalescingProblem &Instance, uint64_t,
+                      std::string *Error) {
+                 return checkCoalescerSoundness(Instance, Error, Only);
+               },
+               Config, Trial);
          },
          checkSoundnessOnInstance});
 

@@ -168,8 +168,16 @@ TEST(StrategyRunnerTest, SpecOptionsChangeBehavior) {
   ChallengeOptions Options;
   Options.NumValues = 60;
   CoalescingProblem P = generateChallengeInstance(Options, Rand);
-  StrategyOutcome Restore = runStrategy(P, "optimistic:restore=1");
-  StrategyOutcome NoRestore = runStrategy(P, "optimistic:restore=0");
+  RunRequest Request;
+  Request.Problem = &P;
+  Request.Spec = "optimistic:restore=1";
+  RunResult RestoreResult = runStrategy(Request);
+  ASSERT_EQ(RestoreResult.Status, RunStatus::Ok) << RestoreResult.Message;
+  Request.Spec = "optimistic:restore=0";
+  RunResult NoRestoreResult = runStrategy(Request);
+  ASSERT_EQ(NoRestoreResult.Status, RunStatus::Ok) << NoRestoreResult.Message;
+  const StrategyOutcome &Restore = RestoreResult.Outcome;
+  const StrategyOutcome &NoRestore = NoRestoreResult.Outcome;
   // Without the restore phase the optimizer can only lose weight.
   EXPECT_LE(NoRestore.Stats.CoalescedWeight,
             Restore.Stats.CoalescedWeight + 1e-9);
@@ -181,7 +189,12 @@ TEST(StrategyRunnerTest, OutcomeJsonRoundTrips) {
   ChallengeOptions Options;
   Options.NumValues = 30;
   CoalescingProblem P = generateChallengeInstance(Options, Rand);
-  StrategyOutcome O = runStrategy(P, "briggs+george");
+  RunRequest Request;
+  Request.Problem = &P;
+  Request.Spec = "briggs+george";
+  RunResult Result = runStrategy(Request);
+  ASSERT_EQ(Result.Status, RunStatus::Ok) << Result.Message;
+  const StrategyOutcome &O = Result.Outcome;
   std::ostringstream OS;
   writeOutcomeJson(OS, O);
   std::string Json = OS.str();

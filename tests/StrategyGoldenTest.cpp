@@ -105,7 +105,8 @@ TEST(StrategyGoldenTest, StatsMatchPreRefactorRecording) {
     ASSERT_NE(Info, nullptr)
         << "golden strategy '" << G.Strategy << "' is not registered";
     CoalescingTelemetry T;
-    CoalescingSolution S = Info->Run(P, StrategyOptions(), T);
+    StrategyContext Ctx(T);
+    CoalescingSolution S = Info->Run(P, StrategyOptions(), Ctx);
     CoalescingStats Stats = evaluateSolution(P, S);
 
     std::string Where = "seed " + std::to_string(G.Seed) + " n " +

@@ -57,7 +57,8 @@ TEST(StrategyRegistryTest, LookupFindsEveryBuiltinAndRunsIt) {
     EXPECT_EQ(Info->Name, Name);
     EXPECT_FALSE(Info->Summary.empty()) << Name;
     CoalescingTelemetry T;
-    CoalescingSolution S = Info->Run(P, StrategyOptions(), T);
+    StrategyContext Ctx(T);
+    CoalescingSolution S = Info->Run(P, StrategyOptions(), Ctx);
     EXPECT_TRUE(isValidCoalescing(P.G, S)) << Name;
   }
 }
@@ -105,7 +106,7 @@ TEST(StrategyRegistryTest, RegistrationExtendsTheRegistry) {
     Info.Name = "test-noop";
     Info.Summary = "identity partition, registered by StrategyRegistryTest";
     Info.Run = [](const CoalescingProblem &P, const StrategyOptions &,
-                  CoalescingTelemetry &) { return identitySolution(P.G); };
+                  StrategyContext &) { return identitySolution(P.G); };
     StrategyRegistry::instance().add(std::move(Info));
     Registered = true;
   }
@@ -114,7 +115,8 @@ TEST(StrategyRegistryTest, RegistrationExtendsTheRegistry) {
   ASSERT_NE(Info, nullptr);
   CoalescingProblem P = smallInstance(12);
   CoalescingTelemetry T;
-  CoalescingSolution S = Info->Run(P, StrategyOptions(), T);
+  StrategyContext Ctx(T);
+  CoalescingSolution S = Info->Run(P, StrategyOptions(), Ctx);
   EXPECT_EQ(S.NumClasses, P.G.numVertices());
 
   // The built-ins are untouched; the newcomer sits at the back.

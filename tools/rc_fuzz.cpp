@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "challenge/StrategyRegistry.h"
 #include "testing/FuzzConfig.h"
 #include "testing/PropertyCheck.h"
 
@@ -62,6 +63,18 @@ int main(int Argc, char **Argv) {
   if (!parseFuzzArgs(Argc, Argv, Config, &Error)) {
     std::cerr << "error: " << Error << "\n" << fuzzUsage();
     return 2;
+  }
+
+  for (const std::string &Name : Config.Strategies) {
+    if (!StrategyRegistry::instance().lookup(Name)) {
+      std::string Names;
+      for (const std::string &Registered :
+           StrategyRegistry::instance().names())
+        Names += (Names.empty() ? "" : ", ") + Registered;
+      std::cerr << "error: unknown strategy '" << Name
+                << "' (registered: " << Names << ")\n";
+      return 2;
+    }
   }
 
   if (Config.List) {
