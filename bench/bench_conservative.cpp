@@ -29,6 +29,23 @@ static void BM_ConservativeRule(benchmark::State &State) {
   State.counters["affinities"] = static_cast<double>(P.Affinities.size());
 }
 BENCHMARK(BM_ConservativeRule<ConservativeRule::Briggs>)->Range(64, 2048);
+
+// The retired fixpoint driver, kept as the differential-testing reference;
+// benchmarked so the worklist driver's speedup stays visible (and honest).
+template <ConservativeRule Rule>
+static void BM_ConservativeLegacy(benchmark::State &State) {
+  CoalescingProblem P = bench::makeChallengeProblem(
+      static_cast<unsigned>(State.range(0)), 41);
+  unsigned Coalesced = 0;
+  for (auto _ : State) {
+    ConservativeResult R = conservativeCoalesceLegacy(P, Rule);
+    Coalesced = R.Stats.CoalescedAffinities;
+    benchmark::DoNotOptimize(Coalesced);
+  }
+  State.counters["coalesced"] = Coalesced;
+}
+BENCHMARK(BM_ConservativeLegacy<ConservativeRule::Briggs>)->Range(64, 2048);
+
 BENCHMARK(BM_ConservativeRule<ConservativeRule::George>)->Range(64, 2048);
 BENCHMARK(BM_ConservativeRule<ConservativeRule::BriggsOrGeorge>)
     ->Range(64, 2048);

@@ -19,6 +19,14 @@
 /// Each test preserves greedy-k-colorability, so running the driver on a
 /// greedy-k-colorable graph keeps it greedy-k-colorable (asserted).
 ///
+/// The driver is incremental: it enables the engine's degree cache (so the
+/// tests read cached significant-neighbor counts and masked popcounts
+/// instead of walking neighbor sets) and parks rejected affinities on the
+/// classes that caused the rejection, re-testing one only after a merge
+/// touches a watched class. conservativeCoalesceLegacy keeps the original
+/// fixpoint re-scan as the differential-testing reference; both produce
+/// identical solutions.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COALESCING_CONSERVATIVE_H
@@ -45,18 +53,31 @@ enum class ConservativeRule {
 /// Returns true if merging the classes of \p U and \p V passes Briggs' test
 /// on \p WG with \p K registers: the merged class has < k neighbor classes
 /// of degree >= k (common neighbors counted once, with degree reduced by
-/// the merge).
-bool briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
+/// the merge). When \p WG has its degree cache enabled for this \p K the
+/// count comes from cached counters plus masked popcounts; otherwise the
+/// neighbor sets are walked. On failure, appends to \p Blockers (when
+/// non-null) the classes counted as high-degree — the watch set whose
+/// degree must drop before the test can change its mind.
+bool briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K,
+                std::vector<unsigned> *Blockers = nullptr);
 
 /// Returns true if merging passes George's test: every neighbor class of
-/// \p U with degree >= k is also a neighbor of \p V. Asymmetric.
-bool georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K);
+/// \p U with degree >= k is also a neighbor of \p V. Asymmetric. Uses the
+/// degree cache like briggsTest. On failure, appends to \p Blockers (when
+/// non-null) the witnesses: significant neighbors of \p U's class not
+/// adjacent to \p V's.
+bool georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K,
+                std::vector<unsigned> *Blockers = nullptr);
 
 /// Returns true if the quotient graph remains greedy-k-colorable after
 /// merging the classes of \p U and \p V (linear-time full check). The merge
 /// is probed under a checkpoint and rolled back, so \p WG is unchanged on
-/// return (but must be mutable).
-bool bruteForceTest(WorkGraph &WG, unsigned U, unsigned V, unsigned K);
+/// return (but must be mutable). \p StuckReps, when non-null, receives
+/// (replacing its contents) the representatives of the classes of the
+/// speculative state's stuck k-core — empty on success; all of them remain
+/// valid representatives after the rollback.
+bool bruteForceTest(WorkGraph &WG, unsigned U, unsigned V, unsigned K,
+                    std::vector<unsigned> *StuckReps = nullptr);
 
 /// Result of a conservative coalescing run.
 struct ConservativeResult {
@@ -74,16 +95,31 @@ struct ConservativeResult {
 
 /// Conservative coalescing driver: processes affinities in decreasing
 /// weight order, merging when the classes do not interfere and \p Rule
-/// deems the merge safe. Repeats passes until a fixed point, since a merge
-/// can enable previously rejected affinities. When \p Telemetry is non-null
+/// deems the merge safe. A merge can enable previously rejected affinities;
+/// instead of re-scanning the whole list to a fixed point, rejected
+/// affinities park on the classes that caused the rejection and are
+/// re-tested only once a merge dirties a watched class. Produces the same
+/// solution as conservativeCoalesceLegacy. When \p Telemetry is non-null
 /// the engine's event counters accumulate into it. When \p Cancel is
 /// non-null the driver stops at the first affinity boundary after the token
-/// expires, returning the partial result with TimedOut set.
+/// expires, returning the partial result with TimedOut set; the rejection
+/// counters always describe exactly the affinities tested and still
+/// rejected in the returned (possibly partial) solution.
 ConservativeResult conservativeCoalesce(const CoalescingProblem &P,
                                         ConservativeRule Rule,
                                         CoalescingTelemetry *Telemetry =
                                             nullptr,
                                         const CancelToken *Cancel = nullptr);
+
+/// The original fixpoint driver: re-scans every pending affinity each pass
+/// until a pass makes no progress. Kept as the reference implementation for
+/// differential testing (the conservative-worklist-parity fuzz property and
+/// the golden suite diff it against conservativeCoalesce); quadratic in
+/// passes x affinities, so not for production use.
+ConservativeResult
+conservativeCoalesceLegacy(const CoalescingProblem &P, ConservativeRule Rule,
+                           CoalescingTelemetry *Telemetry = nullptr,
+                           const CancelToken *Cancel = nullptr);
 
 /// Exact conservative coalescing for tiny instances: maximizes coalesced
 /// weight over all partitions induced by affinity subsets, subject to the

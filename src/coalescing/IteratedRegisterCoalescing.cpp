@@ -11,7 +11,6 @@
 
 #include <algorithm>
 #include <numeric>
-#include <set>
 #include <unordered_set>
 
 using namespace rc;
@@ -106,6 +105,10 @@ private:
   std::vector<std::vector<unsigned>> MoveList; // Move indices per node.
   std::vector<MoveState> MState;
 
+  /// Scratch for briggsOk: per-node visit stamps reused across tests.
+  mutable std::vector<unsigned> NeighborStamp;
+  mutable unsigned CurrentStamp = 0;
+
   std::vector<unsigned> SimplifyWorklist, FreezeWorklist, SpillWorklist;
   std::vector<unsigned> WorklistMoves, ActiveMoves;
   std::vector<unsigned> SelectStack;
@@ -120,6 +123,8 @@ void Irc::build() {
   AdjList.assign(N, {});
   MoveList.assign(N, {});
   MState.assign(P.Affinities.size(), MoveState::Active);
+  NeighborStamp.assign(N, 0);
+  CurrentStamp = 0;
 
   for (unsigned U = 0; U < N; ++U)
     for (unsigned V : P.G.neighbors(U))
@@ -251,18 +256,28 @@ bool Irc::georgeOk(unsigned U, unsigned V) const {
 bool Irc::briggsOk(unsigned U, unsigned V) const {
   count(EngineEvent::BriggsTestRun);
   // Conservative (Briggs): merged node has < K significant neighbors.
-  std::set<unsigned> Neighbors;
-  forEachAdjacent(U, [&](unsigned T) { Neighbors.insert(T); });
-  forEachAdjacent(V, [&](unsigned T) { Neighbors.insert(T); });
+  // Epoch-stamped dedup over the two adjacency lists instead of a std::set
+  // per test; the count is order-independent, so the outcome is identical,
+  // and once it reaches K the test has failed no matter what remains.
+  if (++CurrentStamp == 0) {
+    std::fill(NeighborStamp.begin(), NeighborStamp.end(), 0u);
+    CurrentStamp = 1;
+  }
   unsigned Significant = 0;
-  for (unsigned T : Neighbors) {
+  auto Visit = [&](unsigned T) {
+    if (Significant >= K || NeighborStamp[T] == CurrentStamp)
+      return;
+    NeighborStamp[T] = CurrentStamp;
     unsigned D = Degree[T];
-    // A common neighbor loses one edge in the merge.
-    if (inAdjSet(T, U) && inAdjSet(T, V))
+    // A common neighbor loses one edge in the merge; when D < K the
+    // decrement cannot change the outcome, so skip the set probes.
+    if (D >= K && inAdjSet(T, U) && inAdjSet(T, V))
       --D;
     if (D >= K)
       ++Significant;
-  }
+  };
+  forEachAdjacent(U, Visit);
+  forEachAdjacent(V, Visit);
   if (Significant < K)
     count(EngineEvent::BriggsTestPassed);
   return Significant < K;

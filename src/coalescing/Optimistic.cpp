@@ -2,6 +2,7 @@
 
 #include "coalescing/Optimistic.h"
 
+#include "coalescing/Conservative.h"
 #include "coalescing/WorkGraph.h"
 #include "graph/GreedyColorability.h"
 
@@ -116,6 +117,13 @@ OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
   // (Park and Moon's second chance), most expensive first. The loop-exit
   // engine state is already the partition induced by Kept.
   if (Result.GreedyKColorable && Options.Restore) {
+    // From here the state is greedy-k-colorable and every accepted merge
+    // keeps it so. Under that invariant a Briggs pass implies the
+    // brute-force check would pass too, so the cached Briggs test (degree
+    // cache enabled only now — brute-force probes are the sole rollbacks
+    // after this point) screens out most of the full colorability checks
+    // without changing any accept/reject decision.
+    WG.enableDegreeCache(P.K);
     for (unsigned Idx : Order) {
       if (WG.cancelRequested()) {
         Result.TimedOut = true;
@@ -129,7 +137,8 @@ OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
       WG.note(EngineEvent::MergeAttempted, A.U, A.V);
       if (WG.interfere(A.U, A.V))
         continue;
-      if (!bruteForceTest(WG, A.U, A.V, P.K))
+      if (!briggsTest(WG, A.U, A.V, P.K) &&
+          !bruteForceTest(WG, A.U, A.V, P.K))
         continue;
       WG.merge(A.U, A.V);
       Kept[Idx] = true;
@@ -141,9 +150,13 @@ OptimisticResult rc::optimisticCoalesce(const CoalescingProblem &P,
   WG.commit();
   Result.Solution = WG.solution();
   Result.Stats = evaluateSolution(P, Result.Solution);
+  // Whole-graph recheck; see the matching RC_EXPENSIVE_CHECKS note in
+  // Conservative.cpp.
+#ifdef RC_EXPENSIVE_CHECKS
   assert((!Result.GreedyKColorable ||
           isGreedyKColorable(buildCoalescedGraph(P.G, Result.Solution),
                              P.K)) &&
          "optimistic result lost greedy-k-colorability");
+#endif
   return Result;
 }

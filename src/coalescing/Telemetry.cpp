@@ -38,6 +38,12 @@ const char *rc::engineEventName(EngineEvent E) {
     return "de-coalesce";
   case EngineEvent::AffinityRestored:
     return "affinity-restored";
+  case EngineEvent::WorklistPush:
+    return "worklist-push";
+  case EngineEvent::WorklistReactivation:
+    return "worklist-reactivation";
+  case EngineEvent::CachedTestSkip:
+    return "cached-test-skip";
   }
   return "?";
 }
@@ -89,6 +95,15 @@ void CoalescingTelemetry::count(EngineEvent E) {
   case EngineEvent::AffinityRestored:
     ++Restores;
     break;
+  case EngineEvent::WorklistPush:
+    ++WorklistPushes;
+    break;
+  case EngineEvent::WorklistReactivation:
+    ++WorklistReactivations;
+    break;
+  case EngineEvent::CachedTestSkip:
+    ++CachedTestSkips;
+    break;
   }
 }
 
@@ -108,6 +123,9 @@ void CoalescingTelemetry::add(const CoalescingTelemetry &Other) {
   ColorabilityChecks += Other.ColorabilityChecks;
   DeCoalesces += Other.DeCoalesces;
   Restores += Other.Restores;
+  WorklistPushes += Other.WorklistPushes;
+  WorklistReactivations += Other.WorklistReactivations;
+  CachedTestSkips += Other.CachedTestSkips;
   ColorabilityMicros += Other.ColorabilityMicros;
 }
 
@@ -127,5 +145,8 @@ void rc::writeTelemetryJson(std::ostream &OS, const CoalescingTelemetry &T) {
      << ",\"colorability_checks\":" << T.ColorabilityChecks
      << ",\"colorability_micros\":" << T.ColorabilityMicros
      << ",\"de_coalesces\":" << T.DeCoalesces
-     << ",\"restores\":" << T.Restores << "}";
+     << ",\"restores\":" << T.Restores
+     << ",\"worklist_pushes\":" << T.WorklistPushes
+     << ",\"worklist_reactivations\":" << T.WorklistReactivations
+     << ",\"cached_test_skips\":" << T.CachedTestSkips << "}";
 }

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <vector>
 
 namespace rc {
 
@@ -48,6 +49,9 @@ enum class EngineEvent : unsigned {
   ColorabilityCheck,   ///< A greedy-k-colorability check ran.
   DeCoalesce,          ///< Optimistic de-coalescing dissolved a class.
   AffinityRestored,    ///< Optimistic restore re-coalesced an affinity.
+  WorklistPush,        ///< An affinity entered the conservative worklist.
+  WorklistReactivation,///< A parked affinity was dirtied by a merge.
+  CachedTestSkip,      ///< A clean parked affinity was skipped untested.
 };
 
 /// Returns a short stable name for \p E (used in JSON output).
@@ -71,6 +75,9 @@ struct CoalescingTelemetry {
   uint64_t ColorabilityChecks = 0;
   uint64_t DeCoalesces = 0;
   uint64_t Restores = 0;
+  uint64_t WorklistPushes = 0;
+  uint64_t WorklistReactivations = 0;
+  uint64_t CachedTestSkips = 0;
   /// Wall time spent inside colorability checks instrumented by the engine.
   int64_t ColorabilityMicros = 0;
 
@@ -98,6 +105,16 @@ public:
   /// Called once per event. \p U and \p V carry the class pair for merge
   /// and interference events and are ~0u otherwise.
   virtual void onEvent(EngineEvent E, unsigned U, unsigned V) = 0;
+  /// Called once per committed merge with the classes the merge touched:
+  /// the surviving representative, the absorbed class, and every class
+  /// whose degree dropped (a neighbor of both endpoints). Fires on the
+  /// merge only, not on its rollback. Default: ignore.
+  virtual void onMergeTouched(unsigned Root, unsigned Loser,
+                              const std::vector<unsigned> &DegreeDropped) {
+    (void)Root;
+    (void)Loser;
+    (void)DegreeDropped;
+  }
 };
 
 /// An EngineObserver that counts into a CoalescingTelemetry (for callers

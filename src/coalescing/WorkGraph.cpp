@@ -2,21 +2,201 @@
 
 #include "coalescing/WorkGraph.h"
 
+#include <bit>
+
 using namespace rc;
+
+/// Appends the set bit positions of \p Row (over \p Words words) to \p Out,
+/// ascending.
+static void appendBits(const uint64_t *Row, unsigned Words,
+                       std::vector<unsigned> &Out) {
+  for (unsigned W = 0; W < Words; ++W)
+    for (uint64_t B = Row[W]; B; B &= B - 1)
+      Out.push_back(W * 64 + static_cast<unsigned>(std::countr_zero(B)));
+}
 
 WorkGraph::WorkGraph(const Graph &G, unsigned DenseThreshold)
     : Original(G), Dense(G.numVertices() <= DenseThreshold),
       Rep(G.numVertices()), Rank(G.numVertices(), 0),
       ClassAdj(G.numVertices()), Members(G.numVertices()),
       NumClasses(G.numVertices()) {
-  if (Dense)
-    ClassEdges = G.edgeMatrix();
-  for (unsigned V = 0; V < G.numVertices(); ++V) {
+  unsigned N = G.numVertices();
+  if (Dense) {
+    ClassEdges.reset(N);
+    Deg.assign(N, 0);
+    AdjStamp.assign(N, 0);
+  }
+  for (unsigned V = 0; V < N; ++V) {
     Rep[V] = V;
     Members[V] = {V};
-    ClassAdj[V] = G.neighbors(V);
-    std::sort(ClassAdj[V].begin(), ClassAdj[V].end());
+    if (Dense) {
+      // The bit rows are the primary adjacency; sorted vectors are
+      // materialized on demand (see materializedNeighbors). Each row is
+      // filled from its own full neighbor list — symmetry comes from the
+      // input graph, with no scattered column writes.
+      Deg[V] = static_cast<unsigned>(G.neighbors(V).size());
+      uint64_t *R = ClassEdges.row(V);
+      for (unsigned W : G.neighbors(V))
+        R[W >> 6] |= uint64_t(1) << (W & 63);
+    } else {
+      ClassAdj[V] = G.neighbors(V);
+      std::sort(ClassAdj[V].begin(), ClassAdj[V].end());
+    }
   }
+}
+
+const std::vector<unsigned> &
+WorkGraph::materializedNeighbors(unsigned C) const {
+  assert(Dense && "sparse mode maintains neighbor vectors eagerly");
+  if (!AdjStamp[C]) {
+    std::vector<unsigned> &A = ClassAdj[C];
+    A.clear();
+    A.reserve(Deg[C]);
+    appendBits(ClassEdges.row(C), ClassEdges.wordsPerRow(), A);
+    AdjStamp[C] = 1;
+  }
+  return ClassAdj[C];
+}
+
+void WorkGraph::enableDegreeCache(unsigned K) {
+  assert(K > 0 && "degree cache needs a positive k");
+  CacheK = K;
+  unsigned N = numOriginalVertices();
+  if (Dense) {
+    // The masks are the whole cache: the tests sweep them word-at-a-time,
+    // and significantNeighbors() popcounts on demand, so there are no
+    // per-class counters to maintain through merges.
+    SigWords.assign(ClassEdges.wordsPerRow(), 0);
+    ExactKWords.assign(ClassEdges.wordsPerRow(), 0);
+    for (unsigned V = 0; V < N; ++V)
+      if (Rep[V] == V)
+        setDegreeBits(V, classDegree(V));
+    return;
+  }
+  SigCount.assign(N, 0);
+  for (unsigned V = 0; V < N; ++V) {
+    if (Rep[V] != V)
+      continue;
+    if (classDegree(V) < K)
+      continue;
+    for (unsigned X : ClassAdj[V])
+      ++SigCount[X];
+  }
+}
+
+void WorkGraph::appendBriggsHighDegree(unsigned CU, unsigned CV,
+                                       std::vector<unsigned> &Out) const {
+  assert(Dense && CacheK && "needs dense adjacency and an enabled cache");
+  const uint64_t *RU = ClassEdges.row(CU), *RV = ClassEdges.row(CV);
+  for (unsigned W = 0; W < ClassEdges.wordsPerRow(); ++W) {
+    // Significant neighbors of the union, minus commons at exactly K
+    // (corrected below the bar by the merge).
+    uint64_t B = (RU[W] | RV[W]) & SigWords[W] & ~(RU[W] & RV[W] &
+                                                   ExactKWords[W]);
+    if ((CU >> 6) == W)
+      B &= ~(uint64_t(1) << (CU & 63));
+    if ((CV >> 6) == W)
+      B &= ~(uint64_t(1) << (CV & 63));
+    for (; B; B &= B - 1)
+      Out.push_back(W * 64 + static_cast<unsigned>(std::countr_zero(B)));
+  }
+}
+
+void WorkGraph::appendGeorgeWitnesses(unsigned CU, unsigned CV,
+                                      std::vector<unsigned> &Out) const {
+  assert(Dense && CacheK && "needs dense adjacency and an enabled cache");
+  const uint64_t *RU = ClassEdges.row(CU), *RV = ClassEdges.row(CV);
+  for (unsigned W = 0; W < ClassEdges.wordsPerRow(); ++W) {
+    uint64_t B = RU[W] & SigWords[W] & ~RV[W];
+    if ((CV >> 6) == W)
+      B &= ~(uint64_t(1) << (CV & 63));
+    for (; B; B &= B - 1)
+      Out.push_back(W * 64 + static_cast<unsigned>(std::countr_zero(B)));
+  }
+}
+
+void WorkGraph::briggsWatchWords(unsigned CU, unsigned CV,
+                                 uint64_t *Out) const {
+  assert(Dense && CacheK && "needs dense adjacency and an enabled cache");
+  const uint64_t *RU = ClassEdges.row(CU), *RV = ClassEdges.row(CV);
+  for (unsigned W = 0; W < ClassEdges.wordsPerRow(); ++W)
+    Out[W] |= (RU[W] | RV[W]) & SigWords[W] &
+              ~(RU[W] & RV[W] & ExactKWords[W]);
+}
+
+void WorkGraph::georgeWatchWords(unsigned CU, unsigned CV,
+                                 uint64_t *Out) const {
+  assert(Dense && CacheK && "needs dense adjacency and an enabled cache");
+  const uint64_t *RU = ClassEdges.row(CU), *RV = ClassEdges.row(CV);
+  for (unsigned W = 0; W < ClassEdges.wordsPerRow(); ++W)
+    Out[W] |= RU[W] & SigWords[W] & ~RV[W];
+}
+
+void WorkGraph::updateDegreeCache(unsigned Root, unsigned Loser,
+                                  const std::vector<unsigned> &LoserAdj,
+                                  const std::vector<unsigned> &NewNeighbors,
+                                  const std::vector<unsigned> &Commons,
+                                  bool Undo) {
+  const unsigned K = CacheK;
+  const unsigned LoserDeg = static_cast<unsigned>(LoserAdj.size());
+  const unsigned RootDegNew = classDegree(Root);
+  const unsigned RootDegOld =
+      RootDegNew - static_cast<unsigned>(NewNeighbors.size());
+
+  if (Dense) {
+    // Dense mode keeps no per-class counters — only the threshold masks.
+    // A one-step degree change flips a class's bits only when it straddles
+    // the significance or exactly-K thresholds.
+    for (unsigned X : Commons) {
+      unsigned NewDeg = classDegree(X);
+      if (NewDeg == K - 1 || NewDeg == K)
+        setDegreeBits(X, Undo ? NewDeg + 1 : NewDeg);
+    }
+    setDegreeBits(Root, Undo ? RootDegOld : RootDegNew);
+    // Degree 0 on merge clears both of the dead loser's mask bits (K > 0).
+    setDegreeBits(Loser, Undo ? LoserDeg : 0);
+    return;
+  }
+
+  // Merge-direction delta; the undo direction negates every step. Unsigned
+  // counter arithmetic is modular, so intermediate wraps cancel exactly.
+  const unsigned D = Undo ? ~0u : 1u;
+
+  // The loser leaves every neighborhood it occupied.
+  if (LoserDeg >= K)
+    for (unsigned X : LoserAdj)
+      SigCount[X] -= D;
+
+  // The root's contribution to its neighbors: if the merge pushed it over
+  // the significance threshold, all merged neighbors gain it; if it was
+  // already significant, only the newly adjacent ones do.
+  if (RootDegNew >= K) {
+    if (RootDegOld < K) {
+      for (unsigned X : ClassAdj[Root])
+        SigCount[X] += D;
+    } else {
+      for (unsigned X : NewNeighbors)
+        SigCount[X] += D;
+    }
+  }
+
+  // The root gains the significant among its new neighbors (their degrees
+  // are unchanged by the merge: they swapped Loser for Root).
+  for (unsigned X : NewNeighbors)
+    if (classDegree(X) >= K)
+      SigCount[Root] += D;
+
+  // Common neighbors lost one degree. A common that was exactly at K
+  // flipped to insignificant for its whole (post-merge) neighborhood.
+  for (unsigned X : Commons) {
+    if (classDegree(X) == K - 1)
+      for (unsigned Y : ClassAdj[X])
+        SigCount[Y] -= D;
+  }
+
+  // SigCount[Loser] is deliberately left at its pre-merge value: the class
+  // is dead, and exact LIFO rollback makes the frozen value correct again
+  // the moment the class revives.
 }
 
 unsigned WorkGraph::merge(unsigned U, unsigned V) {
@@ -32,34 +212,118 @@ unsigned WorkGraph::merge(unsigned U, unsigned V) {
   if (RankBumped)
     ++Rank[Root];
 
-  std::vector<unsigned> &RootAdj = ClassAdj[Root];
-  std::vector<unsigned> &LoserAdj = ClassAdj[Loser];
-
-  // Loser neighbors not already adjacent to Root (both lists sorted).
+  std::vector<unsigned> LoserAdjList;
   std::vector<unsigned> NewNeighbors;
-  std::set_difference(LoserAdj.begin(), LoserAdj.end(), RootAdj.begin(),
-                      RootAdj.end(), std::back_inserter(NewNeighbors));
+  std::vector<unsigned> Commons;
+  bool NeedCommons = CacheK || Observer;
 
-  // Relink the loser's neighbors: drop Loser everywhere, add Root where it
-  // was not already adjacent. canMerge guarantees Root is not in LoserAdj.
-  for (unsigned X : LoserAdj) {
-    std::vector<unsigned> &XA = ClassAdj[X];
-    auto It = std::lower_bound(XA.begin(), XA.end(), Loser);
-    assert(It != XA.end() && *It == Loser && "asymmetric class adjacency");
-    XA.erase(It);
-  }
-  for (unsigned X : NewNeighbors) {
-    std::vector<unsigned> &XA = ClassAdj[X];
-    XA.insert(std::lower_bound(XA.begin(), XA.end(), Root), Root);
-    if (Dense)
-      ClassEdges.set(Root, X);
-  }
-  if (!NewNeighbors.empty()) {
-    std::vector<unsigned> Merged;
-    Merged.reserve(RootAdj.size() + NewNeighbors.size());
-    std::merge(RootAdj.begin(), RootAdj.end(), NewNeighbors.begin(),
-               NewNeighbors.end(), std::back_inserter(Merged));
-    RootAdj.swap(Merged);
+  if (Dense) {
+    // Word-parallel merge over the bit rows: split the loser's row into
+    // new neighbors and commons, OR it into the root's row, then patch the
+    // loser's column out of the matrix. No per-neighbor vector surgery.
+    const unsigned Words = ClassEdges.wordsPerRow();
+    uint64_t *RR = ClassEdges.row(Root);
+    const uint64_t *RL = ClassEdges.row(Loser);
+    // Take over the loser's materialization buffer for the walk. If it is
+    // still valid — rollback restores it, so speculative merge/rollback
+    // cycles over the same classes stay on this path — the list is already
+    // built and the walk skips per-bit extraction entirely; either way the
+    // cycle runs allocation-free, which is what the exact searches hammer.
+    const bool LoserValid = AdjStamp[Loser] != 0;
+    LoserAdjList = std::move(ClassAdj[Loser]);
+    NewNeighbors.reserve(Deg[Loser]);
+    if (NeedCommons)
+      Commons.reserve(Deg[Loser]);
+    if (LoserValid) {
+      assert(LoserAdjList.size() == Deg[Loser] && "stale materialization");
+      for (unsigned X : LoserAdjList) {
+        if (!((RR[X >> 6] >> (X & 63)) & 1))
+          NewNeighbors.push_back(X);
+        else if (NeedCommons)
+          Commons.push_back(X);
+        else
+          --Deg[X]; // Common neighbor; nobody needs the list itself.
+      }
+      for (unsigned W = 0; W < Words; ++W)
+        RR[W] |= RL[W];
+    } else {
+      LoserAdjList.clear();
+      LoserAdjList.reserve(Deg[Loser]);
+      for (unsigned W = 0; W < Words; ++W) {
+        uint64_t L = RL[W];
+        if (!L)
+          continue;
+        unsigned Base = W * 64;
+        for (uint64_t B = L; B; B &= B - 1) {
+          unsigned X = Base + static_cast<unsigned>(std::countr_zero(B));
+          LoserAdjList.push_back(X);
+          if (!((RR[W] >> (X & 63)) & 1))
+            NewNeighbors.push_back(X);
+          else if (NeedCommons)
+            Commons.push_back(X);
+          else
+            --Deg[X]; // Common neighbor; nobody needs the list itself.
+        }
+        RR[W] |= L;
+      }
+    }
+    // Column-side maintenance only: the root's row already took every
+    // loser neighbor via the word-wise OR above, and the loser's row is
+    // zeroed wholesale below. Only rows touched here lose their
+    // materialized neighbor lists; the rest of the lazy cache stays warm.
+    const unsigned LoserWord = Loser >> 6;
+    const uint64_t LoserMask = ~(uint64_t(1) << (Loser & 63));
+    for (unsigned X : LoserAdjList) {
+      ClassEdges.row(X)[LoserWord] &= LoserMask;
+      AdjStamp[X] = 0;
+    }
+    const unsigned RootWord = Root >> 6;
+    const uint64_t RootBit = uint64_t(1) << (Root & 63);
+    for (unsigned X : NewNeighbors)
+      ClassEdges.row(X)[RootWord] |= RootBit;
+    uint64_t *RLMut = ClassEdges.row(Loser);
+    for (unsigned W = 0; W < Words; ++W)
+      RLMut[W] = 0;
+    Deg[Root] += static_cast<unsigned>(NewNeighbors.size());
+    for (unsigned X : Commons)
+      --Deg[X];
+    // Deg[Loser] freezes at its pre-merge value for exact LIFO rollback.
+    AdjStamp[Root] = 0;
+    AdjStamp[Loser] = 0;
+  } else {
+    std::vector<unsigned> &RootAdj = ClassAdj[Root];
+    std::vector<unsigned> &LoserAdj = ClassAdj[Loser];
+
+    // Loser neighbors not already adjacent to Root (both lists sorted).
+    std::set_difference(LoserAdj.begin(), LoserAdj.end(), RootAdj.begin(),
+                        RootAdj.end(), std::back_inserter(NewNeighbors));
+
+    // Relink the loser's neighbors: drop Loser everywhere, add Root where
+    // it was not already adjacent. canMerge guarantees Root is not in
+    // LoserAdj.
+    for (unsigned X : LoserAdj) {
+      std::vector<unsigned> &XA = ClassAdj[X];
+      auto It = std::lower_bound(XA.begin(), XA.end(), Loser);
+      assert(It != XA.end() && *It == Loser && "asymmetric class adjacency");
+      XA.erase(It);
+    }
+    for (unsigned X : NewNeighbors) {
+      std::vector<unsigned> &XA = ClassAdj[X];
+      XA.insert(std::lower_bound(XA.begin(), XA.end(), Root), Root);
+    }
+    if (!NewNeighbors.empty()) {
+      std::vector<unsigned> Merged;
+      Merged.reserve(RootAdj.size() + NewNeighbors.size());
+      std::merge(RootAdj.begin(), RootAdj.end(), NewNeighbors.begin(),
+                 NewNeighbors.end(), std::back_inserter(Merged));
+      RootAdj.swap(Merged);
+    }
+    if (NeedCommons) {
+      Commons.reserve(LoserAdj.size() - NewNeighbors.size());
+      std::set_difference(LoserAdj.begin(), LoserAdj.end(),
+                          NewNeighbors.begin(), NewNeighbors.end(),
+                          std::back_inserter(Commons));
+    }
   }
 
   unsigned RootMembersBefore = static_cast<unsigned>(Members[Root].size());
@@ -69,15 +333,26 @@ unsigned WorkGraph::merge(unsigned U, unsigned V) {
                        Members[Loser].end());
   --NumClasses;
 
+  if (NeedCommons) {
+    const std::vector<unsigned> &LoserAdj =
+        Dense ? LoserAdjList : ClassAdj[Loser];
+    if (CacheK)
+      updateDegreeCache(Root, Loser, LoserAdj, NewNeighbors, Commons,
+                        /*Undo=*/false);
+    if (Observer)
+      Observer->onMergeTouched(Root, Loser, Commons);
+  }
+
   if (!Marks.empty()) {
-    // Speculating: park the loser's storage in the undo-log so rollback
+    // Speculating: park the loser's adjacency in the undo-log so rollback
     // can restore it without rebuilding.
     MergeRecord Rec;
     Rec.Root = Root;
     Rec.Loser = Loser;
     Rec.RootMembersBefore = RootMembersBefore;
     Rec.RankBumped = RankBumped;
-    Rec.LoserAdj = std::move(ClassAdj[Loser]);
+    Rec.LoserAdj = Dense ? std::move(LoserAdjList)
+                         : std::move(ClassAdj[Loser]);
     Rec.LoserMembers = std::move(Members[Loser]);
     Rec.NewRootNeighbors = std::move(NewNeighbors);
     ClassAdj[Loser].clear();
@@ -99,35 +374,83 @@ void WorkGraph::undoMerge(MergeRecord &Rec) {
   if (Rec.RankBumped)
     --Rank[Root];
 
+  std::vector<unsigned> Commons;
+  if (CacheK) {
+    Commons.reserve(Rec.LoserAdj.size() - Rec.NewRootNeighbors.size());
+    std::set_difference(Rec.LoserAdj.begin(), Rec.LoserAdj.end(),
+                        Rec.NewRootNeighbors.begin(),
+                        Rec.NewRootNeighbors.end(),
+                        std::back_inserter(Commons));
+  }
+  if (CacheK) {
+    // Reverse the cache deltas while degrees and rows still reflect the
+    // post-merge state the deltas were computed against.
+    updateDegreeCache(Root, Loser, Rec.LoserAdj, Rec.NewRootNeighbors,
+                      Commons, /*Undo=*/true);
+  }
+
   Members[Root].resize(Rec.RootMembersBefore);
   Members[Loser] = std::move(Rec.LoserMembers);
   for (unsigned M : Members[Loser])
     Rep[M] = Loser;
 
-  // Undo the adjacency relink. Bits between the (dead) Loser and its
-  // neighbors were never cleared, so only the Root-side bits move.
-  for (unsigned X : Rec.NewRootNeighbors) {
-    std::vector<unsigned> &XA = ClassAdj[X];
-    auto It = std::lower_bound(XA.begin(), XA.end(), Root);
-    assert(It != XA.end() && *It == Root && "undo of unrecorded neighbor");
-    XA.erase(It);
-    if (Dense)
-      ClassEdges.clear(Root, X);
-  }
-  if (!Rec.NewRootNeighbors.empty()) {
-    std::vector<unsigned> &RootAdj = ClassAdj[Root];
-    std::vector<unsigned> Restored;
-    Restored.reserve(RootAdj.size() - Rec.NewRootNeighbors.size());
-    std::set_difference(RootAdj.begin(), RootAdj.end(),
-                        Rec.NewRootNeighbors.begin(),
-                        Rec.NewRootNeighbors.end(),
-                        std::back_inserter(Restored));
-    RootAdj.swap(Restored);
-  }
-  ClassAdj[Loser] = std::move(Rec.LoserAdj);
-  for (unsigned X : ClassAdj[Loser]) {
-    std::vector<unsigned> &XA = ClassAdj[X];
-    XA.insert(std::lower_bound(XA.begin(), XA.end(), Loser), Loser);
+  if (Dense) {
+    // Take back the root-side bits the merge added, revive the loser's
+    // row and column, and restore the degree deltas. Commons =
+    // LoserAdj \ NewRootNeighbors, both sorted ascending, the latter a
+    // subset of the former — walked inline without materializing.
+    uint64_t *RRoot = ClassEdges.row(Root);
+    const unsigned RootWord = Root >> 6;
+    const uint64_t RootMask = ~(uint64_t(1) << (Root & 63));
+    for (unsigned X : Rec.NewRootNeighbors) {
+      RRoot[X >> 6] &= ~(uint64_t(1) << (X & 63));
+      ClassEdges.row(X)[RootWord] &= RootMask;
+    }
+    uint64_t *RLoser = ClassEdges.row(Loser);
+    const unsigned LoserWord = Loser >> 6;
+    const uint64_t LoserBit = uint64_t(1) << (Loser & 63);
+    auto It = Rec.NewRootNeighbors.begin();
+    auto End = Rec.NewRootNeighbors.end();
+    for (unsigned X : Rec.LoserAdj) {
+      RLoser[X >> 6] |= uint64_t(1) << (X & 63);
+      ClassEdges.row(X)[LoserWord] |= LoserBit;
+      AdjStamp[X] = 0;
+      if (It != End && *It == X) {
+        ++It;
+        continue;
+      }
+      ++Deg[X];
+    }
+    Deg[Root] -= static_cast<unsigned>(Rec.NewRootNeighbors.size());
+    AdjStamp[Root] = 0;
+    // The recorded list is exactly the revived row (sorted), so the
+    // loser's materialization comes back valid for free.
+    ClassAdj[Loser] = std::move(Rec.LoserAdj);
+    AdjStamp[Loser] = 1;
+  } else {
+    // Undo the adjacency relink: take back the root-side entries the merge
+    // added, then revive the loser's row.
+    for (unsigned X : Rec.NewRootNeighbors) {
+      std::vector<unsigned> &XA = ClassAdj[X];
+      auto It = std::lower_bound(XA.begin(), XA.end(), Root);
+      assert(It != XA.end() && *It == Root && "undo of unrecorded neighbor");
+      XA.erase(It);
+    }
+    if (!Rec.NewRootNeighbors.empty()) {
+      std::vector<unsigned> &RootAdj = ClassAdj[Root];
+      std::vector<unsigned> Restored;
+      Restored.reserve(RootAdj.size() - Rec.NewRootNeighbors.size());
+      std::set_difference(RootAdj.begin(), RootAdj.end(),
+                          Rec.NewRootNeighbors.begin(),
+                          Rec.NewRootNeighbors.end(),
+                          std::back_inserter(Restored));
+      RootAdj.swap(Restored);
+    }
+    ClassAdj[Loser] = std::move(Rec.LoserAdj);
+    for (unsigned X : ClassAdj[Loser]) {
+      std::vector<unsigned> &XA = ClassAdj[X];
+      XA.insert(std::lower_bound(XA.begin(), XA.end(), Loser), Loser);
+    }
   }
 
   ++NumClasses;
@@ -210,15 +533,15 @@ bool WorkGraph::quotientGreedyKColorable(
   // is elimination-order independent, so it equals running greedyEliminate
   // on a materialized quotient.
   unsigned N = numOriginalVertices();
-  std::vector<unsigned> Deg(N, 0);
+  std::vector<unsigned> DegLeft(N, 0);
   std::vector<bool> Removed(N, true);
   std::vector<unsigned> Queue;
   for (unsigned V = 0; V < N; ++V) {
     if (Rep[V] != V)
       continue;
     Removed[V] = false;
-    Deg[V] = static_cast<unsigned>(ClassAdj[V].size());
-    if (Deg[V] < K)
+    DegLeft[V] = classDegree(V);
+    if (DegLeft[V] < K)
       Queue.push_back(V);
   }
   unsigned Eliminated = 0;
@@ -229,10 +552,16 @@ bool WorkGraph::quotientGreedyKColorable(
       continue;
     Removed[V] = true;
     ++Eliminated;
-    for (unsigned W : ClassAdj[V]) {
+    // In dense mode this rides the lazy neighbor-list cache: repeated
+    // colorability checks (brute-force probing) re-materialize only the
+    // lists a merge invalidated, and iterate warm contiguous vectors
+    // everywhere else.
+    const std::vector<unsigned> &Nbrs =
+        Dense ? materializedNeighbors(V) : ClassAdj[V];
+    for (unsigned W : Nbrs) {
       if (Removed[W])
         continue;
-      if (Deg[W]-- == K)
+      if (DegLeft[W]-- == K)
         Queue.push_back(W);
     }
   }

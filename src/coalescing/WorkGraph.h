@@ -12,16 +12,28 @@
 /// Appel–George comparison pays for uniformly.
 ///
 /// Engine features:
-///  - Hybrid adjacency. Class adjacency is kept as sorted vectors of class
-///    representatives; below a size threshold a triangular BitMatrix over
-///    class pairs additionally provides O(1) interference tests (dense
-///    mode). Above the threshold, tests binary-search the smaller list.
+///  - Hybrid adjacency. Below a size threshold (dense mode; 4096 vertices
+///    cost two megabytes of matrix) class adjacency lives in a row-major
+///    BitRows matrix: merges OR the loser's row into the root's and patch
+///    the loser's column word-at-a-time, interference tests are O(1) bit
+///    probes, and common-neighbor counts are masked popcounts. Sorted
+///    neighbor vectors are materialized lazily, only when a caller asks
+///    for a class's neighbor list. Above the threshold the sorted vectors
+///    are the primary representation, updated eagerly on every merge, and
+///    tests binary-search the smaller list.
 ///  - Merge undo-log. checkpoint()/rollback() bracket speculative merges so
 ///    probing strategies (brute-force conservative test, exact branch and
 ///    bound, optimistic de-coalescing) no longer deep-copy the graph.
+///  - Degree cache. enableDegreeCache(k) maintains, through every merge and
+///    rollback, the number of significant neighbor classes (degree >= k) of
+///    each class, plus dense bit masks of the significant and exactly-k
+///    classes. The Briggs and George safety tests read these instead of
+///    re-walking and re-probing neighbor sets.
 ///  - Instrumentation. An optional CoalescingTelemetry sink counts engine
 ///    events (merges, rollbacks, interference queries, colorability
-///    checks); an optional EngineObserver sees the raw event stream.
+///    checks); an optional EngineObserver sees the raw event stream and,
+///    per committed merge, the set of classes the merge touched (the
+///    incremental conservative driver's reactivation source).
 ///
 /// Class representatives follow the historical union-by-rank policy of
 /// support/UnionFind (higher rank wins; ties keep the first argument and
@@ -36,7 +48,7 @@
 #include "coalescing/Problem.h"
 #include "coalescing/Telemetry.h"
 #include "graph/Graph.h"
-#include "support/BitMatrix.h"
+#include "support/BitRows.h"
 #include "support/CancelToken.h"
 
 #include <algorithm>
@@ -48,8 +60,8 @@ namespace rc {
 /// are named by a representative original vertex.
 class WorkGraph {
 public:
-  /// Largest vertex count for which the dense class-pair bit matrix is
-  /// kept. 4096 vertices cost one megabyte of matrix.
+  /// Largest vertex count for which the dense class-pair bit rows are
+  /// kept. 4096 vertices cost two megabytes of matrix.
   static constexpr unsigned DefaultDenseThreshold = 4096;
 
   explicit WorkGraph(const Graph &G,
@@ -64,7 +76,7 @@ public:
   /// Number of current classes.
   unsigned numClasses() const { return NumClasses; }
 
-  /// True when the dense class-pair bit matrix is active.
+  /// True when the dense class-pair bit rows are active.
   bool usesDenseAdjacency() const { return Dense; }
 
   /// Returns the class representative of original vertex \p V.
@@ -93,16 +105,21 @@ public:
     return std::binary_search(A.begin(), A.end(), Other);
   }
 
-  /// Number of interfering neighbor classes of the class of \p V (cached:
-  /// the size of the maintained class adjacency).
+  /// Number of interfering neighbor classes of the class of \p V
+  /// (maintained incrementally in both adjacency modes).
   unsigned degree(unsigned V) const {
-    return static_cast<unsigned>(ClassAdj[Rep[V]].size());
+    unsigned C = Rep[V];
+    return Dense ? Deg[C] : static_cast<unsigned>(ClassAdj[C].size());
   }
 
   /// The neighbor classes (as representatives, sorted ascending) of the
-  /// class of \p V.
+  /// class of \p V. In dense mode the list is materialized from the
+  /// class's bit row on first use after a merge or rollback; the reference
+  /// stays valid until the next merge, rollback, or materialization of
+  /// that same class.
   const std::vector<unsigned> &neighborClasses(unsigned V) const {
-    return ClassAdj[Rep[V]];
+    unsigned C = Rep[V];
+    return Dense ? materializedNeighbors(C) : ClassAdj[C];
   }
 
   /// Original vertices in the class of \p V.
@@ -119,6 +136,108 @@ public:
   /// Merges the classes of \p U and \p V. Requires canMerge.
   /// \returns the representative of the merged class.
   unsigned merge(unsigned U, unsigned V);
+
+  // --- Degree cache ------------------------------------------------------
+
+  /// Starts maintaining significance state for \p K: in dense mode, bit
+  /// masks of the significant (degree >= \p K) and exactly-K classes; in
+  /// sparse mode, a per-class count of significant neighbors. The cache is
+  /// updated inside merge() and its undo, so briggsTest/georgeTest read
+  /// masked popcounts (or counters) instead of probing neighbor sets. Must not be enabled while
+  /// merges that predate the call are still subject to rollback (enable
+  /// right after construction, or after the last checkpoint that could
+  /// unwind earlier merges has been committed). Re-enabling with a
+  /// different K rebuilds the cache.
+  void enableDegreeCache(unsigned K);
+
+  /// The K the degree cache maintains; 0 when disabled.
+  unsigned degreeCacheK() const { return CacheK; }
+
+  /// Number of significant neighbor classes (degree >= the cache K) of
+  /// class \p C (a representative). Requires an enabled cache. Sparse mode
+  /// reads the incrementally maintained counter; dense mode computes the
+  /// count on demand from the row and the significance mask — merges then
+  /// maintain no per-class counters at all.
+  unsigned significantNeighbors(unsigned C) const {
+    assert(CacheK && "degree cache is not enabled");
+    if (!Dense)
+      return SigCount[C];
+    const uint64_t *R = ClassEdges.row(C);
+    unsigned S = 0;
+    for (unsigned W = 0; W < ClassEdges.wordsPerRow(); ++W)
+      S += static_cast<unsigned>(std::popcount(R[W] & SigWords[W]));
+    return S;
+  }
+
+  /// Dense mode with an enabled cache: true iff the Briggs high-degree
+  /// count for a merge of \p CU and \p CV stays below \p Limit. The count
+  /// is one fused sweep — significant neighbors of the union minus commons
+  /// at exactly K, which drop below the bar when the merge takes their
+  /// shared neighbor (the exactly-K mask is a subset of the significance
+  /// mask, so the subtraction is exact). Adjacent endpoints count
+  /// themselves when significant; callers fold the correction into
+  /// \p Limit. Aborts as soon as the count reaches \p Limit.
+  bool briggsHighDegreeBelow(unsigned CU, unsigned CV,
+                             unsigned Limit) const {
+    assert(Dense && CacheK && "needs dense adjacency and an enabled cache");
+    const uint64_t *RU = ClassEdges.row(CU), *RV = ClassEdges.row(CV);
+    unsigned High = 0;
+    for (unsigned W = 0; W < ClassEdges.wordsPerRow(); ++W) {
+      uint64_t B = (RU[W] | RV[W]) & SigWords[W] &
+                   ~(RU[W] & RV[W] & ExactKWords[W]);
+      High += static_cast<unsigned>(std::popcount(B));
+      if (High >= Limit)
+        return false;
+    }
+    return true;
+  }
+
+  /// Dense mode with an enabled cache: true iff the George test passes for
+  /// merging \p CU into \p CV — no significant neighbor of \p CU (other
+  /// than \p CV itself) lies outside \p CV's neighborhood. Early-exits on
+  /// the first word holding a witness.
+  bool georgeWitnessesEmpty(unsigned CU, unsigned CV) const {
+    assert(Dense && CacheK && "needs dense adjacency and an enabled cache");
+    const uint64_t *RU = ClassEdges.row(CU), *RV = ClassEdges.row(CV);
+    for (unsigned W = 0; W < ClassEdges.wordsPerRow(); ++W) {
+      uint64_t B = RU[W] & SigWords[W] & ~RV[W];
+      if ((CV >> 6) == W)
+        B &= ~(uint64_t(1) << (CV & 63));
+      if (B)
+        return false;
+    }
+    return true;
+  }
+
+  /// Dense mode with an enabled cache: appends to \p Out the classes the
+  /// Briggs test counts as high-degree for a merge of \p CU and \p CV —
+  /// neighbors of either class whose merge-corrected degree is >= K
+  /// (commons at exactly K drop below the bar; the endpoints themselves
+  /// are never listed). One masked word sweep.
+  void appendBriggsHighDegree(unsigned CU, unsigned CV,
+                              std::vector<unsigned> &Out) const;
+
+  /// Dense mode with an enabled cache: appends to \p Out the George test's
+  /// witnesses against merging \p CU into \p CV — significant neighbors of
+  /// \p CU that are not adjacent to \p CV (excluding \p CV itself). One
+  /// masked word sweep.
+  void appendGeorgeWitnesses(unsigned CU, unsigned CV,
+                             std::vector<unsigned> &Out) const;
+
+  /// Dense mode: number of 64-bit words in a class bitmask row (for
+  /// callers holding watch sets as masks).
+  unsigned maskWords() const {
+    assert(Dense && "bitmask rows exist only in dense mode");
+    return ClassEdges.wordsPerRow();
+  }
+
+  /// Mask forms of the two watch-set sweeps above: OR the same class sets
+  /// into \p Out (maskWords() words) without materializing class ids —
+  /// O(words) stores instead of one push per blocker. Unlike the append
+  /// forms, the endpoint bits are not masked out; callers watch the
+  /// endpoints anyway.
+  void briggsWatchWords(unsigned CU, unsigned CV, uint64_t *Out) const;
+  void georgeWatchWords(unsigned CU, unsigned CV, uint64_t *Out) const;
 
   // --- Speculation -------------------------------------------------------
 
@@ -213,21 +332,83 @@ private:
 
   void undoMerge(MergeRecord &Rec);
 
+  /// Class degree through the mode-appropriate representation.
+  unsigned classDegree(unsigned C) const {
+    return Dense ? Deg[C] : static_cast<unsigned>(ClassAdj[C].size());
+  }
+
+  /// Dense mode: rebuilds ClassAdj[C] from the class's bit row unless it
+  /// is already current for this adjacency epoch.
+  const std::vector<unsigned> &materializedNeighbors(unsigned C) const;
+
+  /// Updates (or, with \p Undo, exactly reverses) the degree cache for one
+  /// merge of \p Loser into \p Root. \p LoserAdj and \p NewNeighbors are
+  /// the loser's pre-merge neighbors and the subset of them not previously
+  /// adjacent to Root; \p Commons is their difference (the classes whose
+  /// degree the merge dropped). Must run while the class adjacency reflects
+  /// the POST-merge state: after the structural updates in merge(), before
+  /// them in undoMerge(). Every counter delta depends only on class
+  /// degrees, never on other counters, so the undo direction is the exact
+  /// negation of the merge direction.
+  void updateDegreeCache(unsigned Root, unsigned Loser,
+                         const std::vector<unsigned> &LoserAdj,
+                         const std::vector<unsigned> &NewNeighbors,
+                         const std::vector<unsigned> &Commons, bool Undo);
+
+  /// Sets the dense significant/exactly-K mask bits of class \p C for
+  /// degree \p Deg.
+  void setDegreeBits(unsigned C, unsigned Deg) {
+    uint64_t Bit = uint64_t(1) << (C & 63);
+    if (Deg >= CacheK)
+      SigWords[C >> 6] |= Bit;
+    else
+      SigWords[C >> 6] &= ~Bit;
+    if (Deg == CacheK)
+      ExactKWords[C >> 6] |= Bit;
+    else
+      ExactKWords[C >> 6] &= ~Bit;
+  }
+
   const Graph &Original;
   bool Dense;
-  /// Dense mode only: interference bits between class representatives.
-  /// Bits of dead (merged-away) representatives go stale and are never
-  /// queried; rollback revives them unchanged.
-  BitMatrix ClassEdges;
+  /// Dense mode only: interference bits between class representatives,
+  /// row-major so neighborhoods intersect word-at-a-time. Unlike the class
+  /// adjacency vectors, rows are kept exact — a merge clears the loser's
+  /// bits and rollback re-sets them — so masked popcounts never see dead
+  /// classes.
+  BitRows ClassEdges;
   /// Per original vertex: its class representative (eagerly maintained).
   std::vector<unsigned> Rep;
   /// Union-by-rank state per representative (see file comment).
   std::vector<unsigned> Rank;
-  /// Keyed by representative; sorted vectors of representatives.
-  std::vector<std::vector<unsigned>> ClassAdj;
+  /// Keyed by representative; sorted vectors of representatives. Primary
+  /// (eagerly maintained) in sparse mode; in dense mode a lazily
+  /// materialized cache of the bit rows, valid while AdjStamp is set.
+  mutable std::vector<std::vector<unsigned>> ClassAdj;
+  /// Dense mode: per-representative class degree. Dead classes freeze at
+  /// their pre-merge degree, which is exactly what rollback restores.
+  std::vector<unsigned> Deg;
+  /// Dense mode: AdjStamp[C] != 0 iff ClassAdj[C] currently matches row C.
+  /// Merge and rollback clear the stamps of exactly the classes whose rows
+  /// they touch (the two endpoints and the loser's neighborhood), so the
+  /// cache stays warm elsewhere — brute-force probes re-materialize only
+  /// O(deg) lists instead of the whole quotient.
+  mutable std::vector<uint8_t> AdjStamp;
   /// Keyed by representative.
   std::vector<std::vector<unsigned>> Members;
   unsigned NumClasses = 0;
+
+  /// Degree cache (enableDegreeCache). CacheK == 0 means disabled.
+  /// SigCount[C] (sparse mode only) counts neighbor classes of live class
+  /// C with degree >= CacheK; entries of dead classes freeze at their
+  /// pre-merge value, which is exactly what rollback restores.
+  /// SigWords/ExactKWords (dense mode only) are one bit per class: degree
+  /// >= CacheK resp. == CacheK, with dead classes cleared. Dense mode
+  /// keeps no per-class counters — the tests sweep the masks directly.
+  unsigned CacheK = 0;
+  std::vector<unsigned> SigCount;
+  std::vector<uint64_t> SigWords;
+  std::vector<uint64_t> ExactKWords;
 
   std::vector<MergeRecord> UndoLog;
   /// Active checkpoints (positions into UndoLog, non-decreasing).

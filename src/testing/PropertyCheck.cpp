@@ -3,6 +3,7 @@
 #include "testing/PropertyCheck.h"
 
 #include "challenge/ChallengeInstance.h"
+#include "coalescing/Conservative.h"
 #include "graph/DimacsIO.h"
 #include "graph/Generators.h"
 #include "graph/GreedyColorability.h"
@@ -295,6 +296,44 @@ static bool checkDifferentialOnInstance(const CoalescingProblem &P, uint64_t,
   return checkDifferentialExact(P, Error);
 }
 
+/// Worklist-parity oracle: the incremental conservative driver must produce
+/// the exact class assignment (and rejection census) of the legacy fixpoint
+/// driver, under every safety rule.
+static bool checkWorklistParityOnInstance(const CoalescingProblem &P,
+                                          uint64_t, std::string *Error) {
+  static const std::pair<ConservativeRule, const char *> Rules[] = {
+      {ConservativeRule::Briggs, "briggs"},
+      {ConservativeRule::George, "george"},
+      {ConservativeRule::BriggsOrGeorge, "briggs-or-george"},
+      {ConservativeRule::BruteForce, "brute-force"},
+  };
+  for (const auto &[Rule, Name] : Rules) {
+    ConservativeResult New = conservativeCoalesce(P, Rule);
+    ConservativeResult Legacy = conservativeCoalesceLegacy(P, Rule);
+    if (New.Solution.ClassIds != Legacy.Solution.ClassIds) {
+      if (Error)
+        *Error = std::string("conservative-worklist-parity: rule ") + Name +
+                 ": worklist driver solution differs from legacy fixpoint "
+                 "driver";
+      return false;
+    }
+    if (New.TestRejections != Legacy.TestRejections ||
+        New.InterferenceRejections != Legacy.InterferenceRejections) {
+      if (Error) {
+        std::ostringstream OS;
+        OS << "conservative-worklist-parity: rule " << Name
+           << ": rejection census mismatch (test " << New.TestRejections
+           << " vs " << Legacy.TestRejections << ", interference "
+           << New.InterferenceRejections << " vs "
+           << Legacy.InterferenceRejections << ")";
+        *Error = OS.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
 const std::vector<Property> &testing::allProperties() {
   static const std::vector<Property> Registry = [] {
     std::vector<Property> Props;
@@ -353,6 +392,19 @@ const std::vector<Property> &testing::allProperties() {
                                   Trial);
          },
          checkDifferentialOnInstance});
+
+    Props.push_back(
+        {"conservative-worklist-parity",
+         "incremental worklist conservative driver matches the legacy "
+         "fixpoint driver under every rule",
+         [](Rng &Rand, const FuzzConfig &Config, uint64_t Trial) {
+           CoalescingProblem P =
+               generateSoundnessInstance(Rand, Config.MaxSize);
+           return runProblemTrial("conservative-worklist-parity", P,
+                                  checkWorklistParityOnInstance, Config,
+                                  Trial);
+         },
+         checkWorklistParityOnInstance});
 
     Props.push_back(
         {"workgraph-incremental",

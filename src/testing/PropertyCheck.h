@@ -14,11 +14,15 @@
 /// for IR instances the function text plus the regeneration seed).
 ///
 /// Registered properties:
-///   ssa-chordal            Theorem 1 on random strict-SSA functions
-///   outofssa-semantics     out-of-SSA preserves interpreter behavior
-///   coalescer-sound        conservative/IRC/chordal coalescers stay sound
-///   exact-differential     heuristics vs exact search on <= 12 vertices
-///   workgraph-incremental  WorkGraph vs rebuild-from-scratch
+///   ssa-chordal                  Theorem 1 on random strict-SSA functions
+///   outofssa-semantics           out-of-SSA preserves interpreter behavior
+///   coalescer-sound              conservative/IRC/chordal coalescers stay
+///                                sound
+///   exact-differential           heuristics vs exact search on <= 12
+///                                vertices
+///   conservative-worklist-parity worklist driver vs legacy fixpoint driver
+///   workgraph-incremental        WorkGraph vs rebuild-from-scratch
+///   workgraph-rollback           checkpoint/rollback restores the partition
 ///
 //===----------------------------------------------------------------------===//
 

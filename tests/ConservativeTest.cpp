@@ -297,6 +297,102 @@ TEST(ConservativeDriverTest, BruteForceDominatesLocalRules) {
   }
 }
 
+namespace {
+
+/// Builds the reactivation gadget: with k = 3, Briggs rejects the heavy
+/// affinity (u, v) at first — the merged class would see three significant
+/// neighbors n1, n2, n3 — but the later, lighter merge (x, y) drops their
+/// common neighbor n1 below significance, making (u, v) safe. A fixpoint
+/// driver picks it up on its second pass; the worklist driver must
+/// reactivate it off the dirtied class.
+CoalescingProblem reactivationGadget() {
+  CoalescingProblem P;
+  P.K = 3;
+  P.G = Graph(11);
+  const unsigned U = 0, V = 1, N1 = 2, N2 = 3, N3 = 4, X = 5, Y = 6;
+  P.G.addEdge(U, N1);
+  P.G.addEdge(U, N2);
+  P.G.addEdge(V, N3);
+  P.G.addEdge(N1, X);
+  P.G.addEdge(N1, Y);
+  P.G.addEdge(N2, 7);
+  P.G.addEdge(N2, 8);
+  P.G.addEdge(N3, 9);
+  P.G.addEdge(N3, 10);
+  P.Affinities.push_back({U, V, 2.0});
+  P.Affinities.push_back({X, Y, 1.0});
+  return P;
+}
+
+} // namespace
+
+TEST(ConservativeDriverTest, WorklistReactivatesBriggsRejectedAffinity) {
+  CoalescingProblem P = reactivationGadget();
+  ASSERT_TRUE(isGreedyKColorable(P.G, P.K));
+  {
+    // Sanity: the heavy affinity alone is Briggs-rejected, and passes once
+    // (x, y) are merged.
+    WorkGraph WG(P.G);
+    EXPECT_FALSE(briggsTest(WG, 0, 1, P.K));
+    WG.merge(5, 6);
+    EXPECT_TRUE(briggsTest(WG, 0, 1, P.K));
+  }
+  CoalescingTelemetry T;
+  ConservativeResult R =
+      conservativeCoalesce(P, ConservativeRule::Briggs, &T);
+  EXPECT_EQ(R.Stats.CoalescedAffinities, 2u);
+  EXPECT_EQ(R.TestRejections, 0u);
+  // The rejected (u, v) must have been woken by the (x, y) merge touching
+  // the watched common neighbor, not by a blanket re-scan.
+  EXPECT_GE(T.WorklistReactivations, 1u);
+  ConservativeResult Legacy =
+      conservativeCoalesceLegacy(P, ConservativeRule::Briggs);
+  EXPECT_EQ(R.Solution.ClassIds, Legacy.Solution.ClassIds);
+}
+
+TEST(ConservativeDriverTest, MatchesLegacyDriverOnRandomInstances) {
+  Rng Rand(87);
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    CoalescingProblem P;
+    P.G = randomChordalGraph(24, 12, 3, Rand);
+    P.K = coloringNumber(P.G);
+    for (int A = 0; A < 16; ++A) {
+      unsigned U = static_cast<unsigned>(Rand.nextBelow(24));
+      unsigned V = static_cast<unsigned>(Rand.nextBelow(24));
+      if (U != V && !P.G.hasEdge(U, V))
+        P.Affinities.push_back({U, V, 1.0 + (A % 5)});
+    }
+    for (ConservativeRule Rule :
+         {ConservativeRule::Briggs, ConservativeRule::George,
+          ConservativeRule::BriggsOrGeorge, ConservativeRule::BruteForce}) {
+      ConservativeResult New = conservativeCoalesce(P, Rule);
+      ConservativeResult Legacy = conservativeCoalesceLegacy(P, Rule);
+      EXPECT_EQ(New.Solution.ClassIds, Legacy.Solution.ClassIds)
+          << "driver divergence: trial " << Trial << " rule "
+          << static_cast<int>(Rule);
+      // At a natural fixpoint the legacy final-pass census and the
+      // worklist's parked-category census agree.
+      EXPECT_EQ(New.TestRejections, Legacy.TestRejections);
+      EXPECT_EQ(New.InterferenceRejections, Legacy.InterferenceRejections);
+    }
+  }
+}
+
+TEST(ConservativeDriverTest, TimeoutCountersMatchPartialSolution) {
+  // A token that is already expired stops the driver before any affinity
+  // is examined: the counters must describe that empty prefix instead of a
+  // partially reset pass (the old driver zeroed them at each pass top).
+  CoalescingProblem P = reactivationGadget();
+  CancelToken Cancel;
+  Cancel.cancel();
+  ConservativeResult R = conservativeCoalesce(
+      P, ConservativeRule::Briggs, nullptr, &Cancel);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_EQ(R.TestRejections, 0u);
+  EXPECT_EQ(R.InterferenceRejections, 0u);
+  EXPECT_EQ(R.Stats.CoalescedAffinities, 0u);
+}
+
 // --- Theorem 3 ---------------------------------------------------------------
 
 TEST(Theorem3Test, InputGraphIsGreedyTwoColorable) {

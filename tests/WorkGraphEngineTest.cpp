@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "coalescing/Conservative.h"
 #include "coalescing/Telemetry.h"
 #include "coalescing/WorkGraph.h"
 #include "graph/Generators.h"
@@ -241,4 +242,111 @@ TEST(WorkGraphTelemetryTest, ObserverSeesTheEventStream) {
   EXPECT_EQ(Obs.Events[1], EngineEvent::MergeCommitted);
   EXPECT_EQ(Obs.Events[2], EngineEvent::MergeRolledBack);
   EXPECT_EQ(Obs.Events[3], EngineEvent::RollbackPerformed);
+}
+
+namespace {
+
+/// Recounts the significant-neighbor count of every live class from
+/// scratch and compares it against the maintained cache.
+void expectCacheMatchesRecount(const WorkGraph &WG, unsigned K) {
+  for (unsigned V = 0; V < WG.numOriginalVertices(); ++V) {
+    if (WG.classOf(V) != V)
+      continue;
+    unsigned Expected = 0;
+    for (unsigned N : WG.neighborClasses(V))
+      if (WG.degree(N) >= K)
+        ++Expected;
+    EXPECT_EQ(WG.significantNeighbors(V), Expected)
+        << "stale cached count for class " << V << " at k=" << K;
+  }
+}
+
+} // namespace
+
+TEST(WorkGraphDegreeCacheTest, SurvivesRandomMergeAndRollbackScripts) {
+  for (uint64_t Seed : {2u, 13u, 59u}) {
+    for (unsigned DenseThreshold : {64u, 0u}) {
+      Rng Rand(Seed);
+      Graph G = randomGraph(28, 0.2, Rand);
+      WorkGraph WG(G, DenseThreshold);
+      unsigned K = 3;
+      WG.enableDegreeCache(K);
+      expectCacheMatchesRecount(WG, K);
+      for (int Step = 0; Step < 120; ++Step) {
+        unsigned U = static_cast<unsigned>(Rand.nextBelow(28));
+        unsigned V = static_cast<unsigned>(Rand.nextBelow(28));
+        if (U == V || !WG.canMerge(U, V))
+          continue;
+        if (Rand.nextBelow(3) == 0) {
+          // Probe: merge under a checkpoint, verify, roll back, verify.
+          WG.checkpoint();
+          WG.merge(U, V);
+          expectCacheMatchesRecount(WG, K);
+          WG.rollback();
+        } else {
+          WG.merge(U, V);
+        }
+        expectCacheMatchesRecount(WG, K);
+      }
+    }
+  }
+}
+
+TEST(WorkGraphDegreeCacheTest, CachedTestsMatchWalkedTests) {
+  // briggsTest/georgeTest take their fast path iff the degree cache is
+  // enabled for the queried k; both paths must agree everywhere.
+  for (uint64_t Seed : {5u, 31u, 77u}) {
+    Rng Rand(Seed);
+    Graph G = randomGraph(26, 0.22, Rand);
+    unsigned K = 3;
+    WorkGraph Cached(G);
+    Cached.enableDegreeCache(K);
+    WorkGraph Walked(G);
+    for (int Step = 0; Step < 60; ++Step) {
+      unsigned U = static_cast<unsigned>(Rand.nextBelow(26));
+      unsigned V = static_cast<unsigned>(Rand.nextBelow(26));
+      if (U == V || Cached.sameClass(U, V))
+        continue;
+      ASSERT_EQ(Cached.degreeCacheK(), K);
+      EXPECT_EQ(briggsTest(Cached, U, V, K), briggsTest(Walked, U, V, K))
+          << "briggs divergence at (" << U << "," << V << ")";
+      EXPECT_EQ(georgeTest(Cached, U, V, K), georgeTest(Walked, U, V, K))
+          << "george divergence at (" << U << "," << V << ")";
+      if (Cached.canMerge(U, V)) {
+        Cached.merge(U, V);
+        Walked.merge(U, V);
+      }
+    }
+  }
+}
+
+TEST(WorkGraphDegreeCacheTest, MergeObserverReportsTouchedClasses) {
+  // Merging 0 and 2 on the path 0-1-2-3: vertex 1 is the common neighbor
+  // whose degree drops; no other class is touched.
+  Graph G = pathGraph();
+  WorkGraph WG(G);
+  struct TouchRecorder final : EngineObserver {
+    unsigned Root = ~0u, Loser = ~0u;
+    std::vector<unsigned> Dropped;
+    unsigned Calls = 0;
+    void onEvent(EngineEvent, unsigned, unsigned) override {}
+    void onMergeTouched(unsigned R, unsigned L,
+                        const std::vector<unsigned> &D) override {
+      Root = R;
+      Loser = L;
+      Dropped = D;
+      ++Calls;
+    }
+  } Obs;
+  WG.setObserver(&Obs);
+  WG.merge(0, 2);
+  ASSERT_EQ(Obs.Calls, 1u);
+  EXPECT_TRUE((Obs.Root == 0 && Obs.Loser == 2) ||
+              (Obs.Root == 2 && Obs.Loser == 0));
+  EXPECT_EQ(Obs.Dropped, std::vector<unsigned>{1u});
+  // Rollbacks must not re-fire the hook.
+  WG.checkpoint();
+  WG.merge(1, 3);
+  WG.rollback();
+  EXPECT_EQ(Obs.Calls, 2u);
 }

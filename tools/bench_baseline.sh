@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Records the conservative-coalescing perf baseline.
+#
+# Runs the BM_ConservativeRule / BM_ConservativeLegacy benchmarks (the
+# incremental worklist driver and the legacy fixpoint driver under the four
+# safety rules) plus the IRC throughput benches, and writes Google Benchmark
+# JSON to BENCH_conservative.json at the repository root. The checked-in
+# file is the reference for perf review: rerun this script on a quiet
+# machine and diff real_time per benchmark; anything beyond noise (~5%)
+# needs an explanation in the PR that regresses it. The Legacy/Rule pair at
+# the same size also gives a machine-independent speedup ratio.
+#
+# Usage: tools/bench_baseline.sh [build-dir] [output.json]
+#   build-dir       defaults to ./build
+#   output.json     defaults to ./BENCH_conservative.json
+
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build"}
+OUT=${2:-"$ROOT/BENCH_conservative.json"}
+
+for B in bench_conservative bench_irc; do
+  if [ ! -x "$BUILD_DIR/bench/$B" ]; then
+    echo "error: $BUILD_DIR/bench/$B not found; build first:" >&2
+    echo "  cmake -B \"$BUILD_DIR\" -S \"$ROOT\" && cmake --build \"$BUILD_DIR\" -j" >&2
+    exit 1
+  fi
+done
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD_DIR/bench/bench_conservative" \
+  --benchmark_filter='BM_Conservative(Rule|Legacy)' \
+  --benchmark_format=json \
+  --benchmark_out="$TMP/conservative.json" \
+  --benchmark_out_format=json
+
+"$BUILD_DIR/bench/bench_irc" \
+  --benchmark_filter='BM_IrcThroughput' \
+  --benchmark_format=json \
+  --benchmark_out="$TMP/irc.json" \
+  --benchmark_out_format=json
+
+if command -v jq > /dev/null 2>&1; then
+  # One file, one benchmarks array; keep the first context block.
+  jq -s '.[0] * {benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
+    "$TMP/conservative.json" "$TMP/irc.json" > "$OUT"
+else
+  echo "warning: jq not found; writing conservative benches only" >&2
+  cp "$TMP/conservative.json" "$OUT"
+fi
+
+echo "baseline written to $OUT"
