@@ -6,6 +6,8 @@
 #include "coalescing/BiasedColoring.h"
 #include "coalescing/ChordalStrategy.h"
 #include "coalescing/Conservative.h"
+#include "coalescing/ExactChordalDP.h"
+#include "coalescing/ExactSearch.h"
 #include "coalescing/IteratedRegisterCoalescing.h"
 #include "coalescing/Optimistic.h"
 #include "graph/Chordal.h"
@@ -230,4 +232,49 @@ StrategyRegistry::StrategyRegistry() {
          return identitySolution(P.G);
        },
        {}});
+  add({"exact-chordal-dp",
+       "Theorem 5 strategy driven by the clique-tree DP (minimal chains) "
+       "on chordal inputs with k >= omega (falls back to "
+       "brute-conservative otherwise)",
+       [](const CoalescingProblem &P, const StrategyOptions &,
+          StrategyContext &Ctx) {
+         if (isChordal(P.G) && P.K >= chordalCliqueNumber(P.G)) {
+           ChordalDPStrategyResult R =
+               chordalCoalesceDP(P, &Ctx.Telemetry, Ctx.Cancel);
+           Ctx.TimedOut = R.TimedOut;
+           return R.Solution;
+         }
+         ConservativeResult R = conservativeCoalesce(
+             P, ConservativeRule::BruteForce, &Ctx.Telemetry, Ctx.Cancel);
+         Ctx.TimedOut = R.TimedOut;
+         return R.Solution;
+       },
+       {}});
+  add({"exact-bb",
+       "exact undo-stack branch-and-bound over affinity subsets "
+       "(options: feasible=greedy|kcolor|any, nodes=10k|100k|1m|unlimited)",
+       [](const CoalescingProblem &P, const StrategyOptions &Options,
+          StrategyContext &Ctx) {
+         ExactSearchOptions EO;
+         std::string Feasible = Options.get("feasible", "greedy");
+         if (Feasible == "any")
+           EO.Feasibility = ExactFeasibility::Any;
+         else if (Feasible == "kcolor")
+           EO.Feasibility = ExactFeasibility::ExactColor;
+         else
+           EO.Feasibility = ExactFeasibility::Greedy;
+         std::string Nodes = Options.get("nodes", "100k");
+         if (Nodes == "10k")
+           EO.NodeLimit = 10000;
+         else if (Nodes == "100k")
+           EO.NodeLimit = 100000;
+         else if (Nodes == "1m")
+           EO.NodeLimit = 1000000;
+         ExactSearchResult R =
+             exactCoalesceSearch(P, EO, &Ctx.Telemetry, Ctx.Cancel);
+         Ctx.TimedOut = R.TimedOut;
+         return R.Solution;
+       },
+       {{"feasible", {"greedy", "kcolor", "any"}},
+        {"nodes", {"10k", "100k", "1m", "unlimited"}}}});
 }

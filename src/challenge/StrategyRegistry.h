@@ -107,8 +107,9 @@ struct StrategyInfo {
 
 /// The process-wide strategy registry. The built-in strategies of the
 /// library (aggressive, briggs, george, briggs+george, brute-conservative,
-/// optimistic, irc, chordal-thm5, biased-select) are registered on first
-/// access, in comparison order.
+/// optimistic, irc, chordal-thm5, biased-select, exact-chordal-dp,
+/// exact-bb) are registered on first access, in comparison order; the two
+/// exact baselines come last so historical report layouts are unchanged.
 class StrategyRegistry {
 public:
   /// Returns the singleton, with built-ins registered.

@@ -62,6 +62,7 @@ rc::chordalIncrementalCoalescing(const Graph &G, unsigned X, unsigned Y,
     if (C[X] != C[Y])
       swapColorsInComponent(G, C, Y, C[X], C[Y]);
     Result.Feasible = true;
+    Result.GapFree = true;
     Result.Witness = std::move(C);
     Result.MergedChain = {X, Y};
     assert(Result.Witness[X] == Result.Witness[Y] &&
@@ -145,25 +146,48 @@ rc::chordalIncrementalCoalescing(const Graph &G, unsigned X, unsigned Y,
   if (!Found)
     return Result; // No disjoint cover: x and y cannot share a color.
 
-  // Collect the chain's real vertices.
+  // Collect the chain's real vertices, noting every slack interval it
+  // threads through (the chain is then NOT a tiling of real subtrees).
   std::vector<unsigned> Chain;
-  for (int Cur = static_cast<int>(YInterval); Cur >= 0; Cur = Parent[Cur])
+  std::vector<const std::vector<unsigned> *> SlackCliques;
+  for (int Cur = static_cast<int>(YInterval); Cur >= 0; Cur = Parent[Cur]) {
     if (Intervals[Cur].Vertex != ~0u)
       Chain.push_back(Intervals[Cur].Vertex);
+    else
+      SlackCliques.push_back(&T.clique(Path[Intervals[Cur].Lo]));
+  }
   std::reverse(Chain.begin(), Chain.end());
 
-  // Witness: merge the chain (disjoint subtrees tiling the path form one
-  // subtree, so the quotient is chordal with the same clique number) and
-  // color the quotient optimally.
+  // Witness: merge the chain and color the quotient optimally. A chain
+  // with slack gaps does not tile the path — merging only its real
+  // vertices can leave their subtree union disconnected and the quotient
+  // non-chordal — so the merge happens on an augmented graph instead: one
+  // artificial vertex per used slack clique, adjacent to exactly that
+  // clique. Each is simplicial (chordality preserved) in a clique below K
+  // (clique number preserved), and with them the chain tiles the path, so
+  // the augmented quotient is chordal and its optimal coloring restricts
+  // to a witness for G.
   unsigned N = G.numVertices();
-  std::vector<bool> InChain(N, false);
+  unsigned NAug = N + static_cast<unsigned>(SlackCliques.size());
+  Graph Aug(NAug);
+  for (unsigned V = 0; V < N; ++V)
+    for (unsigned W : G.neighbors(V))
+      if (V < W)
+        Aug.addEdge(V, W);
+  for (unsigned S = 0; S < SlackCliques.size(); ++S)
+    for (unsigned W : *SlackCliques[S])
+      Aug.addEdge(N + S, W);
+
+  std::vector<bool> InChain(NAug, false);
   for (unsigned V : Chain)
     InChain[V] = true;
-  std::vector<unsigned> ClassIds(N);
+  for (unsigned S = 0; S < SlackCliques.size(); ++S)
+    InChain[N + S] = true;
+  std::vector<unsigned> ClassIds(NAug);
   unsigned NextId = 1;
-  for (unsigned V = 0; V < N; ++V)
+  for (unsigned V = 0; V < NAug; ++V)
     ClassIds[V] = InChain[V] ? 0 : NextId++;
-  Graph Quotient = G.quotient(ClassIds, NextId);
+  Graph Quotient = Aug.quotient(ClassIds, NextId);
   Coloring QuotientColors = chordalOptimalColoring(Quotient);
   assert(numColorsUsed(QuotientColors) <= K &&
          "merged chain raised the clique number");
@@ -175,6 +199,7 @@ rc::chordalIncrementalCoalescing(const Graph &G, unsigned X, unsigned Y,
          Witness[X] == Witness[Y] && "chain witness is invalid");
 
   Result.Feasible = true;
+  Result.GapFree = SlackCliques.empty();
   Result.Witness = std::move(Witness);
   Result.MergedChain = std::move(Chain);
   return Result;

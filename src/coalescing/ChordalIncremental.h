@@ -38,6 +38,11 @@ struct ChordalIncrementalResult {
   /// real intervals selected on the path), including X and Y; empty when
   /// infeasible or when no merging was needed.
   std::vector<unsigned> MergedChain;
+  /// True when the chain tiles the whole path with real vertices (no slack
+  /// interval used). Only then does merging MergedChain provably keep the
+  /// graph chordal; a gapped chain still witnesses feasibility (the color
+  /// threads through free slots), but its merge may break chordality.
+  bool GapFree = false;
 };
 
 /// Decides incremental conservative coalescing of the affinity (\p X, \p Y)

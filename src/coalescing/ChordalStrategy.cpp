@@ -30,11 +30,24 @@ ChordalStrategyResult rc::chordalCoalesce(const CoalescingProblem &P,
   std::vector<unsigned> DenseIds(N);
   std::iota(DenseIds.begin(), DenseIds.end(), 0u);
 
-  auto rebuild = [&]() {
-    DenseIds = Classes.denseClassIds();
-    Current = P.G.quotient(DenseIds, Classes.numClasses());
-    assert(isChordal(Current) &&
-           "chain merge broke chordality, contradicting Theorem 5");
+  // Applies the merges of \p Merged (already unioned into \p Tentative)
+  // when the resulting quotient stays chordal — guaranteed for gap-free
+  // chains (asserted), checked for chains that threaded a slack slot.
+  // Returns false (and leaves the state untouched) when the merge would
+  // break the chordality every later exact decision depends on.
+  auto tryCommit = [&](UnionFind &&Tentative, bool GapFree) {
+    std::vector<unsigned> Dense = Tentative.denseClassIds();
+    Graph Quotient = P.G.quotient(Dense, Tentative.numClasses());
+    bool Chordal = isChordal(Quotient);
+    assert((Chordal || !GapFree) &&
+           "gap-free chain merge broke chordality, contradicting Theorem 5");
+    (void)GapFree;
+    if (!Chordal)
+      return false;
+    Classes = std::move(Tentative);
+    DenseIds = std::move(Dense);
+    Current = std::move(Quotient);
+    return true;
   };
 
   std::vector<unsigned> Order(P.Affinities.size());
@@ -63,20 +76,28 @@ ChordalStrategyResult rc::chordalCoalesce(const CoalescingProblem &P,
     // Merge the whole chain (it includes X and Y). The chain vertices are
     // current-graph classes; map them back through representatives.
     assert(Decision.MergedChain.size() >= 2 && "chain must contain x and y");
-    Result.ChainMerges +=
-        static_cast<unsigned>(Decision.MergedChain.size()) - 2;
-    // Find one original vertex per chain class and union them all.
+    // Find one original vertex per chain class and union them all into a
+    // tentative partition.
     std::vector<unsigned> Reps;
     for (unsigned Vertex = 0; Vertex < N; ++Vertex)
       if (std::find(Decision.MergedChain.begin(),
                     Decision.MergedChain.end(),
                     DenseIds[Vertex]) != Decision.MergedChain.end())
         Reps.push_back(Vertex);
-    for (size_t I = 1; I < Reps.size(); ++I) {
-      Classes.merge(Reps[0], Reps[I]);
-      Count(EngineEvent::MergeCommitted);
+    UnionFind Tentative = Classes;
+    for (size_t I = 1; I < Reps.size(); ++I)
+      Tentative.merge(Reps[0], Reps[I]);
+    if (!tryCommit(std::move(Tentative), Decision.GapFree)) {
+      // The chain threads through free color slots and merging its real
+      // vertices would break chordality, which every later exact decision
+      // depends on. Leave the affinity uncoalesced instead.
+      ++Result.DeferredGapped;
+      continue;
     }
-    rebuild();
+    Result.ChainMerges +=
+        static_cast<unsigned>(Decision.MergedChain.size()) - 2;
+    for (size_t I = 1; I < Reps.size(); ++I)
+      Count(EngineEvent::MergeCommitted);
   }
 
   Result.Solution.ClassIds = Classes.denseClassIds();

@@ -36,6 +36,12 @@ struct ChordalStrategyResult {
   unsigned InfeasibleAffinities = 0;
   /// Extra (non-affinity) vertices merged through chain merges.
   unsigned ChainMerges = 0;
+  /// Affinities that were incrementally feasible, but only through a slack
+  /// (gapped) chain whose merge was checked to break chordality; they are
+  /// left uncoalesced rather than destroying the invariant every later
+  /// decision relies on. (Gapped chains whose quotient happens to stay
+  /// chordal are still committed.)
+  unsigned DeferredGapped = 0;
 };
 
 /// Runs the Theorem 5 strategy on \p P. Requires \p P.G chordal and

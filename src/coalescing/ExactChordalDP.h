@@ -1,0 +1,95 @@
+//===- coalescing/ExactChordalDP.h - Thm 5 clique-tree DP -------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact incremental conservative coalescing on chordal graphs by dynamic
+/// programming over the clique tree — an independent implementation of the
+/// Theorem 5 decision used as the differential baseline for
+/// chordalIncrementalCoalescing (which settles for any interval chain found
+/// by BFS marking).
+///
+/// The decision is the same (a k-coloring f of chordal G with f(x) = f(y)
+/// exists iff a chain of disjoint contiguous intervals covers the
+/// clique-tree path from T_x to T_y), but the chain is chosen by a
+/// left-to-right DP that minimizes the number of REAL vertices merged:
+/// BestCost[p] is the fewest real intervals in a chain exactly covering
+/// path positions [0..p], with x's interval forced at position 0 and y's
+/// forced at the end. Fewer artificial merges keep later affinities more
+/// likely to stay coalescable, which is what the per-affinity-optimal
+/// strategy of the paper cares about.
+///
+/// Everything here is deliberately self-contained (own interval
+/// construction, own witness assembly) so a bug in one implementation
+/// cannot hide in both — the fuzz property `exact-gap-sound` and
+/// tests/ExactBaselineTest.cpp diff the two per affinity, plus the
+/// equality-constrained exact coloring oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COALESCING_EXACTCHORDALDP_H
+#define COALESCING_EXACTCHORDALDP_H
+
+#include "coalescing/Problem.h"
+#include "coalescing/Telemetry.h"
+#include "graph/Coloring.h"
+#include "support/CancelToken.h"
+
+namespace rc {
+
+/// Result of one DP decision.
+struct ChordalDPResult {
+  /// True iff a k-coloring with f(X) = f(Y) exists.
+  bool Feasible = false;
+  /// A witness k-coloring with Witness[X] == Witness[Y] when Feasible.
+  Coloring Witness;
+  /// The vertices sharing x's color (the chain), including X and Y.
+  std::vector<unsigned> MergedChain;
+  /// Real vertices in the chain beyond X and Y — minimized by the DP.
+  unsigned RealMerges = 0;
+  /// True when the chain tiles the whole clique-tree path with real
+  /// vertices (no slack interval). Such chains provably keep the merged
+  /// quotient chordal; a gapped chain's merge leaves the merged subtrees
+  /// disconnected and must be checked before committing.
+  bool GapFree = false;
+};
+
+/// Decides incremental conservative coalescing of (\p X, \p Y) on the
+/// chordal graph \p G with \p K colors via the clique-tree DP, returning a
+/// chain with the fewest real merges. Asserts chordality.
+ChordalDPResult chordalIncrementalDP(const Graph &G, unsigned X, unsigned Y,
+                                     unsigned K);
+
+/// Result of the full DP-driven strategy.
+struct ChordalDPStrategyResult {
+  CoalescingSolution Solution;
+  CoalescingStats Stats;
+  /// Affinities whose optimal incremental decision was "impossible".
+  unsigned InfeasibleAffinities = 0;
+  /// Extra (non-affinity) vertices merged through chain merges.
+  unsigned ChainMerges = 0;
+  /// Affinities that were incrementally feasible, but only through a
+  /// slack (gapped) chain whose merge was checked to break chordality;
+  /// left uncoalesced. (Gapped chains whose quotient happens to stay
+  /// chordal are still committed.)
+  unsigned DeferredGapped = 0;
+  /// True when a CancelToken expired mid-run; the solution holds the
+  /// merges accepted so far (each individually optimal, still valid).
+  bool TimedOut = false;
+};
+
+/// The Theorem 5 strategy driven by the DP decision: affinities by
+/// decreasing weight, each decided exactly, chains merged with the fewest
+/// artificial vertices. Requires \p P.G chordal and \p P.K >= omega
+/// (asserted). Polls \p Cancel between affinities.
+ChordalDPStrategyResult chordalCoalesceDP(const CoalescingProblem &P,
+                                          CoalescingTelemetry *Telemetry =
+                                              nullptr,
+                                          const CancelToken *Cancel =
+                                              nullptr);
+
+} // namespace rc
+
+#endif // COALESCING_EXACTCHORDALDP_H

@@ -1,0 +1,274 @@
+//===- coalescing/ExactSearch.cpp - Exact B&B coalescing search -----------===//
+
+#include "coalescing/ExactSearch.h"
+
+#include "coalescing/Conservative.h"
+#include "coalescing/WorkGraph.h"
+#include "graph/ExactColoring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace rc;
+
+const char *rc::exactFeasibilityName(ExactFeasibility F) {
+  switch (F) {
+  case ExactFeasibility::Any:
+    return "any";
+  case ExactFeasibility::Greedy:
+    return "greedy";
+  case ExactFeasibility::ExactColor:
+    return "kcolor";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The iterative undo-stack search. One Frame per live search node; the
+/// engine state belonging to a node's merge child is bracketed by a
+/// checkpoint the node itself owns (taken when the child is pushed, rolled
+/// back when it returns), so aborting at any point unwinds to the base
+/// state by rolling back every frame with a live checkpoint.
+class UndoStackSearch {
+public:
+  UndoStackSearch(const CoalescingProblem &P,
+                  const ExactSearchOptions &Options,
+                  CoalescingTelemetry *Telemetry, const CancelToken *Cancel)
+      : P(P), Options(Options), WG(P.G) {
+    WG.attachTelemetry(Telemetry);
+    WG.setCancelToken(Cancel);
+    if (Options.Feasibility == ExactFeasibility::Greedy && P.K > 0)
+      WG.enableDegreeCache(P.K);
+
+    // Decreasing weight order: heavy affinities near the root make both
+    // the incumbent and the suffix bound bite early.
+    Order.resize(P.Affinities.size());
+    std::iota(Order.begin(), Order.end(), 0u);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&P](unsigned A, unsigned B) {
+                       return P.Affinities[A].Weight >
+                              P.Affinities[B].Weight;
+                     });
+    Suffix.assign(Order.size() + 1, 0);
+    for (size_t I = Order.size(); I > 0; --I)
+      Suffix[I - 1] = Suffix[I] + P.Affinities[Order[I - 1]].Weight;
+  }
+
+  ExactSearchResult run() {
+    bool RootGreedy = Options.Feasibility == ExactFeasibility::Greedy &&
+                      WG.quotientGreedyKColorable(P.K);
+    Stack.push_back({0, 0.0, RootGreedy, false, false, false, 0});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      switch (F.Stage) {
+      case 0:
+        enter(F);
+        break;
+      case 1:
+        if (F.MergeFirst) {
+          WG.rollback();
+          F.CheckpointActive = false;
+          F.Stage = 2;
+          pushSkipChild(F);
+        } else {
+          F.Stage = 2;
+          pushMergeChild(F);
+        }
+        break;
+      default:
+        if (F.CheckpointActive)
+          WG.rollback();
+        Stack.pop_back();
+        break;
+      }
+      if (CancelHit || LimitHit)
+        break;
+    }
+    // Abort paths leave live checkpoints on the stack; unwind them so the
+    // engine (and any observer of it) lands back in the pre-search state.
+    while (!Stack.empty()) {
+      if (Stack.back().CheckpointActive)
+        WG.rollback();
+      Stack.pop_back();
+    }
+
+    ExactSearchResult Result;
+    Result.Solution = HasBest ? Best : identitySolution(P.G);
+    Result.Stats = evaluateSolution(P, Result.Solution);
+    Result.BestWeight = HasBest ? BestWeight : 0;
+    Result.Optimal = HasBest && !LimitHit && !CancelHit;
+    Result.TimedOut = CancelHit;
+    Result.NodesExplored = Nodes;
+    Result.BoundPrunes = BoundPrunes;
+    Result.CachedTestLeafSkips = LeafSkips;
+    return Result;
+  }
+
+private:
+  struct Frame {
+    /// Position in the sorted affinity order.
+    size_t Pos = 0;
+    /// Weight gained by the decisions (and auto-coalesced affinities)
+    /// above this node.
+    double Gained = 0;
+    /// The current quotient is certified greedy-k-colorable: every merge
+    /// on the branch passed the cached Briggs test.
+    bool KnownGreedy = false;
+    /// Whether the merge child runs before the skip child.
+    bool MergeFirst = false;
+    /// This frame holds a live checkpoint for its merge child.
+    bool CheckpointActive = false;
+    /// Precomputed KnownGreedy of the merge child (Briggs outcome).
+    bool MergeChildGreedy = false;
+    /// 0: entering; 1: first child done; 2: second child done.
+    uint8_t Stage = 0;
+  };
+
+  void enter(Frame &F) {
+    if (WG.cancelRequested()) {
+      CancelHit = true;
+      return;
+    }
+    if (++Nodes > NodesBudget()) {
+      LimitHit = true;
+      return;
+    }
+    if (pruned(F)) {
+      ++BoundPrunes;
+      Stack.pop_back();
+      return;
+    }
+    // Auto-advance through affinities with no real decision: endpoints
+    // already merged (their weight is banked) or interfering (never
+    // mergeable on this branch — classes only grow below).
+    while (F.Pos < Order.size()) {
+      const Affinity &A = P.Affinities[Order[F.Pos]];
+      if (WG.sameClass(A.U, A.V)) {
+        F.Gained += A.Weight;
+        ++F.Pos;
+      } else if (WG.interfere(A.U, A.V)) {
+        ++F.Pos;
+      } else {
+        break;
+      }
+    }
+    if (F.Pos == Order.size()) {
+      leaf(F);
+      Stack.pop_back();
+      return;
+    }
+    // Branch. Under Greedy feasibility a Briggs-passing merge keeps the
+    // greedy certificate alive, and descending into it first reaches a
+    // conservative-quality incumbent before any bound is needed; a merge
+    // that loses the certificate is explored after the skip branch.
+    const Affinity &A = P.Affinities[Order[F.Pos]];
+    F.MergeChildGreedy =
+        F.KnownGreedy && WG.degreeCacheK() == P.K &&
+        briggsTest(WG, A.U, A.V, P.K);
+    F.MergeFirst = Options.Feasibility != ExactFeasibility::Greedy ||
+                   F.MergeChildGreedy;
+    F.Stage = 1;
+    if (F.MergeFirst)
+      pushMergeChild(F);
+    else
+      pushSkipChild(F);
+  }
+
+  void leaf(Frame &F) {
+    if (HasBest && F.Gained <= BestWeight + Eps)
+      return;
+    bool Feasible = true;
+    switch (Options.Feasibility) {
+    case ExactFeasibility::Any:
+      break;
+    case ExactFeasibility::Greedy:
+      if (F.KnownGreedy)
+        ++LeafSkips;
+      else
+        Feasible = WG.quotientGreedyKColorable(P.K);
+      break;
+    case ExactFeasibility::ExactColor:
+      Feasible = exactKColoring(WG.quotientGraph(), P.K).Colorable;
+      break;
+    }
+    if (!Feasible)
+      return;
+    Best = WG.solution();
+    BestWeight = F.Gained;
+    HasBest = true;
+  }
+
+  /// Admissible pruning: first the free suffix bound, then (only when it
+  /// fails to prune) the still-mergeable scan — affinities whose endpoints
+  /// interfere on this branch can never contribute below it.
+  bool pruned(const Frame &F) {
+    if (!HasBest)
+      return false;
+    if (F.Gained + Suffix[F.Pos] <= BestWeight + Eps)
+      return true;
+    double Reachable = F.Gained;
+    for (size_t I = F.Pos; I < Order.size(); ++I) {
+      const Affinity &A = P.Affinities[Order[I]];
+      unsigned CU = WG.classOf(A.U), CV = WG.classOf(A.V);
+      if (CU == CV || !WG.classesAdjacent(CU, CV)) {
+        Reachable += A.Weight;
+        if (Reachable > BestWeight + Eps)
+          return false;
+      }
+    }
+    return Reachable <= BestWeight + Eps;
+  }
+
+  void pushMergeChild(Frame &F) {
+    const Affinity &A = P.Affinities[Order[F.Pos]];
+    WG.checkpoint();
+    WG.merge(A.U, A.V);
+    F.CheckpointActive = true;
+    // Note: F may be invalidated by the push below; read what we need
+    // first.
+    Frame Child;
+    Child.Pos = F.Pos + 1;
+    Child.Gained = F.Gained + A.Weight;
+    Child.KnownGreedy = F.MergeChildGreedy;
+    Stack.push_back(Child);
+  }
+
+  void pushSkipChild(Frame &F) {
+    Frame Child;
+    Child.Pos = F.Pos + 1;
+    Child.Gained = F.Gained;
+    Child.KnownGreedy = F.KnownGreedy;
+    Stack.push_back(Child);
+  }
+
+  uint64_t NodesBudget() const { return Options.NodeLimit; }
+
+  static constexpr double Eps = 1e-9;
+
+  const CoalescingProblem &P;
+  ExactSearchOptions Options;
+  WorkGraph WG;
+  std::vector<unsigned> Order;
+  std::vector<double> Suffix;
+  std::vector<Frame> Stack;
+
+  uint64_t Nodes = 0;
+  uint64_t BoundPrunes = 0;
+  uint64_t LeafSkips = 0;
+  bool LimitHit = false;
+  bool CancelHit = false;
+  bool HasBest = false;
+  double BestWeight = -1;
+  CoalescingSolution Best;
+};
+
+} // namespace
+
+ExactSearchResult rc::exactCoalesceSearch(const CoalescingProblem &P,
+                                          const ExactSearchOptions &Options,
+                                          CoalescingTelemetry *Telemetry,
+                                          const CancelToken *Cancel) {
+  return UndoStackSearch(P, Options, Telemetry, Cancel).run();
+}

@@ -1,0 +1,175 @@
+//===- runner/GapReport.cpp - Optimality-gap dashboard --------------------===//
+
+#include "runner/GapReport.h"
+
+#include "challenge/ChallengeInstance.h"
+#include "coalescing/ExactSearch.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace rc;
+
+std::vector<LabeledProblem> rc::goldenChallengeCorpus() {
+  static const unsigned Sizes[6] = {32, 64, 96, 128, 256, 512};
+  std::vector<LabeledProblem> Problems;
+  Problems.reserve(24);
+  for (unsigned Seed = 1; Seed <= 24; ++Seed) {
+    unsigned N = Sizes[(Seed - 1) % 6];
+    unsigned Slack = Seed % 2 ? 0 : 2;
+    ChallengeOptions Options;
+    Options.NumValues = N;
+    Options.TreeSize = N / 2;
+    Options.PressureSlack = Slack;
+    Rng Rand(Seed);
+    char Label[64];
+    std::snprintf(Label, sizeof(Label), "subtree seed=%u n=%u slack=%u",
+                  Seed, N, Slack);
+    Problems.push_back({Label, generateChallengeInstance(Options, Rand)});
+  }
+  return Problems;
+}
+
+bool rc::withinAffinitySubsetSpace(const std::string &Name) {
+  return Name == "briggs" || Name == "george" || Name == "briggs+george" ||
+         Name == "brute-conservative" || Name == "optimistic" ||
+         Name == "irc" || Name == "exact-bb";
+}
+
+std::vector<std::string> rc::defaultGapSpecs() {
+  std::vector<std::string> Specs = StrategyRegistry::instance().names();
+  Specs.erase(std::remove(Specs.begin(), Specs.end(), "exact-bb"),
+              Specs.end());
+  return Specs;
+}
+
+uint64_t rc::scaledNodeLimit(uint64_t Base, unsigned NumVertices) {
+  uint64_t Limit = Base;
+  if (NumVertices > 128)
+    Limit = Base / 16;
+  else if (NumVertices > 64)
+    Limit = Base / 4;
+  return std::max<uint64_t>(Limit, 1000);
+}
+
+static std::string specName(const std::string &Spec) {
+  return Spec.substr(0, Spec.find(':'));
+}
+
+GapReport rc::computeGapReport(const std::vector<LabeledProblem> &Problems,
+                               const std::vector<std::string> &Specs,
+                               uint64_t BaseNodeLimit, unsigned Jobs) {
+  GapReport Report;
+  Report.BaseNodeLimit = BaseNodeLimit;
+  Report.Specs = Specs;
+
+  BatchOptions Options;
+  Options.Workers = Jobs;
+  BatchReport Batch = runBatch(crossJobs(Problems, Specs), Options);
+
+  for (size_t PI = 0; PI < Problems.size(); ++PI) {
+    const CoalescingProblem &P = Problems[PI].Problem;
+    GapInstanceEntry Entry;
+    Entry.Label = Problems[PI].Label;
+    Entry.NumVertices = P.G.numVertices();
+    Entry.TotalWeight = totalAffinityWeight(P);
+
+    uint64_t Limit = scaledNodeLimit(BaseNodeLimit, Entry.NumVertices);
+    ExactSearchOptions EO;
+    EO.NodeLimit = Limit;
+    EO.Feasibility = ExactFeasibility::Greedy;
+    ExactSearchResult Greedy = exactCoalesceSearch(P, EO);
+    Entry.GreedyWeight = Greedy.Stats.CoalescedWeight;
+    Entry.GreedyProven = Greedy.Optimal;
+    Entry.GreedyNodes = Greedy.NodesExplored;
+    EO.Feasibility = ExactFeasibility::Any;
+    ExactSearchResult Any = exactCoalesceSearch(P, EO);
+    Entry.AnyWeight = Any.Stats.CoalescedWeight;
+    Entry.AnyProven = Any.Optimal;
+    Entry.AnyNodes = Any.NodesExplored;
+
+    // The batch matrix is instances outermost, so this instance's jobs are
+    // the contiguous block starting at PI * Specs.size().
+    for (size_t SI = 0; SI < Specs.size(); ++SI) {
+      const BatchJobResult &Job = Batch.Jobs[PI * Specs.size() + SI];
+      assert(Job.Instance == Entry.Label && Job.Spec == Specs[SI] &&
+             "batch matrix out of order");
+      assert(Job.Result.hasOutcome() && "gap specs must be valid");
+      GapStrategyEntry SE;
+      SE.Spec = Specs[SI];
+      SE.Weight = Job.Result.Outcome.Stats.CoalescedWeight;
+      SE.GapVsGreedy = Entry.GreedyWeight - SE.Weight;
+      SE.GapVsAny = Entry.AnyWeight - SE.Weight;
+      Entry.Strategies.push_back(std::move(SE));
+    }
+    Report.Instances.push_back(std::move(Entry));
+  }
+  return Report;
+}
+
+static void writeDouble(std::ostream &OS, double V) {
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", V);
+  OS << Buffer;
+}
+
+void rc::writeGapJson(std::ostream &OS, const GapReport &Report) {
+  OS << "{\"base_node_limit\":" << Report.BaseNodeLimit << ",\n";
+  OS << "\"specs\":[";
+  for (size_t I = 0; I < Report.Specs.size(); ++I)
+    OS << (I ? "," : "") << '"' << Report.Specs[I] << '"';
+  OS << "],\n\"instances\":[\n";
+  for (size_t I = 0; I < Report.Instances.size(); ++I) {
+    const GapInstanceEntry &E = Report.Instances[I];
+    OS << "{\"instance\":\"" << E.Label << "\",\"n\":" << E.NumVertices
+       << ",\"total_weight\":";
+    writeDouble(OS, E.TotalWeight);
+    OS << ",\"greedy_opt\":";
+    writeDouble(OS, E.GreedyWeight);
+    OS << ",\"greedy_proven\":" << (E.GreedyProven ? "true" : "false")
+       << ",\"greedy_nodes\":" << E.GreedyNodes << ",\"any_opt\":";
+    writeDouble(OS, E.AnyWeight);
+    OS << ",\"any_proven\":" << (E.AnyProven ? "true" : "false")
+       << ",\"any_nodes\":" << E.AnyNodes << ",\"strategies\":[";
+    for (size_t S = 0; S < E.Strategies.size(); ++S) {
+      const GapStrategyEntry &SE = E.Strategies[S];
+      OS << (S ? "," : "") << "{\"spec\":\"" << SE.Spec << "\",\"weight\":";
+      writeDouble(OS, SE.Weight);
+      OS << ",\"gap_greedy\":";
+      writeDouble(OS, SE.GapVsGreedy);
+      OS << ",\"gap_any\":";
+      writeDouble(OS, SE.GapVsAny);
+      OS << '}';
+    }
+    OS << "]}" << (I + 1 < Report.Instances.size() ? "," : "") << '\n';
+  }
+  OS << "]}\n";
+}
+
+bool rc::checkGapInvariants(const GapReport &Report, std::string *Error) {
+  constexpr double Eps = 1e-6;
+  auto fail = [Error](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  for (const GapInstanceEntry &E : Report.Instances) {
+    if (E.GreedyProven && E.AnyProven &&
+        E.GreedyWeight > E.AnyWeight + Eps)
+      return fail("instance '" + E.Label +
+                  "': proven greedy optimum exceeds proven any optimum");
+    for (const GapStrategyEntry &SE : E.Strategies) {
+      if (E.AnyProven && SE.Weight > E.AnyWeight + Eps)
+        return fail("instance '" + E.Label + "': strategy '" + SE.Spec +
+                    "' coalesced more weight than the proven aggressive "
+                    "optimum — it merged interfering vertices");
+      if (E.GreedyProven && withinAffinitySubsetSpace(specName(SE.Spec)) &&
+          SE.Weight > E.GreedyWeight + Eps)
+        return fail("instance '" + E.Label + "': strategy '" + SE.Spec +
+                    "' beat the proven greedy-feasible optimum");
+    }
+  }
+  return true;
+}

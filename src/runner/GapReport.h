@@ -1,0 +1,119 @@
+//===- runner/GapReport.h - Optimality-gap dashboard ------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimality-gap dashboard behind tools/rc_gap: sweeps the golden
+/// challenge corpus through the batch runner, computes two exact baselines
+/// per instance with the undo-stack branch-and-bound solver
+/// (coalescing/ExactSearch), and reports every strategy's coalesced weight
+/// against them:
+///
+///  - the GREEDY optimum (quotient stays greedy-k-colorable) — the exact
+///    version of the conservative/optimistic objective; heuristics that
+///    stay in the affinity-subset space (withinAffinitySubsetSpace) must
+///    not beat it when it is proven;
+///  - the ANY optimum (no colorability constraint) — the aggressive
+///    optimum, which upper-bounds EVERY strategy, chain merges included.
+///
+/// Determinism is the whole point: baselines run under deterministic
+/// search-node limits (never wall-clock deadlines), heuristics run without
+/// timeouts, and writeGapJson prints no timing — so the emitted JSON is
+/// byte-identical across machines, job counts and reruns, and `rc_gap
+/// --check` can diff a fresh computation against the checked-in
+/// GAP_trajectory.json byte for byte. A heuristic-quality regression (or a
+/// heuristic "beating" a proven optimum, i.e. a soundness bug) shows up as
+/// a diff and fails `ctest -L gap`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUNNER_GAPREPORT_H
+#define RUNNER_GAPREPORT_H
+
+#include "runner/BatchRunner.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+/// The 24-seed golden corpus (the instances of golden24.manifest /
+/// tests/golden/strategy_stats.golden), regenerated from the documented
+/// formula: seed 1..24, n = {32,64,96,128,256,512}[(seed-1)%6], slack =
+/// (seed%2 ? 0 : 2).
+std::vector<LabeledProblem> goldenChallengeCorpus();
+
+/// True when the registered strategy \p Name only merges affinity
+/// endpoints and keeps its quotient greedy-k-colorable — i.e. its result
+/// lives in the space the GREEDY baseline optimizes over, so its weight is
+/// bounded by that optimum. Chain-merging and pure-coloring strategies
+/// (aggressive, chordal-thm5, exact-chordal-dp, biased-select) are not.
+bool withinAffinitySubsetSpace(const std::string &Name);
+
+/// The default strategy set of the dashboard: every registered strategy
+/// except exact-bb (the baselines already run that solver, under the
+/// report's own node limits).
+std::vector<std::string> defaultGapSpecs();
+
+/// The deterministic per-instance search budget: \p Base nodes up to 64
+/// vertices, Base/4 up to 128, Base/16 beyond (never below 1000).
+uint64_t scaledNodeLimit(uint64_t Base, unsigned NumVertices);
+
+/// One strategy's result on one instance.
+struct GapStrategyEntry {
+  std::string Spec;
+  double Weight = 0;
+  /// Baseline minus strategy weight; negative means the strategy beat an
+  /// unproven baseline's incumbent (never a proven one).
+  double GapVsGreedy = 0;
+  double GapVsAny = 0;
+};
+
+/// One corpus instance: the two baselines plus every strategy's gap.
+struct GapInstanceEntry {
+  std::string Label;
+  unsigned NumVertices = 0;
+  double TotalWeight = 0;
+  double GreedyWeight = 0;
+  bool GreedyProven = false;
+  double AnyWeight = 0;
+  bool AnyProven = false;
+  /// Search nodes the two baseline runs explored (deterministic).
+  uint64_t GreedyNodes = 0;
+  uint64_t AnyNodes = 0;
+  std::vector<GapStrategyEntry> Strategies;
+};
+
+/// The whole dashboard.
+struct GapReport {
+  uint64_t BaseNodeLimit = 0;
+  std::vector<std::string> Specs;
+  std::vector<GapInstanceEntry> Instances;
+};
+
+/// Computes the dashboard: baselines via exactCoalesceSearch under
+/// scaledNodeLimit(\p BaseNodeLimit, n), heuristics via runBatch with
+/// \p Jobs workers and no deadline. Specs must be valid (checked by the
+/// caller, e.g. checkStrategySpec).
+GapReport computeGapReport(const std::vector<LabeledProblem> &Problems,
+                           const std::vector<std::string> &Specs,
+                           uint64_t BaseNodeLimit, unsigned Jobs);
+
+/// Serializes \p Report as byte-stable JSON: header fields, then one
+/// instance object per line. No timing, %.17g doubles (all weights are
+/// small integer sums, so they print exactly).
+void writeGapJson(std::ostream &OS, const GapReport &Report);
+
+/// Checks the dashboard's soundness invariants: for every instance, no
+/// strategy exceeds a PROVEN Any optimum; no affinity-subset strategy
+/// exceeds a proven Greedy optimum; Greedy <= Any when both are proven.
+/// Returns false with a description in \p Error on the first violation.
+bool checkGapInvariants(const GapReport &Report, std::string *Error);
+
+} // namespace rc
+
+#endif // RUNNER_GAPREPORT_H

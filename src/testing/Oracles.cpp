@@ -3,8 +3,11 @@
 #include "testing/Oracles.h"
 
 #include "challenge/StrategyRegistry.h"
+#include "coalescing/ChordalIncremental.h"
 #include "coalescing/ChordalStrategy.h"
 #include "coalescing/Conservative.h"
+#include "coalescing/ExactChordalDP.h"
+#include "coalescing/ExactSearch.h"
 #include "coalescing/IteratedRegisterCoalescing.h"
 #include "coalescing/WorkGraph.h"
 #include "graph/Chordal.h"
@@ -18,6 +21,7 @@
 #include "support/UnionFind.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 using namespace rc;
@@ -185,12 +189,13 @@ bool testing::checkCoalescerSoundness(const CoalescingProblem &P,
         T.BruteForcePassed > T.BruteForceTests ||
         T.MergesRolledBack > T.Merges)
       return fail(Error, Info.Name + ": telemetry counters inconsistent");
-    if (Info.Name == "chordal-thm5" && ChordalCase) {
+    if ((Info.Name == "chordal-thm5" || Info.Name == "exact-chordal-dp") &&
+        ChordalCase) {
       Graph Quotient = buildCoalescedGraph(P.G, S);
       if (!isChordal(Quotient))
-        return fail(Error, "chordal-thm5: quotient lost chordality");
+        return fail(Error, Info.Name + ": quotient lost chordality");
       if (Quotient.numVertices() && chordalCliqueNumber(Quotient) > P.K)
-        return fail(Error, "chordal-thm5: quotient clique number exceeds k");
+        return fail(Error, Info.Name + ": quotient clique number exceeds k");
     }
   }
 
@@ -294,6 +299,159 @@ bool testing::checkDifferentialExact(const CoalescingProblem &P,
 
   if (GapOut)
     *GapOut = WorstGap;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 7: the exact baselines agree with each other and bound everyone.
+//===----------------------------------------------------------------------===//
+
+bool testing::checkExactGapSound(const CoalescingProblem &P,
+                                 std::string *Error) {
+  if (P.G.numVertices() > 12)
+    return fail(Error, "instance too large for the exact gap oracle");
+  if (!isGreedyKColorable(P.G, P.K))
+    return true; // The exact baselines are only defined at feasible pressure.
+  const double Eps = 1e-6;
+  std::string Why;
+
+  // The two exact searches over the same feasibility space must agree on
+  // the optimum: the undo-stack branch-and-bound (ExactSearch) against the
+  // subset-enumeration search (conservativeCoalesceExact), in both regimes.
+  ExactSearchOptions Greedy;
+  Greedy.Feasibility = ExactFeasibility::Greedy;
+  ExactSearchResult GreedyBB = exactCoalesceSearch(P, Greedy);
+  if (!GreedyBB.Optimal)
+    return fail(Error, "unlimited greedy branch-and-bound did not complete");
+  if (!checkSolutionSound(P, GreedyBB.Solution, /*RequireGreedy=*/true, &Why))
+    return fail(Error, "exact greedy search: " + Why);
+  ExactConservativeResult GreedyEnum =
+      conservativeCoalesceExact(P, /*RequireGreedy=*/true);
+  if (!GreedyEnum.Optimal)
+    return fail(Error, "exact subset enumeration did not complete");
+  if (std::abs(GreedyBB.BestWeight - GreedyEnum.Stats.CoalescedWeight) >
+      Eps) {
+    std::ostringstream OS;
+    OS << "greedy optima disagree: branch-and-bound " << GreedyBB.BestWeight
+       << " vs subset enumeration " << GreedyEnum.Stats.CoalescedWeight;
+    return fail(Error, OS.str());
+  }
+
+  ExactSearchOptions Color;
+  Color.Feasibility = ExactFeasibility::ExactColor;
+  ExactSearchResult ColorBB = exactCoalesceSearch(P, Color);
+  if (!ColorBB.Optimal)
+    return fail(Error, "unlimited kcolor branch-and-bound did not complete");
+  if (!checkSolutionSound(P, ColorBB.Solution, /*RequireGreedy=*/false,
+                          &Why))
+    return fail(Error, "exact kcolor search: " + Why);
+  ExactConservativeResult ColorEnum =
+      conservativeCoalesceExact(P, /*RequireGreedy=*/false);
+  if (!ColorEnum.Optimal)
+    return fail(Error, "exact kcolor subset enumeration did not complete");
+  if (std::abs(ColorBB.BestWeight - ColorEnum.Stats.CoalescedWeight) > Eps) {
+    std::ostringstream OS;
+    OS << "kcolor optima disagree: branch-and-bound " << ColorBB.BestWeight
+       << " vs subset enumeration " << ColorEnum.Stats.CoalescedWeight;
+    return fail(Error, OS.str());
+  }
+
+  ExactSearchOptions Any;
+  Any.Feasibility = ExactFeasibility::Any;
+  ExactSearchResult AnyBB = exactCoalesceSearch(P, Any);
+  if (!AnyBB.Optimal)
+    return fail(Error, "unlimited any branch-and-bound did not complete");
+  if (!checkSolutionSound(P, AnyBB.Solution, /*RequireGreedy=*/false, &Why))
+    return fail(Error, "exact any search: " + Why);
+
+  // The three feasibility spaces nest: greedy-k-colorable quotients are
+  // k-colorable, and k-colorable partitions are in particular valid.
+  if (GreedyBB.BestWeight > ColorBB.BestWeight + Eps)
+    return fail(Error,
+                "greedy optimum exceeds the kcolor optimum (smaller space)");
+  if (ColorBB.BestWeight > AnyBB.BestWeight + Eps)
+    return fail(Error,
+                "kcolor optimum exceeds the aggressive optimum");
+
+  // Every registered strategy stays within the aggressive (Any) optimum;
+  // every strategy except aggressive keeps a k-colorable quotient, so it
+  // also stays within the kcolor optimum (the coalesced-affinity subset of
+  // its partition is a refinement with a k-colorable quotient); and the
+  // strategies that only merge affinity endpoints under conservative tests
+  // stay within the Greedy optimum. The whitelist mirrors
+  // withinAffinitySubsetSpace in runner/GapReport.cpp.
+  auto InGreedySpace = [](const std::string &Name) {
+    return Name == "briggs" || Name == "george" ||
+           Name == "briggs+george" || Name == "brute-conservative" ||
+           Name == "optimistic" || Name == "irc" || Name == "exact-bb";
+  };
+  for (const StrategyInfo &Info : StrategyRegistry::instance().strategies()) {
+    CoalescingTelemetry T;
+    StrategyContext Ctx(T);
+    CoalescingSolution S = Info.Run(P, StrategyOptions(), Ctx);
+    CoalescingStats Stats = evaluateSolution(P, S);
+    if (Stats.CoalescedWeight > AnyBB.BestWeight + Eps) {
+      std::ostringstream OS;
+      OS << Info.Name << " coalesced weight " << Stats.CoalescedWeight
+         << " exceeds the exact aggressive optimum " << AnyBB.BestWeight
+         << " (merged interfering vertices)";
+      return fail(Error, OS.str());
+    }
+    if (Info.Name != "aggressive" &&
+        Stats.CoalescedWeight > ColorBB.BestWeight + Eps) {
+      std::ostringstream OS;
+      OS << Info.Name << " coalesced weight " << Stats.CoalescedWeight
+         << " exceeds the exact k-colorable optimum " << ColorBB.BestWeight
+         << " (unsound merge)";
+      return fail(Error, OS.str());
+    }
+    if (InGreedySpace(Info.Name) &&
+        Stats.CoalescedWeight > GreedyBB.BestWeight + Eps) {
+      std::ostringstream OS;
+      OS << Info.Name << " coalesced weight " << Stats.CoalescedWeight
+         << " exceeds the exact greedy-feasibility optimum "
+         << GreedyBB.BestWeight;
+      return fail(Error, OS.str());
+    }
+  }
+
+  // On chordal inputs at feasible pressure, the per-affinity incremental
+  // decision has three independent implementations: BFS interval marking
+  // (Theorem 5), the clique-tree DP, and equality-constrained exact
+  // coloring. All three must agree on every affinity of the ORIGINAL graph.
+  unsigned Omega =
+      P.G.numVertices() && isChordal(P.G) ? chordalCliqueNumber(P.G) : ~0u;
+  if (Omega == ~0u || P.K < Omega || P.K == 0)
+    return true;
+  for (const Affinity &A : P.Affinities) {
+    if (A.U == A.V || P.G.hasEdge(A.U, A.V))
+      continue;
+    ChordalIncrementalResult Bfs =
+        chordalIncrementalCoalescing(P.G, A.U, A.V, P.K);
+    ChordalDPResult Dp = chordalIncrementalDP(P.G, A.U, A.V, P.K);
+    ExactColoringResult Exact =
+        exactKColoringWithEquality(P.G, A.U, A.V, P.K);
+    if (Exact.HitLimit)
+      return fail(Error, "equality-constrained coloring hit its node limit");
+    std::ostringstream Where;
+    Where << "affinity (" << A.U << ", " << A.V << "): ";
+    if (Bfs.Feasible != Exact.Colorable)
+      return fail(Error, Where.str() +
+                             "BFS feasibility disagrees with exact coloring");
+    if (Dp.Feasible != Exact.Colorable)
+      return fail(Error, Where.str() +
+                             "DP feasibility disagrees with exact coloring");
+    // The DP minimizes slack lexicographically first, so a gap-free BFS
+    // chain implies a gap-free DP chain, and among gap-free chains the DP
+    // merges no more real vertices than the BFS.
+    if (Bfs.GapFree && !Dp.GapFree)
+      return fail(Error, Where.str() +
+                             "BFS found a gap-free chain the DP missed");
+    if (Bfs.GapFree && Dp.GapFree &&
+        Dp.RealMerges + 2 > Bfs.MergedChain.size())
+      return fail(Error, Where.str() + "DP chain merges more real vertices "
+                                       "than the BFS chain");
+  }
   return true;
 }
 

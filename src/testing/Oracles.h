@@ -26,6 +26,12 @@
 ///  6. checkWorkGraphRollback     -- checkpoint/rollback round-trips restore
 ///     the exact partition, and the dense (BitMatrix) and sparse
 ///     (sorted-vector) adjacency representations agree on everything.
+///  7. checkExactGapSound         -- the two exact baselines (undo-stack
+///     branch-and-bound, subset enumeration) agree on the optimum in both
+///     feasibility regimes, every strategy is bounded by the matching
+///     optimum, and on chordal inputs the three Theorem 5 decision
+///     implementations (BFS marking, clique-tree DP, equality-constrained
+///     exact coloring) agree per affinity.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -84,6 +90,20 @@ bool checkCoalescerSoundness(const CoalescingProblem &P, std::string *Error,
 /// heuristic optimality gap (optimum minus heuristic weight).
 bool checkDifferentialExact(const CoalescingProblem &P, std::string *Error,
                             double *GapOut = nullptr);
+
+/// Oracle 7. Cross-checks the exact optimal baselines on instances of at
+/// most 12 vertices: exactCoalesceSearch (unlimited) must reach the same
+/// optimum as conservativeCoalesceExact in both the greedy and the exact
+/// k-colorable feasibility regimes, and the three optima must nest
+/// (greedy <= kcolor <= aggressive); every registered strategy must stay
+/// within the aggressive optimum, every one but aggressive within the
+/// k-colorable optimum, and the affinity-subset conservative strategies
+/// within the greedy optimum; on
+/// chordal inputs with omega <= k, the BFS Theorem 5 decision, the
+/// clique-tree DP, and exactKColoringWithEquality must agree per affinity
+/// (plus the DP's minimality guarantees against the BFS chain). Trivially
+/// true when the input is not greedy-k-colorable.
+bool checkExactGapSound(const CoalescingProblem &P, std::string *Error);
 
 /// Oracle 5. Drives a WorkGraph over \p Steps random merge attempts drawn
 /// from \p Rand and compares, after every operation, sameClass / interfere /

@@ -210,6 +210,23 @@ static CoalescingProblem generateDifferentialInstance(Rng &Rand) {
   return P;
 }
 
+/// A tiny instance for the exact gap oracle. Biased toward chordal graphs
+/// (the per-affinity Theorem 5 differential only runs on them) with tight
+/// pressure (K = omega, where the interval chains actually matter) mixed
+/// with slack 1..2 and occasional Erdos-Renyi instances for the
+/// optimum-agreement and strategy-bound halves.
+static CoalescingProblem generateGapInstance(Rng &Rand) {
+  CoalescingProblem P;
+  unsigned N = 4 + static_cast<unsigned>(Rand.nextBelow(9)); // 4..12
+  if (Rand.flip(0.7))
+    P.G = randomChordalGraph(N, N, 3, Rand);
+  else
+    P.G = randomGraph(N, 0.15 + 0.45 * Rand.nextDouble(), Rand);
+  P.K = coloringNumber(P.G) + static_cast<unsigned>(Rand.nextBelow(3));
+  sampleAffinities(P, N, Rand);
+  return P;
+}
+
 //===----------------------------------------------------------------------===//
 // Property registry.
 //===----------------------------------------------------------------------===//
@@ -294,6 +311,11 @@ static bool checkSoundnessOnInstance(const CoalescingProblem &P, uint64_t,
 static bool checkDifferentialOnInstance(const CoalescingProblem &P, uint64_t,
                                         std::string *Error) {
   return checkDifferentialExact(P, Error);
+}
+
+static bool checkGapSoundOnInstance(const CoalescingProblem &P, uint64_t,
+                                    std::string *Error) {
+  return checkExactGapSound(P, Error);
 }
 
 /// Worklist-parity oracle: the incremental conservative driver must produce
@@ -392,6 +414,17 @@ const std::vector<Property> &testing::allProperties() {
                                   Trial);
          },
          checkDifferentialOnInstance});
+
+    Props.push_back(
+        {"exact-gap-sound",
+         "exact baselines agree on the optimum and bound every strategy; "
+         "the three Theorem 5 decision implementations agree per affinity",
+         [](Rng &Rand, const FuzzConfig &Config, uint64_t Trial) {
+           CoalescingProblem P = generateGapInstance(Rand);
+           return runProblemTrial("exact-gap-sound", P,
+                                  checkGapSoundOnInstance, Config, Trial);
+         },
+         checkGapSoundOnInstance});
 
     Props.push_back(
         {"conservative-worklist-parity",

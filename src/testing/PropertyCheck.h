@@ -20,6 +20,9 @@
 ///                                sound
 ///   exact-differential           heuristics vs exact search on <= 12
 ///                                vertices
+///   exact-gap-sound              exact baselines agree on the optimum,
+///                                bound every strategy, and the three
+///                                Theorem 5 decisions agree per affinity
 ///   conservative-worklist-parity worklist driver vs legacy fixpoint driver
 ///   workgraph-incremental        WorkGraph vs rebuild-from-scratch
 ///   workgraph-rollback           checkpoint/rollback restores the partition

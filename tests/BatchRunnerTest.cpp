@@ -116,6 +116,41 @@ TEST(BatchRunnerTest, DeadlineYieldsFlaggedPartialOutcome) {
   EXPECT_TRUE(checkWorkGraphRollback(P.G, 40, Rand, &Error)) << Error;
 }
 
+// The exact baselines through the batch runner: a per-job deadline turns
+// both solvers into flagged partial outcomes (never errors), and the
+// partial quotients stay greedy-k-colorable -- the dashboard counts them
+// into rollups like any other run.
+TEST(BatchRunnerTest, ExactStrategiesHonorBatchDeadlines) {
+  std::vector<LabeledProblem> Problems;
+  LabeledProblem LP;
+  LP.Label = "seed=6 n=512";
+  LP.Problem = makeInstance(512, 6, /*Slack=*/2);
+  Problems.push_back(std::move(LP));
+
+  BatchOptions Options;
+  Options.Workers = 2;
+  Options.TimeoutMillis = 1;
+  BatchReport Report =
+      runBatch(crossJobs(Problems, {"exact-bb", "exact-chordal-dp"}),
+               Options);
+  ASSERT_EQ(Report.Jobs.size(), 2u);
+  EXPECT_EQ(Report.timedOutJobs(), 2u);
+  EXPECT_EQ(Report.failedJobs(), 0u);
+  for (const BatchJobResult &Job : Report.Jobs) {
+    ASSERT_EQ(Job.Result.Status, RunStatus::TimedOut) << Job.Spec;
+    EXPECT_TRUE(Job.Result.hasOutcome());
+    EXPECT_TRUE(Job.Result.Outcome.TimedOut);
+    EXPECT_TRUE(Job.Result.Outcome.Partial);
+    EXPECT_TRUE(Job.Result.Outcome.QuotientGreedyKColorable) << Job.Spec;
+  }
+  ASSERT_EQ(Report.Rollups.size(), 2u);
+  for (const StrategyRollup &Rollup : Report.Rollups) {
+    EXPECT_EQ(Rollup.Runs, 1u);
+    EXPECT_EQ(Rollup.TimedOut, 1u);
+    EXPECT_EQ(Rollup.Completed, 0u);
+  }
+}
+
 TEST(BatchRunnerTest, CancelledTokenStopsDriversSoundly) {
   CoalescingProblem P = makeInstance(96, 3, /*Slack=*/0);
   CancelToken Cancelled;

@@ -10,6 +10,11 @@
 # needs an explanation in the PR that regresses it. The Legacy/Rule pair at
 # the same size also gives a machine-independent speedup ratio.
 #
+# The script refuses to record a baseline from a stale build (sources newer
+# than the benchmark binaries) unless RC_BENCH_ALLOW_STALE=1, requires jq
+# (no silent partial output), and only moves validated JSON into place --
+# a failing bench run can never leave a truncated baseline behind.
+#
 # Usage: tools/bench_baseline.sh [build-dir] [output.json]
 #   build-dir       defaults to ./build
 #   output.json     defaults to ./BENCH_conservative.json
@@ -20,6 +25,16 @@ ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD_DIR=${1:-"$ROOT/build"}
 OUT=${2:-"$ROOT/BENCH_conservative.json"}
 
+fail() {
+  echo "error: $*" >&2
+  exit 1
+}
+
+# jq assembles the two bench outputs into one file and validates the result;
+# without it the old script silently wrote a partial baseline.
+command -v jq > /dev/null 2>&1 || \
+  fail "jq not found; it is required to assemble and validate $OUT"
+
 for B in bench_conservative bench_irc; do
   if [ ! -x "$BUILD_DIR/bench/$B" ]; then
     echo "error: $BUILD_DIR/bench/$B not found; build first:" >&2
@@ -28,8 +43,25 @@ for B in bench_conservative bench_irc; do
   fi
 done
 
+# A baseline recorded from a binary older than the sources measures the
+# wrong code. Override with RC_BENCH_ALLOW_STALE=1 if you know better.
+if [ "${RC_BENCH_ALLOW_STALE:-0}" != "1" ]; then
+  for B in bench_conservative bench_irc; do
+    STALE=$(find "$ROOT/src" "$ROOT/bench" -type f \
+              \( -name '*.cpp' -o -name '*.h' \) \
+              -newer "$BUILD_DIR/bench/$B" -print -quit)
+    if [ -n "$STALE" ]; then
+      echo "error: stale build: $STALE is newer than $BUILD_DIR/bench/$B" >&2
+      echo "  rebuild first (cmake --build \"$BUILD_DIR\" -j)," >&2
+      echo "  or set RC_BENCH_ALLOW_STALE=1 to record anyway" >&2
+      exit 1
+    fi
+  done
+fi
+
 TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT
+OUT_TMP="$OUT.tmp.$$"
+trap 'rm -rf "$TMP" "$OUT_TMP"' EXIT
 
 "$BUILD_DIR/bench/bench_conservative" \
   --benchmark_filter='BM_Conservative(Rule|Legacy)' \
@@ -43,13 +75,17 @@ trap 'rm -rf "$TMP"' EXIT
   --benchmark_out="$TMP/irc.json" \
   --benchmark_out_format=json
 
-if command -v jq > /dev/null 2>&1; then
-  # One file, one benchmarks array; keep the first context block.
-  jq -s '.[0] * {benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
-    "$TMP/conservative.json" "$TMP/irc.json" > "$OUT"
-else
-  echo "warning: jq not found; writing conservative benches only" >&2
-  cp "$TMP/conservative.json" "$OUT"
-fi
+for F in conservative irc; do
+  jq empty "$TMP/$F.json" 2> /dev/null || \
+    fail "bench output $TMP/$F.json is not valid JSON (crashed or truncated bench run?)"
+done
 
+# One file, one benchmarks array; keep the first context block.
+jq -s '.[0] * {benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
+  "$TMP/conservative.json" "$TMP/irc.json" > "$OUT_TMP"
+
+jq -e '.benchmarks | length > 0' "$OUT_TMP" > /dev/null || \
+  fail "merged baseline has no benchmarks (bad --benchmark_filter?)"
+
+mv "$OUT_TMP" "$OUT"
 echo "baseline written to $OUT"

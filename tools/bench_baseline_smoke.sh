@@ -1,0 +1,105 @@
+#!/usr/bin/env sh
+# Smoke-tests tools/bench_baseline.sh against fake benchmark binaries, so
+# `ctest -L tools` locks its failure modes without running real benches:
+#
+#  1. missing build/binaries  -> clear error, no output file
+#  2. stale binaries          -> refused unless RC_BENCH_ALLOW_STALE=1
+#  3. happy path              -> merged, validated JSON with both suites
+#  4. invalid bench output    -> rejected, no (truncated) output file
+#
+# Usage: tools/bench_baseline_smoke.sh
+
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+SCRIPT="$ROOT/tools/bench_baseline.sh"
+SANDBOX=$(mktemp -d)
+trap 'rm -rf "$SANDBOX"' EXIT
+
+FAILURES=0
+note_failure() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# Writes a fake bench binary that copies $2 into its --benchmark_out file.
+write_fake() {
+  PAYLOAD="$2"
+  cat > "$1" << EOF
+#!/bin/sh
+out=
+for a in "\$@"; do
+  case "\$a" in
+    --benchmark_out=*) out=\${a#--benchmark_out=} ;;
+  esac
+done
+cat "$PAYLOAD" > "\$out"
+EOF
+  chmod +x "$1"
+}
+
+BENCH_DIR="$SANDBOX/build/bench"
+mkdir -p "$BENCH_DIR"
+cat > "$SANDBOX/conservative.payload" << 'EOF'
+{"context":{"date":"fake"},"benchmarks":[{"name":"BM_ConservativeRule/64","real_time":1.0}]}
+EOF
+cat > "$SANDBOX/irc.payload" << 'EOF'
+{"context":{"date":"fake"},"benchmarks":[{"name":"BM_IrcThroughput/64","real_time":2.0}]}
+EOF
+
+OUT="$SANDBOX/out.json"
+LOG="$SANDBOX/log"
+
+# 1. Missing binaries: clear diagnostic, nonzero exit, no output.
+if "$SCRIPT" "$SANDBOX/no-such-build" "$OUT" > "$LOG" 2>&1; then
+  note_failure "missing build dir was not rejected"
+fi
+grep -q "not found" "$LOG" || note_failure "missing-binary error not diagnosed: $(cat "$LOG")"
+[ ! -e "$OUT" ] || note_failure "missing-binary run left an output file"
+
+write_fake "$BENCH_DIR/bench_conservative" "$SANDBOX/conservative.payload"
+write_fake "$BENCH_DIR/bench_irc" "$SANDBOX/irc.payload"
+
+# 2. Stale binaries (older than the repo sources): refused by default,
+#    allowed with RC_BENCH_ALLOW_STALE=1.
+touch -t 200001010000 "$BENCH_DIR/bench_conservative" "$BENCH_DIR/bench_irc"
+if "$SCRIPT" "$SANDBOX/build" "$OUT" > "$LOG" 2>&1; then
+  note_failure "stale binaries were not rejected"
+fi
+grep -q "stale build" "$LOG" || note_failure "staleness not diagnosed: $(cat "$LOG")"
+[ ! -e "$OUT" ] || note_failure "stale run left an output file"
+if ! RC_BENCH_ALLOW_STALE=1 "$SCRIPT" "$SANDBOX/build" "$OUT" > "$LOG" 2>&1; then
+  note_failure "RC_BENCH_ALLOW_STALE=1 did not override the staleness check: $(cat "$LOG")"
+fi
+rm -f "$OUT"
+
+# 3. Happy path: fresh binaries produce one merged, validated file.
+touch "$BENCH_DIR/bench_conservative" "$BENCH_DIR/bench_irc"
+if ! "$SCRIPT" "$SANDBOX/build" "$OUT" > "$LOG" 2>&1; then
+  note_failure "happy path failed: $(cat "$LOG")"
+elif ! jq -e '.benchmarks | length == 2' "$OUT" > /dev/null; then
+  note_failure "merged baseline does not hold both suites: $(cat "$OUT")"
+elif ! jq -e '[.benchmarks[].name] == ["BM_ConservativeRule/64","BM_IrcThroughput/64"]' \
+       "$OUT" > /dev/null; then
+  note_failure "merged benchmark names wrong: $(cat "$OUT")"
+fi
+rm -f "$OUT"
+
+# 4. A bench emitting invalid JSON (crash/truncation stand-in): rejected,
+#    and no partial output file survives.
+echo "not json {" > "$SANDBOX/conservative.payload"
+touch "$BENCH_DIR/bench_conservative" "$BENCH_DIR/bench_irc"
+if "$SCRIPT" "$SANDBOX/build" "$OUT" > "$LOG" 2>&1; then
+  note_failure "invalid bench JSON was not rejected"
+fi
+grep -q "not valid JSON" "$LOG" || note_failure "invalid JSON not diagnosed: $(cat "$LOG")"
+[ ! -e "$OUT" ] || note_failure "invalid-JSON run left an output file"
+for LEFTOVER in "$OUT".tmp.*; do
+  [ -e "$LEFTOVER" ] && note_failure "temp file leaked: $LEFTOVER"
+done
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "bench_baseline_smoke: $FAILURES scenario(s) failed" >&2
+  exit 1
+fi
+echo "bench_baseline_smoke: all scenarios passed"

@@ -1,0 +1,215 @@
+//===- tools/rc_gap.cpp - Optimality-gap dashboard ---------------------------===//
+//
+// Computes per-strategy optimality gaps over the 24-seed golden corpus
+// against the exact branch-and-bound baselines (runner/GapReport.h), and
+// either writes the byte-stable GAP_trajectory.json or checks a fresh
+// computation against a checked-in copy.
+//
+// Examples:
+//   rc_gap --write GAP_trajectory.json --jobs 4
+//   rc_gap --check GAP_trajectory.json       # the `gap` ctest guard
+//   rc_gap --summary
+//
+// --check recomputes the dashboard with the parameters stored in no file
+// at all — everything that feeds the report (corpus formula, node limits,
+// strategy set) is deterministic — verifies the soundness invariants, and
+// byte-compares the serialization against the given file, printing the
+// first differing line. A heuristic-quality regression is therefore a test
+// failure, not a silent drift.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runner/GapReport.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rc;
+
+static void usage(std::ostream &OS) {
+  OS << "usage: rc_gap [--write FILE | --check FILE | --summary] [flags]\n"
+        "  --write FILE       compute and write the gap dashboard JSON\n"
+        "  --check FILE       recompute and byte-compare against FILE;\n"
+        "                     fails on any gap change or invariant"
+        " violation\n"
+        "  --summary          print an aligned per-strategy gap table\n"
+        "  --jobs N           worker threads for the heuristic sweep\n"
+        "                     (default 1; the output is identical at any"
+        " N)\n"
+        "  --node-limit N     base search-node budget per exact baseline\n"
+        "                     (default 100000; scaled down on large"
+        " instances)\n"
+        "  --strategies a[,b] strategy specs (default: every registered\n"
+        "                     strategy except exact-bb)\n";
+}
+
+static void printSummary(std::ostream &OS, const GapReport &Report) {
+  OS << "instance                        greedy_opt  any_opt  proven\n";
+  for (const GapInstanceEntry &E : Report.Instances) {
+    char Line[128];
+    std::snprintf(Line, sizeof(Line), "%-30s %10.0f %8.0f  %s/%s\n",
+                  E.Label.c_str(), E.GreedyWeight, E.AnyWeight,
+                  E.GreedyProven ? "greedy" : "-",
+                  E.AnyProven ? "any" : "-");
+    OS << Line;
+  }
+  OS << "\nstrategy              mean gap vs greedy opt (weight)\n";
+  for (size_t S = 0; S < Report.Specs.size(); ++S) {
+    double Sum = 0;
+    for (const GapInstanceEntry &E : Report.Instances)
+      Sum += E.Strategies[S].GapVsGreedy;
+    char Line[128];
+    std::snprintf(Line, sizeof(Line), "%-20s %10.2f\n",
+                  Report.Specs[S].c_str(),
+                  Report.Instances.empty()
+                      ? 0.0
+                      : Sum / static_cast<double>(Report.Instances.size()));
+    OS << Line;
+  }
+}
+
+int main(int Argc, char **Argv) {
+  std::string WritePath, CheckPath;
+  bool Summary = false;
+  unsigned Jobs = 1;
+  uint64_t NodeLimit = 100000;
+  std::vector<std::string> Specs;
+
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    auto value = [&](const char *Flag) -> const std::string * {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: " << Flag << " requires an argument\n";
+        return nullptr;
+      }
+      return &Args[++I];
+    };
+    if (Args[I] == "--write") {
+      const std::string *V = value("--write");
+      if (!V)
+        return 2;
+      WritePath = *V;
+    } else if (Args[I] == "--check") {
+      const std::string *V = value("--check");
+      if (!V)
+        return 2;
+      CheckPath = *V;
+    } else if (Args[I] == "--summary") {
+      Summary = true;
+    } else if (Args[I] == "--jobs") {
+      const std::string *V = value("--jobs");
+      if (!V)
+        return 2;
+      int N = std::atoi(V->c_str());
+      if (N < 1) {
+        std::cerr << "error: --jobs expects a positive integer\n";
+        return 2;
+      }
+      Jobs = static_cast<unsigned>(N);
+    } else if (Args[I] == "--node-limit") {
+      const std::string *V = value("--node-limit");
+      if (!V)
+        return 2;
+      long long N = std::atoll(V->c_str());
+      if (N < 1000) {
+        std::cerr << "error: --node-limit expects an integer >= 1000\n";
+        return 2;
+      }
+      NodeLimit = static_cast<uint64_t>(N);
+    } else if (Args[I] == "--strategies") {
+      const std::string *V = value("--strategies");
+      if (!V)
+        return 2;
+      Specs = splitStrategySpecs(*V);
+    } else if (Args[I] == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "error: unknown flag " << Args[I] << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (WritePath.empty() && CheckPath.empty() && !Summary) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  if (Specs.empty())
+    Specs = defaultGapSpecs();
+  for (const std::string &Spec : Specs) {
+    std::string Message;
+    if (checkStrategySpec(Spec, &Message) != RunStatus::Ok) {
+      std::cerr << "error: " << Message << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<LabeledProblem> Problems = goldenChallengeCorpus();
+  GapReport Report = computeGapReport(Problems, Specs, NodeLimit, Jobs);
+
+  std::string Error;
+  if (!checkGapInvariants(Report, &Error)) {
+    std::cerr << "error: gap invariant violated: " << Error << "\n";
+    return 1;
+  }
+
+  if (Summary)
+    printSummary(std::cout, Report);
+
+  if (!WritePath.empty()) {
+    std::ofstream OS(WritePath, std::ios::binary);
+    if (!OS) {
+      std::cerr << "error: cannot write " << WritePath << "\n";
+      return 1;
+    }
+    writeGapJson(OS, Report);
+    std::cout << "gap dashboard written to " << WritePath << "\n";
+  }
+
+  if (!CheckPath.empty()) {
+    std::ifstream IS(CheckPath, std::ios::binary);
+    if (!IS) {
+      std::cerr << "error: cannot read " << CheckPath
+                << " (regenerate with: rc_gap --write " << CheckPath
+                << ")\n";
+      return 1;
+    }
+    std::stringstream Expected;
+    Expected << IS.rdbuf();
+    std::stringstream Actual;
+    writeGapJson(Actual, Report);
+    if (Expected.str() != Actual.str()) {
+      std::string ELine, ALine;
+      unsigned LineNo = 1;
+      Expected.seekg(0);
+      std::stringstream ActualLines(Actual.str());
+      while (true) {
+        bool HasE = static_cast<bool>(std::getline(Expected, ELine));
+        bool HasA = static_cast<bool>(std::getline(ActualLines, ALine));
+        if (!HasE && !HasA)
+          break;
+        if (!HasE || !HasA || ELine != ALine) {
+          std::cerr << "error: gap dashboard drifted from " << CheckPath
+                    << " at line " << LineNo << ":\n  checked-in: "
+                    << (HasE ? ELine : "<end of file>")
+                    << "\n  recomputed: " << (HasA ? ALine : "<end of file>")
+                    << "\n";
+          break;
+        }
+        ++LineNo;
+      }
+      std::cerr << "a quality change must update the checked-in dashboard"
+                   " (rc_gap --write) and be justified in the PR\n";
+      return 1;
+    }
+    std::cout << "gap dashboard matches " << CheckPath << " ("
+              << Report.Instances.size() << " instances, "
+              << Report.Specs.size() << " strategies)\n";
+  }
+  return 0;
+}
