@@ -1,0 +1,242 @@
+//===- bench/bench_service.cpp - Sustained service throughput ---------------===//
+//
+// Drives a CoalescingService with a deterministic mixed workload — small
+// fast requests under generous deadlines, large brute-force requests under
+// 5 ms deadlines, and enough duplicates that the result cache earns its
+// keep — using window-bounded submission (the window equals the admission
+// queue limit, so nothing is answered busy) and reports requests/sec plus
+// the p50/p90/p99 service-side latency as JSON on stdout.
+//
+// Not a google-benchmark driver: the metric is the service's own
+// per-request latency under sustained load, not the cost of one call in a
+// tight loop. `BENCH_service.json` in the repo root is a recorded run of
+// this binary (see tools/bench_baseline.sh for the conservative-kernel
+// analogue).
+//
+// Usage: bench_service [--requests N] [--jobs N] [--queue-limit N]
+//                      [--cache N] [--seed S]
+//
+//===----------------------------------------------------------------------===//
+
+#include "runner/GapReport.h"
+#include "service/Service.h"
+#include "support/JsonWriter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace rc;
+
+namespace {
+
+struct BenchRequest {
+  const LabeledProblem *Instance = nullptr;
+  std::string Spec;
+  int64_t DeadlineMillis = 0;
+  bool LargeDeadline = false; // The large/short-deadline class.
+};
+
+/// splitmix-style deterministic stream; the workload must not depend on
+/// the host RNG.
+uint64_t nextRand(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+int64_t percentile(const std::vector<int64_t> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Index = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  if (Index >= Sorted.size())
+    Index = Sorted.size() - 1;
+  return Sorted[Index];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  long long NumRequests = 600;
+  ServiceConfig Config;
+  Config.Workers = 4;
+  Config.QueueLimit = 32;
+  Config.CacheCapacity = 256;
+  uint64_t Seed = 1;
+
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    auto value = [&](const char *Flag) -> const std::string * {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: " << Flag << " requires an argument\n";
+        return nullptr;
+      }
+      return &Args[++I];
+    };
+    if (Args[I] == "--requests") {
+      const std::string *V = value("--requests");
+      if (!V)
+        return 2;
+      NumRequests = std::atoll(V->c_str());
+    } else if (Args[I] == "--jobs") {
+      const std::string *V = value("--jobs");
+      if (!V)
+        return 2;
+      Config.Workers = static_cast<unsigned>(std::atoi(V->c_str()));
+    } else if (Args[I] == "--queue-limit") {
+      const std::string *V = value("--queue-limit");
+      if (!V)
+        return 2;
+      Config.QueueLimit = static_cast<unsigned>(std::atoi(V->c_str()));
+    } else if (Args[I] == "--cache") {
+      const std::string *V = value("--cache");
+      if (!V)
+        return 2;
+      Config.CacheCapacity = static_cast<size_t>(std::atol(V->c_str()));
+    } else if (Args[I] == "--seed") {
+      const std::string *V = value("--seed");
+      if (!V)
+        return 2;
+      Seed = static_cast<uint64_t>(std::atoll(V->c_str()));
+    } else {
+      std::cerr << "error: unknown flag '" << Args[I] << "'\n";
+      return 2;
+    }
+  }
+  if (NumRequests < 1 || Config.Workers < 1 || Config.QueueLimit < 1) {
+    std::cerr << "error: --requests/--jobs/--queue-limit must be positive\n";
+    return 2;
+  }
+
+  // The 24-seed golden corpus split into the two workload classes.
+  std::vector<LabeledProblem> Corpus = goldenChallengeCorpus();
+  std::vector<const LabeledProblem *> Small, Large;
+  for (const LabeledProblem &LP : Corpus)
+    (LP.Problem.G.numVertices() <= 128 ? Small : Large).push_back(&LP);
+
+  const std::vector<std::string> FastSpecs = {"briggs", "briggs+george",
+                                              "optimistic", "irc"};
+  std::vector<BenchRequest> Workload;
+  Workload.reserve(static_cast<size_t>(NumRequests));
+  uint64_t State = Seed;
+  for (long long I = 0; I < NumRequests; ++I) {
+    BenchRequest R;
+    if (nextRand(State) % 10 < 8) {
+      // Small/fast under a deadline it never hits.
+      R.Instance = Small[nextRand(State) % Small.size()];
+      R.Spec = FastSpecs[nextRand(State) % FastSpecs.size()];
+      R.DeadlineMillis = 1000;
+    } else {
+      // Large brute-force search under a 5 ms deadline: always a flagged
+      // partial, modeling best-effort clients on big graphs.
+      R.Instance = Large[nextRand(State) % Large.size()];
+      R.Spec = "brute-conservative";
+      R.DeadlineMillis = 5;
+      R.LargeDeadline = true;
+    }
+    Workload.push_back(std::move(R));
+  }
+
+  CoalescingService Service(Config);
+
+  uint64_t Ok = 0, TimedOut = 0, Busy = 0, Other = 0, CacheHits = 0;
+  uint64_t SmallCount = 0, LargeCount = 0;
+  std::vector<int64_t> Latencies;
+  Latencies.reserve(Workload.size());
+  auto settle = [&](std::future<ServiceReply> Future) {
+    ServiceReply Reply = Future.get();
+    Latencies.push_back(Reply.LatencyMicros);
+    if (Reply.CacheHit)
+      ++CacheHits;
+    switch (Reply.Status) {
+    case WireStatus::Ok:
+      ++Ok;
+      break;
+    case WireStatus::TimedOut:
+      ++TimedOut;
+      break;
+    case WireStatus::Busy:
+      ++Busy;
+      break;
+    default:
+      ++Other;
+      break;
+    }
+  };
+
+  // Window-bounded submission: at most QueueLimit requests outstanding, so
+  // admission control never rejects and the pool stays saturated.
+  std::deque<std::future<ServiceReply>> InFlight;
+  auto Start = std::chrono::steady_clock::now();
+  for (const BenchRequest &R : Workload) {
+    if (InFlight.size() >= Config.QueueLimit) {
+      settle(std::move(InFlight.front()));
+      InFlight.pop_front();
+    }
+    WireRequest Request;
+    Request.Spec = R.Spec;
+    Request.DeadlineMillis = R.DeadlineMillis;
+    Request.Problem = R.Instance->Problem;
+    (R.LargeDeadline ? LargeCount : SmallCount) += 1;
+    InFlight.push_back(Service.submit(std::move(Request)));
+  }
+  while (!InFlight.empty()) {
+    settle(std::move(InFlight.front()));
+    InFlight.pop_front();
+  }
+  auto End = std::chrono::steady_clock::now();
+  Service.shutdown(false);
+
+  double WallSeconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count();
+  std::sort(Latencies.begin(), Latencies.end());
+  ServiceStats Stats = Service.stats();
+
+  JsonWriter W(std::cout);
+  W.beginObject();
+  W.key("bench").value("service");
+  W.key("schema").value(kJsonSchemaVersion);
+  W.key("workers").value(Config.Workers);
+  W.key("queue_limit").value(Config.QueueLimit);
+  W.key("cache_capacity").value(static_cast<uint64_t>(Config.CacheCapacity));
+  W.key("requests").value(static_cast<uint64_t>(Workload.size()));
+  W.key("workload");
+  W.beginObject();
+  W.key("small_fast").value(SmallCount);
+  W.key("large_short_deadline").value(LargeCount);
+  W.endObject();
+  W.key("wall_seconds").value(WallSeconds);
+  W.key("requests_per_second")
+      .value(static_cast<double>(Workload.size()) / WallSeconds);
+  W.key("latency_micros");
+  W.beginObject();
+  W.key("p50").value(percentile(Latencies, 0.50));
+  W.key("p90").value(percentile(Latencies, 0.90));
+  W.key("p99").value(percentile(Latencies, 0.99));
+  W.key("max").value(Latencies.empty() ? 0 : Latencies.back());
+  W.endObject();
+  W.key("statuses");
+  W.beginObject();
+  W.key("ok").value(Ok);
+  W.key("timed_out").value(TimedOut);
+  W.key("busy").value(Busy);
+  W.key("other").value(Other);
+  W.endObject();
+  W.key("cache");
+  W.beginObject();
+  W.key("hits").value(Stats.CacheHits);
+  W.key("misses").value(Stats.CacheMisses);
+  W.key("evictions").value(Stats.CacheEvictions);
+  W.key("entries").value(Stats.CacheEntries);
+  W.endObject();
+  W.endObject();
+  W.newline();
+  return 0;
+}

@@ -52,13 +52,13 @@ bool StrategyOptions::getBool(const std::string &Key, bool Default) const {
 }
 
 bool rc::parseStrategySpec(const std::string &Spec, std::string &Name,
-                           StrategyOptions &Options, std::string *Error) {
+                           StrategyOptions &Options, SpecError &Error) {
+  Error = SpecError();
   Options = StrategyOptions();
   size_t Colon = Spec.find(':');
   Name = Spec.substr(0, Colon);
   if (Name.empty()) {
-    if (Error)
-      *Error = "empty strategy name in spec '" + Spec + "'";
+    Error.Message = "empty strategy name in spec '" + Spec + "'";
     return false;
   }
   if (Colon == std::string::npos)
@@ -71,9 +71,9 @@ bool rc::parseStrategySpec(const std::string &Spec, std::string &Name,
         Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
     size_t Eq = Item.find('=');
     if (Item.empty() || Eq == 0 || Eq == std::string::npos) {
-      if (Error)
-        *Error = "malformed option '" + Item + "' in spec '" + Spec +
-                 "' (expected key=value)";
+      Error.Message = "malformed option '" + Item + "' in spec '" + Spec +
+                      "' (expected key=value)";
+      Error.Key = Item;
       return false;
     }
     Options.set(Item.substr(0, Eq), Item.substr(Eq + 1));
@@ -84,6 +84,16 @@ bool rc::parseStrategySpec(const std::string &Spec, std::string &Name,
   return true;
 }
 
+bool rc::parseStrategySpec(const std::string &Spec, std::string &Name,
+                           StrategyOptions &Options, std::string *Error) {
+  SpecError E;
+  if (parseStrategySpec(Spec, Name, Options, E))
+    return true;
+  if (Error)
+    *Error = E.Message;
+  return false;
+}
+
 static bool isBoolValue(const std::string &V) {
   return V == "1" || V == "true" || V == "yes" || V == "0" || V == "false" ||
          V == "no";
@@ -91,10 +101,13 @@ static bool isBoolValue(const std::string &V) {
 
 bool rc::validateStrategyOptions(const StrategyInfo &Info,
                                  const StrategyOptions &Options,
-                                 std::string *Error) {
-  auto fail = [Error](const std::string &Message) {
-    if (Error)
-      *Error = Message;
+                                 SpecError &Error) {
+  Error = SpecError();
+  auto fail = [&Error](const std::string &Message, const std::string &Key,
+                       const std::string &Value) {
+    Error.Message = Message;
+    Error.Key = Key;
+    Error.Value = Value;
     return false;
   };
   for (const auto &[Key, Value] : Options.entries()) {
@@ -109,24 +122,38 @@ bool rc::validateStrategyOptions(const StrategyInfo &Info,
       for (const StrategyOptionSpec &S : Info.OptionSpecs)
         Known += (Known.empty() ? "" : ", ") + S.Key;
       return fail("strategy '" + Info.Name + "' does not take option '" +
-                  Key + "'" +
-                  (Known.empty() ? " (it takes none)"
-                                 : " (options: " + Known + ")"));
+                      Key + "' (got '" + Key + "=" + Value + "'" +
+                      (Known.empty() ? "; it takes none)"
+                                     : "; options: " + Known + ")"),
+                  Key, Value);
     }
     if (Spec->Values.empty()) {
       if (!isBoolValue(Value))
         return fail("option '" + Key + "' of strategy '" + Info.Name +
-                    "' expects a boolean, got '" + Value + "'");
+                        "' expects a boolean, got '" + Value + "'",
+                    Key, Value);
     } else if (std::find(Spec->Values.begin(), Spec->Values.end(), Value) ==
                Spec->Values.end()) {
       std::string Allowed;
       for (const std::string &V : Spec->Values)
         Allowed += (Allowed.empty() ? "" : "|") + V;
       return fail("option '" + Key + "' of strategy '" + Info.Name +
-                  "' must be one of " + Allowed + ", got '" + Value + "'");
+                      "' must be one of " + Allowed + ", got '" + Value + "'",
+                  Key, Value);
     }
   }
   return true;
+}
+
+bool rc::validateStrategyOptions(const StrategyInfo &Info,
+                                 const StrategyOptions &Options,
+                                 std::string *Error) {
+  SpecError E;
+  if (validateStrategyOptions(Info, Options, E))
+    return true;
+  if (Error)
+    *Error = E.Message;
+  return false;
 }
 
 StrategyRegistry &StrategyRegistry::instance() {

@@ -132,15 +132,35 @@ private:
   std::vector<StrategyInfo> Strategies;
 };
 
+/// A structured spec diagnostic: the human-readable message plus the
+/// offending option key/value, so callers (the service's BadOption
+/// response, CLIs) can surface exactly which knob was wrong without
+/// re-parsing the spec. Key/Value are empty when the error is not tied to
+/// a single option (e.g. an empty strategy name); for a syntactically
+/// malformed option chunk, Key holds the raw chunk and Value is empty.
+struct SpecError {
+  std::string Message;
+  std::string Key;
+  std::string Value;
+};
+
 /// Parses a strategy spec "name[:key=val[,key=val...]]" into \p Name and
 /// \p Options. Does not check that the name is registered.
-/// \returns false (with \p Error set, if non-null) on malformed input.
+/// \returns false (with \p Error filled) on malformed input.
+bool parseStrategySpec(const std::string &Spec, std::string &Name,
+                       StrategyOptions &Options, SpecError &Error);
+
+/// Convenience overload collecting only the message.
 bool parseStrategySpec(const std::string &Spec, std::string &Name,
                        StrategyOptions &Options, std::string *Error = nullptr);
 
 /// Checks \p Options against \p Info.OptionSpecs: every key must be
 /// declared, booleans must parse, enumerated values must be listed.
-/// \returns false (with a diagnostic in \p Error, if non-null) otherwise.
+/// \returns false (with the offending key/value in \p Error) otherwise.
+bool validateStrategyOptions(const StrategyInfo &Info,
+                             const StrategyOptions &Options, SpecError &Error);
+
+/// Convenience overload collecting only the message.
 bool validateStrategyOptions(const StrategyInfo &Info,
                              const StrategyOptions &Options,
                              std::string *Error = nullptr);

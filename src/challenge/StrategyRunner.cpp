@@ -3,6 +3,7 @@
 #include "challenge/StrategyRunner.h"
 
 #include "graph/GreedyColorability.h"
+#include "support/JsonWriter.h"
 
 #include <cassert>
 #include <chrono>
@@ -34,45 +35,46 @@ static std::string registeredNames() {
 }
 
 /// Resolves Spec/Strategy+Options of \p Request into \p Info and
-/// \p Options. Returns Ok, UnknownStrategy or BadOption.
+/// \p Options. Returns Ok, UnknownStrategy or BadOption, with the
+/// structured diagnostic in \p Error.
 static RunStatus resolveRequest(const RunRequest &Request,
                                 const StrategyInfo *&Info,
-                                StrategyOptions &Options,
-                                std::string *Message) {
-  std::string Error;
+                                StrategyOptions &Options, SpecError &Error) {
+  Error = SpecError();
   if (Request.Strategy) {
     Info = Request.Strategy;
     Options = Request.Options;
   } else {
     std::string Name;
-    if (!parseStrategySpec(Request.Spec, Name, Options, &Error)) {
-      if (Message)
-        *Message = Error;
+    if (!parseStrategySpec(Request.Spec, Name, Options, Error))
       return RunStatus::BadOption;
-    }
     Info = StrategyRegistry::instance().lookup(Name);
     if (!Info) {
-      if (Message)
-        *Message = "unknown strategy '" + Name +
-                   "' (registered: " + registeredNames() + ")";
+      Error.Message = "unknown strategy '" + Name +
+                      "' (registered: " + registeredNames() + ")";
       return RunStatus::UnknownStrategy;
     }
   }
-  if (!validateStrategyOptions(*Info, Options, &Error)) {
-    if (Message)
-      *Message = Error;
+  if (!validateStrategyOptions(*Info, Options, Error))
     return RunStatus::BadOption;
-  }
   return RunStatus::Ok;
 }
 
-RunStatus rc::checkStrategySpec(const std::string &Spec,
-                                std::string *Message) {
+RunStatus rc::checkStrategySpec(const std::string &Spec, SpecError &Error) {
   RunRequest Request;
   Request.Spec = Spec;
   const StrategyInfo *Info = nullptr;
   StrategyOptions Options;
-  return resolveRequest(Request, Info, Options, Message);
+  return resolveRequest(Request, Info, Options, Error);
+}
+
+RunStatus rc::checkStrategySpec(const std::string &Spec,
+                                std::string *Message) {
+  SpecError Error;
+  RunStatus Status = checkStrategySpec(Spec, Error);
+  if (Message)
+    *Message = Error.Message;
+  return Status;
 }
 
 std::vector<std::string> rc::splitStrategySpecs(const std::string &List) {
@@ -129,9 +131,12 @@ RunResult rc::runStrategy(const RunRequest &Request) {
   RunResult Result;
   const StrategyInfo *Info = nullptr;
   StrategyOptions Options;
-  Result.Status = resolveRequest(Request, Info, Options, &Result.Message);
-  if (Result.Status != RunStatus::Ok)
+  SpecError Error;
+  Result.Status = resolveRequest(Request, Info, Options, Error);
+  if (Result.Status != RunStatus::Ok) {
+    Result.Message = std::move(Error.Message);
     return Result;
+  }
 
   // Arm the per-run deadline, chaining any external token under it so
   // either source expires the run.
@@ -157,29 +162,17 @@ RunResult rc::runStrategy(const RunRequest &Request) {
   return Result;
 }
 
-StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
-                                const StrategyInfo &Info,
-                                const StrategyOptions &Options) {
-  [[maybe_unused]] std::string Error;
-  assert(validateStrategyOptions(Info, Options, &Error) && "invalid options");
-  return runResolved(P, Info, Options, /*Cancel=*/nullptr);
-}
-
-StrategyOutcome rc::runStrategy(const CoalescingProblem &P,
-                                const std::string &Spec) {
-  RunRequest Request;
-  Request.Problem = &P;
-  Request.Spec = Spec;
-  RunResult Result = runStrategy(Request);
-  assert(Result.ok() && "malformed or unknown strategy spec");
-  return Result.Outcome;
-}
-
 std::vector<StrategyOutcome>
 rc::runAllStrategies(const CoalescingProblem &P) {
   std::vector<StrategyOutcome> Outcomes;
-  for (const StrategyInfo &Info : StrategyRegistry::instance().strategies())
-    Outcomes.push_back(runStrategy(P, Info));
+  for (const StrategyInfo &Info : StrategyRegistry::instance().strategies()) {
+    RunRequest Request;
+    Request.Problem = &P;
+    Request.Strategy = &Info;
+    RunResult Result = runStrategy(Request);
+    assert(Result.ok() && "registered strategy rejected default options");
+    Outcomes.push_back(std::move(Result.Outcome));
+  }
   return Outcomes;
 }
 
@@ -203,23 +196,25 @@ void rc::printComparison(std::ostream &OS,
   }
 }
 
+void rc::writeOutcomeJson(JsonWriter &W, const StrategyOutcome &O) {
+  W.beginObject();
+  W.key("strategy").value(O.Name);
+  W.key("coalesced_affinities").value(O.Stats.CoalescedAffinities);
+  W.key("uncoalesced_affinities").value(O.Stats.UncoalescedAffinities);
+  W.key("coalesced_weight").value(O.Stats.CoalescedWeight);
+  W.key("uncoalesced_weight").value(O.Stats.UncoalescedWeight);
+  W.key("coalesced_weight_ratio").value(O.CoalescedWeightRatio);
+  W.key("quotient_greedy_k_colorable").value(O.QuotientGreedyKColorable);
+  W.key("timed_out").value(O.TimedOut);
+  W.key("partial").value(O.Partial);
+  W.key("microseconds").timingValue(O.Microseconds);
+  W.key("telemetry");
+  writeTelemetryJson(W, O.Telemetry);
+  W.endObject();
+}
+
 void rc::writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O,
                           bool IncludeTiming) {
-  CoalescingTelemetry Telemetry = O.Telemetry;
-  if (!IncludeTiming)
-    Telemetry.ColorabilityMicros = 0;
-  OS << "{\"strategy\":\"" << O.Name << "\""
-     << ",\"coalesced_affinities\":" << O.Stats.CoalescedAffinities
-     << ",\"uncoalesced_affinities\":" << O.Stats.UncoalescedAffinities
-     << ",\"coalesced_weight\":" << O.Stats.CoalescedWeight
-     << ",\"uncoalesced_weight\":" << O.Stats.UncoalescedWeight
-     << ",\"coalesced_weight_ratio\":" << O.CoalescedWeightRatio
-     << ",\"quotient_greedy_k_colorable\":"
-     << (O.QuotientGreedyKColorable ? "true" : "false")
-     << ",\"timed_out\":" << (O.TimedOut ? "true" : "false")
-     << ",\"partial\":" << (O.Partial ? "true" : "false")
-     << ",\"microseconds\":" << (IncludeTiming ? O.Microseconds : 0)
-     << ",\"telemetry\":";
-  writeTelemetryJson(OS, Telemetry);
-  OS << "}";
+  JsonWriter W(OS, IncludeTiming);
+  writeOutcomeJson(W, O);
 }

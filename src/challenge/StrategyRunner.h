@@ -29,6 +29,8 @@
 
 namespace rc {
 
+class JsonWriter;
+
 /// Metrics of one strategy on one instance.
 struct StrategyOutcome {
   /// Registry name of the strategy.
@@ -115,8 +117,13 @@ struct RunResult {
 RunResult runStrategy(const RunRequest &Request);
 
 /// Parses and validates \p Spec against the registry without running
-/// anything: returns Ok, UnknownStrategy or BadOption, with a diagnostic
-/// in \p Message. Drivers use it to reject bad command lines up front.
+/// anything: returns Ok, UnknownStrategy or BadOption, with the diagnostic
+/// (message plus offending option key/value, when the error is tied to
+/// one) in \p Error. Drivers use it to reject bad input up front; the
+/// service surfaces Error.Key/Error.Value in its BadOption responses.
+RunStatus checkStrategySpec(const std::string &Spec, SpecError &Error);
+
+/// Convenience overload collecting only the message.
 RunStatus checkStrategySpec(const std::string &Spec,
                             std::string *Message = nullptr);
 
@@ -125,21 +132,6 @@ RunStatus checkStrategySpec(const std::string &Spec,
 /// "optimistic:restore=0,dissolve=biggest,irc" yields two specs. Used by
 /// every driver that takes a --strategies flag.
 std::vector<std::string> splitStrategySpecs(const std::string &List);
-
-//===----------------------------------------------------------------------===//
-// Deprecated shims (pre-RunRequest API)
-//===----------------------------------------------------------------------===//
-
-/// Deprecated: use runStrategy(RunRequest). Runs the registered strategy
-/// \p Info on \p P with \p Options; asserts the options are valid.
-StrategyOutcome runStrategy(const CoalescingProblem &P,
-                            const StrategyInfo &Info,
-                            const StrategyOptions &Options = {});
-
-/// Deprecated: use runStrategy(RunRequest), which reports unknown or
-/// malformed specs as recoverable statuses. This shim asserts on them.
-StrategyOutcome runStrategy(const CoalescingProblem &P,
-                            const std::string &Spec);
 
 /// Runs every registered strategy on \p P with default options, in
 /// registration order.
@@ -152,8 +144,13 @@ void printComparison(std::ostream &OS,
                      const std::vector<StrategyOutcome> &Outcomes);
 
 /// Writes \p O as one JSON object (stats + telemetry, no trailing newline).
-/// With \p IncludeTiming false every wall-clock field is emitted as 0, so
-/// runs of the same jobs are byte-identical regardless of scheduling.
+/// The writer's timing mode decides whether wall-clock fields carry their
+/// measured values or 0, so runs of the same jobs serialize byte-identically
+/// regardless of scheduling. This is the one outcome serialization: the
+/// batch JSONL report and the service wire schema both nest it verbatim.
+void writeOutcomeJson(JsonWriter &W, const StrategyOutcome &O);
+
+/// Convenience wrapper writing to a bare stream.
 void writeOutcomeJson(std::ostream &OS, const StrategyOutcome &O,
                       bool IncludeTiming = true);
 

@@ -2,6 +2,8 @@
 
 #include "coalescing/Telemetry.h"
 
+#include "support/JsonWriter.h"
+
 #include <ostream>
 
 using namespace rc;
@@ -129,24 +131,31 @@ void CoalescingTelemetry::add(const CoalescingTelemetry &Other) {
   ColorabilityMicros += Other.ColorabilityMicros;
 }
 
+void rc::writeTelemetryJson(JsonWriter &W, const CoalescingTelemetry &T) {
+  W.beginObject();
+  W.key("merge_attempts").value(T.MergeAttempts);
+  W.key("merges").value(T.Merges);
+  W.key("merges_rolled_back").value(T.MergesRolledBack);
+  W.key("checkpoints").value(T.Checkpoints);
+  W.key("rollbacks").value(T.Rollbacks);
+  W.key("interference_queries").value(T.InterferenceQueries);
+  W.key("briggs_tests").value(T.BriggsTests);
+  W.key("briggs_passed").value(T.BriggsPassed);
+  W.key("george_tests").value(T.GeorgeTests);
+  W.key("george_passed").value(T.GeorgePassed);
+  W.key("brute_force_tests").value(T.BruteForceTests);
+  W.key("brute_force_passed").value(T.BruteForcePassed);
+  W.key("colorability_checks").value(T.ColorabilityChecks);
+  W.key("colorability_micros").timingValue(T.ColorabilityMicros);
+  W.key("de_coalesces").value(T.DeCoalesces);
+  W.key("restores").value(T.Restores);
+  W.key("worklist_pushes").value(T.WorklistPushes);
+  W.key("worklist_reactivations").value(T.WorklistReactivations);
+  W.key("cached_test_skips").value(T.CachedTestSkips);
+  W.endObject();
+}
+
 void rc::writeTelemetryJson(std::ostream &OS, const CoalescingTelemetry &T) {
-  OS << "{\"merge_attempts\":" << T.MergeAttempts
-     << ",\"merges\":" << T.Merges
-     << ",\"merges_rolled_back\":" << T.MergesRolledBack
-     << ",\"checkpoints\":" << T.Checkpoints
-     << ",\"rollbacks\":" << T.Rollbacks
-     << ",\"interference_queries\":" << T.InterferenceQueries
-     << ",\"briggs_tests\":" << T.BriggsTests
-     << ",\"briggs_passed\":" << T.BriggsPassed
-     << ",\"george_tests\":" << T.GeorgeTests
-     << ",\"george_passed\":" << T.GeorgePassed
-     << ",\"brute_force_tests\":" << T.BruteForceTests
-     << ",\"brute_force_passed\":" << T.BruteForcePassed
-     << ",\"colorability_checks\":" << T.ColorabilityChecks
-     << ",\"colorability_micros\":" << T.ColorabilityMicros
-     << ",\"de_coalesces\":" << T.DeCoalesces
-     << ",\"restores\":" << T.Restores
-     << ",\"worklist_pushes\":" << T.WorklistPushes
-     << ",\"worklist_reactivations\":" << T.WorklistReactivations
-     << ",\"cached_test_skips\":" << T.CachedTestSkips << "}";
+  JsonWriter W(OS);
+  writeTelemetryJson(W, T);
 }

@@ -31,6 +31,8 @@
 
 namespace rc {
 
+class JsonWriter;
+
 /// Events emitted by the WorkGraph engine and the safety-test helpers that
 /// operate on it.
 enum class EngineEvent : unsigned {
@@ -150,7 +152,11 @@ private:
   std::chrono::steady_clock::time_point Start;
 };
 
-/// Writes \p T as a JSON object (no trailing newline).
+/// Writes \p T as a JSON object (no trailing newline). The writer's timing
+/// mode decides whether colorability_micros is emitted or zeroed.
+void writeTelemetryJson(JsonWriter &W, const CoalescingTelemetry &T);
+
+/// Convenience wrapper writing to a bare stream with timing included.
 void writeTelemetryJson(std::ostream &OS, const CoalescingTelemetry &T);
 
 } // namespace rc

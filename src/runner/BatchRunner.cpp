@@ -2,11 +2,12 @@
 
 #include "runner/BatchRunner.h"
 
-#include <atomic>
+#include "runner/WorkerPool.h"
+#include "support/JsonWriter.h"
+
 #include <chrono>
 #include <iomanip>
 #include <map>
-#include <thread>
 
 using namespace rc;
 
@@ -73,24 +74,15 @@ BatchReport rc::runBatch(const std::vector<BatchJob> &Jobs,
     for (size_t I = 0; I < Jobs.size(); ++I)
       Results[I] = runOne(Jobs[I], Options);
   } else {
-    // Self-scheduling pool: each worker claims the next unclaimed job index
-    // and writes into that job's slot, so no two threads ever touch the
-    // same element and no locks are needed.
-    std::atomic<size_t> Next{0};
-    auto Work = [&]() {
-      for (;;) {
-        size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-        if (I >= Jobs.size())
-          return;
+    // One task per job on a transient pool; each task writes only its own
+    // slot, so no two threads touch the same element and the aggregation
+    // below stays index-ordered and deterministic.
+    WorkerPool Pool(Workers);
+    for (size_t I = 0; I < Jobs.size(); ++I)
+      Pool.submit([&Jobs, &Options, &Results, I] {
         Results[I] = runOne(Jobs[I], Options);
-      }
-    };
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned W = 0; W < Workers; ++W)
-      Pool.emplace_back(Work);
-    for (std::thread &T : Pool)
-      T.join();
+      });
+    Pool.drain();
   }
 
   // Sequential aggregation in job-index order: deterministic rollup sums
@@ -139,75 +131,48 @@ BatchReport rc::runBatch(const std::vector<BatchJob> &Jobs,
   return Report;
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control bytes).
-static void writeJsonString(std::ostream &OS, const std::string &S) {
-  OS << '"';
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      OS << "\\\"";
-      break;
-    case '\\':
-      OS << "\\\\";
-      break;
-    case '\n':
-      OS << "\\n";
-      break;
-    case '\t':
-      OS << "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20)
-        OS << ' ';
-      else
-        OS << C;
-    }
-  }
-  OS << '"';
-}
-
 void rc::writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
                          bool IncludeTiming) {
+  JsonWriter W(OS, IncludeTiming);
   for (const BatchJobResult &Job : Report.Jobs) {
-    OS << "{\"index\":" << Job.Index << ",\"instance\":";
-    writeJsonString(OS, Job.Instance);
-    OS << ",\"spec\":";
-    writeJsonString(OS, Job.Spec);
-    OS << ",\"status\":\"" << runStatusName(Job.Result.Status) << "\"";
-    if (!Job.Result.Message.empty()) {
-      OS << ",\"message\":";
-      writeJsonString(OS, Job.Result.Message);
-    }
+    W.beginObject();
+    W.key("index").value(Job.Index);
+    W.key("instance").value(Job.Instance);
+    W.key("spec").value(Job.Spec);
+    W.key("status").value(runStatusName(Job.Result.Status));
+    if (!Job.Result.Message.empty())
+      W.key("message").value(Job.Result.Message);
     if (Job.Result.hasOutcome()) {
-      OS << ",\"outcome\":";
-      writeOutcomeJson(OS, Job.Result.Outcome, IncludeTiming);
+      W.key("outcome");
+      writeOutcomeJson(W, Job.Result.Outcome);
     }
-    OS << "}\n";
+    W.endObject().newline();
   }
   for (const StrategyRollup &Rollup : Report.Rollups) {
-    CoalescingTelemetry Telemetry = Rollup.Telemetry;
-    if (!IncludeTiming)
-      Telemetry.ColorabilityMicros = 0;
-    OS << "{\"rollup\":";
-    writeJsonString(OS, Rollup.Spec);
-    OS << ",\"runs\":" << Rollup.Runs << ",\"completed\":" << Rollup.Completed
-       << ",\"timed_out\":" << Rollup.TimedOut
-       << ",\"failed\":" << Rollup.Failed
-       << ",\"mean_weight_ratio\":" << Rollup.meanRatio()
-       << ",\"microseconds\":" << (IncludeTiming ? Rollup.Micros : 0)
-       << ",\"telemetry\":";
-    writeTelemetryJson(OS, Telemetry);
-    OS << "}\n";
+    W.beginObject();
+    W.key("rollup").value(Rollup.Spec);
+    W.key("runs").value(Rollup.Runs);
+    W.key("completed").value(Rollup.Completed);
+    W.key("timed_out").value(Rollup.TimedOut);
+    W.key("failed").value(Rollup.Failed);
+    W.key("mean_weight_ratio").value(Rollup.meanRatio());
+    W.key("microseconds").timingValue(Rollup.Micros);
+    W.key("telemetry");
+    writeTelemetryJson(W, Rollup.Telemetry);
+    W.endObject().newline();
   }
-  OS << "{\"batch\":{\"jobs\":" << Report.Jobs.size()
-     << ",\"failed\":" << Report.failedJobs()
-     << ",\"timed_out\":" << Report.timedOutJobs();
+  W.beginObject();
+  W.key("batch").beginObject();
+  W.key("jobs").value(Report.Jobs.size());
+  W.key("failed").value(Report.failedJobs());
+  W.key("timed_out").value(Report.timedOutJobs());
   // Workers and wall time vary run to run; the timing-suppressed form drops
   // them so equal batches stay byte-identical at any worker count.
-  if (IncludeTiming)
-    OS << ",\"workers\":" << Report.WorkersUsed
-       << ",\"wall_microseconds\":" << Report.WallMicros;
-  OS << "}}\n";
+  if (IncludeTiming) {
+    W.key("workers").value(Report.WorkersUsed);
+    W.key("wall_microseconds").value(Report.WallMicros);
+  }
+  W.endObject().endObject().newline();
 }
 
 void rc::printBatchSummary(std::ostream &OS, const BatchReport &Report) {

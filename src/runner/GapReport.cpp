@@ -4,6 +4,7 @@
 
 #include "challenge/ChallengeInstance.h"
 #include "coalescing/ExactSearch.h"
+#include "support/JsonWriter.h"
 #include "support/Random.h"
 
 #include <algorithm>
@@ -109,43 +110,41 @@ GapReport rc::computeGapReport(const std::vector<LabeledProblem> &Problems,
   return Report;
 }
 
-static void writeDouble(std::ostream &OS, double V) {
-  char Buffer[40];
-  std::snprintf(Buffer, sizeof(Buffer), "%.17g", V);
-  OS << Buffer;
-}
-
 void rc::writeGapJson(std::ostream &OS, const GapReport &Report) {
-  OS << "{\"base_node_limit\":" << Report.BaseNodeLimit << ",\n";
-  OS << "\"specs\":[";
-  for (size_t I = 0; I < Report.Specs.size(); ++I)
-    OS << (I ? "," : "") << '"' << Report.Specs[I] << '"';
-  OS << "],\n\"instances\":[\n";
-  for (size_t I = 0; I < Report.Instances.size(); ++I) {
-    const GapInstanceEntry &E = Report.Instances[I];
-    OS << "{\"instance\":\"" << E.Label << "\",\"n\":" << E.NumVertices
-       << ",\"total_weight\":";
-    writeDouble(OS, E.TotalWeight);
-    OS << ",\"greedy_opt\":";
-    writeDouble(OS, E.GreedyWeight);
-    OS << ",\"greedy_proven\":" << (E.GreedyProven ? "true" : "false")
-       << ",\"greedy_nodes\":" << E.GreedyNodes << ",\"any_opt\":";
-    writeDouble(OS, E.AnyWeight);
-    OS << ",\"any_proven\":" << (E.AnyProven ? "true" : "false")
-       << ",\"any_nodes\":" << E.AnyNodes << ",\"strategies\":[";
-    for (size_t S = 0; S < E.Strategies.size(); ++S) {
-      const GapStrategyEntry &SE = E.Strategies[S];
-      OS << (S ? "," : "") << "{\"spec\":\"" << SE.Spec << "\",\"weight\":";
-      writeDouble(OS, SE.Weight);
-      OS << ",\"gap_greedy\":";
-      writeDouble(OS, SE.GapVsGreedy);
-      OS << ",\"gap_any\":";
-      writeDouble(OS, SE.GapVsAny);
-      OS << '}';
+  // One instance per line (",\n" separators) so dashboard diffs stay
+  // readable; exact %.17g doubles so the byte-compare guard round-trips.
+  constexpr DoubleFormat Exact = DoubleFormat::Exact;
+  JsonWriter W(OS);
+  W.beginObject(",\n");
+  W.key("base_node_limit").value(Report.BaseNodeLimit);
+  W.key("specs").beginArray();
+  for (const std::string &Spec : Report.Specs)
+    W.value(Spec);
+  W.endArray();
+  W.key("instances").beginArray(",\n").newline();
+  for (const GapInstanceEntry &E : Report.Instances) {
+    W.beginObject();
+    W.key("instance").value(E.Label);
+    W.key("n").value(E.NumVertices);
+    W.key("total_weight").value(E.TotalWeight, Exact);
+    W.key("greedy_opt").value(E.GreedyWeight, Exact);
+    W.key("greedy_proven").value(E.GreedyProven);
+    W.key("greedy_nodes").value(E.GreedyNodes);
+    W.key("any_opt").value(E.AnyWeight, Exact);
+    W.key("any_proven").value(E.AnyProven);
+    W.key("any_nodes").value(E.AnyNodes);
+    W.key("strategies").beginArray();
+    for (const GapStrategyEntry &SE : E.Strategies) {
+      W.beginObject();
+      W.key("spec").value(SE.Spec);
+      W.key("weight").value(SE.Weight, Exact);
+      W.key("gap_greedy").value(SE.GapVsGreedy, Exact);
+      W.key("gap_any").value(SE.GapVsAny, Exact);
+      W.endObject();
     }
-    OS << "]}" << (I + 1 < Report.Instances.size() ? "," : "") << '\n';
+    W.endArray().endObject();
   }
-  OS << "]}\n";
+  W.newline().endArray().endObject().newline();
 }
 
 bool rc::checkGapInvariants(const GapReport &Report, std::string *Error) {

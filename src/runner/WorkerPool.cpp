@@ -1,0 +1,57 @@
+//===- runner/WorkerPool.cpp - Persistent task-queue worker pool ----------===//
+
+#include "runner/WorkerPool.h"
+
+#include <utility>
+
+using namespace rc;
+
+WorkerPool::WorkerPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool() {
+  drain();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WorkReady.notify_one();
+}
+
+void WorkerPool::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+void WorkerPool::workerMain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty())
+      return; // Stopping, and nothing left to run.
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    ++Running;
+    Lock.unlock();
+    Task();
+    Lock.lock();
+    --Running;
+    if (Queue.empty() && Running == 0)
+      Idle.notify_all();
+  }
+}

@@ -1,0 +1,76 @@
+//===- runner/WorkerPool.h - Persistent task-queue worker pool -*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent worker pool: N threads draining a mutex-protected
+/// FIFO of type-erased tasks. Batch evaluation (`runBatch`) uses it for
+/// its fan-out, and the coalescing service keeps one alive across requests
+/// so connection N+1 pays no thread-startup cost.
+///
+/// Semantics kept deliberately minimal:
+///  - submit() never blocks (the queue is unbounded here; admission control
+///    is the caller's policy — the service enforces its bound *before*
+///    submitting, so a queued task is a promised task).
+///  - drain() blocks until the queue is empty AND no task is running; it
+///    does not prevent concurrent submits, so quiescence is only meaningful
+///    once the caller has stopped producing.
+///  - The destructor drains, then joins. Tasks submitted from within tasks
+///    are allowed and will run before drain() returns.
+///
+/// Tasks must not throw (the project builds without exception use in hot
+/// paths); a throwing task would terminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUNNER_WORKERPOOL_H
+#define RUNNER_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rc {
+
+class WorkerPool {
+public:
+  /// Starts \p Workers threads (at least one).
+  explicit WorkerPool(unsigned Workers);
+
+  /// Drains outstanding work, then stops and joins the threads.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Enqueues \p Task. Never blocks; tasks run in FIFO claim order.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished. Concurrent submits
+  /// prolong the wait; stop producing first.
+  void drain();
+
+  /// Number of worker threads.
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+private:
+  void workerMain();
+
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  unsigned Running = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace rc
+
+#endif // RUNNER_WORKERPOOL_H

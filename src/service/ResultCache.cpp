@@ -1,0 +1,63 @@
+//===- service/ResultCache.cpp - Canonical-instance result cache ----------===//
+
+#include "service/ResultCache.h"
+
+#include "challenge/ChallengeFormat.h"
+
+#include <sstream>
+
+using namespace rc;
+
+std::string rc::canonicalRequestKey(const CoalescingProblem &P,
+                                    const std::string &Spec) {
+  std::ostringstream OS;
+  writeChallenge(OS, P);
+  OS << "spec " << Spec << "\n";
+  return OS.str();
+}
+
+bool ResultCache::lookup(const std::string &Key, std::string &Payload,
+                         bool CountMiss) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    if (CountMiss)
+      ++Misses;
+    return false;
+  }
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Payload = It->second->second;
+  ++Hits;
+  return true;
+}
+
+void ResultCache::insert(const std::string &Key, std::string Payload) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    // Concurrent identical misses race to insert; keep the first payload
+    // (byte-equal by construction) and just refresh recency.
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.emplace_front(Key, std::move(Payload));
+  Index.emplace(Key, Lru.begin());
+  if (Lru.size() > Capacity) {
+    Index.erase(Lru.back().first);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Evictions = Evictions;
+  S.Entries = Lru.size();
+  S.Capacity = Capacity;
+  return S;
+}

@@ -1,0 +1,94 @@
+//===- service/ResultCache.h - Canonical-instance result cache -*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LRU cache from canonical (instance, strategy spec) keys to serialized
+/// response payloads. The service consults it before admitting work, so
+/// identical graphs across requests — common when many clients compile the
+/// same code — are answered without re-solving.
+///
+/// The key is the canonical challenge-text serialization of the instance
+/// (writeChallenge is deterministic: sorted edges, normalized endpoint
+/// order) concatenated with the spec line. Keying on the full canonical
+/// text instead of a digest costs memory proportional to the instance but
+/// makes collisions impossible — a wrong answer from the cache would be
+/// silent and unacceptable, a few hundred kilobytes of key space is not.
+///
+/// Values are complete serialized response payloads (timing-suppressed by
+/// the service when byte-stable replay is wanted), so a warm hit is a
+/// verbatim byte replay of the cold response — the golden-corpus guard in
+/// tests/ServiceTest.cpp holds the service to exactly that.
+///
+/// Only Ok responses are cached: timed-out partials depend on the deadline
+/// that produced them, and error responses are cheap to recompute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_RESULTCACHE_H
+#define SERVICE_RESULTCACHE_H
+
+#include "coalescing/Problem.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace rc {
+
+/// Builds the canonical cache key for \p P under \p Spec.
+std::string canonicalRequestKey(const CoalescingProblem &P,
+                                const std::string &Spec);
+
+class ResultCache {
+public:
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    uint64_t Entries = 0;
+    uint64_t Capacity = 0;
+  };
+
+  /// A cache holding up to \p Capacity entries; 0 disables caching (every
+  /// lookup misses, inserts are dropped).
+  explicit ResultCache(size_t Capacity) : Capacity(Capacity) {}
+
+  ResultCache(const ResultCache &) = delete;
+  ResultCache &operator=(const ResultCache &) = delete;
+
+  /// Looks up \p Key; on a hit copies the payload into \p Payload and
+  /// refreshes recency. Counts the hit; counts the miss only when
+  /// \p CountMiss — the service re-checks at execution time (an identical
+  /// request may have finished while this one sat in the queue) and that
+  /// second chance must not double-count the admission-time miss.
+  /// Thread-safe.
+  bool lookup(const std::string &Key, std::string &Payload,
+              bool CountMiss = true);
+
+  /// Inserts (or refreshes) \p Key -> \p Payload, evicting the least
+  /// recently used entry beyond capacity. Thread-safe.
+  void insert(const std::string &Key, std::string Payload);
+
+  Stats stats() const;
+
+private:
+  using Entry = std::pair<std::string, std::string>; // key, payload
+
+  mutable std::mutex Mutex;
+  size_t Capacity;
+  std::list<Entry> Lru; // Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> Index;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace rc
+
+#endif // SERVICE_RESULTCACHE_H

@@ -1,0 +1,153 @@
+//===- service/Service.h - Persistent coalescing service --------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running heart of `rc_serve`: a CoalescingService owns a
+/// persistent WorkerPool, a ResultCache, and the shutdown token, and turns
+/// parsed WireRequests into futures of serialized responses. The transport
+/// loop (ServiceLoop) stays I/O-only; everything with a policy lives here:
+///
+///  - *Validation first.* checkStrategySpec runs before admission, so a
+///    bad spec is answered immediately (with the offending option key and
+///    value) and never occupies a worker.
+///  - *Cache before admission.* A hit replays the cold response's bytes
+///    without touching the queue, so hot duplicate traffic cannot be
+///    starved by a full queue.
+///  - *Bounded admission.* At most QueueLimit requests are in flight or
+///    queued; beyond that submit() answers Busy immediately. Backpressure
+///    is explicit — clients see "busy" rather than unbounded latency.
+///  - *Deadlines from admission.* A request's CancelToken deadline is
+///    armed when the request is admitted, not when a worker picks it up,
+///    so time spent queued counts against the deadline — a 50 ms deadline
+///    means "answer in 50 ms or give me the partial", not "spend 50 ms of
+///    CPU whenever convenient". Every token is also parent-chained to the
+///    service's shutdown token.
+///  - *Graceful shutdown.* shutdown(false) drains in-flight work and then
+///    returns; shutdown(true) first cancels the shutdown token, so
+///    cancellation-aware strategies unwind and return flagged partial
+///    results (clients see "timed-out" with partial:true).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_SERVICE_H
+#define SERVICE_SERVICE_H
+
+#include "challenge/StrategyRunner.h"
+#include "runner/WorkerPool.h"
+#include "service/ResultCache.h"
+#include "service/WireProtocol.h"
+#include "support/CancelToken.h"
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace rc {
+
+struct ServiceConfig {
+  /// Worker threads solving requests.
+  unsigned Workers = 1;
+  /// Admission bound: maximum requests queued or running at once.
+  unsigned QueueLimit = 16;
+  /// Result-cache capacity in entries; 0 disables the cache.
+  size_t CacheCapacity = 256;
+  /// False zeroes wall-clock fields in responses, making them byte-stable
+  /// across runs (and byte-identical between cold solves and cache hits).
+  bool IncludeTiming = true;
+  /// The strategy entry point; defaults to runStrategy. Tests substitute
+  /// deterministic fakes (e.g. block-until-cancelled) without touching the
+  /// global strategy registry.
+  std::function<RunResult(const RunRequest &)> Runner;
+};
+
+/// Monotone counters describing the service's lifetime, reported in the
+/// shutdown acknowledgement and by stats().
+struct ServiceStats {
+  uint64_t Requests = 0;     ///< submit() calls, every outcome.
+  uint64_t Completed = 0;    ///< Solved to completion (status ok).
+  uint64_t TimedOut = 0;     ///< Deadline expired; partial answered.
+  uint64_t Errors = 0;       ///< Unknown strategy / bad option.
+  uint64_t Rejected = 0;     ///< Busy or shutting-down rejections.
+  uint64_t BadRequests = 0;  ///< Protocol-level rejects (noteBadRequest).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t CacheEntries = 0;
+  uint64_t DrainedInFlight = 0; ///< Requests in flight when shutdown began.
+};
+
+/// One answered request.
+struct ServiceReply {
+  WireStatus Status = WireStatus::Ok;
+  /// The payload came from the result cache (bytes of the cold solve).
+  bool CacheHit = false;
+  /// The serialized response payload (what goes in the Response frame).
+  std::string Payload;
+  /// submit()-to-reply latency as measured by the service.
+  int64_t LatencyMicros = 0;
+};
+
+class CoalescingService {
+public:
+  explicit CoalescingService(ServiceConfig Config);
+
+  /// Drains and stops (idempotent with shutdown()).
+  ~CoalescingService();
+
+  CoalescingService(const CoalescingService &) = delete;
+  CoalescingService &operator=(const CoalescingService &) = delete;
+
+  /// Validates, consults the cache, applies admission control, and — for
+  /// admitted work — schedules \p Request on the pool. The future is
+  /// fulfilled immediately for validation errors, cache hits, Busy and
+  /// ShuttingDown; otherwise when the strategy finishes.
+  std::future<ServiceReply> submit(WireRequest Request);
+
+  /// Counts a protocol-level reject (unparseable payload, oversized
+  /// frame) that never became a submit().
+  void noteBadRequest();
+
+  /// Stops admitting, waits for in-flight work to finish. With
+  /// \p CancelInFlight, expires the shutdown token first so running
+  /// strategies return flagged partials instead of finishing. Idempotent;
+  /// concurrent callers all block until drained.
+  void shutdown(bool CancelInFlight);
+
+  ServiceStats stats() const;
+
+  const ServiceConfig &config() const { return Config; }
+
+private:
+  struct Job;
+
+  ServiceReply finishJob(Job &J, RunResult Result);
+  static std::future<ServiceReply> ready(ServiceReply Reply);
+
+  ServiceConfig Config;
+  ResultCache Cache;
+  CancelToken ShutdownToken;
+
+  mutable std::mutex Mutex;
+  ServiceStats Counters; // Cache fields filled from Cache at stats() time.
+  unsigned InFlight = 0;
+  bool Stopping = false;
+  bool Drained = false;
+
+  // Last member: the pool's destructor must run (and drain) before the
+  // state above goes away.
+  WorkerPool Pool;
+};
+
+/// Serializes the shutdown acknowledgement payload: a shutting-down
+/// response carrying final \p Stats.
+std::string buildShutdownAckPayload(const ServiceStats &Stats);
+
+} // namespace rc
+
+#endif // SERVICE_SERVICE_H

@@ -1,0 +1,168 @@
+//===- service/ServiceLoop.cpp - Frame transport loop ---------------------===//
+
+#include "service/ServiceLoop.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+using namespace rc;
+
+namespace {
+
+/// One reply owed to the client, in request order. Either the payload is
+/// already known (protocol errors, shutdown acks) or a future will deliver
+/// it.
+struct PendingReply {
+  bool Ready = false;
+  std::string Payload;
+  std::future<ServiceReply> Future;
+};
+
+struct LoopState {
+  std::mutex Mutex;
+  std::condition_variable Available;
+  std::deque<PendingReply> Queue;
+  bool ReaderDone = false;
+  bool Clean = true;
+  std::string Error;
+
+  void pushReady(std::string Payload) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    PendingReply P;
+    P.Ready = true;
+    P.Payload = std::move(Payload);
+    Queue.push_back(std::move(P));
+    Available.notify_one();
+  }
+
+  void pushFuture(std::future<ServiceReply> Future) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    PendingReply P;
+    P.Future = std::move(Future);
+    Queue.push_back(std::move(P));
+    Available.notify_one();
+  }
+
+  void finish(bool WasClean, std::string Diagnostic = "") {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ReaderDone = true;
+    Clean = WasClean;
+    Error = std::move(Diagnostic);
+    Available.notify_one();
+  }
+};
+
+std::string badRequestPayload(const std::string &Message,
+                              bool IncludeTiming) {
+  WireResponse R;
+  R.Status = WireStatus::BadRequest;
+  R.Message = Message;
+  return buildResponsePayload(R, IncludeTiming);
+}
+
+void readerMain(std::istream &In, CoalescingService &Service,
+                const ServiceLoopOptions &Options, LoopState &State) {
+  bool Timing = Service.config().IncludeTiming;
+  for (;;) {
+    Frame F;
+    std::string FrameError;
+    FrameReadStatus S =
+        readFrame(In, F, Options.MaxPayloadBytes, &FrameError);
+    if (S == FrameReadStatus::Eof) {
+      // Client hung up without a Shutdown frame: drain silently.
+      Service.shutdown(false);
+      State.finish(true);
+      return;
+    }
+    if (S == FrameReadStatus::TooLarge) {
+      Service.noteBadRequest();
+      State.pushReady(badRequestPayload(FrameError, Timing));
+      continue;
+    }
+    if (S == FrameReadStatus::Malformed) {
+      // Poisoned stream: nothing after this point can be trusted, so stop
+      // reading, cancel in-flight work, and let the writer flush what is
+      // already owed.
+      Service.shutdown(true);
+      State.finish(false, FrameError);
+      return;
+    }
+
+    switch (F.Type) {
+    case FrameType::Request: {
+      WireRequest Request;
+      std::string ParseError;
+      if (!parseRequestPayload(F.Payload, Request, &ParseError)) {
+        Service.noteBadRequest();
+        State.pushReady(badRequestPayload(ParseError, Timing));
+      } else {
+        State.pushFuture(Service.submit(std::move(Request)));
+      }
+      break;
+    }
+    case FrameType::Response:
+      // Responses flow daemon -> client only.
+      Service.noteBadRequest();
+      State.pushReady(badRequestPayload(
+          "unexpected response frame from client", Timing));
+      break;
+    case FrameType::Shutdown: {
+      bool CancelInFlight;
+      if (F.Payload.empty() || F.Payload == "drain") {
+        CancelInFlight = false;
+      } else if (F.Payload == "now") {
+        CancelInFlight = true;
+      } else {
+        Service.noteBadRequest();
+        State.pushReady(badRequestPayload(
+            "unknown shutdown mode '" + F.Payload + "'", Timing));
+        break;
+      }
+      // In-flight futures are already queued ahead of the ack, so the ack
+      // is always the last frame the client sees.
+      Service.shutdown(CancelInFlight);
+      State.pushReady(buildShutdownAckPayload(Service.stats()));
+      State.finish(true);
+      return;
+    }
+    }
+  }
+}
+
+} // namespace
+
+bool rc::runServiceLoop(std::istream &In, std::ostream &Out,
+                        CoalescingService &Service,
+                        const ServiceLoopOptions &Options,
+                        std::string *Error) {
+  LoopState State;
+  std::thread Reader(
+      [&] { readerMain(In, Service, Options, State); });
+
+  for (;;) {
+    PendingReply P;
+    {
+      std::unique_lock<std::mutex> Lock(State.Mutex);
+      State.Available.wait(
+          Lock, [&] { return !State.Queue.empty() || State.ReaderDone; });
+      if (State.Queue.empty() && State.ReaderDone)
+        break;
+      P = std::move(State.Queue.front());
+      State.Queue.pop_front();
+    }
+    std::string Payload =
+        P.Ready ? std::move(P.Payload) : P.Future.get().Payload;
+    writeFrame(Out, FrameType::Response, Payload);
+    // Flush per frame so a pipelining client sees answers as they land.
+    Out.flush();
+  }
+  Reader.join();
+
+  if (!State.Clean && Error)
+    *Error = State.Error;
+  return State.Clean;
+}

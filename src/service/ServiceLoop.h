@@ -1,0 +1,58 @@
+//===- service/ServiceLoop.h - Frame transport loop -------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The I/O half of rc_serve: reads frames from an input stream, feeds them
+/// to a CoalescingService, and writes response frames in request order.
+/// The loop is transport-only — no policy; validation, admission, caching
+/// and shutdown semantics all live in the service.
+///
+/// Two threads: a reader parses frames and enqueues ordered reply slots
+/// (an immediate payload for protocol errors, a future for admitted work);
+/// the caller's thread drains the queue, waiting on each future in turn,
+/// so responses always leave in request order while the reader keeps
+/// pulling requests — a pipelining client never deadlocks on a full pipe.
+///
+/// Error discipline mirrors the wire schema: an oversized frame or an
+/// unparseable request payload is answered with a bad-request response and
+/// the stream continues; a malformed frame poisons the stream — the loop
+/// cancels in-flight work, flushes the responses already owed, and returns
+/// false. Clean endings are a Shutdown frame (acknowledged with final
+/// stats) or EOF (drain silently).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_SERVICELOOP_H
+#define SERVICE_SERVICELOOP_H
+
+#include "service/Service.h"
+#include "service/WireProtocol.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace rc {
+
+struct ServiceLoopOptions {
+  /// Frames with larger payloads are answered bad-request and skipped.
+  uint32_t MaxPayloadBytes = kDefaultMaxPayloadBytes;
+};
+
+/// Serves frames from \p In to \p Out until a Shutdown frame, EOF, or a
+/// malformed frame. Always leaves \p Service shut down (drained; cancelled
+/// first when the stream was poisoned or the Shutdown frame asked for
+/// "now").
+/// \returns true on a clean ending, false (with \p Error filled) when the
+/// stream was poisoned.
+bool runServiceLoop(std::istream &In, std::ostream &Out,
+                    CoalescingService &Service,
+                    const ServiceLoopOptions &Options = ServiceLoopOptions(),
+                    std::string *Error = nullptr);
+
+} // namespace rc
+
+#endif // SERVICE_SERVICELOOP_H

@@ -1,0 +1,235 @@
+//===- service/WireProtocol.cpp - Service wire schema ---------------------===//
+
+#include "service/WireProtocol.h"
+
+#include "challenge/ChallengeFormat.h"
+#include "support/JsonWriter.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+using namespace rc;
+
+static const char kMagic[4] = {'R', 'C', 'S', 'P'};
+
+const char *rc::wireStatusName(WireStatus S) {
+  switch (S) {
+  case WireStatus::Ok:
+    return "ok";
+  case WireStatus::UnknownStrategy:
+    return "unknown-strategy";
+  case WireStatus::BadOption:
+    return "bad-option";
+  case WireStatus::TimedOut:
+    return "timed-out";
+  case WireStatus::BadRequest:
+    return "bad-request";
+  case WireStatus::Busy:
+    return "busy";
+  case WireStatus::ShuttingDown:
+    return "shutting-down";
+  }
+  return "?";
+}
+
+WireStatus rc::wireStatusFromRun(RunStatus S) {
+  switch (S) {
+  case RunStatus::Ok:
+    return WireStatus::Ok;
+  case RunStatus::UnknownStrategy:
+    return WireStatus::UnknownStrategy;
+  case RunStatus::BadOption:
+    return WireStatus::BadOption;
+  case RunStatus::TimedOut:
+    return WireStatus::TimedOut;
+  }
+  return WireStatus::BadRequest;
+}
+
+void rc::writeFrame(std::ostream &OS, FrameType Type,
+                    const std::string &Payload) {
+  assert(Payload.size() <= 0xffffffffu && "payload exceeds the length field");
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  char Header[10];
+  Header[0] = kMagic[0];
+  Header[1] = kMagic[1];
+  Header[2] = kMagic[2];
+  Header[3] = kMagic[3];
+  Header[4] = static_cast<char>(kWireVersion);
+  Header[5] = static_cast<char>(Type);
+  Header[6] = static_cast<char>((Len >> 24) & 0xff);
+  Header[7] = static_cast<char>((Len >> 16) & 0xff);
+  Header[8] = static_cast<char>((Len >> 8) & 0xff);
+  Header[9] = static_cast<char>(Len & 0xff);
+  OS.write(Header, sizeof(Header));
+  OS.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
+}
+
+FrameReadStatus rc::readFrame(std::istream &IS, Frame &F,
+                              uint32_t MaxPayloadBytes, std::string *Error) {
+  auto fail = [Error](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return FrameReadStatus::Malformed;
+  };
+
+  char Header[10];
+  IS.read(Header, 1);
+  if (IS.gcount() == 0)
+    return FrameReadStatus::Eof; // Clean end between frames.
+  IS.read(Header + 1, sizeof(Header) - 1);
+  if (IS.gcount() != sizeof(Header) - 1)
+    return fail("truncated frame header");
+  for (unsigned I = 0; I < 4; ++I)
+    if (Header[I] != kMagic[I])
+      return fail("bad frame magic (expected RCSP)");
+  if (static_cast<uint8_t>(Header[4]) != kWireVersion)
+    return fail("unsupported protocol version " +
+                std::to_string(static_cast<unsigned>(
+                    static_cast<uint8_t>(Header[4]))) +
+                " (this daemon speaks " + std::to_string(kWireVersion) + ")");
+  uint8_t RawType = static_cast<uint8_t>(Header[5]);
+  if (RawType < static_cast<uint8_t>(FrameType::Request) ||
+      RawType > static_cast<uint8_t>(FrameType::Shutdown))
+    return fail("unknown frame type " + std::to_string(RawType));
+  F.Type = static_cast<FrameType>(RawType);
+
+  uint32_t Len = (static_cast<uint32_t>(static_cast<uint8_t>(Header[6])) << 24) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Header[7])) << 16) |
+                 (static_cast<uint32_t>(static_cast<uint8_t>(Header[8])) << 8) |
+                 static_cast<uint32_t>(static_cast<uint8_t>(Header[9]));
+  if (Len > MaxPayloadBytes) {
+    // Trust the header, discard the payload, keep the stream framed.
+    char Sink[4096];
+    uint32_t Left = Len;
+    while (Left > 0) {
+      std::streamsize Chunk = static_cast<std::streamsize>(
+          Left < sizeof(Sink) ? Left : sizeof(Sink));
+      IS.read(Sink, Chunk);
+      if (IS.gcount() != Chunk)
+        return fail("truncated oversized payload");
+      Left -= static_cast<uint32_t>(Chunk);
+    }
+    if (Error)
+      *Error = "payload of " + std::to_string(Len) +
+               " bytes exceeds the limit of " +
+               std::to_string(MaxPayloadBytes);
+    return FrameReadStatus::TooLarge;
+  }
+
+  F.Payload.resize(Len);
+  if (Len > 0) {
+    IS.read(F.Payload.data(), static_cast<std::streamsize>(Len));
+    if (IS.gcount() != static_cast<std::streamsize>(Len))
+      return fail("truncated payload (expected " + std::to_string(Len) +
+                  " bytes, got " + std::to_string(IS.gcount()) + ")");
+  }
+  return FrameReadStatus::Ok;
+}
+
+std::string rc::buildRequestPayload(const CoalescingProblem &P,
+                                    const std::string &Spec,
+                                    int64_t DeadlineMillis) {
+  std::ostringstream OS;
+  OS << "rcq " << static_cast<unsigned>(kWireVersion) << "\n";
+  OS << "spec " << Spec << "\n";
+  if (DeadlineMillis > 0)
+    OS << "deadline-ms " << DeadlineMillis << "\n";
+  OS << "instance\n";
+  writeChallenge(OS, P);
+  return OS.str();
+}
+
+bool rc::parseRequestPayload(const std::string &Payload, WireRequest &Request,
+                             std::string *Error) {
+  auto fail = [Error](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  Request = WireRequest();
+
+  std::istringstream IS(Payload);
+  std::string Line;
+  if (!std::getline(IS, Line) ||
+      Line != "rcq " + std::to_string(static_cast<unsigned>(kWireVersion)))
+    return fail("request must start with 'rcq " +
+                std::to_string(static_cast<unsigned>(kWireVersion)) + "'");
+
+  bool HaveSpec = false, HaveDeadline = false, HaveInstance = false;
+  while (std::getline(IS, Line)) {
+    size_t Space = Line.find(' ');
+    std::string Key = Line.substr(0, Space);
+    std::string Value =
+        Space == std::string::npos ? "" : Line.substr(Space + 1);
+    if (Key == "spec") {
+      if (HaveSpec)
+        return fail("duplicate 'spec' line");
+      if (Value.empty())
+        return fail("'spec' line without a strategy spec");
+      Request.Spec = Value;
+      HaveSpec = true;
+    } else if (Key == "deadline-ms") {
+      if (HaveDeadline)
+        return fail("duplicate 'deadline-ms' line");
+      char *End = nullptr;
+      long long Millis = std::strtoll(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0' || Millis < 0)
+        return fail("invalid 'deadline-ms' value '" + Value + "'");
+      Request.DeadlineMillis = Millis;
+      HaveDeadline = true;
+    } else if (Line == "instance") {
+      HaveInstance = true;
+      std::string InstanceError;
+      if (!readChallenge(IS, Request.Problem, &InstanceError))
+        return fail("malformed instance: " + InstanceError);
+      break; // The instance consumes the rest of the payload.
+    } else {
+      return fail("unknown request line '" + Line + "'");
+    }
+  }
+  if (!HaveSpec)
+    return fail("request is missing its 'spec' line");
+  if (!HaveInstance)
+    return fail("request is missing its 'instance' section");
+  return true;
+}
+
+std::string rc::buildResponsePayload(const WireResponse &R,
+                                     bool IncludeTiming) {
+  std::ostringstream OS;
+  JsonWriter W(OS, IncludeTiming);
+  W.beginObject();
+  W.key("rcs").value(kJsonSchemaVersion);
+  W.key("status").value(wireStatusName(R.Status));
+  if (!R.Message.empty())
+    W.key("message").value(R.Message);
+  if (!R.BadKey.empty()) {
+    W.key("bad_key").value(R.BadKey);
+    W.key("bad_value").value(R.BadValue);
+  }
+  if (R.Outcome) {
+    W.key("result");
+    writeOutcomeJson(W, *R.Outcome);
+  }
+  W.endObject();
+  return OS.str();
+}
+
+bool rc::extractResponseStatus(const std::string &Payload,
+                               std::string &Status) {
+  // Responses are machine-built, so a targeted scan beats a JSON parser:
+  // the status field is always the second member and statuses never need
+  // escaping.
+  const std::string Needle = "\"status\":\"";
+  size_t Pos = Payload.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  size_t Start = Pos + Needle.size();
+  size_t End = Payload.find('"', Start);
+  if (End == std::string::npos)
+    return false;
+  Status = Payload.substr(Start, End - Start);
+  return true;
+}

@@ -1,0 +1,44 @@
+//===- support/JsonWriter.cpp - Versioned JSON serialization --------------===//
+
+#include "support/JsonWriter.h"
+
+#include <cstdio>
+
+namespace rc {
+
+JsonWriter &JsonWriter::value(double V, DoubleFormat Format) {
+  elementPrefix();
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf),
+                Format == DoubleFormat::Exact ? "%.17g" : "%.6g", V);
+  OS << Buf;
+  return *this;
+}
+
+void JsonWriter::writeEscaped(const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        OS << ' ';
+      else
+        OS << C;
+    }
+  }
+  OS << '"';
+}
+
+} // namespace rc

@@ -1,0 +1,179 @@
+//===- support/JsonWriter.h - Versioned JSON serialization ------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON emitter behind every stats surface of the project: the
+/// per-strategy outcome objects of the challenge comparison, the batch
+/// runner's JSONL report, the optimality-gap dashboard, and the service
+/// wire schema all serialize through this writer instead of hand-rolled
+/// `operator<<` chains. Centralizing the escaping, the comma bookkeeping,
+/// and the two double formats keeps the emitters byte-compatible with the
+/// recorded golden files while letting them share one timing-suppression
+/// switch.
+///
+/// Two policies live in the writer, not in the callers:
+///
+///  - *Timing suppression.* A writer constructed with IncludeTiming=false
+///    writes every `timingValue` as 0, so reports of equal work serialize
+///    byte-identically regardless of scheduling, machine speed, or worker
+///    count. Callers that add or drop whole fields in timing mode can ask
+///    `includeTiming()` instead of threading their own flag.
+///  - *Double formats.* `DoubleFormat::Short` matches the default
+///    `operator<<` formatting (%.6g) the stats emitters always used;
+///    `DoubleFormat::Exact` is the %.17g round-trip format of the gap
+///    dashboard, where byte-stable diffs demand exact doubles.
+///
+/// The wire schema of the coalescing service versions its payloads with
+/// kJsonSchemaVersion; bump it when a served JSON layout changes shape
+/// (adding fields is compatible, renaming or retyping is not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_JSONWRITER_H
+#define SUPPORT_JSONWRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rc {
+
+/// Version tag of the served JSON schemas (the service response payload
+/// writes it as "rcs"). The offline report layouts predate the tag and
+/// stay unversioned for golden-file compatibility.
+constexpr unsigned kJsonSchemaVersion = 1;
+
+/// How a double is formatted.
+enum class DoubleFormat {
+  /// %.6g — identical to default `ostream << double` formatting.
+  Short,
+  /// %.17g — round-trips the double exactly (gap dashboard, golden diffs).
+  Exact,
+};
+
+/// A minimal streaming JSON writer: explicit begin/end for containers,
+/// key() + value() for members, automatic separator insertion. Containers
+/// may override the separator string (the gap dashboard emits one instance
+/// per line with ",\n"); newline() writes a raw '\n' for line-oriented
+/// layouts (JSONL). The writer never validates nesting beyond asserts —
+/// emitters are trusted code paths covered by golden tests.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS, bool IncludeTiming = true)
+      : OS(OS), Timing(IncludeTiming) {}
+
+  JsonWriter(const JsonWriter &) = delete;
+  JsonWriter &operator=(const JsonWriter &) = delete;
+
+  /// Whether wall-clock fields are being emitted or zeroed.
+  bool includeTiming() const { return Timing; }
+
+  JsonWriter &beginObject(const char *Separator = ",") {
+    elementPrefix();
+    OS << '{';
+    Stack.push_back({Separator, false});
+    return *this;
+  }
+
+  JsonWriter &endObject() {
+    Stack.pop_back();
+    OS << '}';
+    return *this;
+  }
+
+  JsonWriter &beginArray(const char *Separator = ",") {
+    elementPrefix();
+    OS << '[';
+    Stack.push_back({Separator, false});
+    return *this;
+  }
+
+  JsonWriter &endArray() {
+    Stack.pop_back();
+    OS << ']';
+    return *this;
+  }
+
+  /// Starts the next member of the enclosing object.
+  JsonWriter &key(const std::string &K) {
+    elementPrefix();
+    writeEscaped(K);
+    OS << ':';
+    AfterKey = true;
+    return *this;
+  }
+
+  JsonWriter &value(const std::string &V) {
+    elementPrefix();
+    writeEscaped(V);
+    return *this;
+  }
+
+  JsonWriter &value(const char *V) { return value(std::string(V)); }
+
+  JsonWriter &value(bool V) {
+    elementPrefix();
+    OS << (V ? "true" : "false");
+    return *this;
+  }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  JsonWriter &value(T V) {
+    elementPrefix();
+    OS << V;
+    return *this;
+  }
+
+  JsonWriter &value(double V, DoubleFormat Format = DoubleFormat::Short);
+
+  /// A wall-clock value: emitted as 0 when timing is suppressed.
+  template <typename T> JsonWriter &timingValue(T V) {
+    return value(Timing ? V : T(0));
+  }
+
+  /// Raw newline for line-oriented layouts (JSONL records, the gap
+  /// dashboard's instance-per-line array).
+  JsonWriter &newline() {
+    OS << '\n';
+    return *this;
+  }
+
+  /// The underlying stream, for emitters mixing writer and legacy output.
+  std::ostream &stream() { return OS; }
+
+private:
+  struct Level {
+    const char *Separator;
+    bool HasElement;
+  };
+
+  void elementPrefix() {
+    if (AfterKey) {
+      AfterKey = false;
+      return;
+    }
+    if (!Stack.empty()) {
+      if (Stack.back().HasElement)
+        OS << Stack.back().Separator;
+      Stack.back().HasElement = true;
+    }
+  }
+
+  void writeEscaped(const std::string &S);
+
+  std::ostream &OS;
+  bool Timing;
+  bool AfterKey = false;
+  std::vector<Level> Stack;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_JSONWRITER_H

@@ -1,0 +1,225 @@
+//===- tools/rc_request.cpp - Frame encoder/decoder for rc_serve -------------===//
+//
+// The client half of the service protocol, for scripts and smoke tests.
+// Two modes:
+//
+//  - emit (default): writes Request frames to stdout for every
+//    (instance x spec) pair, optionally followed by one Shutdown frame.
+//    Instances come from dumped challenge files (--instance) and/or
+//    manifest lines (--gen, the rc_sweep grammar).
+//  - --decode: reads Response frames from stdin, prints one payload per
+//    line (the payloads are JSON objects, so the output is JSONL), and
+//    exits non-zero on any error status, a malformed stream, or a frame
+//    count mismatch (--expect).
+//
+// Examples:
+//   rc_request --gen "subtree seed=3 n=96 slack=0" --strategies briggs,irc
+//     --deadline-ms 250 --shutdown drain | rc_serve | rc_request --decode
+//   rc_request --instance dump.txt --spec optimistic --repeat 3 > reqs.bin
+//
+//===----------------------------------------------------------------------===//
+
+#include "challenge/ChallengeFormat.h"
+#include "challenge/StrategyRunner.h"
+#include "runner/SweepManifest.h"
+#include "service/WireProtocol.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rc;
+
+static void usage(std::ostream &OS) {
+  OS << "usage: rc_request [flags] > frames        (emit mode)\n"
+        "       rc_request --decode [--expect N] < frames\n"
+        "  --instance FILE    add an instance from a dumped challenge"
+        " file (repeatable)\n"
+        "  --gen LINE         add instances from a manifest line, e.g.\n"
+        "                     'subtree seed=3 n=96 slack=0' (repeatable)\n"
+        "  --spec SPEC        strategy spec (default briggs+george)\n"
+        "  --strategies a[,b] several specs; one request per instance x"
+        " spec\n"
+        "  --deadline-ms T    per-request deadline (default none)\n"
+        "  --repeat N         emit the request list N times (default 1)\n"
+        "  --shutdown MODE    append a shutdown frame: drain | now\n"
+        "  --decode           decode response frames from stdin\n"
+        "  --expect N         with --decode: require exactly N responses\n";
+}
+
+static int decode(long long Expect) {
+  long long Count = 0;
+  bool SawError = false;
+  for (;;) {
+    Frame F;
+    std::string Error;
+    FrameReadStatus S = readFrame(std::cin, F, kDefaultMaxPayloadBytes,
+                                  &Error);
+    if (S == FrameReadStatus::Eof)
+      break;
+    if (S != FrameReadStatus::Ok) {
+      std::cerr << "rc_request: malformed response stream: " << Error
+                << "\n";
+      return 1;
+    }
+    if (F.Type != FrameType::Response) {
+      std::cerr << "rc_request: unexpected frame type in response stream\n";
+      return 1;
+    }
+    std::cout << F.Payload << "\n";
+    ++Count;
+    std::string Status;
+    if (!extractResponseStatus(F.Payload, Status)) {
+      std::cerr << "rc_request: response payload without a status field\n";
+      return 1;
+    }
+    // ok / timed-out carry results; shutting-down is the ack. Everything
+    // else means a request was refused.
+    if (Status != "ok" && Status != "timed-out" &&
+        Status != "shutting-down") {
+      std::cerr << "rc_request: response " << Count << " has status '"
+                << Status << "'\n";
+      SawError = true;
+    }
+  }
+  if (Expect >= 0 && Count != Expect) {
+    std::cerr << "rc_request: expected " << Expect << " responses, got "
+              << Count << "\n";
+    return 1;
+  }
+  return SawError ? 1 : 0;
+}
+
+int main(int Argc, char **Argv) {
+  std::vector<LabeledProblem> Instances;
+  std::vector<std::string> Specs;
+  int64_t DeadlineMillis = 0;
+  long long Repeat = 1;
+  long long Expect = -1;
+  std::string ShutdownMode;
+  bool Decode = false;
+  bool Shutdown = false;
+
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    auto value = [&](const char *Flag) -> const std::string * {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: " << Flag << " requires an argument\n";
+        return nullptr;
+      }
+      return &Args[++I];
+    };
+    if (Args[I] == "--instance") {
+      const std::string *V = value("--instance");
+      if (!V)
+        return 2;
+      std::ifstream In(*V);
+      if (!In) {
+        std::cerr << "error: cannot open instance file '" << *V << "'\n";
+        return 2;
+      }
+      LabeledProblem LP;
+      LP.Label = *V;
+      std::string Error;
+      if (!readChallenge(In, LP.Problem, &Error)) {
+        std::cerr << "error: " << *V << ": " << Error << "\n";
+        return 2;
+      }
+      Instances.push_back(std::move(LP));
+    } else if (Args[I] == "--gen") {
+      const std::string *V = value("--gen");
+      if (!V)
+        return 2;
+      std::istringstream In(*V);
+      SweepManifest Manifest;
+      std::string Error;
+      if (!parseSweepManifest(In, Manifest, &Error) ||
+          !materializeSweep(Manifest, Instances, &Error)) {
+        std::cerr << "error: --gen: " << Error << "\n";
+        return 2;
+      }
+    } else if (Args[I] == "--spec") {
+      const std::string *V = value("--spec");
+      if (!V)
+        return 2;
+      Specs.push_back(*V);
+    } else if (Args[I] == "--strategies") {
+      const std::string *V = value("--strategies");
+      if (!V)
+        return 2;
+      for (const std::string &S : splitStrategySpecs(*V))
+        Specs.push_back(S);
+    } else if (Args[I] == "--deadline-ms") {
+      const std::string *V = value("--deadline-ms");
+      if (!V)
+        return 2;
+      DeadlineMillis = std::atoll(V->c_str());
+      if (DeadlineMillis <= 0) {
+        std::cerr << "error: --deadline-ms expects a positive integer\n";
+        return 2;
+      }
+    } else if (Args[I] == "--repeat") {
+      const std::string *V = value("--repeat");
+      if (!V)
+        return 2;
+      Repeat = std::atoll(V->c_str());
+      if (Repeat < 1) {
+        std::cerr << "error: --repeat expects a positive integer\n";
+        return 2;
+      }
+    } else if (Args[I] == "--shutdown") {
+      const std::string *V = value("--shutdown");
+      if (!V)
+        return 2;
+      if (*V != "drain" && *V != "now") {
+        std::cerr << "error: --shutdown expects 'drain' or 'now'\n";
+        return 2;
+      }
+      Shutdown = true;
+      ShutdownMode = *V;
+    } else if (Args[I] == "--decode") {
+      Decode = true;
+    } else if (Args[I] == "--expect") {
+      const std::string *V = value("--expect");
+      if (!V)
+        return 2;
+      Expect = std::atoll(V->c_str());
+      if (Expect < 0) {
+        std::cerr << "error: --expect expects a non-negative integer\n";
+        return 2;
+      }
+    } else if (Args[I] == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "error: unknown flag '" << Args[I] << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (Decode)
+    return decode(Expect);
+
+  if (Instances.empty() && !Shutdown) {
+    std::cerr << "error: nothing to emit (need --instance, --gen, or"
+                 " --shutdown)\n";
+    usage(std::cerr);
+    return 2;
+  }
+  if (Specs.empty())
+    Specs.push_back("briggs+george");
+
+  for (long long R = 0; R < Repeat; ++R)
+    for (const LabeledProblem &LP : Instances)
+      for (const std::string &Spec : Specs)
+        writeFrame(std::cout, FrameType::Request,
+                   buildRequestPayload(LP.Problem, Spec, DeadlineMillis));
+  if (Shutdown)
+    writeFrame(std::cout, FrameType::Shutdown, ShutdownMode);
+  std::cout.flush();
+  return 0;
+}

@@ -1,0 +1,131 @@
+//===- tools/rc_serve.cpp - Coalescing-as-a-service daemon -------------------===//
+//
+// The persistent coalescing daemon: speaks the length-prefixed frame
+// protocol of service/WireProtocol.h over stdin/stdout, so the same binary
+// serves a pipe, an inetd-style socket wrapper, or an interactive test
+// harness. All policy (validation, result cache, admission control,
+// deadlines, graceful shutdown) lives in service/Service.h; this driver
+// only parses flags and runs the transport loop.
+//
+// Examples:
+//   rc_request --gen "subtree seed=3 n=96 slack=0" --shutdown drain |
+//     rc_serve --jobs 4 | rc_request --decode
+//   rc_serve --jobs 8 --queue-limit 64 --cache 1024 --stats < reqs > resps
+//
+// Exits 0 on a clean ending (Shutdown frame or EOF), 1 when the input
+// stream was poisoned by a malformed frame.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+#include "service/ServiceLoop.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace rc;
+
+static void usage(std::ostream &OS) {
+  OS << "usage: rc_serve [flags] < requests > responses\n"
+        "  --jobs N          worker threads (default 1)\n"
+        "  --queue-limit N   max requests queued or running before new"
+        " ones are answered busy (default 16)\n"
+        "  --cache N         result-cache capacity in entries; 0 disables"
+        " (default 256)\n"
+        "  --max-payload N   reject frames with payloads larger than N"
+        " bytes (default 8 MiB)\n"
+        "  --no-timing       zero wall-clock fields in responses"
+        " (byte-stable across runs)\n"
+        "  --stats           print final service stats to stderr\n";
+}
+
+int main(int Argc, char **Argv) {
+  ServiceConfig Config;
+  ServiceLoopOptions LoopOptions;
+  bool PrintStats = false;
+
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    auto value = [&](const char *Flag) -> const std::string * {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: " << Flag << " requires an argument\n";
+        return nullptr;
+      }
+      return &Args[++I];
+    };
+    if (Args[I] == "--jobs") {
+      const std::string *V = value("--jobs");
+      if (!V)
+        return 2;
+      int N = std::atoi(V->c_str());
+      if (N < 1) {
+        std::cerr << "error: --jobs expects a positive integer\n";
+        return 2;
+      }
+      Config.Workers = static_cast<unsigned>(N);
+    } else if (Args[I] == "--queue-limit") {
+      const std::string *V = value("--queue-limit");
+      if (!V)
+        return 2;
+      int N = std::atoi(V->c_str());
+      if (N < 1) {
+        std::cerr << "error: --queue-limit expects a positive integer\n";
+        return 2;
+      }
+      Config.QueueLimit = static_cast<unsigned>(N);
+    } else if (Args[I] == "--cache") {
+      const std::string *V = value("--cache");
+      if (!V)
+        return 2;
+      long N = std::atol(V->c_str());
+      if (N < 0) {
+        std::cerr << "error: --cache expects a non-negative integer\n";
+        return 2;
+      }
+      Config.CacheCapacity = static_cast<size_t>(N);
+    } else if (Args[I] == "--max-payload") {
+      const std::string *V = value("--max-payload");
+      if (!V)
+        return 2;
+      long long N = std::atoll(V->c_str());
+      if (N < 1) {
+        std::cerr << "error: --max-payload expects a positive byte count\n";
+        return 2;
+      }
+      LoopOptions.MaxPayloadBytes = static_cast<uint32_t>(N);
+    } else if (Args[I] == "--no-timing") {
+      Config.IncludeTiming = false;
+    } else if (Args[I] == "--stats") {
+      PrintStats = true;
+    } else if (Args[I] == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "error: unknown flag '" << Args[I] << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  CoalescingService Service(Config);
+  std::string Error;
+  bool Clean =
+      runServiceLoop(std::cin, std::cout, Service, LoopOptions, &Error);
+
+  if (PrintStats) {
+    ServiceStats S = Service.stats();
+    std::cerr << "rc_serve: requests=" << S.Requests
+              << " completed=" << S.Completed << " timed_out=" << S.TimedOut
+              << " errors=" << S.Errors << " rejected=" << S.Rejected
+              << " bad_requests=" << S.BadRequests
+              << " cache_hits=" << S.CacheHits
+              << " cache_misses=" << S.CacheMisses << "\n";
+  }
+  if (!Clean) {
+    std::cerr << "rc_serve: protocol error: " << Error << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Smoke-tests the rc_serve daemon end to end through rc_request, so
+# `ctest -L tools` (and -L service) locks the transport contract:
+#
+#  1. happy path     -> requests round-trip, ok responses, shutdown ack,
+#                       clean exit
+#  2. cache warm-up  -> repeated identical request answered from the cache
+#                       (byte-identical response payloads, hits in stats)
+#  3. EOF ending     -> daemon drains and exits 0 without an ack
+#  4. garbage input  -> daemon refuses the stream and exits non-zero
+#
+# Usage: tools/rc_serve_smoke.sh <rc_serve> <rc_request>
+
+set -u
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <rc_serve> <rc_request>" >&2
+  exit 2
+fi
+SERVE="$1"
+REQUEST="$2"
+SANDBOX=$(mktemp -d)
+trap 'rm -rf "$SANDBOX"' EXIT
+
+FAILURES=0
+note_failure() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# 1. Two strategies on one generated instance, then a drain shutdown:
+#    3 frames back (2 results + ack), all with healthy statuses.
+"$REQUEST" --gen "subtree seed=3 n=32 slack=0" \
+  --strategies briggs+george,optimistic --shutdown drain \
+  > "$SANDBOX/requests.bin" || note_failure "rc_request emit failed"
+if ! "$SERVE" --jobs 2 --no-timing --stats \
+    < "$SANDBOX/requests.bin" > "$SANDBOX/responses.bin" \
+    2> "$SANDBOX/serve.log"; then
+  note_failure "rc_serve exited non-zero on a clean stream: $(cat "$SANDBOX/serve.log")"
+fi
+if ! "$REQUEST" --decode --expect 3 \
+    < "$SANDBOX/responses.bin" > "$SANDBOX/decoded.jsonl" 2> "$SANDBOX/decode.log"; then
+  note_failure "decode failed: $(cat "$SANDBOX/decode.log")"
+fi
+grep -q '"status":"ok"' "$SANDBOX/decoded.jsonl" \
+  || note_failure "no ok response in $(cat "$SANDBOX/decoded.jsonl")"
+grep -q '"status":"shutting-down"' "$SANDBOX/decoded.jsonl" \
+  || note_failure "no shutdown ack in $(cat "$SANDBOX/decoded.jsonl")"
+grep -q '"stats":{' "$SANDBOX/decoded.jsonl" \
+  || note_failure "shutdown ack carries no stats"
+
+# 2. The same request three times in a --no-timing daemon: the response
+#    payload lines must be byte-identical and the stats must show hits.
+"$REQUEST" --gen "subtree seed=5 n=32 slack=0" --spec briggs \
+  --repeat 3 --shutdown drain > "$SANDBOX/warm.bin" \
+  || note_failure "rc_request warm emit failed"
+"$SERVE" --no-timing --stats < "$SANDBOX/warm.bin" \
+  > "$SANDBOX/warm-responses.bin" 2> "$SANDBOX/warm.log" \
+  || note_failure "rc_serve failed on the warm stream"
+"$REQUEST" --decode --expect 4 < "$SANDBOX/warm-responses.bin" \
+  > "$SANDBOX/warm.jsonl" || note_failure "warm decode failed"
+RESULTS=$(grep -c '"result":' "$SANDBOX/warm.jsonl")
+[ "$RESULTS" = "3" ] || note_failure "expected 3 results, got $RESULTS"
+UNIQUE=$(grep '"result":' "$SANDBOX/warm.jsonl" | sort -u | wc -l)
+[ "$UNIQUE" = "1" ] || note_failure "cached responses not byte-identical"
+grep -q "cache_hits=2" "$SANDBOX/warm.log" \
+  || note_failure "expected 2 cache hits in: $(cat "$SANDBOX/warm.log")"
+
+# 3. EOF without a Shutdown frame: clean exit, one response, no ack.
+"$REQUEST" --gen "subtree seed=7 n=32 slack=0" --spec briggs \
+  > "$SANDBOX/eof.bin" || note_failure "rc_request eof emit failed"
+"$SERVE" < "$SANDBOX/eof.bin" > "$SANDBOX/eof-responses.bin" \
+  || note_failure "rc_serve exited non-zero on EOF ending"
+"$REQUEST" --decode --expect 1 < "$SANDBOX/eof-responses.bin" > /dev/null \
+  || note_failure "EOF stream should yield exactly one response"
+
+# 4. Garbage input poisons the stream: non-zero exit, diagnostic.
+if printf 'this is not a frame' | "$SERVE" > /dev/null 2> "$SANDBOX/bad.log"; then
+  note_failure "rc_serve accepted garbage input"
+fi
+grep -q "protocol error" "$SANDBOX/bad.log" \
+  || note_failure "garbage input not diagnosed: $(cat "$SANDBOX/bad.log")"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES smoke check(s) failed" >&2
+  exit 1
+fi
+echo "rc_serve smoke checks passed"
