@@ -5,11 +5,20 @@
 // with n; the exact solvers for the NP-complete problems (k-coloring,
 // aggressive optimum, de-coalescing optimum) blow up on the same families.
 //
+// The BM_Scale* group exercises the hybrid sparse representation at
+// 10^5..10^6 vertices: graph construction and the scalable coalescing
+// heuristics on arena-backed CSR adjacency. Each runs a single iteration
+// (these are scaling records, not microbenchmarks); edge/affinity counters
+// in the output let the recorded BENCH_scaling.json double as a
+// no-quadratic-blowup check — time per edge should stay flat from 65k to
+// 1M. tools/bench_baseline.sh scaling records them.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 #include "coalescing/Aggressive.h"
 #include "coalescing/ChordalIncremental.h"
+#include "coalescing/Conservative.h"
 #include "graph/Chordal.h"
 #include "graph/ExactColoring.h"
 #include "graph/GreedyColorability.h"
@@ -61,6 +70,76 @@ static void BM_ExpChromaticNumber(benchmark::State &State) {
   State.counters["refutation_nodes"] = static_cast<double>(Nodes);
 }
 BENCHMARK(BM_ExpChromaticNumber)->DenseRange(10, 30, 5);
+
+// --- Scale side: arena-backed CSR at 10^5..10^6 vertices --------------------
+
+static void BM_ScaleChordalBuild(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  uint64_t Edges = 0;
+  for (auto _ : State) {
+    Graph G = bench::makeChordalGraph(N, 75);
+    Edges = G.numEdges();
+    benchmark::DoNotOptimize(Edges);
+  }
+  State.counters["vertices"] = static_cast<double>(N);
+  State.counters["edges"] = static_cast<double>(Edges);
+}
+BENCHMARK(BM_ScaleChordalBuild)
+    ->Arg(65536)
+    ->Arg(1048576)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_ScaleSparseBuild(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  uint64_t Edges = 0;
+  for (auto _ : State) {
+    Rng Rand(76);
+    Graph G = randomSparseGraph(N, 8.0, Rand);
+    Edges = G.numEdges();
+    benchmark::DoNotOptimize(Edges);
+  }
+  State.counters["vertices"] = static_cast<double>(N);
+  State.counters["edges"] = static_cast<double>(Edges);
+}
+BENCHMARK(BM_ScaleSparseBuild)
+    ->Arg(65536)
+    ->Arg(1048576)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_ScaleConservativeBriggs(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  // Generation is measured by BM_ScaleChordalBuild; keep it out of the
+  // timed region here.
+  CoalescingProblem P = bench::makeChallengeProblem(N, 77, /*Slack=*/2);
+  for (auto _ : State) {
+    ConservativeResult R = conservativeCoalesce(P, ConservativeRule::Briggs);
+    benchmark::DoNotOptimize(R.Solution.NumClasses);
+  }
+  State.counters["vertices"] = static_cast<double>(N);
+  State.counters["edges"] = static_cast<double>(P.G.numEdges());
+  State.counters["affinities"] = static_cast<double>(P.Affinities.size());
+}
+BENCHMARK(BM_ScaleConservativeBriggs)
+    ->Arg(65536)
+    ->Arg(1048576)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_ScaleGreedyElimination(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Graph G = bench::makeChordalGraph(N, 78);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(greedyEliminate(G, 8).Success);
+  State.counters["vertices"] = static_cast<double>(N);
+  State.counters["edges"] = static_cast<double>(G.numEdges());
+}
+BENCHMARK(BM_ScaleGreedyElimination)
+    ->Arg(65536)
+    ->Arg(1048576)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 static void BM_ExpAggressiveOptimum(benchmark::State &State) {
   Rng Rand(74);

@@ -1,0 +1,158 @@
+//===- challenge/ChallengeBinary.cpp - Binary instance format -------------===//
+
+#include "challenge/ChallengeBinary.h"
+
+#include "challenge/ChallengeFormat.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+using namespace rc;
+
+namespace {
+
+/// Little-endian byte packing, host-endianness-independent.
+void putU32(std::ostream &OS, uint32_t X) {
+  char B[4] = {static_cast<char>(X), static_cast<char>(X >> 8),
+               static_cast<char>(X >> 16), static_cast<char>(X >> 24)};
+  OS.write(B, 4);
+}
+
+void putU64(std::ostream &OS, uint64_t X) {
+  putU32(OS, static_cast<uint32_t>(X));
+  putU32(OS, static_cast<uint32_t>(X >> 32));
+}
+
+bool getU32(std::istream &IS, uint32_t &X) {
+  unsigned char B[4];
+  if (!IS.read(reinterpret_cast<char *>(B), 4))
+    return false;
+  X = static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+      (static_cast<uint32_t>(B[2]) << 16) | (static_cast<uint32_t>(B[3]) << 24);
+  return true;
+}
+
+bool getU64(std::istream &IS, uint64_t &X) {
+  uint32_t Lo, Hi;
+  if (!getU32(IS, Lo) || !getU32(IS, Hi))
+    return false;
+  X = static_cast<uint64_t>(Lo) | (static_cast<uint64_t>(Hi) << 32);
+  return true;
+}
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+} // namespace
+
+void rc::writeChallengeBinary(std::ostream &OS, const CoalescingProblem &P) {
+  // Canonical edge order: collect (u, v) with u < v and sort. Sparse-mode
+  // adjacency is already sorted per row, so the global sort is near-free
+  // there; dense insertion order pays one O(E log E) pass.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  Edges.reserve(P.G.numEdges());
+  for (unsigned U = 0; U < P.G.numVertices(); ++U)
+    for (unsigned V : P.G.neighbors(U))
+      if (V > U)
+        Edges.push_back({U, V});
+  std::sort(Edges.begin(), Edges.end());
+
+  OS.write(ChallengeBinaryMagic, 4);
+  putU32(OS, ChallengeBinaryVersion);
+  putU32(OS, P.K);
+  putU32(OS, P.G.numVertices());
+  putU64(OS, Edges.size());
+  putU64(OS, P.Affinities.size());
+  for (const auto &[U, V] : Edges) {
+    putU32(OS, U);
+    putU32(OS, V);
+  }
+  for (const Affinity &A : P.Affinities) {
+    putU32(OS, A.U);
+    putU32(OS, A.V);
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(A.Weight));
+    std::memcpy(&Bits, &A.Weight, sizeof(Bits));
+    putU64(OS, Bits);
+  }
+}
+
+bool rc::readChallengeBinary(std::istream &IS, CoalescingProblem &P,
+                             std::string *Error) {
+  P = CoalescingProblem();
+  char Magic[4];
+  if (!IS.read(Magic, 4))
+    return fail(Error, "truncated header (missing magic)");
+  if (std::memcmp(Magic, ChallengeBinaryMagic, 4) != 0)
+    return fail(Error, "bad magic (not a binary challenge file)");
+  uint32_t Version, K, N;
+  uint64_t EdgeCount, AffinityCount;
+  if (!getU32(IS, Version) || !getU32(IS, K) || !getU32(IS, N) ||
+      !getU64(IS, EdgeCount) || !getU64(IS, AffinityCount))
+    return fail(Error, "truncated header");
+  if (Version != ChallengeBinaryVersion)
+    return fail(Error, "unsupported format version " + std::to_string(Version));
+  // An edge list longer than n*(n-1)/2 cannot be valid; rejecting here also
+  // stops a corrupt count from driving a giant allocation loop.
+  if (N > 0 && EdgeCount > static_cast<uint64_t>(N) * (N - 1) / 2)
+    return fail(Error, "edge count exceeds n*(n-1)/2");
+  if (N == 0 && (EdgeCount || AffinityCount))
+    return fail(Error, "edges or affinities with n = 0");
+
+  P.K = K;
+  P.G = Graph(N);
+  P.G.reserveVertices(N, EdgeCount);
+  uint32_t PrevU = 0, PrevV = 0;
+  for (uint64_t I = 0; I < EdgeCount; ++I) {
+    uint32_t U, V;
+    if (!getU32(IS, U) || !getU32(IS, V))
+      return fail(Error, "truncated edge list at edge " + std::to_string(I));
+    if (U >= N || V >= N)
+      return fail(Error, "edge endpoint out of range at edge " +
+                             std::to_string(I));
+    if (U >= V)
+      return fail(Error, "edge not in canonical u < v form at edge " +
+                             std::to_string(I));
+    if (I > 0 && (U < PrevU || (U == PrevU && V <= PrevV)))
+      return fail(Error, "edges not sorted (or duplicated) at edge " +
+                             std::to_string(I));
+    PrevU = U;
+    PrevV = V;
+    P.G.addEdge(U, V);
+  }
+  P.Affinities.reserve(AffinityCount);
+  for (uint64_t I = 0; I < AffinityCount; ++I) {
+    uint32_t U, V;
+    uint64_t Bits;
+    if (!getU32(IS, U) || !getU32(IS, V) || !getU64(IS, Bits))
+      return fail(Error,
+                  "truncated affinity list at affinity " + std::to_string(I));
+    if (U >= N || V >= N || U == V)
+      return fail(Error, "malformed affinity endpoints at affinity " +
+                             std::to_string(I));
+    double W;
+    std::memcpy(&W, &Bits, sizeof(W));
+    P.Affinities.push_back({U, V, W});
+  }
+  if (IS.peek() != std::istream::traits_type::eof())
+    return fail(Error, "trailing bytes after affinity list");
+  return true;
+}
+
+bool rc::readChallengeAuto(std::istream &IS, CoalescingProblem &P,
+                           std::string *Error) {
+  char Magic[4];
+  IS.read(Magic, 4);
+  std::streamsize Got = IS.gcount();
+  bool Binary =
+      Got == 4 && std::memcmp(Magic, ChallengeBinaryMagic, 4) == 0;
+  // Rewind: clear a short-read EOF first so seekg works on tiny files.
+  IS.clear();
+  IS.seekg(0);
+  return Binary ? readChallengeBinary(IS, P, Error)
+                : readChallenge(IS, P, Error);
+}

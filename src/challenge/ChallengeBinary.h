@@ -1,0 +1,78 @@
+//===- challenge/ChallengeBinary.h - Binary instance format -----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact versioned binary serialization of coalescing instances, the
+/// mmap-friendly twin of the challenge text format (ChallengeFormat.h).
+/// Large sweeps read and write this at a fraction of the text parse cost
+/// and a fraction of the size; rc_convert translates between the two.
+///
+/// Layout (all integers little-endian, no padding):
+///
+///   offset  size  field
+///        0     4  magic "RCBF"
+///        4     4  format version (currently 1)
+///        8     4  k (register count)
+///       12     4  n (vertex count)
+///       16     8  edge count E
+///       24     8  affinity count A
+///       32   8*E  edges: (u32 u, u32 v) with u < v, sorted
+///                 lexicographically ascending (canonical, so equal edge
+///                 sets serialize byte-identically)
+///   32+8*E  16*A  affinities: (u32 u, u32 v, u64 IEEE-754 double bits of
+///                 the weight), in list order
+///
+/// A reader written for version 1 rejects any other version rather than
+/// guessing; writers always emit the current version. The format is
+/// little-endian on disk regardless of host byte order (serialization goes
+/// through explicit byte packing, not struct dumps). Readers validate
+/// endpoints, edge ordering, self-loops, truncation, and trailing bytes,
+/// so a corrupt or foreign file fails loudly instead of producing a
+/// plausible-looking instance.
+///
+/// Vertex names are a diagnostic nicety of the text pipeline and are not
+/// carried by the binary format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHALLENGE_CHALLENGEBINARY_H
+#define CHALLENGE_CHALLENGEBINARY_H
+
+#include "coalescing/Problem.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace rc {
+
+/// The 4-byte magic that opens every binary challenge file.
+inline constexpr char ChallengeBinaryMagic[4] = {'R', 'C', 'B', 'F'};
+
+/// The format version this build reads and writes.
+inline constexpr uint32_t ChallengeBinaryVersion = 1;
+
+/// Writes \p P in the binary format. Edges are emitted in canonical
+/// (sorted, u < v) order whatever the graph's internal adjacency order.
+void writeChallengeBinary(std::ostream &OS, const CoalescingProblem &P);
+
+/// Parses a binary instance from \p IS (opened in binary mode).
+///
+/// \param [out] Error diagnostic on failure.
+/// \returns true on success, storing the instance into \p P.
+bool readChallengeBinary(std::istream &IS, CoalescingProblem &P,
+                         std::string *Error = nullptr);
+
+/// Reads either format from \p IS by peeking at the magic: a stream that
+/// starts with "RCBF" parses as binary, anything else as challenge text.
+/// Callers opening files should use binary mode so text detection is not
+/// distorted by newline translation.
+bool readChallengeAuto(std::istream &IS, CoalescingProblem &P,
+                       std::string *Error = nullptr);
+
+} // namespace rc
+
+#endif // CHALLENGE_CHALLENGEBINARY_H

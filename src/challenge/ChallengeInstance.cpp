@@ -8,6 +8,7 @@
 #include "ir/ProgramGenerator.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 using namespace rc;
 
@@ -30,11 +31,13 @@ rc::generateChallengeInstance(const ChallengeOptions &Options, Rng &Rand) {
   unsigned Wanted = static_cast<unsigned>(
       static_cast<double>(Options.NumValues) * Options.AffinityFraction);
   std::vector<Affinity> Affinities;
-  auto alreadyHave = [&Affinities](unsigned U, unsigned V) {
-    for (const Affinity &A : Affinities)
-      if ((A.U == U && A.V == V) || (A.U == V && A.V == U))
-        return true;
-    return false;
+  // Endpoint pairs already used, keyed (min,max) packed into one word so the
+  // dedup probe is O(1) instead of a scan over the affinity list (which made
+  // dense affinity sampling quadratic at large n).
+  std::unordered_set<uint64_t> UsedPairs;
+  auto alreadyHave = [&UsedPairs](unsigned U, unsigned V) {
+    uint64_t Lo = std::min(U, V), Hi = std::max(U, V);
+    return UsedPairs.count((Lo << 32) | Hi) != 0;
   };
 
   unsigned Attempts = 0, MaxAttempts = Wanted * 50;
@@ -52,6 +55,8 @@ rc::generateChallengeInstance(const ChallengeOptions &Options, Rng &Rand) {
     if (U == V || P.G.hasEdge(U, V) || alreadyHave(U, V))
       continue;
     double W = 1.0 + static_cast<double>(Rand.nextBelow(Options.MaxWeight));
+    uint64_t Lo = std::min(U, V), Hi = std::max(U, V);
+    UsedPairs.insert((Lo << 32) | Hi);
     Affinities.push_back({U, V, W});
   }
   P.Affinities = std::move(Affinities);

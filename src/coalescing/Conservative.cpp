@@ -73,6 +73,13 @@ bool rc::briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K,
       // shrink it), so the test passes without looking at any neighbor.
       Passed = true;
       Decided = true;
+    } else {
+      // Sparse cached sweep: stamped scratch rows make common-neighbor
+      // checks O(1), so the count costs O(deg(u) + deg(v)) instead of the
+      // walk's binary search per neighbor. The sweep skips the endpoints
+      // like the walk does, so the limit needs no adjacency correction.
+      Passed = WG.briggsHighDegreeBelowSparse(CU, CV, K);
+      Decided = true;
     }
   }
   if (!Decided)
@@ -125,8 +132,12 @@ bool rc::georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K,
         --SU;
       if (SU == 0) {
         Passed = true;
-        Decided = true;
+      } else {
+        // Sparse cached sweep: stamp CV's row once, then each significant
+        // neighbor of CU is one O(1) probe instead of a binary search.
+        Passed = WG.georgeWitnessesEmptySparse(CU, CV);
       }
+      Decided = true;
     }
   }
   if (!Decided)

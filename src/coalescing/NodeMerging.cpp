@@ -36,8 +36,8 @@ NodeMergingResult rc::mergeNodesForColorability(const Graph &G, unsigned K) {
           continue;
         // Two-pointer intersection count over the sorted neighbor lists.
         unsigned Common = 0;
-        const std::vector<unsigned> &NA = WG.neighborClasses(A);
-        const std::vector<unsigned> &NB = WG.neighborClasses(B);
+        VertexSpan NA = WG.neighborClasses(A);
+        VertexSpan NB = WG.neighborClasses(B);
         for (size_t IA = 0, IB = 0; IA < NA.size() && IB < NB.size();) {
           if (NA[IA] < NB[IB])
             ++IA;

@@ -18,14 +18,18 @@ static void appendBits(const uint64_t *Row, unsigned Words,
 WorkGraph::WorkGraph(const Graph &G, unsigned DenseThreshold)
     : Original(G), Dense(G.numVertices() <= DenseThreshold),
       Rep(G.numVertices()), Rank(G.numVertices(), 0),
-      ClassAdj(G.numVertices()), Members(G.numVertices()),
-      NumClasses(G.numVertices()) {
+      Members(G.numVertices()), NumClasses(G.numVertices()) {
   unsigned N = G.numVertices();
   if (Dense) {
     ClassEdges.reset(N);
     Deg.assign(N, 0);
     AdjStamp.assign(N, 0);
+    ClassAdj.resize(N);
+  } else {
+    ClassArena.reset(N);
+    ClassArena.reserveEntries(2 * static_cast<size_t>(G.numEdges()));
   }
+  std::vector<unsigned> Sorted;
   for (unsigned V = 0; V < N; ++V) {
     Rep[V] = V;
     Members[V] = {V};
@@ -39,8 +43,12 @@ WorkGraph::WorkGraph(const Graph &G, unsigned DenseThreshold)
       for (unsigned W : G.neighbors(V))
         R[W >> 6] |= uint64_t(1) << (W & 63);
     } else {
-      ClassAdj[V] = G.neighbors(V);
-      std::sort(ClassAdj[V].begin(), ClassAdj[V].end());
+      // The arena rows are sorted; a dense-mode Graph hands out neighbors
+      // in insertion order, so sort through a reused scratch buffer.
+      VertexSpan Nbrs = G.neighbors(V);
+      Sorted.assign(Nbrs.begin(), Nbrs.end());
+      std::sort(Sorted.begin(), Sorted.end());
+      ClassArena.assignRow(V, Sorted);
     }
   }
 }
@@ -73,15 +81,75 @@ void WorkGraph::enableDegreeCache(unsigned K) {
         setDegreeBits(V, classDegree(V));
     return;
   }
+  // Sparse mode keeps the same threshold masks (probed per neighbor by
+  // the stamped-scratch tests) plus the per-class significant-neighbor
+  // counters the O(1) free-pass shortcuts read.
   SigCount.assign(N, 0);
+  SigWords.assign((static_cast<size_t>(N) + 63) / 64, 0);
+  ExactKWords.assign((static_cast<size_t>(N) + 63) / 64, 0);
+  ScratchA.resize(N);
+  ScratchB.resize(N);
   for (unsigned V = 0; V < N; ++V) {
     if (Rep[V] != V)
       continue;
+    setDegreeBits(V, classDegree(V));
     if (classDegree(V) < K)
       continue;
-    for (unsigned X : ClassAdj[V])
+    for (unsigned X : ClassArena.row(V))
       ++SigCount[X];
   }
+}
+
+bool WorkGraph::briggsHighDegreeBelowSparse(unsigned CU, unsigned CV,
+                                            unsigned Limit) const {
+  assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+  auto SigBit = [this](unsigned C) {
+    return (SigWords[C >> 6] >> (C & 63)) & 1;
+  };
+  auto ExactKBit = [this](unsigned C) {
+    return (ExactKWords[C >> 6] >> (C & 63)) & 1;
+  };
+  // Stamp CV's neighborhood once; commons in CU's walk become O(1) probes.
+  ScratchA.clear();
+  VertexSpan RV = ClassArena.row(CV);
+  for (unsigned X : RV)
+    ScratchA.set(X);
+  unsigned High = 0;
+  for (unsigned N : ClassArena.row(CU)) {
+    if (N == CV || !SigBit(N))
+      continue;
+    // A common neighbor loses one degree in the merge: it stays high only
+    // above K, i.e. significant but not exactly K.
+    if (ScratchA.test(N) && ExactKBit(N))
+      continue;
+    if (++High >= Limit)
+      return false;
+  }
+  // Second loop: CV's exclusive neighbors (commons were counted above).
+  ScratchB.clear();
+  for (unsigned X : ClassArena.row(CU))
+    ScratchB.set(X);
+  for (unsigned N : RV) {
+    if (N == CU || ScratchB.test(N) || !SigBit(N))
+      continue;
+    if (++High >= Limit)
+      return false;
+  }
+  return true;
+}
+
+bool WorkGraph::georgeWitnessesEmptySparse(unsigned CU, unsigned CV) const {
+  assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+  ScratchA.clear();
+  for (unsigned X : ClassArena.row(CV))
+    ScratchA.set(X);
+  for (unsigned N : ClassArena.row(CU)) {
+    if (N == CV)
+      continue;
+    if (((SigWords[N >> 6] >> (N & 63)) & 1) && !ScratchA.test(N))
+      return false;
+  }
+  return true;
 }
 
 void WorkGraph::appendBriggsHighDegree(unsigned CU, unsigned CV,
@@ -172,7 +240,7 @@ void WorkGraph::updateDegreeCache(unsigned Root, unsigned Loser,
   // already significant, only the newly adjacent ones do.
   if (RootDegNew >= K) {
     if (RootDegOld < K) {
-      for (unsigned X : ClassAdj[Root])
+      for (unsigned X : ClassArena.row(Root))
         SigCount[X] += D;
     } else {
       for (unsigned X : NewNeighbors)
@@ -190,13 +258,25 @@ void WorkGraph::updateDegreeCache(unsigned Root, unsigned Loser,
   // flipped to insignificant for its whole (post-merge) neighborhood.
   for (unsigned X : Commons) {
     if (classDegree(X) == K - 1)
-      for (unsigned Y : ClassAdj[X])
+      for (unsigned Y : ClassArena.row(X))
         SigCount[Y] -= D;
   }
 
   // SigCount[Loser] is deliberately left at its pre-merge value: the class
   // is dead, and exact LIFO rollback makes the frozen value correct again
   // the moment the class revives.
+
+  // Sparse mode maintains the same threshold masks as dense mode (the
+  // stamped-scratch sweeps probe them per neighbor). Bit updates depend
+  // only on class degrees, so the undo direction restores them exactly.
+  for (unsigned X : Commons) {
+    unsigned NewDeg = classDegree(X);
+    if (NewDeg == K - 1 || NewDeg == K)
+      setDegreeBits(X, Undo ? NewDeg + 1 : NewDeg);
+  }
+  setDegreeBits(Root, Undo ? RootDegOld : RootDegNew);
+  // Degree 0 on merge clears both of the dead loser's mask bits (K > 0).
+  setDegreeBits(Loser, Undo ? LoserDeg : 0);
 }
 
 unsigned WorkGraph::merge(unsigned U, unsigned V) {
@@ -291,39 +371,36 @@ unsigned WorkGraph::merge(unsigned U, unsigned V) {
     AdjStamp[Root] = 0;
     AdjStamp[Loser] = 0;
   } else {
-    std::vector<unsigned> &RootAdj = ClassAdj[Root];
-    std::vector<unsigned> &LoserAdj = ClassAdj[Loser];
+    // Copy the loser's row out of the arena first: every arena mutation
+    // below may relocate rows or compact the pool, so spans cannot be
+    // held across the relink.
+    VertexSpan LoserRow = ClassArena.row(Loser);
+    LoserAdjList.assign(LoserRow.begin(), LoserRow.end());
+    VertexSpan RootRow = ClassArena.row(Root);
 
-    // Loser neighbors not already adjacent to Root (both lists sorted).
-    std::set_difference(LoserAdj.begin(), LoserAdj.end(), RootAdj.begin(),
-                        RootAdj.end(), std::back_inserter(NewNeighbors));
-
-    // Relink the loser's neighbors: drop Loser everywhere, add Root where
-    // it was not already adjacent. canMerge guarantees Root is not in
-    // LoserAdj.
-    for (unsigned X : LoserAdj) {
-      std::vector<unsigned> &XA = ClassAdj[X];
-      auto It = std::lower_bound(XA.begin(), XA.end(), Loser);
-      assert(It != XA.end() && *It == Loser && "asymmetric class adjacency");
-      XA.erase(It);
-    }
-    for (unsigned X : NewNeighbors) {
-      std::vector<unsigned> &XA = ClassAdj[X];
-      XA.insert(std::lower_bound(XA.begin(), XA.end(), Root), Root);
-    }
-    if (!NewNeighbors.empty()) {
-      std::vector<unsigned> Merged;
-      Merged.reserve(RootAdj.size() + NewNeighbors.size());
-      std::merge(RootAdj.begin(), RootAdj.end(), NewNeighbors.begin(),
-                 NewNeighbors.end(), std::back_inserter(Merged));
-      RootAdj.swap(Merged);
-    }
+    // Loser neighbors not already adjacent to Root (both rows sorted).
+    NewNeighbors.reserve(LoserAdjList.size());
+    std::set_difference(LoserAdjList.begin(), LoserAdjList.end(),
+                        RootRow.begin(), RootRow.end(),
+                        std::back_inserter(NewNeighbors));
     if (NeedCommons) {
-      Commons.reserve(LoserAdj.size() - NewNeighbors.size());
-      std::set_difference(LoserAdj.begin(), LoserAdj.end(),
+      Commons.reserve(LoserAdjList.size() - NewNeighbors.size());
+      std::set_difference(LoserAdjList.begin(), LoserAdjList.end(),
                           NewNeighbors.begin(), NewNeighbors.end(),
                           std::back_inserter(Commons));
     }
+
+    // Relink the loser's neighbors: drop Loser everywhere, add Root where
+    // it was not already adjacent. canMerge guarantees Root is not in the
+    // loser's row.
+    for (unsigned X : LoserAdjList) {
+      [[maybe_unused]] bool Erased = ClassArena.erase(X, Loser);
+      assert(Erased && "asymmetric class adjacency");
+    }
+    for (unsigned X : NewNeighbors)
+      ClassArena.insert(X, Root);
+    ClassArena.mergeSorted(Root, NewNeighbors);
+    ClassArena.clearRow(Loser);
   }
 
   unsigned RootMembersBefore = static_cast<unsigned>(Members[Root].size());
@@ -334,10 +411,8 @@ unsigned WorkGraph::merge(unsigned U, unsigned V) {
   --NumClasses;
 
   if (NeedCommons) {
-    const std::vector<unsigned> &LoserAdj =
-        Dense ? LoserAdjList : ClassAdj[Loser];
     if (CacheK)
-      updateDegreeCache(Root, Loser, LoserAdj, NewNeighbors, Commons,
+      updateDegreeCache(Root, Loser, LoserAdjList, NewNeighbors, Commons,
                         /*Undo=*/false);
     if (Observer)
       Observer->onMergeTouched(Root, Loser, Commons);
@@ -351,17 +426,18 @@ unsigned WorkGraph::merge(unsigned U, unsigned V) {
     Rec.Loser = Loser;
     Rec.RootMembersBefore = RootMembersBefore;
     Rec.RankBumped = RankBumped;
-    Rec.LoserAdj = Dense ? std::move(LoserAdjList)
-                         : std::move(ClassAdj[Loser]);
+    Rec.LoserAdj = std::move(LoserAdjList);
     Rec.LoserMembers = std::move(Members[Loser]);
     Rec.NewRootNeighbors = std::move(NewNeighbors);
-    ClassAdj[Loser].clear();
+    if (Dense)
+      ClassAdj[Loser].clear();
     Members[Loser].clear();
     UndoLog.push_back(std::move(Rec));
   } else {
     // Committed for good: release the loser's storage instead of leaving
     // it alive for the rest of the run.
-    std::vector<unsigned>().swap(ClassAdj[Loser]);
+    if (Dense)
+      std::vector<unsigned>().swap(ClassAdj[Loser]);
     std::vector<unsigned>().swap(Members[Loser]);
   }
 
@@ -429,28 +505,15 @@ void WorkGraph::undoMerge(MergeRecord &Rec) {
     AdjStamp[Loser] = 1;
   } else {
     // Undo the adjacency relink: take back the root-side entries the merge
-    // added, then revive the loser's row.
+    // added, then revive the loser's row from the record.
     for (unsigned X : Rec.NewRootNeighbors) {
-      std::vector<unsigned> &XA = ClassAdj[X];
-      auto It = std::lower_bound(XA.begin(), XA.end(), Root);
-      assert(It != XA.end() && *It == Root && "undo of unrecorded neighbor");
-      XA.erase(It);
+      [[maybe_unused]] bool Erased = ClassArena.erase(X, Root);
+      assert(Erased && "undo of unrecorded neighbor");
     }
-    if (!Rec.NewRootNeighbors.empty()) {
-      std::vector<unsigned> &RootAdj = ClassAdj[Root];
-      std::vector<unsigned> Restored;
-      Restored.reserve(RootAdj.size() - Rec.NewRootNeighbors.size());
-      std::set_difference(RootAdj.begin(), RootAdj.end(),
-                          Rec.NewRootNeighbors.begin(),
-                          Rec.NewRootNeighbors.end(),
-                          std::back_inserter(Restored));
-      RootAdj.swap(Restored);
-    }
-    ClassAdj[Loser] = std::move(Rec.LoserAdj);
-    for (unsigned X : ClassAdj[Loser]) {
-      std::vector<unsigned> &XA = ClassAdj[X];
-      XA.insert(std::lower_bound(XA.begin(), XA.end(), Loser), Loser);
-    }
+    ClassArena.removeSorted(Root, Rec.NewRootNeighbors);
+    ClassArena.assignRow(Loser, Rec.LoserAdj);
+    for (unsigned X : Rec.LoserAdj)
+      ClassArena.insert(X, Loser);
   }
 
   ++NumClasses;
@@ -556,8 +619,8 @@ bool WorkGraph::quotientGreedyKColorable(
     // colorability checks (brute-force probing) re-materialize only the
     // lists a merge invalidated, and iterate warm contiguous vectors
     // everywhere else.
-    const std::vector<unsigned> &Nbrs =
-        Dense ? materializedNeighbors(V) : ClassAdj[V];
+    VertexSpan Nbrs =
+        Dense ? VertexSpan(materializedNeighbors(V)) : ClassArena.row(V);
     for (unsigned W : Nbrs) {
       if (Removed[W])
         continue;

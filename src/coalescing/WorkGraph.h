@@ -18,9 +18,14 @@
 ///    the loser's column word-at-a-time, interference tests are O(1) bit
 ///    probes, and common-neighbor counts are masked popcounts. Sorted
 ///    neighbor vectors are materialized lazily, only when a caller asks
-///    for a class's neighbor list. Above the threshold the sorted vectors
-///    are the primary representation, updated eagerly on every merge, and
-///    tests binary-search the smaller list.
+///    for a class's neighbor list. Above the threshold the sorted rows
+///    live in one pooled adjacency arena (support/AdjacencyArena) — the
+///    primary representation, updated eagerly on every merge; tests
+///    binary-search the smaller row. The cached Briggs/George sweeps keep
+///    paying off past the threshold via epoch-stamped scratch bit rows
+///    (support/StampedBitRow): one neighbor list is stamped, the other
+///    probed, so a safety test is O(deg(u) + deg(v)) with O(1) membership
+///    checks and no O(classes) clearing.
 ///  - Merge undo-log. checkpoint()/rollback() bracket speculative merges so
 ///    probing strategies (brute-force conservative test, exact branch and
 ///    bound, optimistic de-coalescing) no longer deep-copy the graph.
@@ -48,8 +53,11 @@
 #include "coalescing/Problem.h"
 #include "coalescing/Telemetry.h"
 #include "graph/Graph.h"
+#include "support/AdjacencyArena.h"
 #include "support/BitRows.h"
 #include "support/CancelToken.h"
+#include "support/StampedBitRow.h"
+#include "support/VertexSpan.h"
 
 #include <algorithm>
 #include <vector>
@@ -98,28 +106,26 @@ public:
       return false;
     if (Dense)
       return ClassEdges.test(CU, CV);
-    const std::vector<unsigned> &A =
-        ClassAdj[CU].size() <= ClassAdj[CV].size() ? ClassAdj[CU]
-                                                   : ClassAdj[CV];
-    unsigned Other = &A == &ClassAdj[CU] ? CV : CU;
-    return std::binary_search(A.begin(), A.end(), Other);
+    return ClassArena.rowSize(CU) <= ClassArena.rowSize(CV)
+               ? ClassArena.contains(CU, CV)
+               : ClassArena.contains(CV, CU);
   }
 
   /// Number of interfering neighbor classes of the class of \p V
   /// (maintained incrementally in both adjacency modes).
   unsigned degree(unsigned V) const {
     unsigned C = Rep[V];
-    return Dense ? Deg[C] : static_cast<unsigned>(ClassAdj[C].size());
+    return Dense ? Deg[C] : ClassArena.rowSize(C);
   }
 
   /// The neighbor classes (as representatives, sorted ascending) of the
   /// class of \p V. In dense mode the list is materialized from the
-  /// class's bit row on first use after a merge or rollback; the reference
-  /// stays valid until the next merge, rollback, or materialization of
-  /// that same class.
-  const std::vector<unsigned> &neighborClasses(unsigned V) const {
+  /// class's bit row on first use after a merge or rollback. The span
+  /// stays valid until the next merge, rollback, or (dense mode)
+  /// materialization of that same class.
+  VertexSpan neighborClasses(unsigned V) const {
     unsigned C = Rep[V];
-    return Dense ? materializedNeighbors(C) : ClassAdj[C];
+    return Dense ? VertexSpan(materializedNeighbors(C)) : ClassArena.row(C);
   }
 
   /// Original vertices in the class of \p V.
@@ -139,9 +145,10 @@ public:
 
   // --- Degree cache ------------------------------------------------------
 
-  /// Starts maintaining significance state for \p K: in dense mode, bit
-  /// masks of the significant (degree >= \p K) and exactly-K classes; in
-  /// sparse mode, a per-class count of significant neighbors. The cache is
+  /// Starts maintaining significance state for \p K: bit masks of the
+  /// significant (degree >= \p K) and exactly-K classes in both adjacency
+  /// modes, plus, in sparse mode, a per-class count of significant
+  /// neighbors. The cache is
   /// updated inside merge() and its undo, so briggsTest/georgeTest read
   /// masked popcounts (or counters) instead of probing neighbor sets. Must not be enabled while
   /// merges that predate the call are still subject to rollback (enable
@@ -208,6 +215,24 @@ public:
     }
     return true;
   }
+
+  /// Sparse mode with an enabled cache: true iff the Briggs high-degree
+  /// count for a merge of \p CU and \p CV stays below \p Limit — the
+  /// stamped-bit-row analog of briggsHighDegreeBelow. One scratch row is
+  /// stamped with each endpoint's neighbors, so common-neighbor checks are
+  /// O(1) probes instead of binary searches; significance and exactly-K
+  /// come from the threshold masks the degree cache maintains in both
+  /// modes. The endpoints themselves are skipped (walk semantics), so no
+  /// limit correction is needed. Decision-identical to the set-probing
+  /// walk. Aborts as soon as the count reaches \p Limit.
+  bool briggsHighDegreeBelowSparse(unsigned CU, unsigned CV,
+                                   unsigned Limit) const;
+
+  /// Sparse mode with an enabled cache: true iff the George test passes
+  /// for merging \p CU into \p CV — no significant neighbor of \p CU
+  /// (other than \p CV itself) lies outside \p CV's neighborhood. Stamps
+  /// \p CV's row once, then probes it per significant neighbor of \p CU.
+  bool georgeWitnessesEmptySparse(unsigned CU, unsigned CV) const;
 
   /// Dense mode with an enabled cache: appends to \p Out the classes the
   /// Briggs test counts as high-degree for a merge of \p CU and \p CV —
@@ -334,7 +359,7 @@ private:
 
   /// Class degree through the mode-appropriate representation.
   unsigned classDegree(unsigned C) const {
-    return Dense ? Deg[C] : static_cast<unsigned>(ClassAdj[C].size());
+    return Dense ? Deg[C] : ClassArena.rowSize(C);
   }
 
   /// Dense mode: rebuilds ClassAdj[C] from the class's bit row unless it
@@ -377,13 +402,15 @@ private:
   /// bits and rollback re-sets them — so masked popcounts never see dead
   /// classes.
   BitRows ClassEdges;
+  /// Sparse mode only: the primary class adjacency — pooled sorted rows
+  /// keyed by representative, updated eagerly on every merge and undo.
+  AdjacencyArena ClassArena;
   /// Per original vertex: its class representative (eagerly maintained).
   std::vector<unsigned> Rep;
   /// Union-by-rank state per representative (see file comment).
   std::vector<unsigned> Rank;
-  /// Keyed by representative; sorted vectors of representatives. Primary
-  /// (eagerly maintained) in sparse mode; in dense mode a lazily
-  /// materialized cache of the bit rows, valid while AdjStamp is set.
+  /// Dense mode only: lazily materialized sorted neighbor vectors cached
+  /// from the bit rows, valid while AdjStamp is set.
   mutable std::vector<std::vector<unsigned>> ClassAdj;
   /// Dense mode: per-representative class degree. Dead classes freeze at
   /// their pre-merge degree, which is exactly what rollback restores.
@@ -402,13 +429,18 @@ private:
   /// SigCount[C] (sparse mode only) counts neighbor classes of live class
   /// C with degree >= CacheK; entries of dead classes freeze at their
   /// pre-merge value, which is exactly what rollback restores.
-  /// SigWords/ExactKWords (dense mode only) are one bit per class: degree
+  /// SigWords/ExactKWords (both modes) are one bit per class: degree
   /// >= CacheK resp. == CacheK, with dead classes cleared. Dense mode
-  /// keeps no per-class counters — the tests sweep the masks directly.
+  /// sweeps them word-parallel against the bit rows; sparse mode probes
+  /// them per neighbor in the stamped-scratch tests.
   unsigned CacheK = 0;
   std::vector<unsigned> SigCount;
   std::vector<uint64_t> SigWords;
   std::vector<uint64_t> ExactKWords;
+  /// Sparse cached tests: reusable scratch bit rows (O(1) clear via epoch
+  /// stamps). Mutable — the tests are logically const.
+  mutable StampedBitRow ScratchA;
+  mutable StampedBitRow ScratchB;
 
   std::vector<MergeRecord> UndoLog;
   /// Active checkpoints (positions into UndoLog, non-decreasing).

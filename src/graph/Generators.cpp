@@ -16,6 +16,30 @@ Graph rc::randomGraph(unsigned NumVertices, double EdgeProbability,
   return G;
 }
 
+Graph rc::randomSparseGraph(unsigned NumVertices, double AvgDegree,
+                            Rng &Rand) {
+  Graph G(NumVertices);
+  if (NumVertices < 2)
+    return G;
+  size_t Target = static_cast<size_t>(
+      static_cast<double>(NumVertices) * AvgDegree / 2.0);
+  size_t MaxEdges =
+      static_cast<size_t>(NumVertices) * (NumVertices - 1) / 2;
+  Target = std::min(Target, MaxEdges);
+  G.reserveVertices(NumVertices, Target);
+  // Rejection sampling stays O(edges) while the graph is sparse (the
+  // duplicate rate is edges/possible-pairs); the attempt cap makes dense
+  // parameterizations terminate instead of thrashing.
+  size_t Attempts = 0, MaxAttempts = 20 * Target + 64;
+  while (G.numEdges() < Target && Attempts++ < MaxAttempts) {
+    unsigned U = static_cast<unsigned>(Rand.nextBelow(NumVertices));
+    unsigned V = static_cast<unsigned>(Rand.nextBelow(NumVertices));
+    if (U != V)
+      G.addEdge(U, V);
+  }
+  return G;
+}
+
 std::vector<std::vector<unsigned>> rc::randomTree(unsigned NumNodes,
                                                   Rng &Rand) {
   std::vector<std::vector<unsigned>> Adj(NumNodes);
@@ -69,6 +93,10 @@ Graph rc::randomChordalGraph(
     for (unsigned Node : Subtrees[V])
       AtNode[Node].push_back(V);
   Graph G(NumVertices);
+  size_t EdgeBound = 0;
+  for (const auto &Bucket : AtNode)
+    EdgeBound += Bucket.size() * (Bucket.size() - 1) / 2;
+  G.reserveVertices(NumVertices, EdgeBound);
   for (const auto &Bucket : AtNode)
     G.addClique(Bucket);
 
@@ -112,6 +140,10 @@ Graph rc::randomKColorableGraph(unsigned NumVertices, unsigned K,
 Graph rc::addDominatingClique(const Graph &G, unsigned P,
                               unsigned *FirstNewVertex) {
   Graph Result = G;
+  Result.reserveVertices(G.numVertices() + P,
+                         Result.numEdges() +
+                             static_cast<size_t>(P) * G.numVertices() +
+                             static_cast<size_t>(P) * (P - 1) / 2);
   unsigned First = Result.addVertices(P);
   if (FirstNewVertex)
     *FirstNewVertex = First;

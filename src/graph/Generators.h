@@ -25,6 +25,15 @@ namespace rc {
 /// Erdos–Renyi G(n, p).
 Graph randomGraph(unsigned NumVertices, double EdgeProbability, Rng &Rand);
 
+/// A sparse random graph at constant average degree: samples
+/// NumVertices * AvgDegree / 2 endpoint pairs directly (rejecting
+/// self-loops and duplicates) instead of flipping all n*(n-1)/2 pair
+/// coins, so generation is O(edges) and viable at 10^5..10^6 vertices
+/// where the G(n, p) pair loop is not. The degree distribution matches
+/// G(n, m) rather than G(n, p); use randomGraph when that distinction
+/// matters.
+Graph randomSparseGraph(unsigned NumVertices, double AvgDegree, Rng &Rand);
+
 /// A random chordal graph on \p NumVertices vertices, generated as the
 /// intersection graph of random subtrees of a random tree on \p TreeSize
 /// nodes. Each subtree grows from a random root to roughly

@@ -6,29 +6,69 @@
 
 using namespace rc;
 
-unsigned Graph::addVertex() {
-  unsigned Id = numVertices();
-  Adj.emplace_back();
-  growMatrix(Id + 1);
-  return Id;
+void Graph::migrateToSparse() {
+  assert(DenseMode && "already sparse");
+  Sparse.reset(NumV);
+  std::vector<unsigned> Sorted;
+  for (unsigned V = 0; V < NumV; ++V) {
+    Sorted.assign(Adj[V].begin(), Adj[V].end());
+    std::sort(Sorted.begin(), Sorted.end());
+    Sparse.assignRow(V, Sorted);
+  }
+  DenseMode = false;
+  std::vector<std::vector<unsigned>>().swap(Adj);
+  Edges.reset(0);
 }
 
+unsigned Graph::addVertex() { return addVertices(1); }
+
 unsigned Graph::addVertices(unsigned Count) {
-  unsigned First = numVertices();
-  for (unsigned I = 0; I < Count; ++I)
-    Adj.emplace_back();
-  growMatrix(First + Count);
+  unsigned First = NumV;
+  if (DenseMode && NumV + Count > DenseThreshold)
+    migrateToSparse(); // Runs at the pre-growth size.
+  NumV += Count;
+  if (DenseMode) {
+    Adj.resize(NumV);
+    Edges.grow(NumV);
+  } else if (Sparse.numRows() < NumV) {
+    Sparse.addRows(NumV - Sparse.numRows());
+  }
   return First;
 }
 
+void Graph::reserveVertices(unsigned PlannedVertices, size_t PlannedEdges) {
+  if (PlannedVertices <= NumV)
+    return;
+  if (DenseMode && PlannedVertices > DenseThreshold) {
+    // The build will outgrow the matrix anyway; switch now so no quadratic
+    // intermediate is ever allocated.
+    migrateToSparse();
+  }
+  if (DenseMode) {
+    Adj.reserve(PlannedVertices);
+    Edges.reserve(PlannedVertices);
+  } else {
+    Sparse.reserveRows(PlannedVertices);
+    if (PlannedEdges)
+      Sparse.reserveEntries(2 * PlannedEdges);
+  }
+}
+
 bool Graph::addEdge(unsigned U, unsigned V) {
-  assert(U < numVertices() && V < numVertices() && "vertex out of range");
+  assert(U < NumV && V < NumV && "vertex out of range");
   assert(U != V && "self loops are forbidden");
-  if (Edges.test(U, V))
+  if (DenseMode) {
+    if (Edges.test(U, V))
+      return false;
+    Edges.set(U, V);
+    Adj[U].push_back(V);
+    Adj[V].push_back(U);
+    ++NumEdges;
+    return true;
+  }
+  if (!Sparse.insert(U, V))
     return false;
-  Edges.set(U, V);
-  Adj[U].push_back(V);
-  Adj[V].push_back(U);
+  Sparse.insert(V, U);
   ++NumEdges;
   return true;
 }
@@ -39,7 +79,7 @@ void Graph::addClique(const std::vector<unsigned> &Vertices) {
       addEdge(Vertices[I], Vertices[J]);
 }
 
-bool Graph::isClique(const std::vector<unsigned> &Vertices) const {
+bool Graph::isClique(VertexSpan Vertices) const {
   for (size_t I = 0; I < Vertices.size(); ++I)
     for (size_t J = I + 1; J < Vertices.size(); ++J)
       if (!hasEdge(Vertices[I], Vertices[J]))
@@ -55,7 +95,7 @@ Graph Graph::quotient(const std::vector<unsigned> &ClassIds,
   Graph Result(NumClasses);
   for (unsigned U = 0; U < numVertices(); ++U) {
     assert(ClassIds[U] < NumClasses && "class id out of range");
-    for (unsigned V : Adj[U]) {
+    for (unsigned V : neighbors(U)) {
       if (V < U)
         continue; // Visit each edge once.
       if (ClassIds[U] == ClassIds[V]) {
@@ -79,7 +119,7 @@ Graph Graph::inducedSubgraph(const std::vector<unsigned> &Vertices,
   }
   Graph Result(static_cast<unsigned>(Vertices.size()));
   for (unsigned NewU = 0; NewU < Vertices.size(); ++NewU)
-    for (unsigned V : Adj[Vertices[NewU]])
+    for (unsigned V : neighbors(Vertices[NewU]))
       if (Map[V] != ~0u && Map[V] > NewU)
         Result.addEdge(NewU, Map[V]);
   if (OldToNew)
@@ -101,7 +141,7 @@ std::vector<std::vector<unsigned>> Graph::connectedComponents() const {
       unsigned V = Stack.back();
       Stack.pop_back();
       Components.back().push_back(V);
-      for (unsigned W : Adj[V]) {
+      for (unsigned W : neighbors(V)) {
         if (Seen[W])
           continue;
         Seen[W] = true;
@@ -125,7 +165,7 @@ bool Graph::sameComponent(unsigned U, unsigned V) const {
     Stack.pop_back();
     if (X == V)
       return true;
-    for (unsigned W : Adj[X])
+    for (unsigned W : neighbors(X))
       if (!Seen[W]) {
         Seen[W] = true;
         Stack.push_back(W);

@@ -7,16 +7,30 @@
 /// \file
 /// The undirected simple graph used throughout the project to model
 /// interference graphs (Section 2.1 of Bouchez, Darte, Rastello, "On the
-/// Complexity of Register Coalescing"). Vertices are dense unsigned ids;
-/// edges are stored both as adjacency lists (for traversal) and as a
-/// triangular bit matrix (for O(1) interference queries).
+/// Complexity of Register Coalescing"). Vertices are dense unsigned ids.
+///
+/// The representation is hybrid, chosen by vertex count against a dense
+/// threshold:
+///  - Dense (<= threshold): per-vertex adjacency vectors in insertion
+///    order plus a triangular bit matrix for O(1) hasEdge. 4096 vertices
+///    cost one megabyte of matrix; byte-compatible with the historical
+///    representation, so solvers and golden outputs are unchanged.
+///  - Sparse (> threshold): arena-backed CSR adjacency — all neighbor
+///    lists in one pooled array, each row sorted ascending, hasEdge a
+///    binary search. A million-vertex graph costs O(V + E) memory instead
+///    of the matrix's N^2/2 bits (~62 GB at 10^6).
+/// A graph that grows past the threshold via addVertex/addVertices
+/// migrates to the sparse form automatically; neighbor lists switch from
+/// insertion order to sorted ascending at that point.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GRAPH_GRAPH_H
 #define GRAPH_GRAPH_H
 
+#include "support/AdjacencyArena.h"
 #include "support/BitMatrix.h"
+#include "support/VertexSpan.h"
 
 #include <cassert>
 #include <vector>
@@ -26,9 +40,21 @@ namespace rc {
 /// An undirected simple graph over vertices 0..numVertices()-1.
 class Graph {
 public:
+  /// Largest vertex count stored densely (adjacency vectors + bit matrix).
+  static constexpr unsigned DefaultDenseThreshold = 4096;
+
   /// Creates a graph with \p NumVertices isolated vertices.
-  explicit Graph(unsigned NumVertices = 0)
-      : Adj(NumVertices), Edges(NumVertices) {}
+  explicit Graph(unsigned NumVertices = 0,
+                 unsigned DenseThreshold = DefaultDenseThreshold)
+      : NumV(NumVertices), DenseThreshold(DenseThreshold),
+        DenseMode(NumVertices <= DenseThreshold) {
+    if (DenseMode) {
+      Adj.resize(NumVertices);
+      Edges.reset(NumVertices);
+    } else {
+      Sparse.reset(NumVertices);
+    }
+  }
 
   /// Adds a new isolated vertex and returns its id.
   unsigned addVertex();
@@ -36,41 +62,70 @@ public:
   /// Adds \p Count new isolated vertices; returns the id of the first one.
   unsigned addVertices(unsigned Count);
 
+  /// Pre-sizes internal storage for growth up to \p PlannedVertices total
+  /// vertices (and, in sparse mode, optionally \p PlannedEdges edges), so
+  /// incremental building is not quadratic in allocations. If the plan
+  /// exceeds the dense threshold the graph switches to the sparse
+  /// representation immediately instead of migrating mid-build.
+  void reserveVertices(unsigned PlannedVertices, size_t PlannedEdges = 0);
+
   /// Adds the undirected edge (\p U, \p V).
   ///
   /// Self loops are forbidden. \returns true if the edge was new.
   bool addEdge(unsigned U, unsigned V);
 
   /// Returns true if the edge (\p U, \p V) exists. The diagonal is false.
-  bool hasEdge(unsigned U, unsigned V) const { return Edges.test(U, V); }
+  bool hasEdge(unsigned U, unsigned V) const {
+    if (DenseMode)
+      return Edges.test(U, V);
+    assert(U < NumV && V < NumV && "vertex out of range");
+    if (U == V)
+      return false;
+    // Probe the lower-degree endpoint's row.
+    return Sparse.rowSize(U) <= Sparse.rowSize(V) ? Sparse.contains(U, V)
+                                                  : Sparse.contains(V, U);
+  }
 
   /// Returns the number of vertices.
-  unsigned numVertices() const { return static_cast<unsigned>(Adj.size()); }
+  unsigned numVertices() const { return NumV; }
 
   /// Returns the number of edges.
   unsigned numEdges() const { return NumEdges; }
 
+  /// True while the dense (bit matrix) representation is active.
+  bool usesDenseRepresentation() const { return DenseMode; }
+
   /// Returns the degree of \p V.
   unsigned degree(unsigned V) const {
-    assert(V < numVertices() && "vertex out of range");
-    return static_cast<unsigned>(Adj[V].size());
+    assert(V < NumV && "vertex out of range");
+    return DenseMode ? static_cast<unsigned>(Adj[V].size())
+                     : Sparse.rowSize(V);
   }
 
-  /// Returns the neighbors of \p V, in insertion order.
-  const std::vector<unsigned> &neighbors(unsigned V) const {
-    assert(V < numVertices() && "vertex out of range");
-    return Adj[V];
+  /// Returns the neighbors of \p V — insertion order in dense mode, sorted
+  /// ascending in sparse mode. The span is invalidated by any mutation of
+  /// the graph.
+  VertexSpan neighbors(unsigned V) const {
+    assert(V < NumV && "vertex out of range");
+    return DenseMode ? VertexSpan(Adj[V]) : Sparse.row(V);
   }
 
   /// Read access to the triangular edge bit matrix (e.g. to seed the dense
   /// adjacency mode of coalescing/WorkGraph without re-inserting edges).
-  const BitMatrix &edgeMatrix() const { return Edges; }
+  /// Dense mode only.
+  const BitMatrix &edgeMatrix() const {
+    assert(DenseMode && "no bit matrix in sparse mode");
+    return Edges;
+  }
 
   /// Adds all edges among \p Vertices, turning them into a clique.
   void addClique(const std::vector<unsigned> &Vertices);
 
   /// Returns true if \p Vertices induce a complete subgraph.
-  bool isClique(const std::vector<unsigned> &Vertices) const;
+  bool isClique(VertexSpan Vertices) const;
+  bool isClique(std::initializer_list<unsigned> Vertices) const {
+    return isClique(VertexSpan(Vertices.begin(), Vertices.size()));
+  }
 
   /// Builds the quotient graph obtained by merging vertices with the same
   /// class id (the "coalesced graph" G_f of the paper).
@@ -106,11 +161,19 @@ public:
   static Graph path(unsigned N);
 
 private:
-  void growMatrix(unsigned NewN) { Edges.grow(NewN); }
+  /// One-way dense -> sparse migration when growth crosses the threshold.
+  void migrateToSparse();
 
-  std::vector<std::vector<unsigned>> Adj;
-  BitMatrix Edges;
+  unsigned NumV = 0;
+  unsigned DenseThreshold = DefaultDenseThreshold;
+  bool DenseMode = true;
   unsigned NumEdges = 0;
+  /// Dense mode: per-vertex neighbor lists in insertion order.
+  std::vector<std::vector<unsigned>> Adj;
+  /// Dense mode: triangular bit matrix for O(1) hasEdge.
+  BitMatrix Edges;
+  /// Sparse mode: pooled sorted adjacency rows.
+  AdjacencyArena Sparse;
 };
 
 } // namespace rc

@@ -10,7 +10,9 @@ void rc::writeDot(std::ostream &OS, const Graph &G,
   auto name = [&Names](unsigned V) {
     if (V < Names.size() && !Names[V].empty())
       return Names[V];
-    return "v" + std::to_string(V);
+    std::string Fallback = "v";
+    Fallback += std::to_string(V);
+    return Fallback;
   };
   OS << "graph interference {\n";
   OS << "  node [shape=circle];\n";

@@ -14,6 +14,11 @@ InterferenceGraph ir::buildInterferenceGraph(const Function &F,
   Result.G = Graph(F.numValues());
   Liveness L = Liveness::compute(F);
   Result.Maxlive = computeMaxlive(F, L);
+  // Interference edges are bounded by maxlive per program point; reserving
+  // maxlive entries per value pre-sizes the sparse arena in one shot.
+  Result.G.reserveVertices(F.numValues(),
+                           static_cast<size_t>(Result.Maxlive) *
+                               F.numValues());
 
   for (BlockId B = 0; B < F.numBlocks(); ++B) {
     const BasicBlock &BB = F.block(B);

@@ -131,12 +131,12 @@ BatchReport rc::runBatch(const std::vector<BatchJob> &Jobs,
   return Report;
 }
 
-void rc::writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
-                         bool IncludeTiming) {
+void rc::writeBatchJobsJsonl(std::ostream &OS, const BatchReport &Report,
+                             bool IncludeTiming, size_t IndexOffset) {
   JsonWriter W(OS, IncludeTiming);
   for (const BatchJobResult &Job : Report.Jobs) {
     W.beginObject();
-    W.key("index").value(Job.Index);
+    W.key("index").value(Job.Index + IndexOffset);
     W.key("instance").value(Job.Instance);
     W.key("spec").value(Job.Spec);
     W.key("status").value(runStatusName(Job.Result.Status));
@@ -148,7 +148,13 @@ void rc::writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
     }
     W.endObject().newline();
   }
-  for (const StrategyRollup &Rollup : Report.Rollups) {
+}
+
+void rc::writeBatchRollupsJsonl(std::ostream &OS,
+                                const std::vector<StrategyRollup> &Rollups,
+                                bool IncludeTiming) {
+  JsonWriter W(OS, IncludeTiming);
+  for (const StrategyRollup &Rollup : Rollups) {
     W.beginObject();
     W.key("rollup").value(Rollup.Spec);
     W.key("runs").value(Rollup.Runs);
@@ -161,18 +167,60 @@ void rc::writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
     writeTelemetryJson(W, Rollup.Telemetry);
     W.endObject().newline();
   }
+}
+
+void rc::writeBatchTrailerJsonl(std::ostream &OS, const BatchTotals &Totals,
+                                bool IncludeTiming) {
+  JsonWriter W(OS, IncludeTiming);
   W.beginObject();
   W.key("batch").beginObject();
-  W.key("jobs").value(Report.Jobs.size());
-  W.key("failed").value(Report.failedJobs());
-  W.key("timed_out").value(Report.timedOutJobs());
+  W.key("jobs").value(Totals.Jobs);
+  W.key("failed").value(Totals.Failed);
+  W.key("timed_out").value(Totals.TimedOut);
   // Workers and wall time vary run to run; the timing-suppressed form drops
   // them so equal batches stay byte-identical at any worker count.
   if (IncludeTiming) {
-    W.key("workers").value(Report.WorkersUsed);
-    W.key("wall_microseconds").value(Report.WallMicros);
+    W.key("workers").value(Totals.Workers);
+    W.key("wall_microseconds").value(Totals.WallMicros);
   }
   W.endObject().endObject().newline();
+}
+
+void rc::mergeRollups(std::vector<StrategyRollup> &Into,
+                      const std::vector<StrategyRollup> &From) {
+  for (const StrategyRollup &R : From) {
+    StrategyRollup *Target = nullptr;
+    for (StrategyRollup &Existing : Into)
+      if (Existing.Spec == R.Spec) {
+        Target = &Existing;
+        break;
+      }
+    if (!Target) {
+      Into.emplace_back();
+      Target = &Into.back();
+      Target->Spec = R.Spec;
+    }
+    Target->Runs += R.Runs;
+    Target->Completed += R.Completed;
+    Target->TimedOut += R.TimedOut;
+    Target->Failed += R.Failed;
+    Target->RatioSum += R.RatioSum;
+    Target->Micros += R.Micros;
+    Target->Telemetry.add(R.Telemetry);
+  }
+}
+
+void rc::writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
+                         bool IncludeTiming) {
+  writeBatchJobsJsonl(OS, Report, IncludeTiming);
+  writeBatchRollupsJsonl(OS, Report.Rollups, IncludeTiming);
+  BatchTotals Totals;
+  Totals.Jobs = Report.Jobs.size();
+  Totals.Failed = Report.failedJobs();
+  Totals.TimedOut = Report.timedOutJobs();
+  Totals.Workers = Report.WorkersUsed;
+  Totals.WallMicros = Report.WallMicros;
+  writeBatchTrailerJsonl(OS, Totals, IncludeTiming);
 }
 
 void rc::printBatchSummary(std::ostream &OS, const BatchReport &Report) {

@@ -124,6 +124,37 @@ std::vector<BatchJob> crossJobs(const std::vector<LabeledProblem> &Problems,
 void writeBatchJsonl(std::ostream &OS, const BatchReport &Report,
                      bool IncludeTiming = true);
 
+/// The three sections of the JSONL report, separately callable so a
+/// streaming sweep (one runBatch per manifest entry) can interleave job
+/// emission with materialization and still end with the same rollups and
+/// trailer a monolithic batch would have written. \p IndexOffset shifts
+/// the per-call job indices into the global numbering.
+void writeBatchJobsJsonl(std::ostream &OS, const BatchReport &Report,
+                         bool IncludeTiming, size_t IndexOffset = 0);
+void writeBatchRollupsJsonl(std::ostream &OS,
+                            const std::vector<StrategyRollup> &Rollups,
+                            bool IncludeTiming);
+
+/// Whole-run totals for the trailer object.
+struct BatchTotals {
+  size_t Jobs = 0;
+  unsigned Failed = 0;
+  unsigned TimedOut = 0;
+  unsigned Workers = 1;
+  int64_t WallMicros = 0;
+};
+void writeBatchTrailerJsonl(std::ostream &OS, const BatchTotals &Totals,
+                            bool IncludeTiming);
+
+/// Folds \p From into \p Into, matching rollups by spec and keeping
+/// first-appearance order. Integer sums are order-insensitive; RatioSum is
+/// a double left-fold, so bit-identity with a monolithic batch holds when
+/// each merged batch carries one job per spec (the streaming sweep's
+/// one-instance-per-batch shape reproduces the monolithic accumulation
+/// order exactly).
+void mergeRollups(std::vector<StrategyRollup> &Into,
+                  const std::vector<StrategyRollup> &From);
+
 /// Prints an aligned per-strategy summary table plus a one-line batch
 /// footer (jobs, failures, timeouts, wall time).
 void printBatchSummary(std::ostream &OS, const BatchReport &Report);

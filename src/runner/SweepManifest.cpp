@@ -2,7 +2,7 @@
 
 #include "runner/SweepManifest.h"
 
-#include "challenge/ChallengeFormat.h"
+#include "challenge/ChallengeBinary.h"
 #include "challenge/ChallengeInstance.h"
 #include "support/Random.h"
 
@@ -132,42 +132,50 @@ bool rc::loadSweepManifest(const std::string &Path, SweepManifest &Manifest,
   return parseSweepManifest(In, Manifest, Error);
 }
 
+bool rc::materializeSweepEntry(const SweepEntry &Entry, LabeledProblem &Out,
+                               std::string *Error) {
+  Out.Label = Entry.label();
+  switch (Entry.K) {
+  case SweepEntry::Kind::Subtree: {
+    // Mirrors the golden-seed scheme: Rng(seed), TreeSize = n/2.
+    Rng Rand(Entry.Seed);
+    ChallengeOptions Options;
+    Options.NumValues = Entry.N;
+    Options.TreeSize = Entry.N / 2;
+    Options.PressureSlack = Entry.Slack;
+    Options.AffinityFraction = Entry.Affinity;
+    Out.Problem = generateChallengeInstance(Options, Rand);
+    break;
+  }
+  case SweepEntry::Kind::Program: {
+    Rng Rand(Entry.Seed);
+    ProgramChallengeOptions Options;
+    Options.NumBlocks = Entry.Blocks;
+    Options.PressureSlack = Entry.Slack;
+    Out.Problem = generateProgramChallengeInstance(Options, Rand);
+    break;
+  }
+  case SweepEntry::Kind::File: {
+    // Binary mode + content sniffing: text and .rcb files both load here.
+    std::ifstream In(Entry.Path, std::ios::binary);
+    std::string ReadError;
+    if (!In || !readChallengeAuto(In, Out.Problem, &ReadError))
+      return fail(Error, "cannot read " + Entry.Path +
+                             (ReadError.empty() ? "" : ": " + ReadError));
+    break;
+  }
+  }
+  return true;
+}
+
 bool rc::materializeSweep(const SweepManifest &Manifest,
                           std::vector<LabeledProblem> &Out,
                           std::string *Error) {
   Out.reserve(Out.size() + Manifest.Entries.size());
   for (const SweepEntry &Entry : Manifest.Entries) {
     LabeledProblem LP;
-    LP.Label = Entry.label();
-    switch (Entry.K) {
-    case SweepEntry::Kind::Subtree: {
-      // Mirrors the golden-seed scheme: Rng(seed), TreeSize = n/2.
-      Rng Rand(Entry.Seed);
-      ChallengeOptions Options;
-      Options.NumValues = Entry.N;
-      Options.TreeSize = Entry.N / 2;
-      Options.PressureSlack = Entry.Slack;
-      Options.AffinityFraction = Entry.Affinity;
-      LP.Problem = generateChallengeInstance(Options, Rand);
-      break;
-    }
-    case SweepEntry::Kind::Program: {
-      Rng Rand(Entry.Seed);
-      ProgramChallengeOptions Options;
-      Options.NumBlocks = Entry.Blocks;
-      Options.PressureSlack = Entry.Slack;
-      LP.Problem = generateProgramChallengeInstance(Options, Rand);
-      break;
-    }
-    case SweepEntry::Kind::File: {
-      std::ifstream In(Entry.Path);
-      std::string ReadError;
-      if (!In || !readChallenge(In, LP.Problem, &ReadError))
-        return fail(Error, "cannot read " + Entry.Path +
-                               (ReadError.empty() ? "" : ": " + ReadError));
-      break;
-    }
-    }
+    if (!materializeSweepEntry(Entry, LP, Error))
+      return false;
     Out.push_back(std::move(LP));
   }
   return true;

@@ -16,8 +16,14 @@
 /// "subtree" regenerates a synthetic subtree-interference challenge with
 /// the exact parameters of the golden-seed scheme (TreeSize = n/2,
 /// Rng(seed)), so a manifest of seeds 1..24 replays the recorded suite.
-/// "program" generates a CFG-based instance; "file" loads the challenge
-/// text format written by coalescing_challenge --dump.
+/// "program" generates a CFG-based instance; "file" loads a dumped
+/// instance in either the challenge text format or the binary format
+/// (challenge/ChallengeBinary.h, e.g. a .rcb written by rc_convert) —
+/// the two are distinguished by content, not extension.
+///
+/// Entries can be materialized all at once (materializeSweep) or one at a
+/// time (materializeSweepEntry); rc_sweep --stream uses the latter so a
+/// manifest of huge instances never holds more than one in memory.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -65,6 +71,11 @@ bool parseSweepManifest(std::istream &In, SweepManifest &Manifest,
 /// Reads and parses the manifest at \p Path.
 bool loadSweepManifest(const std::string &Path, SweepManifest &Manifest,
                        std::string *Error);
+
+/// Generates or loads one entry into \p Out (label + problem). Fails (with
+/// the offending path in \p Error) if a file entry cannot be read.
+bool materializeSweepEntry(const SweepEntry &Entry, LabeledProblem &Out,
+                           std::string *Error);
 
 /// Generates or loads every entry, in manifest order. Fails (with the
 /// offending entry's label in \p Error) if a file entry cannot be read.

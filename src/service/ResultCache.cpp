@@ -2,18 +2,48 @@
 
 #include "service/ResultCache.h"
 
-#include "challenge/ChallengeFormat.h"
+#include "support/Digest.h"
 
-#include <sstream>
+#include <algorithm>
+#include <cstring>
+#include <vector>
 
 using namespace rc;
 
 std::string rc::canonicalRequestKey(const CoalescingProblem &P,
                                     const std::string &Spec) {
-  std::ostringstream OS;
-  writeChallenge(OS, P);
-  OS << "spec " << Spec << "\n";
-  return OS.str();
+  // Absorb a canonical rendering of the instance: sorted (u < v) edges so
+  // two graphs with the same edge set hash identically whatever order their
+  // adjacency was built in, affinities in list order (list order is part of
+  // the instance), then the spec. The leading tag versions the key schema;
+  // bump it if the absorbed fields ever change.
+  Digest128 D;
+  D.updateString("rckey1");
+  D.updateU32(P.K);
+  D.updateU32(P.G.numVertices());
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  Edges.reserve(P.G.numEdges());
+  for (unsigned U = 0; U < P.G.numVertices(); ++U)
+    for (unsigned V : P.G.neighbors(U))
+      if (V > U)
+        Edges.push_back({U, V});
+  std::sort(Edges.begin(), Edges.end());
+  D.updateU64(Edges.size());
+  for (const auto &[U, V] : Edges) {
+    D.updateU32(U);
+    D.updateU32(V);
+  }
+  D.updateU64(P.Affinities.size());
+  for (const Affinity &A : P.Affinities) {
+    D.updateU32(A.U);
+    D.updateU32(A.V);
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(A.Weight));
+    std::memcpy(&Bits, &A.Weight, sizeof(Bits));
+    D.updateU64(Bits);
+  }
+  D.updateString(Spec);
+  return D.hex();
 }
 
 bool ResultCache::lookup(const std::string &Key, std::string &Payload,

@@ -10,12 +10,16 @@
 /// identical graphs across requests — common when many clients compile the
 /// same code — are answered without re-solving.
 ///
-/// The key is the canonical challenge-text serialization of the instance
-/// (writeChallenge is deterministic: sorted edges, normalized endpoint
-/// order) concatenated with the spec line. Keying on the full canonical
-/// text instead of a digest costs memory proportional to the instance but
-/// makes collisions impossible — a wrong answer from the cache would be
-/// silent and unacceptable, a few hundred kilobytes of key space is not.
+/// The key is a fixed-size 128-bit content digest (support/Digest.h) over a
+/// canonical rendering of the instance — k, n, the edge set in sorted
+/// (u < v) order, the affinity list, and the spec — so two requests for the
+/// same graph key identically however their adjacency was built, and the
+/// key costs 32 bytes however large the instance. Earlier revisions keyed
+/// on the full canonical challenge text to make collisions structurally
+/// impossible, but at 10^5..10^6-vertex instances that means megabytes of
+/// key per entry and a full serialize per lookup; 128 bits of
+/// MurmurHash3 keeps accidental-collision odds negligible (~2^-64 across
+/// billions of distinct instances) at constant cost.
 ///
 /// Values are complete serialized response payloads (timing-suppressed by
 /// the service when byte-stable replay is wanted), so a warm hit is a

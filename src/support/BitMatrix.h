@@ -34,6 +34,10 @@ public:
   /// growing never relocates existing bits.
   void grow(unsigned NewN);
 
+  /// Reserves storage for \p PlannedN rows/columns without growing, so a
+  /// sequence of grow() calls up to that size performs one allocation.
+  void reserve(unsigned PlannedN);
+
   /// Returns the number of rows (= columns).
   unsigned size() const { return N; }
 

@@ -1,0 +1,132 @@
+//===- support/Digest.cpp - Streaming 128-bit content digest --------------===//
+
+#include "support/Digest.h"
+
+#include <cstring>
+
+using namespace rc;
+
+static constexpr uint64_t C1 = 0x87c37b91114253d5ULL;
+static constexpr uint64_t C2 = 0x4cf5ad432745937fULL;
+
+static inline uint64_t rotl64(uint64_t X, int R) {
+  return (X << R) | (X >> (64 - R));
+}
+
+static inline uint64_t fmix64(uint64_t K) {
+  K ^= K >> 33;
+  K *= 0xff51afd7ed558ccdULL;
+  K ^= K >> 33;
+  K *= 0xc4ceb9fe1a85ec53ULL;
+  K ^= K >> 33;
+  return K;
+}
+
+static inline uint64_t loadLE64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+void Digest128::processBlock(const uint8_t *Block) {
+  uint64_t K1 = loadLE64(Block);
+  uint64_t K2 = loadLE64(Block + 8);
+  K1 *= C1;
+  K1 = rotl64(K1, 31);
+  K1 *= C2;
+  H1 ^= K1;
+  H1 = rotl64(H1, 27);
+  H1 += H2;
+  H1 = H1 * 5 + 0x52dce729;
+  K2 *= C2;
+  K2 = rotl64(K2, 33);
+  K2 *= C1;
+  H2 ^= K2;
+  H2 = rotl64(H2, 31);
+  H2 += H1;
+  H2 = H2 * 5 + 0x38495ab5;
+}
+
+void Digest128::update(const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  TotalLen += Len;
+  if (Buffered) {
+    size_t Take = Len < 16 - Buffered ? Len : 16 - Buffered;
+    std::memcpy(Buffer + Buffered, P, Take);
+    Buffered += Take;
+    P += Take;
+    Len -= Take;
+    if (Buffered < 16)
+      return;
+    processBlock(Buffer);
+    Buffered = 0;
+  }
+  while (Len >= 16) {
+    processBlock(P);
+    P += 16;
+    Len -= 16;
+  }
+  if (Len) {
+    std::memcpy(Buffer, P, Len);
+    Buffered = Len;
+  }
+}
+
+void Digest128::updateU32(uint32_t V) {
+  uint8_t B[4] = {static_cast<uint8_t>(V), static_cast<uint8_t>(V >> 8),
+                  static_cast<uint8_t>(V >> 16),
+                  static_cast<uint8_t>(V >> 24)};
+  update(B, 4);
+}
+
+void Digest128::updateU64(uint64_t V) {
+  uint8_t B[8];
+  for (int I = 0; I < 8; ++I)
+    B[I] = static_cast<uint8_t>(V >> (8 * I));
+  update(B, 8);
+}
+
+void Digest128::updateString(const std::string &S) {
+  updateU64(S.size());
+  update(S.data(), S.size());
+}
+
+std::string Digest128::hex() const {
+  // Finalize a copy of the state so the stream can keep absorbing.
+  uint64_t A = H1, B = H2;
+  if (Buffered) {
+    uint8_t Tail[16] = {};
+    std::memcpy(Tail, Buffer, Buffered);
+    uint64_t K1 = loadLE64(Tail);
+    uint64_t K2 = loadLE64(Tail + 8);
+    K2 *= C2;
+    K2 = rotl64(K2, 33);
+    K2 *= C1;
+    B ^= K2;
+    K1 *= C1;
+    K1 = rotl64(K1, 31);
+    K1 *= C2;
+    A ^= K1;
+  }
+  A ^= TotalLen;
+  B ^= TotalLen;
+  A += B;
+  B += A;
+  A = fmix64(A);
+  B = fmix64(B);
+  A += B;
+  B += A;
+
+  static const char Hex[] = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (int I = 0; I < 8; ++I) {
+    Out[2 * I] = Hex[(A >> (60 - 8 * I)) & 15];
+    Out[2 * I + 1] = Hex[(A >> (56 - 8 * I)) & 15];
+  }
+  for (int I = 0; I < 8; ++I) {
+    Out[16 + 2 * I] = Hex[(B >> (60 - 8 * I)) & 15];
+    Out[17 + 2 * I] = Hex[(B >> (56 - 8 * I)) & 15];
+  }
+  return Out;
+}

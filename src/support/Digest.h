@@ -1,0 +1,63 @@
+//===- support/Digest.h - Streaming 128-bit content digest ------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming 128-bit non-cryptographic digest (the MurmurHash3 x64
+/// variant) for fixed-size content keys. The service result cache keys
+/// requests with it so key size stops scaling with instance size: a
+/// million-vertex instance and a ten-vertex one both key in 32 hex
+/// characters. At 128 bits, accidental collisions are negligible for any
+/// realistic cache population; the hash is not cryptographic and the cache
+/// is not a trust boundary.
+///
+/// Data is absorbed in little-endian order regardless of host endianness,
+/// so digests are stable across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_DIGEST_H
+#define SUPPORT_DIGEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rc {
+
+/// Incremental 128-bit digest. Feed bytes/integers, then read hex().
+class Digest128 {
+public:
+  Digest128() = default;
+
+  /// Absorbs \p Len raw bytes.
+  void update(const void *Data, size_t Len);
+
+  /// Absorbs a 32-bit integer (little-endian).
+  void updateU32(uint32_t V);
+
+  /// Absorbs a 64-bit integer (little-endian).
+  void updateU64(uint64_t V);
+
+  /// Absorbs a length-prefixed string (so concatenations cannot collide).
+  void updateString(const std::string &S);
+
+  /// Finalizes and returns the 32-character lowercase hex digest. The
+  /// digest object may keep absorbing afterwards; hex() snapshots.
+  std::string hex() const;
+
+private:
+  void processBlock(const uint8_t *Block);
+
+  uint64_t H1 = 0x9368e53c2f6af274ULL;
+  uint64_t H2 = 0x586dcd208f7cd3fdULL;
+  uint8_t Buffer[16];
+  size_t Buffered = 0;
+  uint64_t TotalLen = 0;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_DIGEST_H

@@ -1,0 +1,76 @@
+//===- support/StampedBitRow.h - O(1)-clear scratch bit row -----*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable scratch bit set over a fixed universe with O(1) clearing:
+/// every 64-bit word carries an epoch stamp, and clear() just bumps the
+/// epoch — a word whose stamp is stale reads as zero. This is the chunked
+/// bit-row behind the sparse-mode safety tests in coalescing/WorkGraph:
+/// stamping one neighbor list and probing another gives the dense mode's
+/// O(1) membership tests without ever paying an O(universe) memset, so an
+/// O(deg(u) + deg(v)) test stays O(deg(u) + deg(v)) at a million classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STAMPEDBITROW_H
+#define SUPPORT_STAMPEDBITROW_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+/// A clearable-in-O(1) bit set over ids 0..size()-1.
+class StampedBitRow {
+public:
+  /// Grows the universe to at least \p NumBits ids and clears the set.
+  void resize(unsigned NumBits) {
+    size_t NumWords = (static_cast<size_t>(NumBits) + 63) / 64;
+    if (NumWords > Words.size()) {
+      Words.resize(NumWords, 0);
+      Stamps.resize(NumWords, 0);
+    }
+    clear();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Words.size()) * 64; }
+
+  /// Empties the set by bumping the epoch. O(1) except once every 2^64
+  /// clears, when the stamps are rewound wholesale.
+  void clear() {
+    if (++Epoch == 0) {
+      std::fill(Stamps.begin(), Stamps.end(), uint64_t(0));
+      Epoch = 1;
+    }
+  }
+
+  void set(unsigned I) {
+    size_t W = I >> 6;
+    assert(W < Words.size() && "bit out of range");
+    if (Stamps[W] != Epoch) {
+      Stamps[W] = Epoch;
+      Words[W] = 0;
+    }
+    Words[W] |= uint64_t(1) << (I & 63);
+  }
+
+  bool test(unsigned I) const {
+    size_t W = I >> 6;
+    assert(W < Words.size() && "bit out of range");
+    return Stamps[W] == Epoch && ((Words[W] >> (I & 63)) & 1);
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  std::vector<uint64_t> Stamps;
+  uint64_t Epoch = 1;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_STAMPEDBITROW_H

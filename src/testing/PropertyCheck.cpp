@@ -2,6 +2,8 @@
 
 #include "testing/PropertyCheck.h"
 
+#include "challenge/ChallengeBinary.h"
+#include "challenge/ChallengeFormat.h"
 #include "challenge/ChallengeInstance.h"
 #include "coalescing/Conservative.h"
 #include "graph/DimacsIO.h"
@@ -356,6 +358,53 @@ static bool checkWorklistParityOnInstance(const CoalescingProblem &P,
   return true;
 }
 
+/// Format round-trip oracle: the text and binary serializations must both
+/// reconstruct the instance exactly, and the content-sniffing reader must
+/// classify both streams correctly. "Exactly" is judged on the canonical
+/// binary rendering (sorted edge set, affinity list, k, n), which is the
+/// same instance-identity the digest cache key uses.
+static bool checkFormatRoundTripOnInstance(const CoalescingProblem &P,
+                                           uint64_t, std::string *Error) {
+  auto canonical = [](const CoalescingProblem &Q) {
+    std::ostringstream OS;
+    writeChallengeBinary(OS, Q);
+    return OS.str();
+  };
+  const std::string Want = canonical(P);
+
+  std::ostringstream Bin;
+  writeChallengeBinary(Bin, P);
+  std::istringstream BinIn(Bin.str());
+  CoalescingProblem FromBinary;
+  std::string ReadError;
+  if (!readChallengeAuto(BinIn, FromBinary, &ReadError)) {
+    if (Error)
+      *Error = "format-roundtrip: binary re-read failed: " + ReadError;
+    return false;
+  }
+  if (canonical(FromBinary) != Want) {
+    if (Error)
+      *Error = "format-roundtrip: binary round trip changed the instance";
+    return false;
+  }
+
+  std::ostringstream Text;
+  writeChallenge(Text, P);
+  std::istringstream TextIn(Text.str());
+  CoalescingProblem FromText;
+  if (!readChallengeAuto(TextIn, FromText, &ReadError)) {
+    if (Error)
+      *Error = "format-roundtrip: text re-read failed: " + ReadError;
+    return false;
+  }
+  if (canonical(FromText) != Want) {
+    if (Error)
+      *Error = "format-roundtrip: text round trip changed the instance";
+    return false;
+  }
+  return true;
+}
+
 const std::vector<Property> &testing::allProperties() {
   static const std::vector<Property> Registry = [] {
     std::vector<Property> Props;
@@ -438,6 +487,19 @@ const std::vector<Property> &testing::allProperties() {
                                   Trial);
          },
          checkWorklistParityOnInstance});
+
+    Props.push_back(
+        {"format-roundtrip",
+         "challenge text and binary serializations round-trip instances "
+         "exactly, with content-based format detection",
+         [](Rng &Rand, const FuzzConfig &Config, uint64_t Trial) {
+           CoalescingProblem P =
+               generateSoundnessInstance(Rand, Config.MaxSize);
+           return runProblemTrial("format-roundtrip", P,
+                                  checkFormatRoundTripOnInstance, Config,
+                                  Trial);
+         },
+         checkFormatRoundTripOnInstance});
 
     Props.push_back(
         {"workgraph-incremental",

@@ -24,6 +24,8 @@
 ///                                bound every strategy, and the three
 ///                                Theorem 5 decisions agree per affinity
 ///   conservative-worklist-parity worklist driver vs legacy fixpoint driver
+///   format-roundtrip             text/binary serializations round-trip
+///                                instances exactly (auto-detected)
 ///   workgraph-incremental        WorkGraph vs rebuild-from-scratch
 ///   workgraph-rollback           checkpoint/rollback restores the partition
 ///

@@ -134,7 +134,67 @@ TEST(GraphTest, NeighborsMatchEdges) {
   Graph G(4);
   G.addEdge(0, 1);
   G.addEdge(0, 3);
-  auto N = G.neighbors(0);
+  std::vector<unsigned> N = G.neighbors(0);
   std::sort(N.begin(), N.end());
   EXPECT_EQ(N, (std::vector<unsigned>{1, 3}));
+}
+
+TEST(GraphTest, SparseModeMatchesDense) {
+  // Same edge set built under both representations (threshold 4 forces the
+  // arena-backed CSR path); every query must agree.
+  Graph D(8);
+  Graph S(8, /*DenseThreshold=*/4);
+  EXPECT_TRUE(D.usesDenseRepresentation());
+  EXPECT_FALSE(S.usesDenseRepresentation());
+  const std::pair<unsigned, unsigned> EdgeList[] = {
+      {0, 1}, {0, 3}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7},
+      {2, 7}, {1, 5}};
+  for (auto [U, V] : EdgeList) {
+    EXPECT_TRUE(D.addEdge(U, V));
+    EXPECT_TRUE(S.addEdge(U, V));
+  }
+  EXPECT_FALSE(S.addEdge(0, 1)); // Duplicate insert reports not-new.
+  EXPECT_EQ(D.numEdges(), S.numEdges());
+  for (unsigned U = 0; U < 8; ++U) {
+    EXPECT_EQ(D.degree(U), S.degree(U));
+    std::vector<unsigned> DN = D.neighbors(U);
+    std::sort(DN.begin(), DN.end());
+    std::vector<unsigned> SN = S.neighbors(U);
+    EXPECT_EQ(DN, SN); // Sparse rows come out sorted.
+    for (unsigned V = 0; V < 8; ++V)
+      EXPECT_EQ(D.hasEdge(U, V), S.hasEdge(U, V));
+  }
+  EXPECT_EQ(D.connectedComponents(), S.connectedComponents());
+}
+
+TEST(GraphTest, GrowthMigratesToSparse) {
+  Graph G(3, /*DenseThreshold=*/4);
+  G.addEdge(0, 2);
+  G.addEdge(0, 1);
+  EXPECT_TRUE(G.usesDenseRepresentation());
+  unsigned First = G.addVertices(3); // 6 > 4: migrates.
+  EXPECT_EQ(First, 3u);
+  EXPECT_FALSE(G.usesDenseRepresentation());
+  EXPECT_TRUE(G.hasEdge(0, 2));
+  EXPECT_TRUE(G.hasEdge(1, 0));
+  EXPECT_FALSE(G.hasEdge(1, 2));
+  G.addEdge(5, 0);
+  EXPECT_EQ(G.degree(0), 3u);
+  // Migration sorts the neighbor lists.
+  std::vector<unsigned> N = G.neighbors(0);
+  EXPECT_EQ(N, (std::vector<unsigned>{1, 2, 5}));
+}
+
+TEST(GraphTest, ReserveVerticesSwitchesEarly) {
+  Graph G(0, /*DenseThreshold=*/4);
+  G.reserveVertices(100, 200);
+  EXPECT_FALSE(G.usesDenseRepresentation());
+  G.addVertices(100);
+  EXPECT_EQ(G.numVertices(), 100u);
+  G.addEdge(0, 99);
+  EXPECT_TRUE(G.hasEdge(99, 0));
+  // Reserving within the dense threshold keeps the dense path.
+  Graph H(2);
+  H.reserveVertices(4);
+  EXPECT_TRUE(H.usesDenseRepresentation());
 }

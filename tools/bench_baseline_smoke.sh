@@ -6,6 +6,7 @@
 #  2. stale binaries          -> refused unless RC_BENCH_ALLOW_STALE=1
 #  3. happy path              -> merged, validated JSON with both suites
 #  4. invalid bench output    -> rejected, no (truncated) output file
+#  5. scaling mode            -> bench_scaling only, validated JSON
 #
 # Usage: tools/bench_baseline_smoke.sh
 
@@ -97,6 +98,21 @@ grep -q "not valid JSON" "$LOG" || note_failure "invalid JSON not diagnosed: $(c
 for LEFTOVER in "$OUT".tmp.*; do
   [ -e "$LEFTOVER" ] && note_failure "temp file leaked: $LEFTOVER"
 done
+
+# 5. Scaling mode: runs bench_scaling alone (never the conservative/irc
+#    pair — note scenario 4 left bench_conservative's payload broken) and
+#    writes a validated single-suite file.
+cat > "$SANDBOX/scaling.payload" << 'EOF'
+{"context":{"date":"fake"},"benchmarks":[{"name":"BM_ScaleChordalBuild/65536","real_time":3.0},{"name":"BM_ScaleConservativeBriggs/1048576","real_time":4.0}]}
+EOF
+write_fake "$BENCH_DIR/bench_scaling" "$SANDBOX/scaling.payload"
+if ! "$SCRIPT" scaling "$SANDBOX/build" "$OUT" > "$LOG" 2>&1; then
+  note_failure "scaling mode failed: $(cat "$LOG")"
+elif ! jq -e '[.benchmarks[].name] == ["BM_ScaleChordalBuild/65536","BM_ScaleConservativeBriggs/1048576"]' \
+       "$OUT" > /dev/null; then
+  note_failure "scaling baseline names wrong: $(cat "$OUT")"
+fi
+rm -f "$OUT"
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "bench_baseline_smoke: $FAILURES scenario(s) failed" >&2

@@ -19,7 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "challenge/ChallengeFormat.h"
+#include "challenge/ChallengeBinary.h"
 #include "challenge/StrategyRunner.h"
 #include "runner/SweepManifest.h"
 #include "service/WireProtocol.h"
@@ -116,7 +116,8 @@ int main(int Argc, char **Argv) {
       const std::string *V = value("--instance");
       if (!V)
         return 2;
-      std::ifstream In(*V);
+      // Binary mode so the text/binary content sniffing sees raw bytes.
+      std::ifstream In(*V, std::ios::binary);
       if (!In) {
         std::cerr << "error: cannot open instance file '" << *V << "'\n";
         return 2;
@@ -124,7 +125,7 @@ int main(int Argc, char **Argv) {
       LabeledProblem LP;
       LP.Label = *V;
       std::string Error;
-      if (!readChallenge(In, LP.Problem, &Error)) {
+      if (!readChallengeAuto(In, LP.Problem, &Error)) {
         std::cerr << "error: " << *V << ": " << Error << "\n";
         return 2;
       }

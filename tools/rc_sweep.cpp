@@ -9,12 +9,20 @@
 //   rc_sweep --manifest tests/manifests/golden24.manifest --jobs 8
 //   rc_sweep --manifest sweep.manifest --strategies briggs,irc --summary
 //   rc_sweep --manifest sweep.manifest --timeout-ms 50 --no-timing
+//   rc_sweep --manifest huge.manifest --stream --no-timing
+//
+// --stream materializes one manifest entry at a time (generate/load, run
+// every strategy on it, emit its job lines, drop it) so memory stays
+// bounded by the largest single instance instead of the whole sweep; with
+// --no-timing its JSONL is byte-identical to the batch mode's.
 //
 //===----------------------------------------------------------------------===//
 
 #include "runner/BatchRunner.h"
 #include "runner/SweepManifest.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -33,7 +41,10 @@ static void usage(std::ostream &OS) {
         " strategy)\n"
         "  --summary          print the aligned table instead of JSONL\n"
         "  --no-timing        zero wall-clock fields for byte-stable"
-        " output\n";
+        " output\n"
+        "  --stream           materialize one instance at a time (bounded"
+        " memory,\n"
+        "                     JSONL only; byte-identical with --no-timing)\n";
 }
 
 int main(int Argc, char **Argv) {
@@ -42,6 +53,7 @@ int main(int Argc, char **Argv) {
   BatchOptions Options;
   bool Summary = false;
   bool Timing = true;
+  bool Stream = false;
 
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   for (size_t I = 0; I < Args.size(); ++I) {
@@ -85,6 +97,8 @@ int main(int Argc, char **Argv) {
       Summary = true;
     } else if (Args[I] == "--no-timing") {
       Timing = false;
+    } else if (Args[I] == "--stream") {
+      Stream = true;
     } else if (Args[I] == "--help") {
       usage(std::cout);
       return 0;
@@ -119,6 +133,41 @@ int main(int Argc, char **Argv) {
   if (Manifest.Entries.empty()) {
     std::cerr << "error: manifest " << ManifestPath << " has no entries\n";
     return 1;
+  }
+
+  if (Stream) {
+    if (Summary) {
+      std::cerr << "error: --summary needs the whole report; drop --stream\n";
+      return 2;
+    }
+    // One entry at a time: the live set is a single instance plus its job
+    // results, whatever the manifest size. Jobs keep the global (entry
+    // outermost, spec innermost) numbering of the batch path, and rollups
+    // are folded in entry order, so the emitted JSONL matches batch mode
+    // byte for byte under --no-timing.
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<StrategyRollup> Rollups;
+    BatchTotals Totals;
+    for (const SweepEntry &Entry : Manifest.Entries) {
+      std::vector<LabeledProblem> One(1);
+      if (!materializeSweepEntry(Entry, One[0], &Error)) {
+        std::cerr << "error: " << Error << "\n";
+        return 1;
+      }
+      BatchReport Report = runBatch(crossJobs(One, Specs), Options);
+      writeBatchJobsJsonl(std::cout, Report, Timing, Totals.Jobs);
+      mergeRollups(Rollups, Report.Rollups);
+      Totals.Jobs += Report.Jobs.size();
+      Totals.Failed += Report.failedJobs();
+      Totals.TimedOut += Report.timedOutJobs();
+      Totals.Workers = std::max(Totals.Workers, Report.WorkersUsed);
+    }
+    Totals.WallMicros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count();
+    writeBatchRollupsJsonl(std::cout, Rollups, Timing);
+    writeBatchTrailerJsonl(std::cout, Totals, Timing);
+    return Totals.Failed ? 1 : 0;
   }
 
   std::vector<LabeledProblem> Problems;
