@@ -13,22 +13,34 @@
 // this binary (see tools/bench_baseline.sh for the conservative-kernel
 // analogue).
 //
+// --socket appends rows measured through the full network stack — a real
+// Listener on a Unix socket, rc::Client per connection, synchronous
+// round-trips — at 1, 4, and 16 concurrent connections, so the JSON
+// records both the in-process ceiling and what a socket client actually
+// sees.
+//
 // Usage: bench_service [--requests N] [--jobs N] [--queue-limit N]
-//                      [--cache N] [--seed S]
+//                      [--cache N] [--seed S] [--socket]
 //
 //===----------------------------------------------------------------------===//
 
 #include "runner/GapReport.h"
+#include "service/Client.h"
+#include "service/Listener.h"
 #include "service/Service.h"
+#include "support/ArgParser.h"
 #include "support/JsonWriter.h"
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
+#include <cstdio>
 #include <deque>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace rc;
 
@@ -60,6 +72,89 @@ int64_t percentile(const std::vector<int64_t> &Sorted, double P) {
   return Sorted[Index];
 }
 
+/// One --socket row: the whole workload split round-robin across
+/// \p Connections synchronous clients against a fresh daemon.
+struct SocketRow {
+  unsigned Connections = 0;
+  double WallSeconds = 0;
+  std::vector<int64_t> Latencies; ///< Client-observed, sorted.
+  uint64_t Ok = 0, TimedOut = 0, Errors = 0;
+};
+
+SocketRow runSocketRow(const ServiceConfig &Config,
+                       const std::vector<BenchRequest> &Workload,
+                       unsigned Connections) {
+  SocketRow Row;
+  Row.Connections = Connections;
+
+  ListenerConfig LC;
+  LC.Ep.Kind = EndpointKind::Unix;
+  LC.Ep.Path = "/tmp/rc_bench_service_" + std::to_string(::getpid()) + "_" +
+               std::to_string(Connections) + ".sock";
+  std::remove(LC.Ep.Path.c_str());
+  LC.MaxConnections = Connections;
+
+  CoalescingService Service(Config);
+  Listener L(Service, LC);
+  std::string Error;
+  if (!L.open(&Error)) {
+    std::cerr << "error: " << Error << "\n";
+    std::exit(1);
+  }
+  std::thread Accept([&L] { L.run(); });
+
+  struct PerClient {
+    std::vector<int64_t> Latencies;
+    uint64_t Ok = 0, TimedOut = 0, Errors = 0;
+  };
+  std::vector<PerClient> Results(Connections);
+  std::vector<std::thread> Clients;
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned C = 0; C < Connections; ++C)
+    Clients.emplace_back([&, C] {
+      PerClient &R = Results[C];
+      Expected<Client> Conn = Client::connect(L.boundEndpoint());
+      if (!Conn) {
+        ++R.Errors;
+        return;
+      }
+      for (size_t I = C; I < Workload.size(); I += Connections) {
+        const BenchRequest &B = Workload[I];
+        auto T0 = std::chrono::steady_clock::now();
+        Expected<ClientReply> Reply = Conn->submit(
+            B.Instance->Problem, B.Spec, B.DeadlineMillis);
+        R.Latencies.push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count());
+        if (Reply)
+          ++R.Ok;
+        else if (Reply.error().Kind == ClientErrorKind::TimedOut)
+          ++R.TimedOut;
+        else
+          ++R.Errors;
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  Row.WallSeconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+
+  L.requestStop();
+  Accept.join();
+
+  for (const PerClient &R : Results) {
+    Row.Latencies.insert(Row.Latencies.end(), R.Latencies.begin(),
+                         R.Latencies.end());
+    Row.Ok += R.Ok;
+    Row.TimedOut += R.TimedOut;
+    Row.Errors += R.Errors;
+  }
+  std::sort(Row.Latencies.begin(), Row.Latencies.end());
+  return Row;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -70,49 +165,38 @@ int main(int Argc, char **Argv) {
   Config.CacheCapacity = 256;
   uint64_t Seed = 1;
 
-  std::vector<std::string> Args(Argv + 1, Argv + Argc);
-  for (size_t I = 0; I < Args.size(); ++I) {
-    auto value = [&](const char *Flag) -> const std::string * {
-      if (I + 1 >= Args.size()) {
-        std::cerr << "error: " << Flag << " requires an argument\n";
-        return nullptr;
-      }
-      return &Args[++I];
-    };
-    if (Args[I] == "--requests") {
-      const std::string *V = value("--requests");
-      if (!V)
-        return 2;
-      NumRequests = std::atoll(V->c_str());
-    } else if (Args[I] == "--jobs") {
-      const std::string *V = value("--jobs");
-      if (!V)
-        return 2;
-      Config.Workers = static_cast<unsigned>(std::atoi(V->c_str()));
-    } else if (Args[I] == "--queue-limit") {
-      const std::string *V = value("--queue-limit");
-      if (!V)
-        return 2;
-      Config.QueueLimit = static_cast<unsigned>(std::atoi(V->c_str()));
-    } else if (Args[I] == "--cache") {
-      const std::string *V = value("--cache");
-      if (!V)
-        return 2;
-      Config.CacheCapacity = static_cast<size_t>(std::atol(V->c_str()));
-    } else if (Args[I] == "--seed") {
-      const std::string *V = value("--seed");
-      if (!V)
-        return 2;
-      Seed = static_cast<uint64_t>(std::atoll(V->c_str()));
-    } else {
-      std::cerr << "error: unknown flag '" << Args[I] << "'\n";
-      return 2;
-    }
-  }
-  if (NumRequests < 1 || Config.Workers < 1 || Config.QueueLimit < 1) {
-    std::cerr << "error: --requests/--jobs/--queue-limit must be positive\n";
+  long long Jobs = Config.Workers, QueueLimit = Config.QueueLimit;
+  long long Cache = static_cast<long long>(Config.CacheCapacity);
+  long long SeedValue = 1;
+  bool Socket = false;
+
+  ArgParser Parser("bench_service");
+  Parser.intValue("--requests", "N", "workload size (default 600)",
+                  &NumRequests, 1, "a positive integer");
+  Parser.intValue("--jobs", "N", "worker threads (default 4)", &Jobs, 1,
+                  "a positive integer");
+  Parser.intValue("--queue-limit", "N", "admission bound (default 32)",
+                  &QueueLimit, 1, "a positive integer");
+  Parser.intValue("--cache", "N", "result-cache capacity (default 256)",
+                  &Cache, 0, "a non-negative integer");
+  Parser.intValue("--seed", "S", "workload RNG seed (default 1)",
+                  &SeedValue, 0, "a non-negative integer");
+  Parser.flag("--socket",
+              "also measure through a Unix-socket daemon at 1/4/16"
+              " concurrent connections",
+              &Socket);
+  switch (Parser.parse(Argc, Argv, std::cout, std::cerr)) {
+  case ArgParser::Result::Ok:
+    break;
+  case ArgParser::Result::Help:
+    return 0;
+  case ArgParser::Result::Error:
     return 2;
   }
+  Config.Workers = static_cast<unsigned>(Jobs);
+  Config.QueueLimit = static_cast<unsigned>(QueueLimit);
+  Config.CacheCapacity = static_cast<size_t>(Cache);
+  Seed = static_cast<uint64_t>(SeedValue);
 
   // The 24-seed golden corpus split into the two workload classes.
   std::vector<LabeledProblem> Corpus = goldenChallengeCorpus();
@@ -155,13 +239,13 @@ int main(int Argc, char **Argv) {
     if (Reply.CacheHit)
       ++CacheHits;
     switch (Reply.Status) {
-    case WireStatus::Ok:
+    case ReplyStatus::Ok:
       ++Ok;
       break;
-    case WireStatus::TimedOut:
+    case ReplyStatus::TimedOut:
       ++TimedOut;
       break;
-    case WireStatus::Busy:
+    case ReplyStatus::Busy:
       ++Busy;
       break;
     default:
@@ -236,6 +320,37 @@ int main(int Argc, char **Argv) {
   W.key("evictions").value(Stats.CacheEvictions);
   W.key("entries").value(Stats.CacheEntries);
   W.endObject();
+  if (Socket) {
+    // The same workload through the network stack, one fresh daemon per
+    // concurrency level. Latencies here are client-observed round-trips
+    // (frame encode + socket + service + decode), so the delta against
+    // latency_micros above is the transport's own cost.
+    W.key("socket");
+    W.beginArray();
+    for (unsigned Connections : {1u, 4u, 16u}) {
+      SocketRow Row = runSocketRow(Config, Workload, Connections);
+      W.beginObject();
+      W.key("connections").value(Row.Connections);
+      W.key("wall_seconds").value(Row.WallSeconds);
+      W.key("requests_per_second")
+          .value(static_cast<double>(Row.Latencies.size()) /
+                 Row.WallSeconds);
+      W.key("latency_micros");
+      W.beginObject();
+      W.key("p50").value(percentile(Row.Latencies, 0.50));
+      W.key("p99").value(percentile(Row.Latencies, 0.99));
+      W.key("max").value(Row.Latencies.empty() ? 0 : Row.Latencies.back());
+      W.endObject();
+      W.key("statuses");
+      W.beginObject();
+      W.key("ok").value(Row.Ok);
+      W.key("timed_out").value(Row.TimedOut);
+      W.key("errors").value(Row.Errors);
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
   W.newline();
   return 0;

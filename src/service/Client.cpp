@@ -1,0 +1,201 @@
+//===- service/Client.cpp - Native service client library -----------------===//
+
+#include "service/Client.h"
+
+#include <utility>
+
+using namespace rc;
+
+const char *rc::clientErrorKindName(ClientErrorKind K) {
+  switch (K) {
+  case ClientErrorKind::Connect:
+    return "connect";
+  case ClientErrorKind::Transport:
+    return "transport";
+  case ClientErrorKind::Protocol:
+    return "protocol";
+  case ClientErrorKind::BadRequest:
+    return "bad-request";
+  case ClientErrorKind::UnknownStrategy:
+    return "unknown-strategy";
+  case ClientErrorKind::BadOption:
+    return "bad-option";
+  case ClientErrorKind::TimedOut:
+    return "timed-out";
+  case ClientErrorKind::Busy:
+    return "busy";
+  case ClientErrorKind::ShuttingDown:
+    return "shutting-down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ClientError makeError(ClientErrorKind Kind, std::string Message) {
+  ClientError E;
+  E.Kind = Kind;
+  E.Message = std::move(Message);
+  return E;
+}
+
+ClientError notConnected() {
+  return makeError(ClientErrorKind::Connect, "client is not connected");
+}
+
+/// Maps one daemon reply onto the client result. The payload is kept
+/// verbatim on the success path so socket callers see exactly the bytes a
+/// stdio pipe would have produced.
+Expected<ClientReply> decodeReply(std::string Payload,
+                                  bool ExpectShutdownAck) {
+  ReplyStatus Status;
+  if (!extractResponseStatus(Payload, Status))
+    return makeError(ClientErrorKind::Protocol,
+                     "response frame carries no recognizable status");
+
+  std::string Message;
+  extractResponseString(Payload, "message", Message);
+
+  switch (Status) {
+  case ReplyStatus::Ok:
+    return ClientReply{Status, std::move(Payload)};
+  case ReplyStatus::ShuttingDown:
+    // The expected ending of shutdownServer; anywhere else it means the
+    // daemon is draining and this request was not served.
+    if (ExpectShutdownAck)
+      return ClientReply{Status, std::move(Payload)};
+    return makeError(ClientErrorKind::ShuttingDown,
+                     Message.empty() ? "service is shutting down"
+                                     : std::move(Message));
+  case ReplyStatus::TimedOut: {
+    ClientError E = makeError(ClientErrorKind::TimedOut,
+                              Message.empty() ? "deadline expired"
+                                              : std::move(Message));
+    E.Partial = std::move(Payload);
+    return E;
+  }
+  case ReplyStatus::BadOption: {
+    ClientError E = makeError(ClientErrorKind::BadOption, std::move(Message));
+    extractResponseString(Payload, "bad_key", E.BadKey);
+    extractResponseString(Payload, "bad_value", E.BadValue);
+    return E;
+  }
+  case ReplyStatus::UnknownStrategy:
+    return makeError(ClientErrorKind::UnknownStrategy, std::move(Message));
+  case ReplyStatus::BadRequest:
+    return makeError(ClientErrorKind::BadRequest, std::move(Message));
+  case ReplyStatus::Busy:
+    return makeError(ClientErrorKind::Busy, std::move(Message));
+  }
+  return makeError(ClientErrorKind::Protocol, "unhandled reply status");
+}
+
+} // namespace
+
+Expected<Client> Client::connect(const Endpoint &E) {
+  std::string Error;
+  int Fd = connectToEndpoint(E, &Error);
+  if (Fd < 0)
+    return makeError(ClientErrorKind::Connect, Error);
+  Client C;
+  C.Stream = std::make_unique<SocketStream>(Fd);
+  C.Ep = E;
+  return C;
+}
+
+ClientError Client::connectionFatal(ClientErrorKind Kind,
+                                    std::string Message) {
+  close();
+  return makeError(Kind, std::move(Message));
+}
+
+Expected<ClientReply> Client::readReply(bool ExpectShutdownAck) {
+  Frame F;
+  std::string Error;
+  switch (readFrame(Stream->in(), F, kDefaultMaxPayloadBytes, &Error)) {
+  case FrameReadStatus::Ok:
+    break;
+  case FrameReadStatus::Eof:
+    return connectionFatal(ClientErrorKind::Transport,
+                           "connection closed before the reply arrived");
+  case FrameReadStatus::TooLarge:
+  case FrameReadStatus::Malformed:
+    return connectionFatal(ClientErrorKind::Protocol, Error);
+  }
+  if (F.Type != FrameType::Response)
+    return connectionFatal(ClientErrorKind::Protocol,
+                           std::string("expected a response frame, got ") +
+                               frameTypeName(F.Type));
+  Expected<ClientReply> R =
+      decodeReply(std::move(F.Payload), ExpectShutdownAck);
+  if (!R && R.error().Kind == ClientErrorKind::Protocol)
+    close();
+  return R;
+}
+
+Expected<ClientReply> Client::submit(const CoalescingProblem &Problem,
+                                     const std::string &Spec,
+                                     int64_t DeadlineMillis) {
+  std::vector<Request> One(1);
+  One[0].Problem = &Problem;
+  One[0].Spec = Spec;
+  One[0].DeadlineMillis = DeadlineMillis;
+  std::vector<Expected<ClientReply>> Replies = submitAll(One);
+  return std::move(Replies[0]);
+}
+
+std::vector<Expected<ClientReply>>
+Client::submitAll(const std::vector<Request> &Requests) {
+  std::vector<Expected<ClientReply>> Replies;
+  Replies.reserve(Requests.size());
+  if (!Stream) {
+    for (size_t I = 0; I < Requests.size(); ++I)
+      Replies.push_back(notConnected());
+    return Replies;
+  }
+
+  // Phase one: every frame onto the wire, one flush. The daemon's reply
+  // loop preserves request order per connection, so phase two can read
+  // the answers positionally.
+  for (const Request &R : Requests)
+    writeFrame(Stream->out(),
+               FrameType::Request,
+               buildRequestPayload(*R.Problem, R.Spec, R.DeadlineMillis));
+  Stream->out().flush();
+  // A write failure does not abort here: a daemon that refuses the
+  // connection (busy, shutting down) sends its verdict and closes, so our
+  // writes can die with EPIPE while that verdict already sits in the
+  // receive buffer. The read phase surfaces the typed verdict; only when
+  // nothing is left to read does this degrade to a transport error.
+  bool WritesFailed = !Stream->out();
+
+  // Phase two: collect the replies in order. A transport failure fails
+  // the remaining entries — their requests may or may not have been
+  // served, and the connection is gone either way.
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    if (!Stream) {
+      Replies.push_back(Replies.back().error());
+      continue;
+    }
+    Replies.push_back(readReply(/*ExpectShutdownAck=*/false));
+  }
+  // Half-dead connections (replies drained, but the write side is gone)
+  // are useless for another round trip; retire the stream now.
+  if (WritesFailed)
+    close();
+  return Replies;
+}
+
+Expected<ClientReply> Client::shutdownServer(ShutdownMode Mode) {
+  if (!Stream)
+    return notConnected();
+  writeFrame(Stream->out(), FrameType::Shutdown,
+             Mode == ShutdownMode::Now ? "now" : "drain");
+  Stream->out().flush();
+  // As in submitAll: even if the shutdown frame died on the wire, a
+  // verdict the daemon sent before closing may still be readable and is
+  // more informative than the EPIPE.
+  Expected<ClientReply> Ack = readReply(/*ExpectShutdownAck=*/true);
+  close();
+  return Ack;
+}

@@ -1,0 +1,170 @@
+//===- service/Client.h - Native service client library ---------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// rc::Client is the one way tools and the allocator pipeline talk to a
+/// coalescing daemon: it owns the connection, the frame plumbing, and the
+/// status mapping, so callers submit problems and pattern-match typed
+/// results instead of hand-rolling writeFrame/readFrame/string-compare
+/// chains.
+///
+///   Endpoint E;
+///   parseEndpoint("unix:/tmp/rc.sock", E);
+///   Expected<Client> C = Client::connect(E);
+///   if (!C) { /* C.error().Message */ }
+///   Expected<ClientReply> R = C->submit(Problem, "briggs+george", 250);
+///   if (R) { /* R->Payload is the response JSON, R->Result the outcome */ }
+///   else if (R.error().Kind == ClientErrorKind::Busy) { /* retry later */ }
+///
+/// Error taxonomy (ClientErrorKind): transport-level failures (Connect,
+/// Transport, Protocol) mean the connection is gone — the client closes
+/// it and every later call fails fast; request-level failures
+/// (BadRequest, UnknownStrategy, BadOption, TimedOut, Busy, ShuttingDown)
+/// describe one reply and leave the connection usable. BadOption carries
+/// the offending key/value, TimedOut carries the flagged partial-result
+/// payload — nothing is flattened into strings.
+///
+/// submitAll pipelines: every request frame is written (one flush), then
+/// the replies are read in order — the daemon's ordered-reply loop
+/// guarantees the correspondence — so N round-trip latencies collapse
+/// into one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_CLIENT_H
+#define SERVICE_CLIENT_H
+
+#include "coalescing/Problem.h"
+#include "service/ReplyStatus.h"
+#include "service/SocketTransport.h"
+#include "service/WireProtocol.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rc {
+
+enum class ClientErrorKind {
+  // Connection-fatal: the client closes the socket; later calls fail fast.
+  Connect,   ///< Could not reach the endpoint.
+  Transport, ///< The connection dropped mid-conversation.
+  Protocol,  ///< The daemon sent bytes that do not parse as a response.
+  // Request-level: one reply; the connection stays usable.
+  BadRequest,      ///< The daemon could not parse our request.
+  UnknownStrategy, ///< The spec named no registered strategy.
+  BadOption,       ///< The spec carried a bad option (see BadKey/BadValue).
+  TimedOut,        ///< Deadline expired; Partial holds the flagged result.
+  Busy,            ///< Admission or connection backpressure; retry later.
+  ShuttingDown,    ///< The daemon is draining; no new work accepted.
+};
+
+/// Short stable name of \p K for logs and diagnostics.
+const char *clientErrorKindName(ClientErrorKind K);
+
+struct ClientError {
+  ClientErrorKind Kind = ClientErrorKind::Transport;
+  /// Human-readable diagnostic (the daemon's "message" field when the
+  /// reply carried one).
+  std::string Message;
+  /// The offending option, for BadOption.
+  std::string BadKey;
+  std::string BadValue;
+  /// The partial-result response payload, for TimedOut — everything the
+  /// strategy managed before the deadline, flagged partial.
+  std::string Partial;
+};
+
+/// A successful reply: the daemon's response payload (JSON, exactly the
+/// bytes a stdio pipe would have seen — cache hits replay cold bytes).
+struct ClientReply {
+  ReplyStatus Status = ReplyStatus::Ok;
+  std::string Payload;
+};
+
+/// A minimal expected/error union for client results. Deliberately tiny:
+/// default-constructible payloads only, no exceptions.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : HasValue(true), Value(std::move(Value)) {}
+  Expected(ClientError E) : HasValue(false), Err(std::move(E)) {}
+
+  explicit operator bool() const { return HasValue; }
+  T &operator*() { return Value; }
+  const T &operator*() const { return Value; }
+  T *operator->() { return &Value; }
+  const T *operator->() const { return &Value; }
+  /// Valid only when the Expected is false-y.
+  const ClientError &error() const { return Err; }
+
+private:
+  bool HasValue;
+  T Value{};
+  ClientError Err{};
+};
+
+/// How Client::shutdownServer asks the daemon to stop.
+enum class ShutdownMode {
+  Drain, ///< Finish in-flight work, then acknowledge.
+  Now,   ///< Cancel in-flight work (partials are flagged), then acknowledge.
+};
+
+class Client {
+public:
+  /// An unconnected client; every call fails with a Connect error until
+  /// connect() succeeds.
+  Client() = default;
+  Client(Client &&) = default;
+  Client &operator=(Client &&) = default;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Dials \p E.
+  static Expected<Client> connect(const Endpoint &E);
+
+  bool connected() const { return Stream != nullptr; }
+  const Endpoint &endpoint() const { return Ep; }
+
+  /// One request as the client library sees it: a borrowed problem, a
+  /// strategy spec, and an optional deadline.
+  struct Request {
+    const CoalescingProblem *Problem = nullptr;
+    std::string Spec;
+    int64_t DeadlineMillis = 0;
+  };
+
+  /// Round-trips one request.
+  Expected<ClientReply> submit(const CoalescingProblem &Problem,
+                               const std::string &Spec,
+                               int64_t DeadlineMillis = 0);
+
+  /// Pipelines \p Requests: writes every frame, then reads the replies in
+  /// request order. Entry i is request i's outcome; a transport failure
+  /// fails every not-yet-answered entry and closes the connection.
+  std::vector<Expected<ClientReply>>
+  submitAll(const std::vector<Request> &Requests);
+
+  /// Sends a Shutdown frame and waits for the stats-carrying ack (its
+  /// payload is the reply). The connection is closed afterwards either
+  /// way.
+  Expected<ClientReply> shutdownServer(ShutdownMode Mode);
+
+  /// Drops the connection (idempotent).
+  void close() { Stream.reset(); }
+
+private:
+  Expected<ClientReply> readReply(bool ExpectShutdownAck);
+  ClientError connectionFatal(ClientErrorKind Kind, std::string Message);
+
+  std::unique_ptr<SocketStream> Stream;
+  Endpoint Ep;
+};
+
+} // namespace rc
+
+#endif // SERVICE_CLIENT_H

@@ -1,0 +1,160 @@
+//===- service/Listener.cpp - Socket accept loop --------------------------===//
+
+#include "service/Listener.h"
+
+#include "service/ServiceLoop.h"
+
+#include <utility>
+
+#include <unistd.h>
+
+using namespace rc;
+
+Listener::Listener(CoalescingService &Service, ListenerConfig Config)
+    : Service(Service), Config(std::move(Config)) {}
+
+Listener::~Listener() {
+  reapConnections(/*All=*/true);
+  if (ListenFd >= 0) {
+    closeFd(ListenFd);
+    ListenFd = -1;
+    if (Bound.Kind == EndpointKind::Unix)
+      ::unlink(Bound.Path.c_str());
+  }
+}
+
+bool Listener::open(std::string *Error) {
+  ListenFd = listenOnEndpoint(Config.Ep, Error);
+  if (ListenFd < 0)
+    return false;
+  if (!rc::boundEndpoint(ListenFd, Bound, Error)) {
+    closeFd(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  return true;
+}
+
+void Listener::refuseBusy(int Fd) {
+  WireResponse R;
+  R.Status = ReplyStatus::Busy;
+  R.Message = "connection limit of " + std::to_string(Config.MaxConnections) +
+              " reached; retry later";
+  // SocketStream flushes and closes the fd on scope exit; a client that
+  // already hung up just makes the write a no-op.
+  SocketStream Stream(Fd);
+  writeFrame(Stream.out(), FrameType::Response,
+             buildResponsePayload(R, Service.config().IncludeTiming));
+}
+
+void Listener::serveConnection(Connection &Conn) {
+  ServiceLoopOptions Options;
+  Options.MaxPayloadBytes = Config.MaxPayloadBytes;
+  Options.OwnsService = false;
+  // Any client may retire the daemon with a Shutdown frame; close the
+  // door before the service drain so the final stats cannot grow.
+  Options.OnShutdownRequest = [this](bool) { requestStop(); };
+
+  std::string Error;
+  bool Clean = runServiceLoop(Conn.Stream->in(), Conn.Stream->out(), Service,
+                              Options, &Error);
+  if (!Clean) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.Poisoned;
+  }
+  Live.fetch_sub(1, std::memory_order_relaxed);
+  Conn.Done.store(true, std::memory_order_release);
+}
+
+void Listener::reapConnections(bool All) {
+  // Move the candidates out under the lock, join outside it: a connection
+  // thread takes the same lock to count a poisoned stream, so joining
+  // under the lock could deadlock with the thread being joined.
+  std::vector<std::unique_ptr<Connection>> Finished;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t I = 0; I < Connections.size();) {
+      if (All || Connections[I]->Done.load(std::memory_order_acquire)) {
+        Finished.push_back(std::move(Connections[I]));
+        if (I + 1 != Connections.size())
+          Connections[I] = std::move(Connections.back());
+        Connections.pop_back();
+      } else {
+        ++I;
+      }
+    }
+  }
+  for (std::unique_ptr<Connection> &Conn : Finished)
+    if (Conn->Thread.joinable())
+      Conn->Thread.join();
+  // ~Connection drops the last SocketStream reference, closing the fd.
+}
+
+bool Listener::run(std::string *Error) {
+  if (ListenFd < 0 && !open(Error))
+    return false;
+
+  bool Ok = true;
+  while (!Stop.load(std::memory_order_relaxed)) {
+    std::string AcceptError;
+    int Fd = acceptConnection(ListenFd, /*TimeoutMillis=*/100, &AcceptError);
+    if (Fd < 0) {
+      if (AcceptError.empty()) {
+        // Timeout or signal: re-check the stop flag, reap stragglers so
+        // long-lived daemons do not accumulate finished threads.
+        reapConnections(/*All=*/false);
+        continue;
+      }
+      if (Error)
+        *Error = AcceptError;
+      Ok = false;
+      break;
+    }
+
+    if (Live.load(std::memory_order_relaxed) >= Config.MaxConnections) {
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.Refused;
+      }
+      refuseBusy(Fd);
+      continue;
+    }
+
+    auto Conn = std::make_unique<Connection>();
+    Conn->Stream = std::make_shared<SocketStream>(Fd);
+    Live.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Counters.Accepted;
+    }
+    Connection &Ref = *Conn;
+    Ref.Thread = std::thread([this, &Ref] { serveConnection(Ref); });
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Connections.push_back(std::move(Conn));
+    }
+    reapConnections(/*All=*/false);
+  }
+
+  // Drain: close the door first, then nudge the remaining connections
+  // with a read-side shutdown — their loops observe EOF, flush every
+  // reply already owed, and finish. Joining them completes the drain.
+  closeFd(ListenFd);
+  ListenFd = -1;
+  if (Bound.Kind == EndpointKind::Unix)
+    ::unlink(Bound.Path.c_str());
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const std::unique_ptr<Connection> &Conn : Connections)
+      if (!Conn->Done.load(std::memory_order_acquire))
+        Conn->Stream->shutdownRead();
+  }
+  reapConnections(/*All=*/true);
+  Service.shutdown(false);
+  return Ok;
+}
+
+Listener::Stats Listener::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

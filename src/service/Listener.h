@@ -1,0 +1,122 @@
+//===- service/Listener.h - Socket accept loop ------------------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accept loop that turns one CoalescingService into a multi-client
+/// daemon: every accepted connection gets its own thread running
+/// runServiceLoop (reply ordering is per-connection), while the worker
+/// pool, the result cache, and the admission bound stay shared — client
+/// N+1 warms the same cache client 1 filled.
+///
+/// Policy decisions live here, not in the loop:
+///
+///  - *Connection cap.* At most MaxConnections live connections; one
+///    more is answered with a single busy Response frame at accept time
+///    and closed — backpressure at the transport boundary, symmetric to
+///    the service's queue-limit busy at the request boundary.
+///  - *Poison isolation.* A malformed frame poisons only its own
+///    connection: the loop runs in shared mode, so the connection's
+///    session token cancels that client's in-flight work and siblings
+///    never notice.
+///  - *Drain discipline.* Stopping — requestStop() (the SIGINT path; it
+///    is async-signal-safe) or any client's Shutdown frame — first stops
+///    accepting and closes the listen socket, then nudges the remaining
+///    connections with a read-side shutdown so their loops see EOF, flush
+///    every reply already owed, and finish; run() joins them all and
+///    leaves the service drained. No fd outlives run().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_LISTENER_H
+#define SERVICE_LISTENER_H
+
+#include "service/Service.h"
+#include "service/SocketTransport.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rc {
+
+struct ListenerConfig {
+  Endpoint Ep;
+  /// Live-connection cap; one more is answered busy at accept.
+  unsigned MaxConnections = 32;
+  /// Forwarded to each connection's service loop.
+  uint32_t MaxPayloadBytes = kDefaultMaxPayloadBytes;
+};
+
+class Listener {
+public:
+  Listener(CoalescingService &Service, ListenerConfig Config);
+
+  /// Joins any stragglers and closes the listen socket (idempotent with
+  /// the end of run()).
+  ~Listener();
+
+  Listener(const Listener &) = delete;
+  Listener &operator=(const Listener &) = delete;
+
+  /// Binds and listens on the configured endpoint. Separate from run() so
+  /// callers can learn the bound endpoint (tcp:0) before serving.
+  /// \returns false with a diagnostic in \p Error.
+  bool open(std::string *Error = nullptr);
+
+  /// The endpoint actually bound (the OS-assigned port for tcp:0). Valid
+  /// after a successful open().
+  const Endpoint &boundEndpoint() const { return Bound; }
+
+  /// Serves until requestStop() or a client's Shutdown frame; then drains:
+  /// closes the listen socket, read-shuts the remaining connections, joins
+  /// every connection thread, and shuts the service down. \returns false
+  /// with a diagnostic only when accepting itself failed; per-connection
+  /// protocol errors are counted, not fatal.
+  bool run(std::string *Error = nullptr);
+
+  /// Asks run() to stop and drain. Async-signal-safe (one atomic store):
+  /// the stdio daemon calls this from its SIGINT handler. Callable from
+  /// any thread, including a connection thread handling a Shutdown frame.
+  void requestStop() { Stop.store(true, std::memory_order_relaxed); }
+
+  struct Stats {
+    uint64_t Accepted = 0; ///< Connections served (incl. still live).
+    uint64_t Refused = 0;  ///< Answered busy at accept (cap reached).
+    uint64_t Poisoned = 0; ///< Connections ended by a protocol error.
+  };
+  Stats stats() const;
+
+private:
+  struct Connection {
+    std::shared_ptr<SocketStream> Stream;
+    std::thread Thread;
+    std::atomic<bool> Done{false};
+  };
+
+  void serveConnection(Connection &Conn);
+  void refuseBusy(int Fd);
+  /// Joins finished connection threads; with \p All, joins every one.
+  void reapConnections(bool All);
+
+  CoalescingService &Service;
+  ListenerConfig Config;
+  Endpoint Bound;
+  int ListenFd = -1;
+  std::atomic<bool> Stop{false};
+  std::atomic<unsigned> Live{0};
+
+  mutable std::mutex Mutex; ///< Guards Connections and Counters.
+  std::vector<std::unique_ptr<Connection>> Connections;
+  Stats Counters;
+};
+
+} // namespace rc
+
+#endif // SERVICE_LISTENER_H

@@ -1,0 +1,57 @@
+//===- service/ReplyStatus.cpp - The one reply-status vocabulary ----------===//
+
+#include "service/ReplyStatus.h"
+
+#include "challenge/StrategyRunner.h"
+
+using namespace rc;
+
+const char *rc::replyStatusName(ReplyStatus S) {
+  switch (S) {
+  case ReplyStatus::Ok:
+    return "ok";
+  case ReplyStatus::UnknownStrategy:
+    return "unknown-strategy";
+  case ReplyStatus::BadOption:
+    return "bad-option";
+  case ReplyStatus::TimedOut:
+    return "timed-out";
+  case ReplyStatus::BadRequest:
+    return "bad-request";
+  case ReplyStatus::Busy:
+    return "busy";
+  case ReplyStatus::ShuttingDown:
+    return "shutting-down";
+  }
+  return "?";
+}
+
+bool rc::replyStatusFromName(const std::string &Name, ReplyStatus &S) {
+  static const ReplyStatus All[] = {
+      ReplyStatus::Ok,         ReplyStatus::UnknownStrategy,
+      ReplyStatus::BadOption,  ReplyStatus::TimedOut,
+      ReplyStatus::BadRequest, ReplyStatus::Busy,
+      ReplyStatus::ShuttingDown,
+  };
+  for (ReplyStatus Candidate : All) {
+    if (Name == replyStatusName(Candidate)) {
+      S = Candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+ReplyStatus rc::replyStatusFromRun(RunStatus S) {
+  switch (S) {
+  case RunStatus::Ok:
+    return ReplyStatus::Ok;
+  case RunStatus::UnknownStrategy:
+    return ReplyStatus::UnknownStrategy;
+  case RunStatus::BadOption:
+    return ReplyStatus::BadOption;
+  case RunStatus::TimedOut:
+    return ReplyStatus::TimedOut;
+  }
+  return ReplyStatus::BadRequest;
+}

@@ -1,0 +1,59 @@
+//===- service/ReplyStatus.h - The one reply-status vocabulary --*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// How a served request ended, as one typed vocabulary shared by every
+/// layer that touches a reply: the service core builds replies with it,
+/// the wire schema serializes it ("status":"busy"), and rc::Client parses
+/// it back into the same enum. The wire names live in exactly two
+/// functions here — replyStatusName (to wire) and replyStatusFromName
+/// (from wire) — so no caller ever string-compares a status again.
+///
+/// The enum extends RunStatus (the strategy-evaluation outcomes) with the
+/// service-level endings: protocol rejects, admission backpressure, and
+/// shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_REPLYSTATUS_H
+#define SERVICE_REPLYSTATUS_H
+
+#include <string>
+
+namespace rc {
+
+enum class RunStatus;
+
+enum class ReplyStatus {
+  Ok,
+  UnknownStrategy,
+  BadOption,
+  TimedOut,
+  BadRequest,   ///< Unparseable request payload or oversized frame.
+  Busy,         ///< Admission control rejected the request; retry later.
+  ShuttingDown, ///< The service is draining; no new work accepted.
+};
+
+/// Short stable wire name of \p S for the response "status" field.
+const char *replyStatusName(ReplyStatus S);
+
+/// Parses a wire name back into the enum. \returns false when \p Name is
+/// not a reply status (the caller is looking at a foreign or corrupt
+/// payload).
+bool replyStatusFromName(const std::string &Name, ReplyStatus &S);
+
+/// The RunStatus subset maps onto the same wire names.
+ReplyStatus replyStatusFromRun(RunStatus S);
+
+/// A reply carries a strategy result exactly for these two statuses (a
+/// complete outcome for Ok, a flagged partial for TimedOut).
+inline bool replyStatusHasResult(ReplyStatus S) {
+  return S == ReplyStatus::Ok || S == ReplyStatus::TimedOut;
+}
+
+} // namespace rc
+
+#endif // SERVICE_REPLYSTATUS_H

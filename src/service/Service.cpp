@@ -45,7 +45,8 @@ std::future<ServiceReply> CoalescingService::ready(ServiceReply Reply) {
   return P.get_future();
 }
 
-std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
+std::future<ServiceReply> CoalescingService::submit(WireRequest Request,
+                                                    const CancelToken *Session) {
   auto Start = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -53,9 +54,9 @@ std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
     if (Stopping) {
       ++Counters.Rejected;
       ServiceReply Reply;
-      Reply.Status = WireStatus::ShuttingDown;
+      Reply.Status = ReplyStatus::ShuttingDown;
       WireResponse R;
-      R.Status = WireStatus::ShuttingDown;
+      R.Status = ReplyStatus::ShuttingDown;
       R.Message = "service is shutting down";
       Reply.Payload = buildResponsePayload(R, Config.IncludeTiming);
       Reply.LatencyMicros = microsSince(Start);
@@ -73,7 +74,7 @@ std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
       ++Counters.Errors;
     }
     WireResponse R;
-    R.Status = wireStatusFromRun(SpecStatus);
+    R.Status = replyStatusFromRun(SpecStatus);
     R.Message = Error.Message;
     R.BadKey = Error.Key;
     R.BadValue = Error.Value;
@@ -91,7 +92,7 @@ std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
     std::string Cached;
     if (Cache.lookup(Key, Cached)) {
       ServiceReply Reply;
-      Reply.Status = WireStatus::Ok;
+      Reply.Status = ReplyStatus::Ok;
       Reply.CacheHit = true;
       Reply.Payload = std::move(Cached);
       Reply.LatencyMicros = microsSince(Start);
@@ -106,7 +107,7 @@ std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
     if (Stopping || InFlight >= Config.QueueLimit) {
       ++Counters.Rejected;
       WireResponse R;
-      R.Status = Stopping ? WireStatus::ShuttingDown : WireStatus::Busy;
+      R.Status = Stopping ? ReplyStatus::ShuttingDown : ReplyStatus::Busy;
       R.Message = Stopping ? "service is shutting down"
                            : "queue limit of " +
                                  std::to_string(Config.QueueLimit) +
@@ -129,7 +130,7 @@ std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
     J->Deadline.setDeadline(std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(
                                 J->Request.DeadlineMillis));
-  J->Deadline.setParent(&ShutdownToken);
+  J->Deadline.setParent(Session ? Session : &ShutdownToken);
 
   std::future<ServiceReply> Future = J->Promise.get_future();
   Pool.submit([this, J]() {
@@ -141,7 +142,7 @@ std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
       std::string Cached;
       if (Cache.lookup(J->Key, Cached, /*CountMiss=*/false)) {
         ServiceReply Reply;
-        Reply.Status = WireStatus::Ok;
+        Reply.Status = ReplyStatus::Ok;
         Reply.CacheHit = true;
         Reply.Payload = std::move(Cached);
         Reply.LatencyMicros = microsSince(J->Start);
@@ -167,7 +168,7 @@ std::future<ServiceReply> CoalescingService::submit(WireRequest Request) {
 
 ServiceReply CoalescingService::finishJob(Job &J, RunResult Result) {
   WireResponse R;
-  R.Status = wireStatusFromRun(Result.Status);
+  R.Status = replyStatusFromRun(Result.Status);
   R.Message = Result.Message;
   if (Result.hasOutcome())
     R.Outcome = &Result.Outcome;
@@ -179,15 +180,15 @@ ServiceReply CoalescingService::finishJob(Job &J, RunResult Result) {
 
   // Only complete runs are cached: partials depend on the deadline that
   // cut them short, and errors are cheap to recompute.
-  if (R.Status == WireStatus::Ok && Config.CacheCapacity > 0)
+  if (R.Status == ReplyStatus::Ok && Config.CacheCapacity > 0)
     Cache.insert(J.Key, Reply.Payload);
 
   std::lock_guard<std::mutex> Lock(Mutex);
   switch (R.Status) {
-  case WireStatus::Ok:
+  case ReplyStatus::Ok:
     ++Counters.Completed;
     break;
-  case WireStatus::TimedOut:
+  case ReplyStatus::TimedOut:
     ++Counters.TimedOut;
     break;
   default:
@@ -238,7 +239,7 @@ std::string rc::buildShutdownAckPayload(const ServiceStats &Stats) {
   JsonWriter W(OS);
   W.beginObject();
   W.key("rcs").value(kJsonSchemaVersion);
-  W.key("status").value(wireStatusName(WireStatus::ShuttingDown));
+  W.key("status").value(replyStatusName(ReplyStatus::ShuttingDown));
   W.key("stats");
   W.beginObject();
   W.key("requests").value(Stats.Requests);

@@ -84,7 +84,7 @@ struct ServiceStats {
 
 /// One answered request.
 struct ServiceReply {
-  WireStatus Status = WireStatus::Ok;
+  ReplyStatus Status = ReplyStatus::Ok;
   /// The payload came from the result cache (bytes of the cold solve).
   bool CacheHit = false;
   /// The serialized response payload (what goes in the Response frame).
@@ -107,7 +107,20 @@ public:
   /// admitted work — schedules \p Request on the pool. The future is
   /// fulfilled immediately for validation errors, cache hits, Busy and
   /// ShuttingDown; otherwise when the strategy finishes.
-  std::future<ServiceReply> submit(WireRequest Request);
+  ///
+  /// \p Session, when non-null, becomes the parent of the request's
+  /// deadline token instead of the service's shutdown token directly —
+  /// the per-connection cancellation hook: a transport that owns a
+  /// session token (itself parented under shutdownToken()) can unwind
+  /// exactly its own in-flight requests when its stream is poisoned,
+  /// without disturbing sibling connections.
+  std::future<ServiceReply> submit(WireRequest Request,
+                                   const CancelToken *Session = nullptr);
+
+  /// The root cancellation token every admitted request chains under.
+  /// Session tokens parent themselves here so a service-wide cancelling
+  /// shutdown still reaches every request.
+  const CancelToken &shutdownToken() const { return ShutdownToken; }
 
   /// Counts a protocol-level reject (unparseable payload, oversized
   /// frame) that never became a submit().

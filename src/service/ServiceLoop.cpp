@@ -30,6 +30,11 @@ struct LoopState {
   bool Clean = true;
   std::string Error;
 
+  /// The connection's session token: every request submitted through this
+  /// loop chains its deadline under it, so poisoning the connection can
+  /// unwind exactly this connection's in-flight work.
+  CancelToken Session;
+
   void pushReady(std::string Payload) {
     std::lock_guard<std::mutex> Lock(Mutex);
     PendingReply P;
@@ -50,8 +55,13 @@ struct LoopState {
   void finish(bool WasClean, std::string Diagnostic = "") {
     std::lock_guard<std::mutex> Lock(Mutex);
     ReaderDone = true;
-    Clean = WasClean;
-    Error = std::move(Diagnostic);
+    if (!WasClean) {
+      Clean = false;
+      // Guarantee the caller a diagnostic even if a new poisoned path
+      // forgets to phrase one.
+      Error = Diagnostic.empty() ? "stream poisoned by a malformed frame"
+                                 : std::move(Diagnostic);
+    }
     Available.notify_one();
   }
 };
@@ -59,7 +69,7 @@ struct LoopState {
 std::string badRequestPayload(const std::string &Message,
                               bool IncludeTiming) {
   WireResponse R;
-  R.Status = WireStatus::BadRequest;
+  R.Status = ReplyStatus::BadRequest;
   R.Message = Message;
   return buildResponsePayload(R, IncludeTiming);
 }
@@ -73,8 +83,10 @@ void readerMain(std::istream &In, CoalescingService &Service,
     FrameReadStatus S =
         readFrame(In, F, Options.MaxPayloadBytes, &FrameError);
     if (S == FrameReadStatus::Eof) {
-      // Client hung up without a Shutdown frame: drain silently.
-      Service.shutdown(false);
+      // Client hung up without a Shutdown frame: this connection is done.
+      // Only the stdio daemon treats that as "the last client left".
+      if (Options.OwnsService)
+        Service.shutdown(false);
       State.finish(true);
       return;
     }
@@ -86,8 +98,12 @@ void readerMain(std::istream &In, CoalescingService &Service,
     if (S == FrameReadStatus::Malformed) {
       // Poisoned stream: nothing after this point can be trusted, so stop
       // reading, cancel in-flight work, and let the writer flush what is
-      // already owed.
-      Service.shutdown(true);
+      // already owed. A shared service only loses this connection's work:
+      // the session token reaches exactly the requests submitted here.
+      if (Options.OwnsService)
+        Service.shutdown(true);
+      else
+        State.Session.cancel();
       State.finish(false, FrameError);
       return;
     }
@@ -100,7 +116,8 @@ void readerMain(std::istream &In, CoalescingService &Service,
         Service.noteBadRequest();
         State.pushReady(badRequestPayload(ParseError, Timing));
       } else {
-        State.pushFuture(Service.submit(std::move(Request)));
+        State.pushFuture(
+            Service.submit(std::move(Request), &State.Session));
       }
       break;
     }
@@ -122,6 +139,11 @@ void readerMain(std::istream &In, CoalescingService &Service,
             "unknown shutdown mode '" + F.Payload + "'", Timing));
         break;
       }
+      // Let the transport stop accepting siblings before the drain, so
+      // the ack's stats are final and the drain cannot race new
+      // connections.
+      if (Options.OnShutdownRequest)
+        Options.OnShutdownRequest(CancelInFlight);
       // In-flight futures are already queued ahead of the ack, so the ack
       // is always the last frame the client sees.
       Service.shutdown(CancelInFlight);
@@ -140,9 +162,11 @@ bool rc::runServiceLoop(std::istream &In, std::ostream &Out,
                         const ServiceLoopOptions &Options,
                         std::string *Error) {
   LoopState State;
+  State.Session.setParent(&Service.shutdownToken());
   std::thread Reader(
       [&] { readerMain(In, Service, Options, State); });
 
+  bool WriteFailed = false;
   for (;;) {
     PendingReply P;
     {
@@ -156,12 +180,26 @@ bool rc::runServiceLoop(std::istream &In, std::ostream &Out,
     }
     std::string Payload =
         P.Ready ? std::move(P.Payload) : P.Future.get().Payload;
+    if (WriteFailed)
+      continue; // Keep settling futures; the client cannot hear us.
     writeFrame(Out, FrameType::Response, Payload);
     // Flush per frame so a pipelining client sees answers as they land.
     Out.flush();
+    if (!Out) {
+      // The client stopped reading (closed socket, broken pipe). Responses
+      // owed from here on are undeliverable; cancel this connection's
+      // remaining work so it unwinds instead of computing into the void.
+      WriteFailed = true;
+      State.Session.cancel();
+    }
   }
   Reader.join();
 
+  if (WriteFailed && State.Clean) {
+    State.Clean = false;
+    State.Error = "response stream stopped accepting bytes"
+                  " (client hung up mid-reply)";
+  }
   if (!State.Clean && Error)
     *Error = State.Error;
   return State.Clean;

@@ -31,6 +31,7 @@
 #include "service/Service.h"
 #include "service/WireProtocol.h"
 
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -40,14 +41,34 @@ namespace rc {
 struct ServiceLoopOptions {
   /// Frames with larger payloads are answered bad-request and skipped.
   uint32_t MaxPayloadBytes = kDefaultMaxPayloadBytes;
+
+  /// True (the stdio daemon): this loop is the service's only client, so
+  /// every ending — EOF, Shutdown frame, poisoned stream — shuts the
+  /// service down before returning.
+  ///
+  /// False (one socket connection among many, the Listener's mode): EOF
+  /// and a poisoned stream end only this connection — poisoning cancels
+  /// the connection's own in-flight work through its session token and
+  /// never disturbs sibling connections. A Shutdown frame still shuts the
+  /// shared service down (any client may retire the daemon); the listener
+  /// hears about it first through OnShutdownRequest.
+  bool OwnsService = true;
+
+  /// Called when a Shutdown frame arrives, before the service drain
+  /// begins — the Listener's hook to stop accepting and close the listen
+  /// socket so the drain cannot race new connections.
+  std::function<void(bool CancelInFlight)> OnShutdownRequest;
 };
 
 /// Serves frames from \p In to \p Out until a Shutdown frame, EOF, or a
-/// malformed frame. Always leaves \p Service shut down (drained; cancelled
-/// first when the stream was poisoned or the Shutdown frame asked for
-/// "now").
-/// \returns true on a clean ending, false (with \p Error filled) when the
-/// stream was poisoned.
+/// malformed frame. With Options.OwnsService (the default) the service is
+/// always left shut down (drained; cancelled first when the stream was
+/// poisoned or the Shutdown frame asked for "now"); otherwise see
+/// ServiceLoopOptions.
+/// \returns true on a clean ending, false when the connection failed — a
+/// malformed frame poisoned the input, or the output stream stopped
+/// accepting response bytes. \p Error is always filled on a false return,
+/// naming the offending frame type and length when one is known.
 bool runServiceLoop(std::istream &In, std::ostream &Out,
                     CoalescingService &Service,
                     const ServiceLoopOptions &Options = ServiceLoopOptions(),

@@ -1,0 +1,301 @@
+//===- service/SocketTransport.cpp - POSIX socket plumbing ----------------===//
+
+#include "service/SocketTransport.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace rc;
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+int failFd(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message + ": " + std::strerror(errno);
+  return -1;
+}
+
+/// Loopback-only: the service has no authentication, so the TCP endpoint
+/// deliberately cannot be bound on a routable interface.
+sockaddr_in loopbackAddr(uint16_t Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return Addr;
+}
+
+bool unixAddr(const std::string &Path, sockaddr_un &Addr,
+              std::string *Error) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return fail(Error, "unix socket path '" + Path + "' exceeds " +
+                           std::to_string(sizeof(Addr.sun_path) - 1) +
+                           " bytes");
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+void setNoDelay(int Fd) {
+  int One = 1;
+  // Best-effort (fails harmlessly on non-TCP fds): frame replies are
+  // small, and Nagle would serialize a pipelining client's round-trips.
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+} // namespace
+
+bool rc::parseEndpoint(const std::string &Text, Endpoint &E,
+                       std::string *Error) {
+  size_t Colon = Text.find(':');
+  std::string Scheme =
+      Colon == std::string::npos ? Text : Text.substr(0, Colon);
+  std::string Rest = Colon == std::string::npos ? "" : Text.substr(Colon + 1);
+  if (Scheme == "tcp") {
+    char *End = nullptr;
+    long Port = std::strtol(Rest.c_str(), &End, 10);
+    if (Rest.empty() || *End != '\0' || Port < 0 || Port > 65535)
+      return fail(Error, "'" + Rest + "' is not a TCP port (0-65535)");
+    E.Kind = EndpointKind::Tcp;
+    E.Port = static_cast<uint16_t>(Port);
+    E.Path.clear();
+    return true;
+  }
+  if (Scheme == "unix") {
+    if (Rest.empty())
+      return fail(Error, "unix endpoint needs a socket path");
+    E.Kind = EndpointKind::Unix;
+    E.Port = 0;
+    E.Path = Rest;
+    return true;
+  }
+  return fail(Error,
+              "endpoint '" + Text + "' must be tcp:PORT or unix:PATH");
+}
+
+std::string rc::endpointName(const Endpoint &E) {
+  if (E.Kind == EndpointKind::Unix)
+    return "unix:" + E.Path;
+  return "tcp:" + std::to_string(E.Port);
+}
+
+int rc::listenOnEndpoint(const Endpoint &E, std::string *Error) {
+  int Fd = ::socket(E.Kind == EndpointKind::Unix ? AF_UNIX : AF_INET,
+                    SOCK_STREAM, 0);
+  if (Fd < 0)
+    return failFd(Error, "socket(" + endpointName(E) + ")");
+
+  if (E.Kind == EndpointKind::Tcp) {
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr = loopbackAddr(E.Port);
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+      int R = failFd(Error, "bind(" + endpointName(E) + ")");
+      closeFd(Fd);
+      return R;
+    }
+  } else {
+    sockaddr_un Addr;
+    if (!unixAddr(E.Path, Addr, Error)) {
+      closeFd(Fd);
+      return -1;
+    }
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+      int R = failFd(Error, "bind(" + endpointName(E) + ")");
+      closeFd(Fd);
+      return R;
+    }
+  }
+
+  if (::listen(Fd, 64) != 0) {
+    int R = failFd(Error, "listen(" + endpointName(E) + ")");
+    closeFd(Fd);
+    return R;
+  }
+  return Fd;
+}
+
+bool rc::boundEndpoint(int Fd, Endpoint &E, std::string *Error) {
+  sockaddr_storage Storage;
+  socklen_t Len = sizeof(Storage);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Storage), &Len) != 0) {
+    failFd(Error, "getsockname");
+    return false;
+  }
+  if (Storage.ss_family == AF_INET) {
+    const sockaddr_in *Addr = reinterpret_cast<const sockaddr_in *>(&Storage);
+    E.Kind = EndpointKind::Tcp;
+    E.Port = ntohs(Addr->sin_port);
+    E.Path.clear();
+    return true;
+  }
+  if (Storage.ss_family == AF_UNIX) {
+    const sockaddr_un *Addr = reinterpret_cast<const sockaddr_un *>(&Storage);
+    E.Kind = EndpointKind::Unix;
+    E.Port = 0;
+    E.Path = Addr->sun_path;
+    return true;
+  }
+  return fail(Error, "unexpected socket family " +
+                         std::to_string(Storage.ss_family));
+}
+
+int rc::acceptConnection(int Fd, int TimeoutMillis, std::string *Error) {
+  if (Error)
+    Error->clear();
+  pollfd P;
+  P.fd = Fd;
+  P.events = POLLIN;
+  P.revents = 0;
+  int Ready = ::poll(&P, 1, TimeoutMillis);
+  if (Ready < 0) {
+    if (errno == EINTR)
+      return -1; // Signal delivery; the caller re-checks its stop flag.
+    return failFd(Error, "poll");
+  }
+  if (Ready == 0)
+    return -1; // Timeout: the caller re-checks its stop flag.
+  int Conn = ::accept(Fd, nullptr, nullptr);
+  if (Conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED)
+      return -1;
+    return failFd(Error, "accept");
+  }
+  setNoDelay(Conn);
+  return Conn;
+}
+
+int rc::connectToEndpoint(const Endpoint &E, std::string *Error) {
+  int Fd = ::socket(E.Kind == EndpointKind::Unix ? AF_UNIX : AF_INET,
+                    SOCK_STREAM, 0);
+  if (Fd < 0)
+    return failFd(Error, "socket(" + endpointName(E) + ")");
+
+  int Status;
+  if (E.Kind == EndpointKind::Tcp) {
+    sockaddr_in Addr = loopbackAddr(E.Port);
+    Status = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } else {
+    sockaddr_un Addr;
+    if (!unixAddr(E.Path, Addr, Error)) {
+      closeFd(Fd);
+      return -1;
+    }
+    Status = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  }
+  if (Status != 0) {
+    int R = failFd(Error, "connect(" + endpointName(E) + ")");
+    closeFd(Fd);
+    return R;
+  }
+  setNoDelay(Fd);
+  return Fd;
+}
+
+void rc::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+//===----------------------------------------------------------------------===//
+// Stream adapters
+//===----------------------------------------------------------------------===//
+
+FdInBuf::int_type FdInBuf::underflow() {
+  if (gptr() < egptr())
+    return traits_type::to_int_type(*gptr());
+  ssize_t N;
+  do {
+    N = ::read(Fd, Buf.data(), Buf.size());
+  } while (N < 0 && errno == EINTR);
+  if (N <= 0)
+    return traits_type::eof();
+  setg(Buf.data(), Buf.data(), Buf.data() + N);
+  return traits_type::to_int_type(*gptr());
+}
+
+FdOutBuf::FdOutBuf(int Fd) : Fd(Fd) {
+  setp(Buf.data(), Buf.data() + Buf.size());
+}
+
+bool FdOutBuf::writeAll(const char *Data, size_t Len) {
+  while (Len > 0) {
+    // MSG_NOSIGNAL: a vanished peer is a stream error, not a SIGPIPE.
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool FdOutBuf::flushBuffer() {
+  size_t Pending = static_cast<size_t>(pptr() - pbase());
+  if (Pending > 0 && !writeAll(pbase(), Pending))
+    return false;
+  setp(Buf.data(), Buf.data() + Buf.size());
+  return true;
+}
+
+FdOutBuf::int_type FdOutBuf::overflow(int_type Ch) {
+  if (!flushBuffer())
+    return traits_type::eof();
+  if (!traits_type::eq_int_type(Ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(Ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(Ch);
+}
+
+int FdOutBuf::sync() { return flushBuffer() ? 0 : -1; }
+
+std::streamsize FdOutBuf::xsputn(const char *S, std::streamsize N) {
+  // Large payloads skip the staging buffer once it is flushed.
+  size_t Len = static_cast<size_t>(N);
+  if (Len >= Buf.size()) {
+    if (!flushBuffer() || !writeAll(S, Len))
+      return 0;
+    return N;
+  }
+  if (static_cast<size_t>(epptr() - pptr()) < Len && !flushBuffer())
+    return 0;
+  std::memcpy(pptr(), S, Len);
+  pbump(static_cast<int>(Len));
+  return N;
+}
+
+SocketStream::SocketStream(int Fd)
+    : Fd(Fd), InBuf(Fd), OutBuf(Fd), In(&InBuf), Out(&OutBuf) {}
+
+SocketStream::~SocketStream() {
+  Out.flush();
+  closeFd(Fd);
+}
+
+void SocketStream::shutdownRead() { ::shutdown(Fd, SHUT_RD); }
+
+void SocketStream::shutdownWrite() {
+  Out.flush();
+  ::shutdown(Fd, SHUT_WR);
+}

@@ -1,0 +1,165 @@
+//===- service/SocketTransport.h - POSIX socket plumbing --------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The portable POSIX layer under the networked service: endpoint parsing,
+/// listen/accept/connect wrappers, and streambuf adapters that turn an
+/// accepted fd into the istream/ostream pair the frame loop already
+/// speaks. Everything above this header (Listener, Client, ServiceLoop)
+/// is socket-agnostic; everything below it is read(2)/send(2).
+///
+/// Endpoint grammar (the `--listen` / `--connect` flag values):
+///
+///   tcp:PORT     loopback TCP on 127.0.0.1:PORT (PORT 0 = OS-assigned,
+///                recovered via boundEndpoint — how tests avoid races)
+///   unix:PATH    a Unix-domain stream socket at PATH
+///
+/// SocketStream deliberately wraps one fd in two independent streambufs
+/// (FdInBuf / FdOutBuf) instead of a single bidirectional one: the frame
+/// loop reads and writes from different threads, and separate buffers +
+/// separate istream/ostream objects mean neither direction shares mutable
+/// state — the only contention left is the kernel's, which is exactly
+/// what sockets promise to handle. Writes use send(MSG_NOSIGNAL), so a
+/// vanished peer surfaces as a stream error instead of SIGPIPE killing
+/// the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_SOCKETTRANSPORT_H
+#define SERVICE_SOCKETTRANSPORT_H
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace rc {
+
+//===----------------------------------------------------------------------===//
+// Endpoints
+//===----------------------------------------------------------------------===//
+
+enum class EndpointKind {
+  Tcp,  ///< Loopback TCP (127.0.0.1).
+  Unix, ///< Unix-domain stream socket.
+};
+
+struct Endpoint {
+  EndpointKind Kind = EndpointKind::Tcp;
+  /// TCP port; 0 asks the OS for one (see boundEndpoint).
+  uint16_t Port = 0;
+  /// Unix socket path.
+  std::string Path;
+};
+
+/// Parses "tcp:PORT" or "unix:PATH". \returns false with a diagnostic in
+/// \p Error otherwise.
+bool parseEndpoint(const std::string &Text, Endpoint &E,
+                   std::string *Error = nullptr);
+
+/// Renders \p E back into the flag grammar ("tcp:4217", "unix:/tmp/rc.sock").
+std::string endpointName(const Endpoint &E);
+
+//===----------------------------------------------------------------------===//
+// Socket system-call wrappers
+//===----------------------------------------------------------------------===//
+
+/// Creates, binds and listens on \p E. \returns the listening fd, or -1
+/// with a diagnostic in \p Error. Unix endpoints refuse an existing path
+/// (a live daemon may own it); stale files are the operator's to remove.
+int listenOnEndpoint(const Endpoint &E, std::string *Error = nullptr);
+
+/// Recovers the actual bound endpoint of listening fd \p Fd — the
+/// OS-assigned port for tcp:0. \returns false on a getsockname failure.
+bool boundEndpoint(int Fd, Endpoint &E, std::string *Error = nullptr);
+
+/// Waits up to \p TimeoutMillis for a connection on \p Fd and accepts it.
+/// \returns the connection fd, or -1 when the wait timed out (Error left
+/// empty) or accept failed (Error filled).
+int acceptConnection(int Fd, int TimeoutMillis, std::string *Error = nullptr);
+
+/// Connects to \p E. \returns the connected fd, or -1 with a diagnostic.
+int connectToEndpoint(const Endpoint &E, std::string *Error = nullptr);
+
+/// Closes \p Fd, ignoring errors (shutdown paths; -1 is a no-op).
+void closeFd(int Fd);
+
+//===----------------------------------------------------------------------===//
+// Stream adapters
+//===----------------------------------------------------------------------===//
+
+/// Read side of an fd as a streambuf. Blocking; EOF when the peer closes
+/// or shuts down its write side.
+class FdInBuf final : public std::streambuf {
+public:
+  explicit FdInBuf(int Fd) : Fd(Fd) {}
+
+protected:
+  int_type underflow() override;
+
+private:
+  int Fd;
+  std::array<char, 8192> Buf;
+};
+
+/// Write side of an fd as a streambuf; buffered, flushed on sync(). Write
+/// failures (peer gone) surface as overflow/sync errors, which the
+/// wrapping ostream turns into badbit — never SIGPIPE.
+class FdOutBuf final : public std::streambuf {
+public:
+  explicit FdOutBuf(int Fd);
+
+protected:
+  int_type overflow(int_type Ch) override;
+  int sync() override;
+  std::streamsize xsputn(const char *S, std::streamsize N) override;
+
+private:
+  bool flushBuffer();
+  bool writeAll(const char *Data, size_t Len);
+
+  int Fd;
+  std::array<char, 8192> Buf;
+};
+
+/// One connected socket as the istream/ostream pair runServiceLoop (and
+/// the client) speak. Owns the fd: the destructor flushes pending output
+/// and closes it.
+class SocketStream {
+public:
+  explicit SocketStream(int Fd);
+  ~SocketStream();
+
+  SocketStream(const SocketStream &) = delete;
+  SocketStream &operator=(const SocketStream &) = delete;
+
+  std::istream &in() { return In; }
+  std::ostream &out() { return Out; }
+  int fd() const { return Fd; }
+
+  /// Half-closes the read side: a reader blocked in read(2) on this fd
+  /// observes EOF. The listener's drain uses this to nudge idle
+  /// connections without racing fd reuse (the fd stays valid until the
+  /// owner destroys the stream).
+  void shutdownRead();
+
+  /// Flushes buffered output and half-closes the write side, signalling
+  /// EOF to the peer's reader while keeping our read side open.
+  void shutdownWrite();
+
+private:
+  int Fd;
+  FdInBuf InBuf;
+  FdOutBuf OutBuf;
+  std::istream In;
+  std::ostream Out;
+};
+
+} // namespace rc
+
+#endif // SERVICE_SOCKETTRANSPORT_H

@@ -13,38 +13,16 @@ using namespace rc;
 
 static const char kMagic[4] = {'R', 'C', 'S', 'P'};
 
-const char *rc::wireStatusName(WireStatus S) {
-  switch (S) {
-  case WireStatus::Ok:
-    return "ok";
-  case WireStatus::UnknownStrategy:
-    return "unknown-strategy";
-  case WireStatus::BadOption:
-    return "bad-option";
-  case WireStatus::TimedOut:
-    return "timed-out";
-  case WireStatus::BadRequest:
-    return "bad-request";
-  case WireStatus::Busy:
-    return "busy";
-  case WireStatus::ShuttingDown:
-    return "shutting-down";
+const char *rc::frameTypeName(FrameType T) {
+  switch (T) {
+  case FrameType::Request:
+    return "request";
+  case FrameType::Response:
+    return "response";
+  case FrameType::Shutdown:
+    return "shutdown";
   }
   return "?";
-}
-
-WireStatus rc::wireStatusFromRun(RunStatus S) {
-  switch (S) {
-  case RunStatus::Ok:
-    return WireStatus::Ok;
-  case RunStatus::UnknownStrategy:
-    return WireStatus::UnknownStrategy;
-  case RunStatus::BadOption:
-    return WireStatus::BadOption;
-  case RunStatus::TimedOut:
-    return WireStatus::TimedOut;
-  }
-  return WireStatus::BadRequest;
 }
 
 void rc::writeFrame(std::ostream &OS, FrameType Type,
@@ -108,7 +86,9 @@ FrameReadStatus rc::readFrame(std::istream &IS, Frame &F,
           Left < sizeof(Sink) ? Left : sizeof(Sink));
       IS.read(Sink, Chunk);
       if (IS.gcount() != Chunk)
-        return fail("truncated oversized payload");
+        return fail("truncated oversized " + std::string(frameTypeName(F.Type)) +
+                    "-frame payload (declared " + std::to_string(Len) +
+                    " bytes)");
       Left -= static_cast<uint32_t>(Chunk);
     }
     if (Error)
@@ -122,7 +102,8 @@ FrameReadStatus rc::readFrame(std::istream &IS, Frame &F,
   if (Len > 0) {
     IS.read(F.Payload.data(), static_cast<std::streamsize>(Len));
     if (IS.gcount() != static_cast<std::streamsize>(Len))
-      return fail("truncated payload (expected " + std::to_string(Len) +
+      return fail("truncated " + std::string(frameTypeName(F.Type)) +
+                  "-frame payload (expected " + std::to_string(Len) +
                   " bytes, got " + std::to_string(IS.gcount()) + ")");
   }
   return FrameReadStatus::Ok;
@@ -202,7 +183,7 @@ std::string rc::buildResponsePayload(const WireResponse &R,
   JsonWriter W(OS, IncludeTiming);
   W.beginObject();
   W.key("rcs").value(kJsonSchemaVersion);
-  W.key("status").value(wireStatusName(R.Status));
+  W.key("status").value(replyStatusName(R.Status));
   if (!R.Message.empty())
     W.key("message").value(R.Message);
   if (!R.BadKey.empty()) {
@@ -232,4 +213,83 @@ bool rc::extractResponseStatus(const std::string &Payload,
     return false;
   Status = Payload.substr(Start, End - Start);
   return true;
+}
+
+bool rc::extractResponseStatus(const std::string &Payload,
+                               ReplyStatus &Status) {
+  std::string Name;
+  return extractResponseStatus(Payload, Name) &&
+         replyStatusFromName(Name, Status);
+}
+
+bool rc::extractResponseString(const std::string &Payload,
+                               const std::string &Key, std::string &Value) {
+  // Message and bad-option fields do need unescaping (a spec value can
+  // carry quotes); mirror JsonWriter's escaping exactly.
+  const std::string Needle = "\"" + Key + "\":\"";
+  size_t Pos = Payload.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Value.clear();
+  for (size_t I = Pos + Needle.size(); I < Payload.size();) {
+    char C = Payload[I];
+    if (C == '"')
+      return true;
+    if (C != '\\') {
+      Value.push_back(C);
+      ++I;
+      continue;
+    }
+    if (I + 1 >= Payload.size())
+      return false;
+    char E = Payload[I + 1];
+    I += 2;
+    switch (E) {
+    case '"':
+    case '\\':
+    case '/':
+      Value.push_back(E);
+      break;
+    case 'b':
+      Value.push_back('\b');
+      break;
+    case 'f':
+      Value.push_back('\f');
+      break;
+    case 'n':
+      Value.push_back('\n');
+      break;
+    case 'r':
+      Value.push_back('\r');
+      break;
+    case 't':
+      Value.push_back('\t');
+      break;
+    case 'u': {
+      if (I + 4 > Payload.size())
+        return false;
+      unsigned Code = 0;
+      for (unsigned D = 0; D < 4; ++D) {
+        char H = Payload[I + D];
+        Code <<= 4;
+        if (H >= '0' && H <= '9')
+          Code |= static_cast<unsigned>(H - '0');
+        else if (H >= 'a' && H <= 'f')
+          Code |= static_cast<unsigned>(H - 'a' + 10);
+        else if (H >= 'A' && H <= 'F')
+          Code |= static_cast<unsigned>(H - 'A' + 10);
+        else
+          return false;
+      }
+      I += 4;
+      // JsonWriter only \u-escapes control bytes, so one code unit is one
+      // byte here.
+      Value.push_back(static_cast<char>(Code & 0xff));
+      break;
+    }
+    default:
+      return false;
+    }
+  }
+  return false; // Unterminated string: not a machine-built response.
 }

@@ -52,6 +52,7 @@
 
 #include "challenge/StrategyRunner.h"
 #include "coalescing/Problem.h"
+#include "service/ReplyStatus.h"
 
 #include <cstdint>
 #include <istream>
@@ -79,30 +80,16 @@ struct Frame {
   std::string Payload;
 };
 
+/// Short stable name of \p T for diagnostics ("request", "response",
+/// "shutdown").
+const char *frameTypeName(FrameType T);
+
 enum class FrameReadStatus {
   Ok,        ///< A frame was read into the out-parameter.
   Eof,       ///< Clean end of stream (before any header byte).
   TooLarge,  ///< Valid header, oversized payload; skipped, stream usable.
   Malformed, ///< Bad magic/version/type or truncation; stream poisoned.
 };
-
-/// How a served request ended. Extends RunStatus with the service-level
-/// outcomes (protocol errors, backpressure, shutdown).
-enum class WireStatus {
-  Ok,
-  UnknownStrategy,
-  BadOption,
-  TimedOut,
-  BadRequest,   ///< Unparseable request payload or oversized frame.
-  Busy,         ///< Admission control rejected the request; retry later.
-  ShuttingDown, ///< The service is draining; no new work accepted.
-};
-
-/// Short stable name of \p S for the response "status" field.
-const char *wireStatusName(WireStatus S);
-
-/// The RunStatus subset maps onto the same wire names.
-WireStatus wireStatusFromRun(RunStatus S);
 
 /// Writes one frame (header + \p Payload) to \p OS. Payloads above 4 GiB
 /// are a caller bug (asserted; the length field is 32-bit).
@@ -136,7 +123,7 @@ bool parseRequestPayload(const std::string &Payload, WireRequest &Request,
 
 /// Everything a response payload can carry.
 struct WireResponse {
-  WireStatus Status = WireStatus::Ok;
+  ReplyStatus Status = ReplyStatus::Ok;
   /// Diagnostic for non-Ok statuses.
   std::string Message;
   /// The offending option key/value for BadOption.
@@ -154,6 +141,17 @@ std::string buildResponsePayload(const WireResponse &R, bool IncludeTiming);
 /// Extracts the "status" field of a response payload (cheap scan, no JSON
 /// parser). Returns false if the payload does not look like a response.
 bool extractResponseStatus(const std::string &Payload, std::string &Status);
+
+/// Typed variant: also fails when the status string is not a ReplyStatus
+/// wire name. The one from-wire path (rc::Client, rc_request --decode).
+bool extractResponseStatus(const std::string &Payload, ReplyStatus &Status);
+
+/// Extracts a top-level string member of a response payload ("message",
+/// "bad_key", "bad_value"), unescaping the JSON string. Returns false when
+/// the key is absent. Responses are machine-built by buildResponsePayload,
+/// so a targeted scan is sound — keys appear at most once.
+bool extractResponseString(const std::string &Payload, const std::string &Key,
+                           std::string &Value);
 
 } // namespace rc
 

@@ -1,0 +1,144 @@
+//===- support/ArgParser.cpp - Declarative flag parsing -------------------===//
+
+#include "support/ArgParser.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace rc;
+
+ArgParser::ArgParser(std::string Tool, std::string Trailer)
+    : Tool(std::move(Tool)), Trailer(std::move(Trailer)) {}
+
+void ArgParser::flag(const std::string &Name, const std::string &Help,
+                     bool *Out) {
+  Option O;
+  O.Kind = OptionKind::Flag;
+  O.Name = Name;
+  O.Help = Help;
+  O.FlagOut = Out;
+  Options.push_back(std::move(O));
+}
+
+void ArgParser::value(const std::string &Name, const std::string &Metavar,
+                      const std::string &Help, std::string *Out) {
+  Option O;
+  O.Kind = OptionKind::Value;
+  O.Name = Name;
+  O.Metavar = Metavar;
+  O.Help = Help;
+  O.ValueOut = Out;
+  Options.push_back(std::move(O));
+}
+
+void ArgParser::intValue(const std::string &Name, const std::string &Metavar,
+                         const std::string &Help, long long *Out,
+                         long long Min, const std::string &Expects) {
+  Option O;
+  O.Kind = OptionKind::Int;
+  O.Name = Name;
+  O.Metavar = Metavar;
+  O.Help = Help;
+  O.IntOut = Out;
+  O.Min = Min;
+  O.Expects = Expects;
+  Options.push_back(std::move(O));
+}
+
+void ArgParser::each(
+    const std::string &Name, const std::string &Metavar,
+    const std::string &Help,
+    std::function<bool(const std::string &, std::string &)> Parse) {
+  Option O;
+  O.Kind = OptionKind::Each;
+  O.Name = Name;
+  O.Metavar = Metavar;
+  O.Help = Help;
+  O.Parse = std::move(Parse);
+  Options.push_back(std::move(O));
+}
+
+const ArgParser::Option *ArgParser::find(const std::string &Name) const {
+  for (const Option &O : Options)
+    if (O.Name == Name)
+      return &O;
+  return nullptr;
+}
+
+ArgParser::Result ArgParser::fail(ArgErrorKind Kind, const std::string &Flag,
+                                  const std::string &Message,
+                                  std::ostream &ErrOS) {
+  Err.Kind = Kind;
+  Err.Flag = Flag;
+  Err.Message = Message;
+  ErrOS << "error: " << Message << "\n";
+  usage(ErrOS);
+  return Result::Error;
+}
+
+ArgParser::Result ArgParser::parse(int Argc, char **Argv, std::ostream &Out,
+                                   std::ostream &ErrOS) {
+  Err = ArgError();
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Word = Args[I];
+    if (Word == "--help") {
+      usage(Out);
+      return Result::Help;
+    }
+    const Option *O = find(Word);
+    if (!O)
+      return fail(ArgErrorKind::UnknownFlag, Word,
+                  "unknown flag '" + Word + "'", ErrOS);
+    if (O->Kind == OptionKind::Flag) {
+      *O->FlagOut = true;
+      continue;
+    }
+    if (I + 1 >= Args.size())
+      return fail(ArgErrorKind::MissingValue, Word,
+                  Word + " requires an argument", ErrOS);
+    const std::string &Value = Args[++I];
+    switch (O->Kind) {
+    case OptionKind::Value:
+      *O->ValueOut = Value;
+      break;
+    case OptionKind::Int: {
+      char *End = nullptr;
+      long long N = std::strtoll(Value.c_str(), &End, 10);
+      if (Value.empty() || *End != '\0' || N < O->Min)
+        return fail(ArgErrorKind::BadValue, Word,
+                    Word + " expects " + O->Expects, ErrOS);
+      *O->IntOut = N;
+      break;
+    }
+    case OptionKind::Each: {
+      std::string Message;
+      if (!O->Parse(Value, Message))
+        return fail(ArgErrorKind::BadValue, Word, Message, ErrOS);
+      break;
+    }
+    case OptionKind::Flag:
+      break; // Handled above.
+    }
+  }
+  return Result::Ok;
+}
+
+void ArgParser::usage(std::ostream &OS) const {
+  OS << "usage: " << Tool << " [flags]";
+  if (!Trailer.empty())
+    OS << " " << Trailer;
+  OS << "\n";
+
+  size_t Width = 0;
+  auto heading = [](const Option &O) {
+    return O.Metavar.empty() ? O.Name : O.Name + " " + O.Metavar;
+  };
+  for (const Option &O : Options)
+    Width = std::max(Width, heading(O).size());
+  for (const Option &O : Options) {
+    std::string Head = heading(O);
+    OS << "  " << Head << std::string(Width - Head.size() + 2, ' ') << O.Help
+       << "\n";
+  }
+}

@@ -1,0 +1,133 @@
+//===- support/ArgParser.h - Declarative flag parsing -----------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one argv loop behind the command-line tools. Every driver used to
+/// hand-roll the same while-loop (flag matching, "requires an argument"
+/// checks, atoi plus a positivity test, a usage dump duplicated in the
+/// header comment); ArgParser replaces those with a declarative option
+/// table that also generates the usage text, so a tool's flags exist in
+/// exactly one place.
+///
+/// Option kinds:
+///  - flag():     boolean presence, e.g. `--no-timing`
+///  - value():    a string value, last occurrence wins, e.g. `--manifest F`
+///  - intValue(): an integer with a lower bound and an "expects ..."
+///                phrase for the diagnostic, e.g. `--jobs N`
+///  - each():     a callback invoked per occurrence in argv order —
+///                repeated and order-sensitive options (`--gen`,
+///                `--strategies`) parse themselves and report their own
+///                error text
+///
+/// Errors are typed (ArgError: unknown flag / missing value / bad value,
+/// with the offending flag and text) and also printed ready-to-use:
+/// `error: ...` plus the usage block on stderr, matching what the tools
+/// always emitted. parse() returns Ok, Help (--help was handled) or Error;
+/// tools map those to exit codes and keep main() about the tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_ARGPARSER_H
+#define SUPPORT_ARGPARSER_H
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+enum class ArgErrorKind {
+  None,
+  UnknownFlag,  ///< Argv word matches no registered option.
+  MissingValue, ///< Option expects a value but argv ended.
+  BadValue,     ///< The value failed the option's validation.
+};
+
+/// A structured parse failure: what went wrong, on which flag, and the
+/// ready-to-print message (without the "error: " prefix).
+struct ArgError {
+  ArgErrorKind Kind = ArgErrorKind::None;
+  /// The offending flag ("--jobs"), empty for errors not tied to one.
+  std::string Flag;
+  /// Human-readable diagnostic.
+  std::string Message;
+};
+
+class ArgParser {
+public:
+  enum class Result {
+    Ok,    ///< All of argv consumed; out-parameters are filled.
+    Help,  ///< --help was seen; usage has been printed to stdout.
+    Error, ///< Diagnostic + usage printed to stderr; see error().
+  };
+
+  /// \p Tool names the binary in the usage line; \p Trailer is the free
+  /// text after "[flags]" (e.g. "< requests > responses").
+  explicit ArgParser(std::string Tool, std::string Trailer = "");
+
+  /// `--name` present sets \p Out to true.
+  void flag(const std::string &Name, const std::string &Help, bool *Out);
+
+  /// `--name VALUE` stores the raw value; the last occurrence wins.
+  void value(const std::string &Name, const std::string &Metavar,
+             const std::string &Help, std::string *Out);
+
+  /// `--name N` parses a decimal integer and requires it >= \p Min.
+  /// \p Expects phrases the diagnostic: "--name expects <Expects>".
+  void intValue(const std::string &Name, const std::string &Metavar,
+                const std::string &Help, long long *Out, long long Min,
+                const std::string &Expects);
+
+  /// `--name VALUE`, invoked once per occurrence in argv order. The
+  /// callback returns false with its own full diagnostic in \p Error
+  /// ("--gen: unknown generator ...") to reject the value.
+  void each(const std::string &Name, const std::string &Metavar,
+            const std::string &Help,
+            std::function<bool(const std::string &Value, std::string &Error)>
+                Parse);
+
+  /// Consumes argv (excluding argv[0]). On Error the diagnostic and the
+  /// usage block have already been printed to \p Err; on Help the usage
+  /// block went to \p Out.
+  Result parse(int Argc, char **Argv, std::ostream &Out, std::ostream &Err);
+
+  /// The first failure of the last parse() call.
+  const ArgError &error() const { return Err; }
+
+  /// Prints "usage: ..." plus the aligned option table.
+  void usage(std::ostream &OS) const;
+
+private:
+  enum class OptionKind { Flag, Value, Int, Each };
+
+  struct Option {
+    OptionKind Kind;
+    std::string Name;
+    std::string Metavar;
+    std::string Help;
+    bool *FlagOut = nullptr;
+    std::string *ValueOut = nullptr;
+    long long *IntOut = nullptr;
+    long long Min = 0;
+    std::string Expects;
+    std::function<bool(const std::string &, std::string &)> Parse;
+  };
+
+  Result fail(ArgErrorKind Kind, const std::string &Flag,
+              const std::string &Message, std::ostream &ErrOS);
+  const Option *find(const std::string &Name) const;
+
+  std::string Tool;
+  std::string Trailer;
+  std::vector<Option> Options;
+  ArgError Err;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_ARGPARSER_H

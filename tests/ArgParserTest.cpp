@@ -1,0 +1,147 @@
+//===- tests/ArgParserTest.cpp - Declarative flag parsing tests -----------===//
+//
+// The ArgParser contract the tools rely on: flag/value/int/each options,
+// the typed error taxonomy, --help routing, and the generated usage text.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParser.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace rc;
+
+namespace {
+
+/// Runs a parse over a writable copy of \p Words.
+ArgParser::Result parseWords(ArgParser &Parser,
+                             std::vector<std::string> Words,
+                             std::string *ErrText = nullptr) {
+  std::vector<char *> Argv;
+  Argv.push_back(const_cast<char *>("tool"));
+  for (std::string &W : Words)
+    Argv.push_back(W.data());
+  std::ostringstream Out, Err;
+  ArgParser::Result R =
+      Parser.parse(static_cast<int>(Argv.size()), Argv.data(), Out, Err);
+  if (ErrText)
+    *ErrText = Err.str();
+  return R;
+}
+
+} // namespace
+
+TEST(ArgParserTest, ParsesEveryOptionKind) {
+  bool Verbose = false;
+  std::string Name;
+  long long Jobs = 1;
+  std::vector<std::string> Seen;
+
+  ArgParser Parser("tool");
+  Parser.flag("--verbose", "say more", &Verbose);
+  Parser.value("--name", "S", "a name", &Name);
+  Parser.intValue("--jobs", "N", "workers", &Jobs, 1, "a positive integer");
+  Parser.each("--item", "V", "repeated",
+              [&](const std::string &V, std::string &) {
+                Seen.push_back(V);
+                return true;
+              });
+
+  ASSERT_EQ(parseWords(Parser, {"--verbose", "--name", "first", "--jobs",
+                                "8", "--item", "a", "--name", "second",
+                                "--item", "b"}),
+            ArgParser::Result::Ok);
+  EXPECT_TRUE(Verbose);
+  EXPECT_EQ(Name, "second"); // Last occurrence wins.
+  EXPECT_EQ(Jobs, 8);
+  ASSERT_EQ(Seen.size(), 2u); // Every occurrence, in argv order.
+  EXPECT_EQ(Seen[0], "a");
+  EXPECT_EQ(Seen[1], "b");
+  EXPECT_EQ(Parser.error().Kind, ArgErrorKind::None);
+}
+
+TEST(ArgParserTest, UnknownFlagIsTypedAndPrinted) {
+  ArgParser Parser("tool");
+  std::string ErrText;
+  ASSERT_EQ(parseWords(Parser, {"--bogus"}, &ErrText),
+            ArgParser::Result::Error);
+  EXPECT_EQ(Parser.error().Kind, ArgErrorKind::UnknownFlag);
+  EXPECT_EQ(Parser.error().Flag, "--bogus");
+  EXPECT_NE(ErrText.find("error: unknown flag '--bogus'"),
+            std::string::npos)
+      << ErrText;
+  EXPECT_NE(ErrText.find("usage: tool"), std::string::npos) << ErrText;
+}
+
+TEST(ArgParserTest, MissingValueIsTyped) {
+  std::string Name;
+  ArgParser Parser("tool");
+  Parser.value("--name", "S", "a name", &Name);
+  std::string ErrText;
+  ASSERT_EQ(parseWords(Parser, {"--name"}, &ErrText),
+            ArgParser::Result::Error);
+  EXPECT_EQ(Parser.error().Kind, ArgErrorKind::MissingValue);
+  EXPECT_EQ(Parser.error().Flag, "--name");
+  EXPECT_NE(ErrText.find("--name requires an argument"), std::string::npos)
+      << ErrText;
+}
+
+TEST(ArgParserTest, IntValueValidatesParseAndBound) {
+  long long Jobs = 1;
+  ArgParser Parser("tool");
+  Parser.intValue("--jobs", "N", "workers", &Jobs, 1, "a positive integer");
+
+  for (const char *Bad : {"zero", "4x", "", "0", "-3"}) {
+    ASSERT_EQ(parseWords(Parser, {"--jobs", Bad}), ArgParser::Result::Error)
+        << "value '" << Bad << "'";
+    EXPECT_EQ(Parser.error().Kind, ArgErrorKind::BadValue);
+    EXPECT_EQ(Parser.error().Message, "--jobs expects a positive integer");
+    EXPECT_EQ(Jobs, 1) << "rejected value must not be written";
+  }
+}
+
+TEST(ArgParserTest, EachCallbackSuppliesItsOwnDiagnostic) {
+  ArgParser Parser("tool");
+  Parser.each("--mode", "M", "a mode",
+              [](const std::string &V, std::string &Error) {
+                if (V == "good")
+                  return true;
+                Error = "--mode expects 'good', got '" + V + "'";
+                return false;
+              });
+  std::string ErrText;
+  ASSERT_EQ(parseWords(Parser, {"--mode", "bad"}, &ErrText),
+            ArgParser::Result::Error);
+  EXPECT_EQ(Parser.error().Kind, ArgErrorKind::BadValue);
+  EXPECT_NE(ErrText.find("error: --mode expects 'good', got 'bad'"),
+            std::string::npos)
+      << ErrText;
+}
+
+TEST(ArgParserTest, HelpPrintsUsageToOut) {
+  bool Verbose = false;
+  long long Jobs = 1;
+  ArgParser Parser("tool", "< in > out");
+  Parser.flag("--verbose", "say more", &Verbose);
+  Parser.intValue("--jobs", "N", "workers", &Jobs, 1, "a positive integer");
+
+  std::vector<char *> Argv;
+  char Arg0[] = "tool", Arg1[] = "--help";
+  Argv.push_back(Arg0);
+  Argv.push_back(Arg1);
+  std::ostringstream Out, Err;
+  ASSERT_EQ(Parser.parse(2, Argv.data(), Out, Err), ArgParser::Result::Help);
+  EXPECT_TRUE(Err.str().empty());
+  EXPECT_NE(Out.str().find("usage: tool [flags] < in > out"),
+            std::string::npos)
+      << Out.str();
+  // The option table is aligned: both help texts start in one column.
+  EXPECT_NE(Out.str().find("--verbose  say more"), std::string::npos)
+      << Out.str();
+  EXPECT_NE(Out.str().find("--jobs N   workers"), std::string::npos)
+      << Out.str();
+}

@@ -39,7 +39,7 @@ std::string singleShotPayload(const CoalescingProblem &P,
   Request.Spec = Spec;
   RunResult Result = runStrategy(Request);
   WireResponse R;
-  R.Status = wireStatusFromRun(Result.Status);
+  R.Status = replyStatusFromRun(Result.Status);
   R.Message = Result.Message;
   if (Result.hasOutcome())
     R.Outcome = &Result.Outcome;
@@ -281,7 +281,7 @@ TEST(WireProtocolTest, RequestGrammarIsStrict) {
 
 TEST(WireProtocolTest, ResponsePayloadCarriesBadOptionDiagnostics) {
   WireResponse R;
-  R.Status = WireStatus::BadOption;
+  R.Status = ReplyStatus::BadOption;
   R.Message = "strategy 'briggs' does not take option 'bogus'";
   R.BadKey = "bogus";
   R.BadValue = "1";
@@ -362,12 +362,12 @@ TEST(ServiceTest, GoldenCorpusColdAndWarmByteIdentity) {
     std::string Expected = singleShotPayload(LP.Problem, Spec);
 
     ServiceReply Cold = Service.submit(makeWireRequest(LP.Problem, Spec)).get();
-    EXPECT_EQ(Cold.Status, WireStatus::Ok) << LP.Label;
+    EXPECT_EQ(Cold.Status, ReplyStatus::Ok) << LP.Label;
     EXPECT_FALSE(Cold.CacheHit) << LP.Label;
     EXPECT_EQ(Cold.Payload, Expected) << LP.Label;
 
     ServiceReply Warm = Service.submit(makeWireRequest(LP.Problem, Spec)).get();
-    EXPECT_EQ(Warm.Status, WireStatus::Ok) << LP.Label;
+    EXPECT_EQ(Warm.Status, ReplyStatus::Ok) << LP.Label;
     EXPECT_TRUE(Warm.CacheHit) << LP.Label;
     EXPECT_EQ(Warm.Payload, Expected) << LP.Label;
   }
@@ -387,14 +387,14 @@ TEST(ServiceTest, BadSpecsAnsweredImmediatelyWithOffendingOption) {
 
   ServiceReply Unknown =
       Service.submit(makeWireRequest(Corpus[0].Problem, "nope")).get();
-  EXPECT_EQ(Unknown.Status, WireStatus::UnknownStrategy);
+  EXPECT_EQ(Unknown.Status, ReplyStatus::UnknownStrategy);
   EXPECT_NE(Unknown.Payload.find("\"status\":\"unknown-strategy\""),
             std::string::npos);
 
   ServiceReply Bad =
       Service.submit(makeWireRequest(Corpus[0].Problem, "briggs:bogus=1"))
           .get();
-  EXPECT_EQ(Bad.Status, WireStatus::BadOption);
+  EXPECT_EQ(Bad.Status, ReplyStatus::BadOption);
   EXPECT_NE(Bad.Payload.find("\"bad_key\":\"bogus\""), std::string::npos)
       << Bad.Payload;
   EXPECT_NE(Bad.Payload.find("\"bad_value\":\"1\""), std::string::npos)
@@ -418,7 +418,7 @@ TEST(ServiceTest, DeadlineExpiredRequestsReturnFlaggedPartials) {
 
   ServiceReply Reply =
       Service.submit(makeWireRequest(Big, "brute-conservative", 1)).get();
-  EXPECT_EQ(Reply.Status, WireStatus::TimedOut);
+  EXPECT_EQ(Reply.Status, ReplyStatus::TimedOut);
   EXPECT_NE(Reply.Payload.find("\"status\":\"timed-out\""),
             std::string::npos);
   EXPECT_NE(Reply.Payload.find("\"timed_out\":true"), std::string::npos);
@@ -451,12 +451,12 @@ TEST(ServiceTest, AdmissionControlAnswersBusy) {
   // The first request holds the only queue slot until shutdown cancels it.
   ServiceReply Busy =
       Service.submit(makeWireRequest(Corpus[1].Problem, "briggs")).get();
-  EXPECT_EQ(Busy.Status, WireStatus::Busy);
+  EXPECT_EQ(Busy.Status, ReplyStatus::Busy);
   EXPECT_NE(Busy.Payload.find("\"status\":\"busy\""), std::string::npos);
 
   Service.shutdown(/*CancelInFlight=*/true);
   ServiceReply First = Parked.get();
-  EXPECT_EQ(First.Status, WireStatus::TimedOut);
+  EXPECT_EQ(First.Status, ReplyStatus::TimedOut);
   EXPECT_NE(First.Payload.find("\"partial\":true"), std::string::npos);
 
   ServiceStats S = Service.stats();
@@ -475,7 +475,7 @@ TEST(ServiceTest, ShutdownRejectsNewRequestsAndIsIdempotent) {
 
   ServiceReply Reply =
       Service.submit(makeWireRequest(Corpus[0].Problem, "briggs")).get();
-  EXPECT_EQ(Reply.Status, WireStatus::ShuttingDown);
+  EXPECT_EQ(Reply.Status, ReplyStatus::ShuttingDown);
   EXPECT_NE(Reply.Payload.find("\"status\":\"shutting-down\""),
             std::string::npos);
   EXPECT_EQ(Service.stats().Rejected, 1u);

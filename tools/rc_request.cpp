@@ -1,12 +1,16 @@
-//===- tools/rc_request.cpp - Frame encoder/decoder for rc_serve -------------===//
+//===- tools/rc_request.cpp - Client driver for rc_serve ---------------------===//
 //
 // The client half of the service protocol, for scripts and smoke tests.
-// Two modes:
+// Three modes:
 //
 //  - emit (default): writes Request frames to stdout for every
 //    (instance x spec) pair, optionally followed by one Shutdown frame.
 //    Instances come from dumped challenge files (--instance) and/or
 //    manifest lines (--gen, the rc_sweep grammar).
+//  - --connect EP: dials a live rc_serve --listen daemon through
+//    rc::Client, pipelines the same request list over the socket, and
+//    prints one response payload per line — byte-identical to what the
+//    stdio pipe path decodes, so the two transports are diffable.
 //  - --decode: reads Response frames from stdin, prints one payload per
 //    line (the payloads are JSON objects, so the output is JSONL), and
 //    exits non-zero on any error status, a malformed stream, or a frame
@@ -15,16 +19,17 @@
 // Examples:
 //   rc_request --gen "subtree seed=3 n=96 slack=0" --strategies briggs,irc
 //     --deadline-ms 250 --shutdown drain | rc_serve | rc_request --decode
-//   rc_request --instance dump.txt --spec optimistic --repeat 3 > reqs.bin
+//   rc_request --connect unix:/tmp/rc.sock --instance dump.txt --spec irc
 //
 //===----------------------------------------------------------------------===//
 
 #include "challenge/ChallengeBinary.h"
 #include "challenge/StrategyRunner.h"
 #include "runner/SweepManifest.h"
+#include "service/Client.h"
 #include "service/WireProtocol.h"
+#include "support/ArgParser.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,23 +37,6 @@
 #include <vector>
 
 using namespace rc;
-
-static void usage(std::ostream &OS) {
-  OS << "usage: rc_request [flags] > frames        (emit mode)\n"
-        "       rc_request --decode [--expect N] < frames\n"
-        "  --instance FILE    add an instance from a dumped challenge"
-        " file (repeatable)\n"
-        "  --gen LINE         add instances from a manifest line, e.g.\n"
-        "                     'subtree seed=3 n=96 slack=0' (repeatable)\n"
-        "  --spec SPEC        strategy spec (default briggs+george)\n"
-        "  --strategies a[,b] several specs; one request per instance x"
-        " spec\n"
-        "  --deadline-ms T    per-request deadline (default none)\n"
-        "  --repeat N         emit the request list N times (default 1)\n"
-        "  --shutdown MODE    append a shutdown frame: drain | now\n"
-        "  --decode           decode response frames from stdin\n"
-        "  --expect N         with --decode: require exactly N responses\n";
-}
 
 static int decode(long long Expect) {
   long long Count = 0;
@@ -71,17 +59,18 @@ static int decode(long long Expect) {
     }
     std::cout << F.Payload << "\n";
     ++Count;
-    std::string Status;
+    ReplyStatus Status;
     if (!extractResponseStatus(F.Payload, Status)) {
-      std::cerr << "rc_request: response payload without a status field\n";
+      std::cerr << "rc_request: response payload without a valid status"
+                   " field\n";
       return 1;
     }
     // ok / timed-out carry results; shutting-down is the ack. Everything
     // else means a request was refused.
-    if (Status != "ok" && Status != "timed-out" &&
-        Status != "shutting-down") {
+    if (!replyStatusHasResult(Status) &&
+        Status != ReplyStatus::ShuttingDown) {
       std::cerr << "rc_request: response " << Count << " has status '"
-                << Status << "'\n";
+                << replyStatusName(Status) << "'\n";
       SawError = true;
     }
   }
@@ -93,113 +82,155 @@ static int decode(long long Expect) {
   return SawError ? 1 : 0;
 }
 
+/// Runs the request list against a live daemon and prints the payloads as
+/// the --decode JSONL a pipe-path run would produce.
+static int runConnected(const Endpoint &Ep,
+                        const std::vector<LabeledProblem> &Instances,
+                        const std::vector<std::string> &Specs,
+                        int64_t DeadlineMillis, long long Repeat,
+                        bool Shutdown, const std::string &ShutdownMode) {
+  Expected<Client> C = Client::connect(Ep);
+  if (!C) {
+    std::cerr << "rc_request: " << C.error().Message << "\n";
+    return 1;
+  }
+
+  std::vector<Client::Request> Requests;
+  for (long long R = 0; R < Repeat; ++R)
+    for (const LabeledProblem &LP : Instances)
+      for (const std::string &Spec : Specs) {
+        Client::Request Req;
+        Req.Problem = &LP.Problem;
+        Req.Spec = Spec;
+        Req.DeadlineMillis = DeadlineMillis;
+        Requests.push_back(Req);
+      }
+
+  bool SawError = false;
+  size_t Index = 0;
+  for (Expected<ClientReply> &Reply : C->submitAll(Requests)) {
+    ++Index;
+    if (Reply) {
+      std::cout << Reply->Payload << "\n";
+      continue;
+    }
+    const ClientError &E = Reply.error();
+    if (E.Kind == ClientErrorKind::TimedOut) {
+      // A deadline expiry still carries the flagged partial result — the
+      // pipe path prints those too and stays healthy.
+      std::cout << E.Partial << "\n";
+      continue;
+    }
+    std::cerr << "rc_request: request " << Index << ": "
+              << clientErrorKindName(E.Kind)
+              << (E.Message.empty() ? "" : ": " + E.Message) << "\n";
+    SawError = true;
+    if (!C->connected())
+      return 1;
+  }
+
+  if (Shutdown && C->connected()) {
+    Expected<ClientReply> Ack = C->shutdownServer(
+        ShutdownMode == "now" ? ShutdownMode::Now : ShutdownMode::Drain);
+    if (!Ack) {
+      std::cerr << "rc_request: shutdown: " << Ack.error().Message << "\n";
+      return 1;
+    }
+    std::cout << Ack->Payload << "\n";
+  }
+  return SawError ? 1 : 0;
+}
+
 int main(int Argc, char **Argv) {
   std::vector<LabeledProblem> Instances;
   std::vector<std::string> Specs;
-  int64_t DeadlineMillis = 0;
+  long long DeadlineMillis = 0;
   long long Repeat = 1;
   long long Expect = -1;
   std::string ShutdownMode;
+  std::string Connect;
   bool Decode = false;
   bool Shutdown = false;
 
-  std::vector<std::string> Args(Argv + 1, Argv + Argc);
-  for (size_t I = 0; I < Args.size(); ++I) {
-    auto value = [&](const char *Flag) -> const std::string * {
-      if (I + 1 >= Args.size()) {
-        std::cerr << "error: " << Flag << " requires an argument\n";
-        return nullptr;
-      }
-      return &Args[++I];
-    };
-    if (Args[I] == "--instance") {
-      const std::string *V = value("--instance");
-      if (!V)
-        return 2;
-      // Binary mode so the text/binary content sniffing sees raw bytes.
-      std::ifstream In(*V, std::ios::binary);
-      if (!In) {
-        std::cerr << "error: cannot open instance file '" << *V << "'\n";
-        return 2;
-      }
-      LabeledProblem LP;
-      LP.Label = *V;
-      std::string Error;
-      if (!readChallengeAuto(In, LP.Problem, &Error)) {
-        std::cerr << "error: " << *V << ": " << Error << "\n";
-        return 2;
-      }
-      Instances.push_back(std::move(LP));
-    } else if (Args[I] == "--gen") {
-      const std::string *V = value("--gen");
-      if (!V)
-        return 2;
-      std::istringstream In(*V);
-      SweepManifest Manifest;
-      std::string Error;
-      if (!parseSweepManifest(In, Manifest, &Error) ||
-          !materializeSweep(Manifest, Instances, &Error)) {
-        std::cerr << "error: --gen: " << Error << "\n";
-        return 2;
-      }
-    } else if (Args[I] == "--spec") {
-      const std::string *V = value("--spec");
-      if (!V)
-        return 2;
-      Specs.push_back(*V);
-    } else if (Args[I] == "--strategies") {
-      const std::string *V = value("--strategies");
-      if (!V)
-        return 2;
-      for (const std::string &S : splitStrategySpecs(*V))
-        Specs.push_back(S);
-    } else if (Args[I] == "--deadline-ms") {
-      const std::string *V = value("--deadline-ms");
-      if (!V)
-        return 2;
-      DeadlineMillis = std::atoll(V->c_str());
-      if (DeadlineMillis <= 0) {
-        std::cerr << "error: --deadline-ms expects a positive integer\n";
-        return 2;
-      }
-    } else if (Args[I] == "--repeat") {
-      const std::string *V = value("--repeat");
-      if (!V)
-        return 2;
-      Repeat = std::atoll(V->c_str());
-      if (Repeat < 1) {
-        std::cerr << "error: --repeat expects a positive integer\n";
-        return 2;
-      }
-    } else if (Args[I] == "--shutdown") {
-      const std::string *V = value("--shutdown");
-      if (!V)
-        return 2;
-      if (*V != "drain" && *V != "now") {
-        std::cerr << "error: --shutdown expects 'drain' or 'now'\n";
-        return 2;
-      }
-      Shutdown = true;
-      ShutdownMode = *V;
-    } else if (Args[I] == "--decode") {
-      Decode = true;
-    } else if (Args[I] == "--expect") {
-      const std::string *V = value("--expect");
-      if (!V)
-        return 2;
-      Expect = std::atoll(V->c_str());
-      if (Expect < 0) {
-        std::cerr << "error: --expect expects a non-negative integer\n";
-        return 2;
-      }
-    } else if (Args[I] == "--help") {
-      usage(std::cout);
-      return 0;
-    } else {
-      std::cerr << "error: unknown flag '" << Args[I] << "'\n";
-      usage(std::cerr);
-      return 2;
-    }
+  ArgParser Parser("rc_request", "> frames (emit) | --decode < frames");
+  Parser.each("--instance", "FILE",
+              "add an instance from a dumped challenge file (repeatable)",
+              [&](const std::string &V, std::string &Error) {
+                // Binary mode so the text/binary content sniffing sees raw
+                // bytes.
+                std::ifstream In(V, std::ios::binary);
+                if (!In) {
+                  Error = "cannot open instance file '" + V + "'";
+                  return false;
+                }
+                LabeledProblem LP;
+                LP.Label = V;
+                std::string ReadError;
+                if (!readChallengeAuto(In, LP.Problem, &ReadError)) {
+                  Error = V + ": " + ReadError;
+                  return false;
+                }
+                Instances.push_back(std::move(LP));
+                return true;
+              });
+  Parser.each("--gen", "LINE",
+              "add instances from a manifest line, e.g. 'subtree seed=3"
+              " n=96 slack=0' (repeatable)",
+              [&](const std::string &V, std::string &Error) {
+                std::istringstream In(V);
+                SweepManifest Manifest;
+                std::string GenError;
+                if (!parseSweepManifest(In, Manifest, &GenError) ||
+                    !materializeSweep(Manifest, Instances, &GenError)) {
+                  Error = "--gen: " + GenError;
+                  return false;
+                }
+                return true;
+              });
+  Parser.each("--spec", "SPEC", "strategy spec (default briggs+george)",
+              [&](const std::string &V, std::string &) {
+                Specs.push_back(V);
+                return true;
+              });
+  Parser.each("--strategies", "a[,b]",
+              "several specs; one request per instance x spec",
+              [&](const std::string &V, std::string &) {
+                for (const std::string &S : splitStrategySpecs(V))
+                  Specs.push_back(S);
+                return true;
+              });
+  Parser.intValue("--deadline-ms", "T", "per-request deadline (default"
+                                        " none)",
+                  &DeadlineMillis, 1, "a positive integer");
+  Parser.intValue("--repeat", "N", "emit the request list N times"
+                                   " (default 1)",
+                  &Repeat, 1, "a positive integer");
+  Parser.each("--shutdown", "MODE",
+              "append a shutdown frame: drain | now",
+              [&](const std::string &V, std::string &Error) {
+                if (V != "drain" && V != "now") {
+                  Error = "--shutdown expects 'drain' or 'now'";
+                  return false;
+                }
+                Shutdown = true;
+                ShutdownMode = V;
+                return true;
+              });
+  Parser.value("--connect", "EP",
+               "submit over a socket to a live rc_serve --listen daemon"
+               " (tcp:PORT or unix:PATH)",
+               &Connect);
+  Parser.flag("--decode", "decode response frames from stdin", &Decode);
+  Parser.intValue("--expect", "N",
+                  "with --decode: require exactly N responses", &Expect, 0,
+                  "a non-negative integer");
+  switch (Parser.parse(Argc, Argv, std::cout, std::cerr)) {
+  case ArgParser::Result::Ok:
+    break;
+  case ArgParser::Result::Help:
+    return 0;
+  case ArgParser::Result::Error:
+    return 2;
   }
 
   if (Decode)
@@ -208,11 +239,22 @@ int main(int Argc, char **Argv) {
   if (Instances.empty() && !Shutdown) {
     std::cerr << "error: nothing to emit (need --instance, --gen, or"
                  " --shutdown)\n";
-    usage(std::cerr);
+    Parser.usage(std::cerr);
     return 2;
   }
   if (Specs.empty())
     Specs.push_back("briggs+george");
+
+  if (!Connect.empty()) {
+    Endpoint Ep;
+    std::string Error;
+    if (!parseEndpoint(Connect, Ep, &Error)) {
+      std::cerr << "error: --connect: " << Error << "\n";
+      return 2;
+    }
+    return runConnected(Ep, Instances, Specs, DeadlineMillis, Repeat,
+                        Shutdown, ShutdownMode);
+  }
 
   for (long long R = 0; R < Repeat; ++R)
     for (const LabeledProblem &LP : Instances)

@@ -1,112 +1,168 @@
 //===- tools/rc_serve.cpp - Coalescing-as-a-service daemon -------------------===//
 //
-// The persistent coalescing daemon: speaks the length-prefixed frame
-// protocol of service/WireProtocol.h over stdin/stdout, so the same binary
-// serves a pipe, an inetd-style socket wrapper, or an interactive test
-// harness. All policy (validation, result cache, admission control,
-// deadlines, graceful shutdown) lives in service/Service.h; this driver
-// only parses flags and runs the transport loop.
+// The persistent coalescing daemon. Two transports over the same frame
+// protocol (service/WireProtocol.h):
+//
+//  - stdio (default): one connection on stdin/stdout — a pipe, an
+//    inetd-style wrapper, or an interactive test harness.
+//  - --listen tcp:PORT|unix:PATH: a real socket daemon; every accepted
+//    connection runs its own frame loop against one shared service, so
+//    the worker pool, admission bound, and result cache are shared
+//    across clients (client 2 gets client 1's cache hits).
+//
+// All policy (validation, result cache, admission control, deadlines,
+// graceful shutdown) lives in service/Service.h and service/Listener.h;
+// this driver only parses flags, wires the transport, and reports stats.
 //
 // Examples:
 //   rc_request --gen "subtree seed=3 n=96 slack=0" --shutdown drain |
 //     rc_serve --jobs 4 | rc_request --decode
-//   rc_serve --jobs 8 --queue-limit 64 --cache 1024 --stats < reqs > resps
+//   rc_serve --listen unix:/tmp/rc.sock --jobs 8 --cache 1024 --stats
 //
-// Exits 0 on a clean ending (Shutdown frame or EOF), 1 when the input
-// stream was poisoned by a malformed frame.
+// Exits 0 on a clean ending (Shutdown frame, EOF, or SIGINT-triggered
+// drain), 1 when the transport failed (poisoned stdio stream, accept
+// failure).
 //
 //===----------------------------------------------------------------------===//
 
+#include "service/Listener.h"
 #include "service/Service.h"
 #include "service/ServiceLoop.h"
+#include "support/ArgParser.h"
 
-#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
-#include <vector>
+
+#include <csignal>
 
 using namespace rc;
 
-static void usage(std::ostream &OS) {
-  OS << "usage: rc_serve [flags] < requests > responses\n"
-        "  --jobs N          worker threads (default 1)\n"
-        "  --queue-limit N   max requests queued or running before new"
-        " ones are answered busy (default 16)\n"
-        "  --cache N         result-cache capacity in entries; 0 disables"
-        " (default 256)\n"
-        "  --max-payload N   reject frames with payloads larger than N"
-        " bytes (default 8 MiB)\n"
-        "  --no-timing       zero wall-clock fields in responses"
-        " (byte-stable across runs)\n"
-        "  --stats           print final service stats to stderr\n";
+namespace {
+
+/// The SIGINT/SIGTERM target. requestStop() is one relaxed atomic store,
+/// so calling it from the handler is async-signal-safe.
+Listener *SignalledListener = nullptr;
+
+extern "C" void handleStopSignal(int) {
+  if (SignalledListener)
+    SignalledListener->requestStop();
 }
+
+void installStopHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = handleStopSignal;
+  sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
+}
+
+void printStats(const CoalescingService &Service, const Listener *L) {
+  ServiceStats S = Service.stats();
+  std::cerr << "rc_serve: requests=" << S.Requests
+            << " completed=" << S.Completed << " timed_out=" << S.TimedOut
+            << " errors=" << S.Errors << " rejected=" << S.Rejected
+            << " bad_requests=" << S.BadRequests
+            << " cache_hits=" << S.CacheHits
+            << " cache_misses=" << S.CacheMisses;
+  if (L) {
+    Listener::Stats LS = L->stats();
+    std::cerr << " connections=" << LS.Accepted << " refused=" << LS.Refused
+              << " poisoned=" << LS.Poisoned;
+  }
+  std::cerr << "\n";
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   ServiceConfig Config;
   ServiceLoopOptions LoopOptions;
-  bool PrintStats = false;
+  ListenerConfig ListenConfig;
+  bool PrintFinalStats = false;
+  std::string Listen;
+  long long Jobs = 1, QueueLimit = 16, Cache = 256;
+  long long MaxPayload = LoopOptions.MaxPayloadBytes;
+  long long MaxConnections = ListenConfig.MaxConnections;
+  bool NoTiming = false;
 
-  std::vector<std::string> Args(Argv + 1, Argv + Argc);
-  for (size_t I = 0; I < Args.size(); ++I) {
-    auto value = [&](const char *Flag) -> const std::string * {
-      if (I + 1 >= Args.size()) {
-        std::cerr << "error: " << Flag << " requires an argument\n";
-        return nullptr;
-      }
-      return &Args[++I];
-    };
-    if (Args[I] == "--jobs") {
-      const std::string *V = value("--jobs");
-      if (!V)
-        return 2;
-      int N = std::atoi(V->c_str());
-      if (N < 1) {
-        std::cerr << "error: --jobs expects a positive integer\n";
-        return 2;
-      }
-      Config.Workers = static_cast<unsigned>(N);
-    } else if (Args[I] == "--queue-limit") {
-      const std::string *V = value("--queue-limit");
-      if (!V)
-        return 2;
-      int N = std::atoi(V->c_str());
-      if (N < 1) {
-        std::cerr << "error: --queue-limit expects a positive integer\n";
-        return 2;
-      }
-      Config.QueueLimit = static_cast<unsigned>(N);
-    } else if (Args[I] == "--cache") {
-      const std::string *V = value("--cache");
-      if (!V)
-        return 2;
-      long N = std::atol(V->c_str());
-      if (N < 0) {
-        std::cerr << "error: --cache expects a non-negative integer\n";
-        return 2;
-      }
-      Config.CacheCapacity = static_cast<size_t>(N);
-    } else if (Args[I] == "--max-payload") {
-      const std::string *V = value("--max-payload");
-      if (!V)
-        return 2;
-      long long N = std::atoll(V->c_str());
-      if (N < 1) {
-        std::cerr << "error: --max-payload expects a positive byte count\n";
-        return 2;
-      }
-      LoopOptions.MaxPayloadBytes = static_cast<uint32_t>(N);
-    } else if (Args[I] == "--no-timing") {
-      Config.IncludeTiming = false;
-    } else if (Args[I] == "--stats") {
-      PrintStats = true;
-    } else if (Args[I] == "--help") {
-      usage(std::cout);
-      return 0;
-    } else {
-      std::cerr << "error: unknown flag '" << Args[I] << "'\n";
-      usage(std::cerr);
+  ArgParser Parser("rc_serve", "< requests > responses");
+  Parser.intValue("--jobs", "N", "worker threads (default 1)", &Jobs, 1,
+                  "a positive integer");
+  Parser.intValue("--queue-limit", "N",
+                  "max requests queued or running before new ones are"
+                  " answered busy (default 16)",
+                  &QueueLimit, 1, "a positive integer");
+  Parser.intValue("--cache", "N",
+                  "result-cache capacity in entries; 0 disables"
+                  " (default 256)",
+                  &Cache, 0, "a non-negative integer");
+  Parser.intValue("--max-payload", "N",
+                  "reject frames with payloads larger than N bytes"
+                  " (default 8 MiB)",
+                  &MaxPayload, 1, "a positive byte count");
+  Parser.value("--listen", "EP",
+               "serve a socket endpoint (tcp:PORT or unix:PATH) instead"
+               " of stdio",
+               &Listen);
+  Parser.intValue("--max-connections", "N",
+                  "with --listen: live-connection cap; extras are answered"
+                  " busy (default 32)",
+                  &MaxConnections, 1, "a positive integer");
+  Parser.flag("--no-timing",
+              "zero wall-clock fields in responses (byte-stable across"
+              " runs)",
+              &NoTiming);
+  Parser.flag("--stats", "print final service stats to stderr",
+              &PrintFinalStats);
+  switch (Parser.parse(Argc, Argv, std::cout, std::cerr)) {
+  case ArgParser::Result::Ok:
+    break;
+  case ArgParser::Result::Help:
+    return 0;
+  case ArgParser::Result::Error:
+    return 2;
+  }
+
+  Config.Workers = static_cast<unsigned>(Jobs);
+  Config.QueueLimit = static_cast<unsigned>(QueueLimit);
+  Config.CacheCapacity = static_cast<size_t>(Cache);
+  Config.IncludeTiming = !NoTiming;
+  LoopOptions.MaxPayloadBytes = static_cast<uint32_t>(MaxPayload);
+
+  if (!Listen.empty()) {
+    std::string Error;
+    if (!parseEndpoint(Listen, ListenConfig.Ep, &Error)) {
+      std::cerr << "error: --listen: " << Error << "\n";
       return 2;
     }
+    ListenConfig.MaxConnections = static_cast<unsigned>(MaxConnections);
+    ListenConfig.MaxPayloadBytes = static_cast<uint32_t>(MaxPayload);
+
+    CoalescingService Service(Config);
+    Listener L(Service, ListenConfig);
+    if (!L.open(&Error)) {
+      std::cerr << "rc_serve: " << Error << "\n";
+      return 1;
+    }
+    // Announce the endpoint actually bound — with tcp:0 this is how a
+    // script learns the OS-assigned port.
+    std::cerr << "rc_serve: listening on " << endpointName(L.boundEndpoint())
+              << "\n";
+
+    SignalledListener = &L;
+    installStopHandlers();
+    bool Ok = L.run(&Error);
+    SignalledListener = nullptr;
+
+    if (PrintFinalStats)
+      printStats(Service, &L);
+    if (!Ok) {
+      std::cerr << "rc_serve: " << Error << "\n";
+      return 1;
+    }
+    return 0;
   }
 
   CoalescingService Service(Config);
@@ -114,15 +170,8 @@ int main(int Argc, char **Argv) {
   bool Clean =
       runServiceLoop(std::cin, std::cout, Service, LoopOptions, &Error);
 
-  if (PrintStats) {
-    ServiceStats S = Service.stats();
-    std::cerr << "rc_serve: requests=" << S.Requests
-              << " completed=" << S.Completed << " timed_out=" << S.TimedOut
-              << " errors=" << S.Errors << " rejected=" << S.Rejected
-              << " bad_requests=" << S.BadRequests
-              << " cache_hits=" << S.CacheHits
-              << " cache_misses=" << S.CacheMisses << "\n";
-  }
+  if (PrintFinalStats)
+    printStats(Service, nullptr);
   if (!Clean) {
     std::cerr << "rc_serve: protocol error: " << Error << "\n";
     return 1;

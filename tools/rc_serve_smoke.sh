@@ -8,6 +8,9 @@
 #                       (byte-identical response payloads, hits in stats)
 #  3. EOF ending     -> daemon drains and exits 0 without an ack
 #  4. garbage input  -> daemon refuses the stream and exits non-zero
+#  5. unix socket    -> rc_serve --listen + rc_request --connect round-trip
+#                       is byte-identical to the stdio pipe path, and a
+#                       client Shutdown frame retires the daemon cleanly
 #
 # Usage: tools/rc_serve_smoke.sh <rc_serve> <rc_request>
 
@@ -80,6 +83,41 @@ if printf 'this is not a frame' | "$SERVE" > /dev/null 2> "$SANDBOX/bad.log"; th
 fi
 grep -q "protocol error" "$SANDBOX/bad.log" \
   || note_failure "garbage input not diagnosed: $(cat "$SANDBOX/bad.log")"
+
+# 5. Socket round-trip: the same workload over a Unix socket must decode
+#    to exactly the bytes the stdio pipe path produced, and the client's
+#    drain shutdown must retire the daemon (exit 0, stats on stderr).
+SOCK="$SANDBOX/rc.sock"
+"$SERVE" --listen "unix:$SOCK" --jobs 2 --no-timing --stats \
+  2> "$SANDBOX/socket-serve.log" &
+SERVE_PID=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || note_failure "daemon never bound $SOCK"
+
+"$REQUEST" --connect "unix:$SOCK" \
+  --gen "subtree seed=3 n=32 slack=0" \
+  --strategies briggs+george,optimistic > "$SANDBOX/socket.jsonl" \
+  || note_failure "socket round-trip failed"
+# The pipe path on the identical workload (reusing check 1's responses,
+# minus the shutdown ack line).
+grep -v '"status":"shutting-down"' "$SANDBOX/decoded.jsonl" \
+  > "$SANDBOX/pipe.jsonl"
+cmp -s "$SANDBOX/socket.jsonl" "$SANDBOX/pipe.jsonl" \
+  || note_failure "socket payloads differ from the pipe path"
+
+"$REQUEST" --connect "unix:$SOCK" --shutdown drain \
+  > "$SANDBOX/socket-ack.jsonl" || note_failure "socket shutdown failed"
+grep -q '"status":"shutting-down"' "$SANDBOX/socket-ack.jsonl" \
+  || note_failure "no shutdown ack over the socket"
+if wait "$SERVE_PID"; then :; else
+  note_failure "socket daemon exited non-zero: $(cat "$SANDBOX/socket-serve.log")"
+fi
+grep -q "connections=2" "$SANDBOX/socket-serve.log" \
+  || note_failure "expected 2 connections in: $(cat "$SANDBOX/socket-serve.log")"
+[ -S "$SOCK" ] && note_failure "daemon left its socket file behind"
 
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES smoke check(s) failed" >&2

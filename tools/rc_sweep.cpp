@@ -20,97 +20,65 @@
 
 #include "runner/BatchRunner.h"
 #include "runner/SweepManifest.h"
+#include "support/ArgParser.h"
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 using namespace rc;
 
-static void usage(std::ostream &OS) {
-  OS << "usage: rc_sweep --manifest FILE [flags]\n"
-        "  --manifest FILE    instance manifest (subtree/program/file"
-        " lines)\n"
-        "  --jobs N           worker threads (default 1)\n"
-        "  --timeout-ms T     per-job deadline; timed-out jobs report"
-        " partial outcomes\n"
-        "  --strategies a[,b] strategy specs (default: every registered"
-        " strategy)\n"
-        "  --summary          print the aligned table instead of JSONL\n"
-        "  --no-timing        zero wall-clock fields for byte-stable"
-        " output\n"
-        "  --stream           materialize one instance at a time (bounded"
-        " memory,\n"
-        "                     JSONL only; byte-identical with --no-timing)\n";
-}
-
 int main(int Argc, char **Argv) {
   std::string ManifestPath;
   std::vector<std::string> Specs;
   BatchOptions Options;
+  long long Jobs = 1;
+  long long TimeoutMillis = 0;
   bool Summary = false;
-  bool Timing = true;
+  bool NoTiming = false;
   bool Stream = false;
 
-  std::vector<std::string> Args(Argv + 1, Argv + Argc);
-  for (size_t I = 0; I < Args.size(); ++I) {
-    auto value = [&](const char *Flag) -> const std::string * {
-      if (I + 1 >= Args.size()) {
-        std::cerr << "error: " << Flag << " requires an argument\n";
-        return nullptr;
-      }
-      return &Args[++I];
-    };
-    if (Args[I] == "--manifest") {
-      const std::string *V = value("--manifest");
-      if (!V)
-        return 2;
-      ManifestPath = *V;
-    } else if (Args[I] == "--jobs") {
-      const std::string *V = value("--jobs");
-      if (!V)
-        return 2;
-      int N = std::atoi(V->c_str());
-      if (N < 1) {
-        std::cerr << "error: --jobs expects a positive integer\n";
-        return 2;
-      }
-      Options.Workers = static_cast<unsigned>(N);
-    } else if (Args[I] == "--timeout-ms") {
-      const std::string *V = value("--timeout-ms");
-      if (!V)
-        return 2;
-      Options.TimeoutMillis = std::atoll(V->c_str());
-      if (Options.TimeoutMillis <= 0) {
-        std::cerr << "error: --timeout-ms expects a positive integer\n";
-        return 2;
-      }
-    } else if (Args[I] == "--strategies") {
-      const std::string *V = value("--strategies");
-      if (!V)
-        return 2;
-      Specs = splitStrategySpecs(*V);
-    } else if (Args[I] == "--summary") {
-      Summary = true;
-    } else if (Args[I] == "--no-timing") {
-      Timing = false;
-    } else if (Args[I] == "--stream") {
-      Stream = true;
-    } else if (Args[I] == "--help") {
-      usage(std::cout);
-      return 0;
-    } else {
-      std::cerr << "error: unknown flag " << Args[I] << "\n";
-      usage(std::cerr);
-      return 2;
-    }
+  ArgParser Parser("rc_sweep", "--manifest FILE [flags]");
+  Parser.value("--manifest", "FILE",
+               "instance manifest (subtree/program/file lines)",
+               &ManifestPath);
+  Parser.intValue("--jobs", "N", "worker threads (default 1)", &Jobs, 1,
+                  "a positive integer");
+  Parser.intValue("--timeout-ms", "T",
+                  "per-job deadline; timed-out jobs report partial"
+                  " outcomes",
+                  &TimeoutMillis, 1, "a positive integer");
+  Parser.each("--strategies", "a[,b]",
+              "strategy specs (default: every registered strategy)",
+              [&](const std::string &V, std::string &) {
+                Specs = splitStrategySpecs(V);
+                return true;
+              });
+  Parser.flag("--summary", "print the aligned table instead of JSONL",
+              &Summary);
+  Parser.flag("--no-timing",
+              "zero wall-clock fields for byte-stable output", &NoTiming);
+  Parser.flag("--stream",
+              "materialize one instance at a time (bounded memory, JSONL"
+              " only; byte-identical with --no-timing)",
+              &Stream);
+  switch (Parser.parse(Argc, Argv, std::cout, std::cerr)) {
+  case ArgParser::Result::Ok:
+    break;
+  case ArgParser::Result::Help:
+    return 0;
+  case ArgParser::Result::Error:
+    return 2;
   }
+  Options.Workers = static_cast<unsigned>(Jobs);
+  Options.TimeoutMillis = TimeoutMillis;
+  bool Timing = !NoTiming;
+
   if (ManifestPath.empty()) {
     std::cerr << "error: --manifest is required\n";
-    usage(std::cerr);
+    Parser.usage(std::cerr);
     return 2;
   }
 
