@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "challenge/ChallengeBinary.h"
 #include "coalescing/Aggressive.h"
 #include "coalescing/ChordalIncremental.h"
 #include "coalescing/Conservative.h"
@@ -24,6 +25,12 @@
 #include "graph/GreedyColorability.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
 
 using namespace rc;
 
@@ -122,6 +129,58 @@ static void BM_ScaleConservativeBriggs(benchmark::State &State) {
   State.counters["affinities"] = static_cast<double>(P.Affinities.size());
 }
 BENCHMARK(BM_ScaleConservativeBriggs)
+    ->Arg(65536)
+    ->Arg(1048576)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Instance loading at scale: the same challenge instance (seed 77, the
+// one BM_ScaleConservativeBriggs coalesces) serialized once to RCBF, then
+// read back through the zero-copy mmap path vs the buffered fallback. The
+// mapped/buffered ratio is the point of the pair; both parse into the same
+// bulk CSR build.
+static void runScaleLoadBinary(benchmark::State &State, MappedFile::Mode M) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  CoalescingProblem P = bench::makeChallengeProblem(N, 77, /*Slack=*/2);
+  std::string Path = "/tmp/rc_bench_load_" + std::to_string(::getpid()) +
+                     "_" + std::to_string(N) + ".rcb";
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    writeChallengeBinary(Out, P);
+    Out.flush();
+    if (!Out) {
+      State.SkipWithError("cannot write the instance file");
+      return;
+    }
+  }
+  for (auto _ : State) {
+    CoalescingProblem Q;
+    std::string Error;
+    if (!readChallengeFile(Path, Q, &Error, M)) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(Q.G.numEdges());
+  }
+  std::remove(Path.c_str());
+  State.counters["vertices"] = static_cast<double>(N);
+  State.counters["edges"] = static_cast<double>(P.G.numEdges());
+  State.counters["affinities"] = static_cast<double>(P.Affinities.size());
+}
+
+static void BM_ScaleLoadBinaryMapped(benchmark::State &State) {
+  runScaleLoadBinary(State, MappedFile::Mode::Auto);
+}
+BENCHMARK(BM_ScaleLoadBinaryMapped)
+    ->Arg(65536)
+    ->Arg(1048576)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_ScaleLoadBinaryBuffered(benchmark::State &State) {
+  runScaleLoadBinary(State, MappedFile::Mode::Buffered);
+}
+BENCHMARK(BM_ScaleLoadBinaryBuffered)
     ->Arg(65536)
     ->Arg(1048576)
     ->Unit(benchmark::kMillisecond)

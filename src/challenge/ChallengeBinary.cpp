@@ -5,7 +5,10 @@
 #include "challenge/ChallengeFormat.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
+#include <limits>
+#include <sstream>
 #include <vector>
 
 using namespace rc;
@@ -45,6 +48,37 @@ bool fail(std::string *Error, const std::string &Message) {
   if (Error)
     *Error = Message;
   return false;
+}
+
+inline uint32_t loadU32LE(const unsigned char *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+inline uint64_t loadU64LE(const unsigned char *P) {
+  return static_cast<uint64_t>(loadU32LE(P)) |
+         (static_cast<uint64_t>(loadU32LE(P + 4)) << 32);
+}
+
+/// Header count validation shared by the stream and buffer readers. The
+/// overflow checks run before any size arithmetic or allocation: a corrupt
+/// count must fail loudly here, not wrap 32 + 8*E + 16*A around uint64_t /
+/// size_t and pass a downstream bounds check.
+bool checkHeaderCounts(uint32_t N, uint64_t EdgeCount, uint64_t AffinityCount,
+                       std::string *Error) {
+  constexpr uint64_t Max = std::numeric_limits<uint64_t>::max();
+  if (EdgeCount > (Max - 32) / 8)
+    return fail(Error, "edge count overflows the file size arithmetic");
+  if (AffinityCount > (Max - 32 - 8 * EdgeCount) / 16)
+    return fail(Error, "affinity count overflows the file size arithmetic");
+  // An edge list longer than n*(n-1)/2 cannot be valid; rejecting here also
+  // stops a corrupt count from driving a giant allocation loop.
+  if (N > 0 && EdgeCount > static_cast<uint64_t>(N) * (N - 1) / 2)
+    return fail(Error, "edge count exceeds n*(n-1)/2");
+  if (N == 0 && (EdgeCount || AffinityCount))
+    return fail(Error, "edges or affinities with n = 0");
+  return true;
 }
 
 } // namespace
@@ -96,16 +130,15 @@ bool rc::readChallengeBinary(std::istream &IS, CoalescingProblem &P,
     return fail(Error, "truncated header");
   if (Version != ChallengeBinaryVersion)
     return fail(Error, "unsupported format version " + std::to_string(Version));
-  // An edge list longer than n*(n-1)/2 cannot be valid; rejecting here also
-  // stops a corrupt count from driving a giant allocation loop.
-  if (N > 0 && EdgeCount > static_cast<uint64_t>(N) * (N - 1) / 2)
-    return fail(Error, "edge count exceeds n*(n-1)/2");
-  if (N == 0 && (EdgeCount || AffinityCount))
-    return fail(Error, "edges or affinities with n = 0");
+  if (!checkHeaderCounts(N, EdgeCount, AffinityCount, Error))
+    return false;
 
   P.K = K;
   P.G = Graph(N);
-  P.G.reserveVertices(N, EdgeCount);
+  // Clamp the pre-sizing hint: a stream cannot cheaply prove the declared
+  // count is backed by bytes, and a corrupt header must not drive a giant
+  // up-front allocation. Legitimate oversized rows grow amortized.
+  P.G.reserveVertices(N, std::min<uint64_t>(EdgeCount, uint64_t(1) << 22));
   uint32_t PrevU = 0, PrevV = 0;
   for (uint64_t I = 0; I < EdgeCount; ++I) {
     uint32_t U, V;
@@ -124,7 +157,7 @@ bool rc::readChallengeBinary(std::istream &IS, CoalescingProblem &P,
     PrevV = V;
     P.G.addEdge(U, V);
   }
-  P.Affinities.reserve(AffinityCount);
+  P.Affinities.reserve(std::min<uint64_t>(AffinityCount, uint64_t(1) << 20));
   for (uint64_t I = 0; I < AffinityCount; ++I) {
     uint32_t U, V;
     uint64_t Bits;
@@ -141,6 +174,99 @@ bool rc::readChallengeBinary(std::istream &IS, CoalescingProblem &P,
   if (IS.peek() != std::istream::traits_type::eof())
     return fail(Error, "trailing bytes after affinity list");
   return true;
+}
+
+bool rc::readChallengeBinaryBuffer(const unsigned char *Data, size_t Size,
+                                   CoalescingProblem &P, std::string *Error) {
+  P = CoalescingProblem();
+  if (Size < 32)
+    return fail(Error, Size < 4 ? "truncated header (missing magic)"
+                                : "truncated header");
+  if (std::memcmp(Data, ChallengeBinaryMagic, 4) != 0)
+    return fail(Error, "bad magic (not a binary challenge file)");
+  uint32_t Version = loadU32LE(Data + 4);
+  uint32_t K = loadU32LE(Data + 8);
+  uint32_t N = loadU32LE(Data + 12);
+  uint64_t EdgeCount = loadU64LE(Data + 16);
+  uint64_t AffinityCount = loadU64LE(Data + 24);
+  if (Version != ChallengeBinaryVersion)
+    return fail(Error, "unsupported format version " + std::to_string(Version));
+  if (!checkHeaderCounts(N, EdgeCount, AffinityCount, Error))
+    return false;
+  // The overflow checks above make this size arithmetic exact; the whole
+  // file is in hand, so truncation and trailing garbage are one compare
+  // instead of per-record stream probes.
+  uint64_t Need = 32 + 8 * EdgeCount + 16 * AffinityCount;
+  if (static_cast<uint64_t>(Size) < Need)
+    return fail(Error,
+                static_cast<uint64_t>(Size) < 32 + 8 * EdgeCount
+                    ? "truncated edge list"
+                    : "truncated affinity list");
+  if (static_cast<uint64_t>(Size) > Need)
+    return fail(Error, "trailing bytes after affinity list");
+
+  // Validation sweep over the edge array in place: ranges plus canonical
+  // strict lexicographic order. No decoded copy is materialized — the
+  // graph builder below adopts the same bytes.
+  const unsigned char *EdgeData = Data + 32;
+  uint32_t PrevU = 0, PrevV = 0;
+  for (uint64_t I = 0; I < EdgeCount; ++I) {
+    uint32_t U = loadU32LE(EdgeData + 8 * I);
+    uint32_t V = loadU32LE(EdgeData + 8 * I + 4);
+    if (U >= N || V >= N)
+      return fail(Error,
+                  "edge endpoint out of range at edge " + std::to_string(I));
+    if (U >= V)
+      return fail(Error, "edge not in canonical u < v form at edge " +
+                             std::to_string(I));
+    if (I > 0 && (U < PrevU || (U == PrevU && V <= PrevV)))
+      return fail(Error, "edges not sorted (or duplicated) at edge " +
+                             std::to_string(I));
+    PrevU = U;
+    PrevV = V;
+  }
+
+  P.K = K;
+  P.G = Graph::fromSortedEdges(N, EdgeData, EdgeCount);
+
+  const unsigned char *AffData = EdgeData + 8 * EdgeCount;
+  P.Affinities.resize(AffinityCount);
+  for (uint64_t I = 0; I < AffinityCount; ++I) {
+    const unsigned char *Rec = AffData + 16 * I;
+    uint32_t U = loadU32LE(Rec);
+    uint32_t V = loadU32LE(Rec + 4);
+    if (U >= N || V >= N || U == V) {
+      P = CoalescingProblem();
+      return fail(Error, "malformed affinity endpoints at affinity " +
+                             std::to_string(I));
+    }
+    uint64_t Bits = loadU64LE(Rec + 8);
+    Affinity &A = P.Affinities[I];
+    A.U = U;
+    A.V = V;
+    std::memcpy(&A.Weight, &Bits, sizeof(A.Weight));
+  }
+  return true;
+}
+
+bool rc::readChallengeMapped(const MappedFile &File, CoalescingProblem &P,
+                             std::string *Error) {
+  if (File.size() >= 4 &&
+      std::memcmp(File.data(), ChallengeBinaryMagic, 4) == 0)
+    return readChallengeBinaryBuffer(File.data(), File.size(), P, Error);
+  // Text: the line parser wants a stream; the copy is fine for the small
+  // human-readable format.
+  std::istringstream In(
+      std::string(reinterpret_cast<const char *>(File.data()), File.size()));
+  return readChallenge(In, P, Error);
+}
+
+bool rc::readChallengeFile(const std::string &Path, CoalescingProblem &P,
+                           std::string *Error, MappedFile::Mode M) {
+  MappedFile File;
+  if (!File.open(Path, Error, M))
+    return false;
+  return readChallengeMapped(File, P, Error);
 }
 
 bool rc::readChallengeAuto(std::istream &IS, CoalescingProblem &P,

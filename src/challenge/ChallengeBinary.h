@@ -42,6 +42,7 @@
 #define CHALLENGE_CHALLENGEBINARY_H
 
 #include "coalescing/Problem.h"
+#include "support/MappedFile.h"
 
 #include <istream>
 #include <ostream>
@@ -72,6 +73,33 @@ bool readChallengeBinary(std::istream &IS, CoalescingProblem &P,
 /// distorted by newline translation.
 bool readChallengeAuto(std::istream &IS, CoalescingProblem &P,
                        std::string *Error = nullptr);
+
+/// Zero-copy binary parse straight out of an in-memory byte range (no
+/// istream, no per-record read calls, no intermediate vectors): the header
+/// is validated with overflow-checked size arithmetic, the sorted edge
+/// array is adopted in place as the graph's CSR rows (the canonical sort
+/// order means both adjacency directions come out pre-sorted), and the
+/// affinity records are validated and copied once into the final vector.
+/// Identical accept/reject behavior to readChallengeBinary.
+bool readChallengeBinaryBuffer(const unsigned char *Data, size_t Size,
+                               CoalescingProblem &P,
+                               std::string *Error = nullptr);
+
+/// Reads either format from an open MappedFile view: "RCBF" bytes parse
+/// via the zero-copy readChallengeBinaryBuffer, anything else as challenge
+/// text. The parse only borrows the view; \p P owns all of its storage, so
+/// the MappedFile may be released immediately after this returns.
+bool readChallengeMapped(const MappedFile &File, CoalescingProblem &P,
+                         std::string *Error = nullptr);
+
+/// Opens \p Path as a read-only MappedFile (mmap with buffered fallback,
+/// see support/MappedFile.h) and reads either format. This is the
+/// path-level counterpart of readChallengeAuto and the preferred loader
+/// everywhere a file path (rather than a stream) is in hand: rc_sweep
+/// --stream manifests, rc_request --instance, rc_convert.
+bool readChallengeFile(const std::string &Path, CoalescingProblem &P,
+                       std::string *Error = nullptr,
+                       MappedFile::Mode M = MappedFile::Mode::Auto);
 
 } // namespace rc
 

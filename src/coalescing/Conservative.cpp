@@ -87,6 +87,8 @@ bool rc::briggsTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K,
   if (!Passed && Blockers) {
     if (WG.degreeCacheK() == K && WG.usesDenseAdjacency())
       WG.appendBriggsHighDegree(CU, CV, *Blockers);
+    else if (WG.degreeCacheK() == K)
+      WG.appendBriggsHighDegreeSparse(CU, CV, *Blockers);
     else
       briggsHighDegreeWalk(WG, CU, CV, K, Blockers);
   }
@@ -145,6 +147,8 @@ bool rc::georgeTest(const WorkGraph &WG, unsigned U, unsigned V, unsigned K,
   if (!Passed && Blockers) {
     if (WG.degreeCacheK() == K && WG.usesDenseAdjacency())
       WG.appendGeorgeWitnesses(CU, CV, *Blockers);
+    else if (WG.degreeCacheK() == K)
+      WG.appendGeorgeWitnessesSparse(CU, CV, *Blockers);
     else
       georgeWalk(WG, CU, CV, K, Blockers);
   }
@@ -294,10 +298,17 @@ static void collectWatchSet(const WorkGraph &WG, unsigned CU, unsigned CV,
                             unsigned K, ConservativeRule Rule,
                             const std::vector<unsigned> &StuckReps,
                             uint64_t *Mask, std::vector<unsigned> *List) {
+  // Sparse mode with the cache at K (always true in the incremental
+  // driver): collect through the merge-walk helpers, which replace the
+  // legacy walks' binary search per neighbor with bit-mask probes over the
+  // sorted rows. Same blockers in the same order.
+  bool Cached = WG.degreeCacheK() == K;
   switch (Rule) {
   case ConservativeRule::Briggs:
     if (Mask)
       WG.briggsWatchWords(CU, CV, Mask);
+    else if (Cached)
+      WG.appendBriggsHighDegreeSparse(CU, CV, *List);
     else
       briggsHighDegreeWalk(WG, CU, CV, K, List);
     break;
@@ -305,6 +316,9 @@ static void collectWatchSet(const WorkGraph &WG, unsigned CU, unsigned CV,
     if (Mask) {
       WG.georgeWatchWords(CU, CV, Mask);
       WG.georgeWatchWords(CV, CU, Mask);
+    } else if (Cached) {
+      WG.appendGeorgeWitnessesSparse(CU, CV, *List);
+      WG.appendGeorgeWitnessesSparse(CV, CU, *List);
     } else {
       georgeWalk(WG, CU, CV, K, List);
       georgeWalk(WG, CV, CU, K, List);
@@ -315,6 +329,10 @@ static void collectWatchSet(const WorkGraph &WG, unsigned CU, unsigned CV,
       WG.briggsWatchWords(CU, CV, Mask);
       WG.georgeWatchWords(CU, CV, Mask);
       WG.georgeWatchWords(CV, CU, Mask);
+    } else if (Cached) {
+      WG.appendBriggsHighDegreeSparse(CU, CV, *List);
+      WG.appendGeorgeWitnessesSparse(CU, CV, *List);
+      WG.appendGeorgeWitnessesSparse(CV, CU, *List);
     } else {
       briggsHighDegreeWalk(WG, CU, CV, K, List);
       georgeWalk(WG, CU, CV, K, List);

@@ -89,6 +89,9 @@ void WorkGraph::enableDegreeCache(unsigned K) {
   ExactKWords.assign((static_cast<size_t>(N) + 63) / 64, 0);
   ScratchA.resize(N);
   ScratchB.resize(N);
+  // Tiled rows build lazily per class (see tileRowReady); merges maintain
+  // whichever rows exist from here on.
+  Tiles.reset(N);
   for (unsigned V = 0; V < N; ++V) {
     if (Rep[V] != V)
       continue;
@@ -100,8 +103,8 @@ void WorkGraph::enableDegreeCache(unsigned K) {
   }
 }
 
-bool WorkGraph::briggsHighDegreeBelowSparse(unsigned CU, unsigned CV,
-                                            unsigned Limit) const {
+bool WorkGraph::briggsHighDegreeBelowSparseWalk(unsigned CU, unsigned CV,
+                                                unsigned Limit) const {
   assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
   auto SigBit = [this](unsigned C) {
     return (SigWords[C >> 6] >> (C & 63)) & 1;
@@ -109,45 +112,181 @@ bool WorkGraph::briggsHighDegreeBelowSparse(unsigned CU, unsigned CV,
   auto ExactKBit = [this](unsigned C) {
     return (ExactKWords[C >> 6] >> (C & 63)) & 1;
   };
-  // Stamp CV's neighborhood once; commons in CU's walk become O(1) probes.
-  ScratchA.clear();
-  VertexSpan RV = ClassArena.row(CV);
-  for (unsigned X : RV)
-    ScratchA.set(X);
+  // One merge-walk over the two sorted rows: commons fall out of the
+  // comparison, so nothing is stamped up front and a failing test stops
+  // mid-row having paid only for the entries it saw.
+  VertexSpan RU = ClassArena.row(CU), RV = ClassArena.row(CV);
+  const unsigned *PU = RU.begin(), *EU = RU.end();
+  const unsigned *PV = RV.begin(), *EV = RV.end();
   unsigned High = 0;
-  for (unsigned N : ClassArena.row(CU)) {
-    if (N == CV || !SigBit(N))
-      continue;
-    // A common neighbor loses one degree in the merge: it stays high only
-    // above K, i.e. significant but not exactly K.
-    if (ScratchA.test(N) && ExactKBit(N))
-      continue;
-    if (++High >= Limit)
-      return false;
+  while (PU != EU || PV != EV) {
+    unsigned NU = PU != EU ? *PU : ~0u;
+    unsigned NV = PV != EV ? *PV : ~0u;
+    if (NU < NV) {
+      if (NU != CV && SigBit(NU) && ++High >= Limit)
+        return false;
+      ++PU;
+    } else if (NV < NU) {
+      if (NV != CU && SigBit(NV) && ++High >= Limit)
+        return false;
+      ++PV;
+    } else {
+      // A common neighbor loses one degree in the merge: it stays high
+      // only above K, i.e. significant but not exactly K. (Commons are
+      // never the endpoints — no row contains its own class.)
+      if (SigBit(NU) && !ExactKBit(NU) && ++High >= Limit)
+        return false;
+      ++PU;
+      ++PV;
+    }
   }
-  // Second loop: CV's exclusive neighbors (commons were counted above).
-  ScratchB.clear();
-  for (unsigned X : ClassArena.row(CU))
-    ScratchB.set(X);
-  for (unsigned N : RV) {
-    if (N == CU || ScratchB.test(N) || !SigBit(N))
+  return true;
+}
+
+void WorkGraph::appendBriggsHighDegreeSparse(unsigned CU, unsigned CV,
+                                             std::vector<unsigned> &Out) const {
+  assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+  auto SigBit = [this](unsigned C) {
+    return (SigWords[C >> 6] >> (C & 63)) & 1;
+  };
+  auto ExactKBit = [this](unsigned C) {
+    return (ExactKWords[C >> 6] >> (C & 63)) & 1;
+  };
+  // Same merge-walk as briggsHighDegreeBelowSparseWalk, collecting instead
+  // of counting. CV's exclusive blockers detour through ScratchList so the
+  // emitted order matches the legacy two-loop walk exactly.
+  ScratchList.clear();
+  VertexSpan RU = ClassArena.row(CU), RV = ClassArena.row(CV);
+  const unsigned *PU = RU.begin(), *EU = RU.end();
+  const unsigned *PV = RV.begin(), *EV = RV.end();
+  while (PU != EU || PV != EV) {
+    unsigned NU = PU != EU ? *PU : ~0u;
+    unsigned NV = PV != EV ? *PV : ~0u;
+    if (NU < NV) {
+      if (NU != CV && SigBit(NU))
+        Out.push_back(NU);
+      ++PU;
+    } else if (NV < NU) {
+      if (NV != CU && SigBit(NV))
+        ScratchList.push_back(NV);
+      ++PV;
+    } else {
+      if (SigBit(NU) && !ExactKBit(NU))
+        Out.push_back(NU);
+      ++PU;
+      ++PV;
+    }
+  }
+  Out.insert(Out.end(), ScratchList.begin(), ScratchList.end());
+}
+
+void WorkGraph::appendGeorgeWitnessesSparse(unsigned CU, unsigned CV,
+                                            std::vector<unsigned> &Out) const {
+  assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+  VertexSpan RV = ClassArena.row(CV);
+  const unsigned *PV = RV.begin(), *EV = RV.end();
+  for (unsigned N : ClassArena.row(CU)) {
+    if (N == CV || !((SigWords[N >> 6] >> (N & 63)) & 1))
       continue;
-    if (++High >= Limit)
+    while (PV != EV && *PV < N)
+      ++PV;
+    if (PV == EV || *PV != N)
+      Out.push_back(N);
+  }
+}
+
+bool WorkGraph::georgeWitnessesEmptySparseWalk(unsigned CU,
+                                               unsigned CV) const {
+  assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+  // Both rows are sorted, so CV-membership of CU's significant neighbors
+  // is a resumable forward probe — no stamping, and a witness exits
+  // having touched only the prefix before it.
+  VertexSpan RV = ClassArena.row(CV);
+  const unsigned *PV = RV.begin(), *EV = RV.end();
+  for (unsigned N : ClassArena.row(CU)) {
+    if (N == CV || !((SigWords[N >> 6] >> (N & 63)) & 1))
+      continue;
+    while (PV != EV && *PV < N)
+      ++PV;
+    if (PV == EV || *PV != N)
       return false;
   }
   return true;
 }
 
-bool WorkGraph::georgeWitnessesEmptySparse(unsigned CU, unsigned CV) const {
+bool WorkGraph::briggsHighDegreeBelowSparseTiled(unsigned CU, unsigned CV,
+                                                 unsigned Limit) const {
   assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
-  ScratchA.clear();
-  for (unsigned X : ClassArena.row(CV))
-    ScratchA.set(X);
-  for (unsigned N : ClassArena.row(CU)) {
-    if (N == CV)
-      continue;
-    if (((SigWords[N >> 6] >> (N & 63)) & 1) && !ScratchA.test(N))
-      return false;
+  assert(Tiles.built(CU) && Tiles.built(CV) && "tile rows not built");
+  constexpr unsigned WPT = TiledBitRows::WordsPerTile;
+  const uint32_t *IU = Tiles.tileIndices(CU), *IV = Tiles.tileIndices(CV);
+  const uint64_t *WU = Tiles.tileWords(CU), *WV = Tiles.tileWords(CV);
+  const unsigned NU = Tiles.tileCount(CU), NV = Tiles.tileCount(CV);
+  // Endpoint bits are masked out of the sweep — the walk skips the
+  // endpoints, so unlike the dense form no limit correction exists.
+  const size_t CUWord = CU >> 6, CVWord = CV >> 6;
+  const uint64_t CUBit = uint64_t(1) << (CU & 63);
+  const uint64_t CVBit = uint64_t(1) << (CV & 63);
+  unsigned High = 0;
+  unsigned I = 0, J = 0;
+  while (I < NU || J < NV) {
+    uint32_t TI = I < NU ? IU[I] : ~uint32_t(0);
+    uint32_t TJ = J < NV ? IV[J] : ~uint32_t(0);
+    uint32_t T = TI < TJ ? TI : TJ;
+    const uint64_t *AU = TI == T ? WU + size_t(I) * WPT : nullptr;
+    const uint64_t *AV = TJ == T ? WV + size_t(J) * WPT : nullptr;
+    for (unsigned W = 0; W < WPT; ++W) {
+      uint64_t RU = AU ? AU[W] : 0, RV = AV ? AV[W] : 0;
+      uint64_t Union = RU | RV;
+      if (!Union)
+        continue;
+      // A nonzero tile word holds a class id < numOriginalVertices(), so
+      // the global word index is always inside the threshold masks.
+      size_t GW = size_t(T) * WPT + W;
+      uint64_t B = Union & SigWords[GW] & ~(RU & RV & ExactKWords[GW]);
+      if (GW == CUWord)
+        B &= ~CUBit;
+      if (GW == CVWord)
+        B &= ~CVBit;
+      High += static_cast<unsigned>(std::popcount(B));
+      if (High >= Limit)
+        return false;
+    }
+    I += TI == T;
+    J += TJ == T;
+  }
+  return true;
+}
+
+bool WorkGraph::georgeWitnessesEmptySparseTiled(unsigned CU,
+                                                unsigned CV) const {
+  assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+  assert(Tiles.built(CU) && Tiles.built(CV) && "tile rows not built");
+  constexpr unsigned WPT = TiledBitRows::WordsPerTile;
+  const uint32_t *IU = Tiles.tileIndices(CU), *IV = Tiles.tileIndices(CV);
+  const uint64_t *WU = Tiles.tileWords(CU), *WV = Tiles.tileWords(CV);
+  const unsigned NU = Tiles.tileCount(CU), NV = Tiles.tileCount(CV);
+  const size_t CVWord = CV >> 6;
+  const uint64_t CVBit = uint64_t(1) << (CV & 63);
+  // Only CU's tiles can hold witnesses; merge-walk CV's list alongside.
+  unsigned J = 0;
+  for (unsigned I = 0; I < NU; ++I) {
+    uint32_t T = IU[I];
+    while (J < NV && IV[J] < T)
+      ++J;
+    const uint64_t *AU = WU + size_t(I) * WPT;
+    const uint64_t *AV = J < NV && IV[J] == T ? WV + size_t(J) * WPT : nullptr;
+    for (unsigned W = 0; W < WPT; ++W) {
+      uint64_t RU = AU[W];
+      if (!RU)
+        continue;
+      size_t GW = size_t(T) * WPT + W;
+      uint64_t B = RU & SigWords[GW] & ~(AV ? AV[W] : 0);
+      if (GW == CVWord)
+        B &= ~CVBit;
+      if (B)
+        return false;
+    }
   }
   return true;
 }
@@ -401,6 +540,22 @@ unsigned WorkGraph::merge(unsigned U, unsigned V) {
       ClassArena.insert(X, Root);
     ClassArena.mergeSorted(Root, NewNeighbors);
     ClassArena.clearRow(Loser);
+
+    if (CacheK) {
+      // Mirror the relink on whatever tiled rows exist, keeping every
+      // built row equal to its CSR row. The loser's own tiles freeze with
+      // its frozen SigCount when speculating (rollback revives them as
+      // they stand); a committed merge releases the storage.
+      for (unsigned X : LoserAdjList)
+        Tiles.clearIfBuilt(X, Loser);
+      for (unsigned X : NewNeighbors)
+        Tiles.setIfBuilt(X, Root);
+      if (Tiles.built(Root))
+        for (unsigned X : NewNeighbors)
+          Tiles.set(Root, X);
+      if (Marks.empty())
+        Tiles.releaseRow(Loser);
+    }
   }
 
   unsigned RootMembersBefore = static_cast<unsigned>(Members[Root].size());
@@ -514,6 +669,21 @@ void WorkGraph::undoMerge(MergeRecord &Rec) {
     ClassArena.assignRow(Loser, Rec.LoserAdj);
     for (unsigned X : Rec.LoserAdj)
       ClassArena.insert(X, Loser);
+
+    if (CacheK) {
+      // The exact reverse of the merge-side tile maintenance. This also
+      // holds for rows tiled only after the merge: they were built from
+      // the post-merge CSR state, and these ops map post-merge to
+      // pre-merge. The loser's frozen tiles (if any) are correct again
+      // the moment its row revives.
+      if (Tiles.built(Root))
+        for (unsigned X : Rec.NewRootNeighbors)
+          Tiles.clear(Root, X);
+      for (unsigned X : Rec.NewRootNeighbors)
+        Tiles.clearIfBuilt(X, Root);
+      for (unsigned X : Rec.LoserAdj)
+        Tiles.setIfBuilt(X, Loser);
+    }
   }
 
   ++NumClasses;
@@ -555,6 +725,11 @@ void WorkGraph::commit() {
   assert(!Marks.empty() && "commit without an active checkpoint");
   Marks.pop_back();
   if (Marks.empty()) {
+    // The parked losers are now dead for good; drop their frozen tiles
+    // along with the undo-log.
+    if (!Dense && CacheK)
+      for (const MergeRecord &Rec : UndoLog)
+        Tiles.releaseRow(Rec.Loser);
     UndoLog.clear();
     UndoLog.shrink_to_fit();
   }

@@ -57,6 +57,7 @@
 #include "support/BitRows.h"
 #include "support/CancelToken.h"
 #include "support/StampedBitRow.h"
+#include "support/TiledBitRows.h"
 #include "support/VertexSpan.h"
 
 #include <algorithm>
@@ -217,22 +218,107 @@ public:
   }
 
   /// Sparse mode with an enabled cache: true iff the Briggs high-degree
-  /// count for a merge of \p CU and \p CV stays below \p Limit — the
-  /// stamped-bit-row analog of briggsHighDegreeBelow. One scratch row is
-  /// stamped with each endpoint's neighbors, so common-neighbor checks are
-  /// O(1) probes instead of binary searches; significance and exactly-K
-  /// come from the threshold masks the degree cache maintains in both
-  /// modes. The endpoints themselves are skipped (walk semantics), so no
-  /// limit correction is needed. Decision-identical to the set-probing
-  /// walk. Aborts as soon as the count reaches \p Limit.
+  /// count for a merge of \p CU and \p CV stays below \p Limit. The
+  /// endpoints themselves are skipped (walk semantics), so no limit
+  /// correction is needed. Aborts as soon as the count reaches \p Limit.
+  ///
+  /// Dispatches to the tiled popcount sweep when both classes have (or
+  /// clear the degree threshold for lazily building) tiled bit rows, and
+  /// to the stamped-scratch walk otherwise; the two are decision-identical
+  /// (sparse-tiled-parity fuzz property).
   bool briggsHighDegreeBelowSparse(unsigned CU, unsigned CV,
-                                   unsigned Limit) const;
+                                   unsigned Limit) const {
+    assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+    if (tileRowReady(CU) && tileRowReady(CV))
+      return briggsHighDegreeBelowSparseTiled(CU, CV, Limit);
+    return briggsHighDegreeBelowSparseWalk(CU, CV, Limit);
+  }
 
   /// Sparse mode with an enabled cache: true iff the George test passes
   /// for merging \p CU into \p CV — no significant neighbor of \p CU
-  /// (other than \p CV itself) lies outside \p CV's neighborhood. Stamps
-  /// \p CV's row once, then probes it per significant neighbor of \p CU.
-  bool georgeWitnessesEmptySparse(unsigned CU, unsigned CV) const;
+  /// (other than \p CV itself) lies outside \p CV's neighborhood. Same
+  /// tiled-vs-walk dispatch as briggsHighDegreeBelowSparse.
+  bool georgeWitnessesEmptySparse(unsigned CU, unsigned CV) const {
+    assert(!Dense && CacheK && "needs sparse adjacency and an enabled cache");
+    if (tileRowReady(CU) && tileRowReady(CV))
+      return georgeWitnessesEmptySparseTiled(CU, CV);
+    return georgeWitnessesEmptySparseWalk(CU, CV);
+  }
+
+  /// The reference sorted-row scan behind briggsHighDegreeBelowSparse: one
+  /// scratch row is stamped with each endpoint's neighbors, so
+  /// common-neighbor checks are O(1) probes instead of binary searches;
+  /// significance and exactly-K come from the threshold masks the degree
+  /// cache maintains in both modes. Public so the parity fuzz property can
+  /// pit it against the tiled sweep directly.
+  bool briggsHighDegreeBelowSparseWalk(unsigned CU, unsigned CV,
+                                       unsigned Limit) const;
+
+  /// The reference scan behind georgeWitnessesEmptySparse: stamps \p CV's
+  /// row once, then probes it per significant neighbor of \p CU.
+  bool georgeWitnessesEmptySparseWalk(unsigned CU, unsigned CV) const;
+
+  /// Sparse cached mode: appends the Briggs blockers for a merge of \p CU
+  /// and \p CV — the neighbor classes still significant after the merge —
+  /// in the legacy walk order (\p CU's row first, then \p CV's exclusive
+  /// neighbors). One merge-walk over the two sorted rows with bit-mask
+  /// significance probes; replaces the uncached walk's binary search per
+  /// neighbor when the watch set of a rejected affinity is collected.
+  void appendBriggsHighDegreeSparse(unsigned CU, unsigned CV,
+                                    std::vector<unsigned> &Out) const;
+
+  /// Sparse cached mode: appends every George witness for merging \p CU
+  /// into \p CV — significant neighbors of \p CU outside \p CV's
+  /// neighborhood — in \p CU's row order.
+  void appendGeorgeWitnessesSparse(unsigned CU, unsigned CV,
+                                   std::vector<unsigned> &Out) const;
+
+  /// Tiled Briggs sweep (both classes' tile rows must be built, see
+  /// tileRowReady): a merge-walk over the two sorted tile lists computing
+  /// the same fused word formula as the dense briggsHighDegreeBelow —
+  /// significant union minus commons at exactly K — with the endpoint bits
+  /// masked out to match the walk's skip-endpoints semantics.
+  bool briggsHighDegreeBelowSparseTiled(unsigned CU, unsigned CV,
+                                        unsigned Limit) const;
+
+  /// Tiled George sweep over \p CU's tiles against \p CV's (both built):
+  /// a word of `sig(CU-row) & ~CV-row` outside the CV bit is a witness.
+  bool georgeWitnessesEmptySparseTiled(unsigned CU, unsigned CV) const;
+
+  /// Sparse cached mode: returns true once class \p C has a tiled bit row,
+  /// lazily materializing it from the class's CSR row when the row is both
+  /// big (degree >= TileMinDegree) and tile-dense: degree must be at least
+  /// TileMinDensity bits per 512-bit tile spanned by the sorted row
+  /// ((back >> 9) - (front >> 9) + 1, an O(1) lower bound on bits per
+  /// distinct tile). Scattered rows — about one neighbor per tile — stay
+  /// on the walk, where probing degree entries beats popcounting 8 words
+  /// for every nearly-empty tile; concentrated rows flip that economics by
+  /// an order of magnitude. Once built, a row is maintained through every
+  /// merge/undo, so build timing never changes decisions.
+  bool tileRowReady(unsigned C) const {
+    if (Tiles.built(C))
+      return true;
+    VertexSpan Row = ClassArena.row(C);
+    if (TileMinDegree) {
+      if (Row.size() < TileMinDegree)
+        return false;
+      unsigned SpanTiles = (Row.back() >> TiledBitRows::TileShift) -
+                           (Row.front() >> TiledBitRows::TileShift) + 1;
+      if (Row.size() < size_t(TileMinDensity) * SpanTiles)
+        return false;
+    }
+    Tiles.buildRow(C, Row);
+    return true;
+  }
+
+  /// Sets the class degree at or above which sparse cached tests consider
+  /// tiling a class (default DefaultTileMinDegree). Low-degree classes
+  /// stay on the stamped-scratch walk, which is cheaper than materializing
+  /// tiles for a handful of neighbors. 0 tiles everything unconditionally
+  /// (bypassing the density gate too — the parity fuzz hook), ~0u disables
+  /// tiling; decisions are identical at any setting. Takes effect on
+  /// future lazy builds — call before the tests run.
+  void setTileMinDegree(unsigned MinDegree) { TileMinDegree = MinDegree; }
 
   /// Dense mode with an enabled cache: appends to \p Out the classes the
   /// Briggs test counts as high-degree for a merge of \p CU and \p CV —
@@ -441,6 +527,23 @@ private:
   /// stamps). Mutable — the tests are logically const.
   mutable StampedBitRow ScratchA;
   mutable StampedBitRow ScratchB;
+  /// appendBriggsHighDegreeSparse: holds \p CV's exclusive blockers during
+  /// the merge-walk so they can follow \p CU's in legacy walk order
+  /// without a per-call allocation.
+  mutable std::vector<unsigned> ScratchList;
+  /// Sparse cached tests: per-class tiled bit rows (512-bit tiles keyed by
+  /// tile index in a pooled arena beside the CSR rows), built lazily for
+  /// big tile-dense classes (see tileRowReady) and then maintained through
+  /// every merge and undo exactly like the CSR rows — a built row always
+  /// equals its CSR row, dead losers freeze for LIFO rollback. Mutable for
+  /// the lazy build inside logically-const tests.
+  mutable TiledBitRows Tiles;
+  /// See setTileRowReady/setTileMinDegree. The density floor of 8 bits per
+  /// spanned tile is where popcounting a tile's 8 words breaks even with
+  /// probing its bits one walk entry at a time.
+  static constexpr unsigned DefaultTileMinDegree = 64;
+  static constexpr unsigned TileMinDensity = 8;
+  unsigned TileMinDegree = DefaultTileMinDegree;
 
   std::vector<MergeRecord> UndoLog;
   /// Active checkpoints (positions into UndoLog, non-decreasing).

@@ -6,6 +6,50 @@
 
 using namespace rc;
 
+namespace {
+
+inline uint32_t loadU32LE(const unsigned char *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+} // namespace
+
+Graph Graph::fromSortedEdges(unsigned NumVertices, const unsigned char *PairsLE,
+                             size_t NumEdges, unsigned DenseThreshold) {
+  Graph G(NumVertices, DenseThreshold);
+  if (G.DenseMode) {
+    for (size_t I = 0; I < NumEdges; ++I) {
+      const unsigned char *P = PairsLE + 8 * I;
+      G.addEdge(loadU32LE(P), loadU32LE(P + 4));
+    }
+    return G;
+  }
+  // Degree-count pass, prefix-summed into exact CSR rows by the arena.
+  std::vector<unsigned> Deg(NumVertices, 0);
+  for (size_t I = 0; I < NumEdges; ++I) {
+    const unsigned char *P = PairsLE + 8 * I;
+    ++Deg[loadU32LE(P)];
+    ++Deg[loadU32LE(P + 4)];
+  }
+  G.Sparse.assignCsrRows(Deg);
+  // Fill pass, reusing Deg as per-row cursors. The canonical order makes
+  // every row come out sorted without a sort: row w collects its smaller
+  // neighbors while w is the second coordinate (first coordinates ascend)
+  // and its larger neighbors while w is the first (second coordinates
+  // ascend), and all of the former precede all of the latter.
+  std::fill(Deg.begin(), Deg.end(), 0u);
+  for (size_t I = 0; I < NumEdges; ++I) {
+    const unsigned char *P = PairsLE + 8 * I;
+    uint32_t U = loadU32LE(P), V = loadU32LE(P + 4);
+    G.Sparse.rowData(U)[Deg[U]++] = V;
+    G.Sparse.rowData(V)[Deg[V]++] = U;
+  }
+  G.NumEdges = static_cast<unsigned>(NumEdges);
+  return G;
+}
+
 void Graph::migrateToSparse() {
   assert(DenseMode && "already sparse");
   Sparse.reset(NumV);

@@ -151,6 +151,18 @@ public:
   /// Returns true if \p U and \p V lie in the same connected component.
   bool sameComponent(unsigned U, unsigned V) const;
 
+  /// Builds a graph in one shot from a canonically ordered edge array:
+  /// little-endian (u32 u, u32 v) pairs with u < v, sorted
+  /// lexicographically ascending — the edge-array layout of the RCBF
+  /// binary instance format. The caller must have validated ranges and
+  /// ordering. Above the dense threshold this constructs the CSR rows
+  /// directly (two linear passes, no per-edge sorted inserts): because
+  /// the input is sorted with u < v, emitting both directions in file
+  /// order fills every row in ascending order already.
+  static Graph fromSortedEdges(unsigned NumVertices,
+                               const unsigned char *PairsLE, size_t NumEdges,
+                               unsigned DenseThreshold = DefaultDenseThreshold);
+
   /// Returns the complete graph on \p N vertices.
   static Graph complete(unsigned N);
 

@@ -1,0 +1,118 @@
+//===- runner/CorpusGen.cpp - Parallel corpus generation ------------------===//
+
+#include "runner/CorpusGen.h"
+
+#include "challenge/ChallengeBinary.h"
+#include "challenge/ChallengeFormat.h"
+#include "runner/WorkerPool.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace rc;
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+} // namespace
+
+std::string rc::corpusInstancePath(const CorpusGenOptions &Options,
+                                   unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "inst-%05u.%s", Index,
+                Options.Binary ? "rcb" : "txt");
+  return Options.OutDir + "/" + Name;
+}
+
+bool rc::generateCorpus(const std::vector<SweepEntry> &Entries,
+                        const CorpusGenOptions &Options,
+                        CorpusGenReport *Report, std::string *Error) {
+  if (Options.OutDir.empty())
+    return fail(Error, "corpus generation needs an output directory");
+  for (const SweepEntry &Entry : Entries)
+    if (Entry.K == SweepEntry::Kind::File)
+      return fail(Error, "file entry '" + Entry.Path +
+                             "' names an existing instance; only generator"
+                             " entries can be batch-generated");
+
+  // One task per entry; every task owns its seed and its output file, so
+  // worker count and claim order cannot leak into the bytes.
+  std::vector<std::string> TaskErrors(Entries.size());
+  {
+    WorkerPool Pool(Options.Jobs ? Options.Jobs : 1);
+    for (unsigned I = 0; I < Entries.size(); ++I) {
+      Pool.submit([&, I] {
+        const SweepEntry &Entry = Entries[I];
+        LabeledProblem LP;
+        std::string MatError;
+        if (!materializeSweepEntry(Entry, LP, &MatError)) {
+          TaskErrors[I] = Entry.label() + ": " + MatError;
+          return;
+        }
+        std::string Path = corpusInstancePath(Options, I);
+        std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+        if (!Out) {
+          TaskErrors[I] = "cannot open " + Path + " for writing";
+          return;
+        }
+        if (Options.Binary)
+          writeChallengeBinary(Out, LP.Problem);
+        else
+          writeChallenge(Out, LP.Problem);
+        Out.flush();
+        if (!Out)
+          TaskErrors[I] = "write to " + Path + " failed";
+      });
+    }
+    Pool.drain();
+  }
+  for (unsigned I = 0; I < Entries.size(); ++I)
+    if (!TaskErrors[I].empty())
+      return fail(Error, TaskErrors[I]);
+
+  if (!Options.ManifestOut.empty()) {
+    std::ofstream MOut(Options.ManifestOut, std::ios::trunc);
+    if (!MOut)
+      return fail(Error,
+                  "cannot open " + Options.ManifestOut + " for writing");
+    MOut << "# generated corpus: " << Entries.size() << " instances\n";
+    for (unsigned I = 0; I < Entries.size(); ++I) {
+      MOut << "# " << Entries[I].label() << "\n";
+      MOut << "file " << corpusInstancePath(Options, I) << "\n";
+    }
+    MOut.flush();
+    if (!MOut)
+      return fail(Error, "write to " + Options.ManifestOut + " failed");
+  }
+  if (Report)
+    Report->Written = static_cast<unsigned>(Entries.size());
+  return true;
+}
+
+bool rc::expandCorpusTemplate(const std::string &TemplateLine, unsigned Count,
+                              uint64_t BaseSeed, std::vector<SweepEntry> &Out,
+                              std::string *Error) {
+  std::istringstream In(TemplateLine);
+  SweepManifest Manifest;
+  if (!parseSweepManifest(In, Manifest, Error))
+    return false;
+  if (Manifest.Entries.size() != 1)
+    return fail(Error, "template must be exactly one manifest line");
+  SweepEntry Template = Manifest.Entries[0];
+  if (Template.K == SweepEntry::Kind::File)
+    return fail(Error, "file entries cannot be used as templates");
+  Out.reserve(Out.size() + Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    SweepEntry Entry = Template;
+    Entry.Seed = deriveSeed(BaseSeed, I);
+    Out.push_back(Entry);
+  }
+  return true;
+}

@@ -1,0 +1,76 @@
+//===- runner/CorpusGen.h - Parallel corpus generation ----------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel generation of instance corpora: a list of generator entries
+/// (runner/SweepManifest.h subtree/program lines) is fanned out over a
+/// runner/WorkerPool, each entry materialized and written to its own file
+/// under an output directory. Determinism is structural, not scheduled:
+/// every entry carries its own seed (template expansion derives them as
+/// deriveSeed(BaseSeed, Index), one independent RNG stream per instance),
+/// each instance is generated from exactly that seed, and each lands in
+/// its own index-named file — so the corpus is byte-identical at any job
+/// count. tools/rc_gen is the CLI face; corpora where even one chordal
+/// instance per batch is slow (10^5–10^6 vertices) generate at full core
+/// count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RUNNER_CORPUSGEN_H
+#define RUNNER_CORPUSGEN_H
+
+#include "runner/SweepManifest.h"
+
+#include <string>
+#include <vector>
+
+namespace rc {
+
+/// Options for generateCorpus.
+struct CorpusGenOptions {
+  /// Directory the instance files are written into. Must already exist.
+  std::string OutDir;
+  /// Worker threads (at least 1). Output bytes do not depend on this.
+  unsigned Jobs = 1;
+  /// Write the binary format (.rcb) when true, challenge text when false.
+  bool Binary = true;
+  /// When non-empty, also write a sweep manifest of `file` lines (one per
+  /// generated instance, in entry order) to this path — ready for
+  /// rc_sweep --stream.
+  std::string ManifestOut;
+};
+
+/// Result counters for generateCorpus.
+struct CorpusGenReport {
+  unsigned Written = 0;
+};
+
+/// The file an entry index maps to: OutDir/inst-IIIII.rcb (or .txt).
+std::string corpusInstancePath(const CorpusGenOptions &Options,
+                               unsigned Index);
+
+/// Generates every entry of \p Entries (generator kinds only — a `file`
+/// entry names an existing instance and is rejected) through a worker
+/// pool of Options.Jobs threads, writing entry I to corpusInstancePath(I).
+///
+/// \returns true when every instance was generated and written; on
+/// failure \p Error names the first failing entry.
+bool generateCorpus(const std::vector<SweepEntry> &Entries,
+                    const CorpusGenOptions &Options, CorpusGenReport *Report,
+                    std::string *Error);
+
+/// Expands a one-line generator template (e.g. "subtree n=512 slack=2")
+/// into \p Count entries whose seeds are the derived per-instance streams
+/// deriveSeed(\p BaseSeed, Index) — byte-identical expansion on every
+/// host, no shared RNG to race on. A seed in the template line is ignored;
+/// `file` templates are rejected.
+bool expandCorpusTemplate(const std::string &TemplateLine, unsigned Count,
+                          uint64_t BaseSeed, std::vector<SweepEntry> &Out,
+                          std::string *Error);
+
+} // namespace rc
+
+#endif // RUNNER_CORPUSGEN_H

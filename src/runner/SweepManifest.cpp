@@ -156,10 +156,11 @@ bool rc::materializeSweepEntry(const SweepEntry &Entry, LabeledProblem &Out,
     break;
   }
   case SweepEntry::Kind::File: {
-    // Binary mode + content sniffing: text and .rcb files both load here.
-    std::ifstream In(Entry.Path, std::ios::binary);
+    // Content sniffing through the zero-copy loader: `.rcb` files parse
+    // straight out of the mmap'd view, text files fall back to the line
+    // parser.
     std::string ReadError;
-    if (!In || !readChallengeAuto(In, Out.Problem, &ReadError))
+    if (!readChallengeFile(Entry.Path, Out.Problem, &ReadError))
       return fail(Error, "cannot read " + Entry.Path +
                              (ReadError.empty() ? "" : ": " + ReadError));
     break;

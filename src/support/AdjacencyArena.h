@@ -147,6 +147,33 @@ public:
     maybeCompact();
   }
 
+  /// Rebuilds the whole arena as an exact CSR with the given per-row
+  /// sizes: rows packed in id order, capacity == size, contents
+  /// zero-initialized. The caller fills each row through rowData() and
+  /// must leave it sorted strictly ascending. This is the bulk entry
+  /// point for loaders that already know the full degree sequence (the
+  /// zero-copy binary reader) — one allocation instead of per-edge
+  /// inserts.
+  void assignCsrRows(const std::vector<unsigned> &Sizes) {
+    Rows.assign(Sizes.size(), Row());
+    size_t Total = 0;
+    for (size_t R = 0; R < Sizes.size(); ++R) {
+      Rows[R].Offset = Total;
+      Rows[R].Size = Sizes[R];
+      Rows[R].Cap = Sizes[R];
+      Total += Sizes[R];
+    }
+    Pool.assign(Total, 0);
+    Live = Total;
+  }
+
+  /// Mutable access to a row's storage, for filling after assignCsrRows.
+  /// The row must end up sorted strictly ascending before any other call.
+  unsigned *rowData(unsigned R) {
+    assert(R < Rows.size() && "row out of range");
+    return Pool.data() + Rows[R].Offset;
+  }
+
   /// Empties the row. Its extent becomes reclaimable garbage.
   void clearRow(unsigned R) {
     assert(R < Rows.size() && "row out of range");

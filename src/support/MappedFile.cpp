@@ -1,0 +1,145 @@
+//===- support/MappedFile.cpp - Read-only file mapping --------------------===//
+
+#include "support/MappedFile.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define RC_HAVE_MMAP 0
+#endif
+
+using namespace rc;
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message + ": " + std::strerror(errno);
+  return false;
+}
+
+} // namespace
+
+MappedFile &MappedFile::operator=(MappedFile &&Other) noexcept {
+  if (this != &Other) {
+    release();
+    Data = std::exchange(Other.Data, nullptr);
+    Length = std::exchange(Other.Length, 0);
+    Mapped = std::exchange(Other.Mapped, false);
+  }
+  return *this;
+}
+
+void MappedFile::release() {
+  if (!Data) {
+    Length = 0;
+    Mapped = false;
+    return;
+  }
+#if RC_HAVE_MMAP
+  if (Mapped) {
+    ::munmap(Data, Length);
+    Data = nullptr;
+    Length = 0;
+    Mapped = false;
+    return;
+  }
+#endif
+  delete[] Data;
+  Data = nullptr;
+  Length = 0;
+  Mapped = false;
+}
+
+bool MappedFile::open(const std::string &Path, std::string *Error, Mode M) {
+  release();
+#if RC_HAVE_MMAP
+  int FD = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (FD < 0)
+    return fail(Error, "cannot open '" + Path + "'");
+  struct stat St;
+  if (::fstat(FD, &St) != 0) {
+    ::close(FD);
+    return fail(Error, "cannot stat '" + Path + "'");
+  }
+  size_t Size = static_cast<size_t>(St.st_size);
+  if (Size == 0) {
+    // mmap rejects zero-length mappings; an empty view needs no storage.
+    ::close(FD);
+    return true;
+  }
+  if (M == Mode::Auto && S_ISREG(St.st_mode)) {
+    void *Map = ::mmap(nullptr, Size, PROT_READ, MAP_PRIVATE, FD, 0);
+    // The mapping, not the descriptor, owns the pages: close immediately
+    // so callers can hold views long after running out of fd budget.
+    if (Map != MAP_FAILED) {
+      ::close(FD);
+      Data = static_cast<unsigned char *>(Map);
+      Length = Size;
+      Mapped = true;
+      return true;
+    }
+    // Fall through to the buffered read on any mmap failure (e.g. a
+    // filesystem without mapping support).
+  }
+  unsigned char *Buf = new unsigned char[Size];
+  size_t Got = 0;
+  while (Got < Size) {
+    ssize_t N = ::read(FD, Buf + Got, Size - Got);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Got += static_cast<size_t>(N);
+  }
+  ::close(FD);
+  if (Got != Size) {
+    delete[] Buf;
+    return fail(Error, "short read of '" + Path + "'");
+  }
+  Data = Buf;
+  Length = Size;
+  Mapped = false;
+  return true;
+#else
+  (void)M;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return fail(Error, "cannot open '" + Path + "'");
+  if (std::fseek(F, 0, SEEK_END) != 0) {
+    std::fclose(F);
+    return fail(Error, "cannot seek '" + Path + "'");
+  }
+  long End = std::ftell(F);
+  if (End < 0) {
+    std::fclose(F);
+    return fail(Error, "cannot tell '" + Path + "'");
+  }
+  std::rewind(F);
+  size_t Size = static_cast<size_t>(End);
+  if (Size == 0) {
+    std::fclose(F);
+    return true;
+  }
+  unsigned char *Buf = new unsigned char[Size];
+  size_t Got = std::fread(Buf, 1, Size, F);
+  std::fclose(F);
+  if (Got != Size) {
+    delete[] Buf;
+    return fail(Error, "short read of '" + Path + "'");
+  }
+  Data = Buf;
+  Length = Size;
+  Mapped = false;
+  return true;
+#endif
+}

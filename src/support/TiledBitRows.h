@@ -1,0 +1,295 @@
+//===- support/TiledBitRows.h - Sparse tiled bit-set rows -------*- C++ -*-===//
+//
+// Part of the register-coalescing-complexity project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arena-backed sparse bit-set rows made of fixed-width 512-bit tiles, the
+/// structure that extends the dense-mode popcount Briggs/George sweeps of
+/// coalescing/WorkGraph past the 4096-vertex threshold. A row holds a
+/// sorted list of (tile index, 8 x u64 words) tiles covering exactly the
+/// tiles where the row has members; vertex v lives in tile v / 512, word
+/// (v / 64) % 8, bit v % 64 — so tile t word w is global bitmask word
+/// t * 8 + w, and a tile sweep can index the degree cache's significance
+/// masks directly.
+///
+/// Storage mirrors support/AdjacencyArena: all tile indices in one pool,
+/// all tile words in a parallel pool (8 words per slot), each row an
+/// (offset, size, capacity) triple in tile units. Inserting a tile into a
+/// full row relocates the row to the pool tail with doubled capacity;
+/// retired extents and slack are rewritten out once they dominate the
+/// pool. Rows are built on demand (WorkGraph tiles only classes whose
+/// degree clears a threshold) and a row that is not built costs one byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TILEDBITROWS_H
+#define SUPPORT_TILEDBITROWS_H
+
+#include "support/VertexSpan.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace rc {
+
+/// Pooled per-row sorted lists of 512-bit tiles.
+class TiledBitRows {
+public:
+  /// Bits per tile; tile index of vertex v is v >> TileShift.
+  static constexpr unsigned TileBits = 512;
+  static constexpr unsigned TileShift = 9;
+  /// 64-bit words per tile; tile t word w is global word t * 8 + w.
+  static constexpr unsigned WordsPerTile = TileBits / 64;
+
+  TiledBitRows() = default;
+
+  /// Clears everything and creates \p NumRows unbuilt rows.
+  void reset(unsigned NumRows) {
+    Rows.assign(NumRows, Row());
+    IdxPool.clear();
+    WordPool.clear();
+    Live = 0;
+  }
+
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+
+  /// True once buildRow ran for \p R (and releaseRow has not).
+  bool built(unsigned R) const {
+    assert(R < Rows.size() && "row out of range");
+    return Rows[R].Built != 0;
+  }
+
+  /// Materializes row \p R from \p SortedMembers (strictly ascending
+  /// vertex ids). Tile capacity is exact; later inserts grow amortized.
+  void buildRow(unsigned R, VertexSpan SortedMembers) {
+    assert(R < Rows.size() && "row out of range");
+    assert(!Rows[R].Built && "row already built");
+    // Count distinct tiles.
+    unsigned Tiles = 0;
+    uint32_t Prev = ~uint32_t(0);
+    for (unsigned V : SortedMembers) {
+      uint32_t T = V >> TileShift;
+      Tiles += T != Prev;
+      Prev = T;
+    }
+    Row &Rw = Rows[R];
+    Rw.Offset = IdxPool.size();
+    Rw.Size = Tiles;
+    Rw.Cap = Tiles;
+    Rw.Built = 1;
+    IdxPool.resize(IdxPool.size() + Tiles);
+    WordPool.resize(WordPool.size() + size_t(Tiles) * WordsPerTile, 0);
+    uint32_t *Idx = IdxPool.data() + Rw.Offset;
+    uint64_t *Words = WordPool.data() + Rw.Offset * WordsPerTile;
+    Prev = ~uint32_t(0);
+    size_t Slot = size_t(0) - 1;
+    for (unsigned V : SortedMembers) {
+      uint32_t T = V >> TileShift;
+      if (T != Prev) {
+        Idx[++Slot] = T;
+        Prev = T;
+      }
+      Words[Slot * WordsPerTile + ((V >> 6) & (WordsPerTile - 1))] |=
+          uint64_t(1) << (V & 63);
+    }
+    Live += Tiles;
+  }
+
+  /// Drops row \p R back to the unbuilt state; its extent becomes
+  /// reclaimable garbage.
+  void releaseRow(unsigned R) {
+    assert(R < Rows.size() && "row out of range");
+    Row &Rw = Rows[R];
+    if (!Rw.Built)
+      return;
+    Live -= Rw.Size;
+    Rw = Row();
+    maybeCompact();
+  }
+
+  /// Number of tiles in (built) row \p R.
+  unsigned tileCount(unsigned R) const {
+    assert(built(R) && "row not built");
+    return Rows[R].Size;
+  }
+
+  /// The row's sorted tile indices. Invalidated by any mutating call.
+  const uint32_t *tileIndices(unsigned R) const {
+    assert(built(R) && "row not built");
+    return IdxPool.data() + Rows[R].Offset;
+  }
+
+  /// The row's tile words, WordsPerTile per tile, parallel to
+  /// tileIndices(). Invalidated by any mutating call.
+  const uint64_t *tileWords(unsigned R) const {
+    assert(built(R) && "row not built");
+    return WordPool.data() + Rows[R].Offset * WordsPerTile;
+  }
+
+  /// Sets bit \p V in built row \p R, inserting its tile if absent.
+  void set(unsigned R, unsigned V) {
+    assert(built(R) && "row not built");
+    uint32_t T = V >> TileShift;
+    size_t Slot = findSlot(R, T);
+    if (Slot == NoSlot)
+      Slot = insertTile(R, T);
+    WordPool[(Rows[R].Offset + Slot) * WordsPerTile +
+             ((V >> 6) & (WordsPerTile - 1))] |= uint64_t(1) << (V & 63);
+  }
+
+  /// Clears bit \p V in built row \p R; a tile emptied by the clear is
+  /// removed, so set/clear pairs restore the exact tile structure.
+  void clear(unsigned R, unsigned V) {
+    assert(built(R) && "row not built");
+    uint32_t T = V >> TileShift;
+    size_t Slot = findSlot(R, T);
+    assert(Slot != NoSlot && "clearing a bit outside every tile");
+    uint64_t *W = WordPool.data() + (Rows[R].Offset + Slot) * WordsPerTile;
+    W[(V >> 6) & (WordsPerTile - 1)] &= ~(uint64_t(1) << (V & 63));
+    for (unsigned I = 0; I < WordsPerTile; ++I)
+      if (W[I])
+        return;
+    eraseTile(R, Slot);
+  }
+
+  /// set()/clear() that ignore unbuilt rows — the maintenance form used on
+  /// neighbor rows that may or may not have been tiled yet.
+  void setIfBuilt(unsigned R, unsigned V) {
+    if (built(R))
+      set(R, V);
+  }
+  void clearIfBuilt(unsigned R, unsigned V) {
+    if (built(R))
+      clear(R, V);
+  }
+
+  /// Tiles currently stored across all built rows.
+  size_t liveTiles() const { return Live; }
+
+  /// Rewrites both pools as exact CSR in row order (capacity == size).
+  /// Invalidates every outstanding pointer.
+  void compact() {
+    std::vector<uint32_t> NewIdx;
+    std::vector<uint64_t> NewWords;
+    NewIdx.reserve(Live);
+    NewWords.reserve(Live * WordsPerTile);
+    for (Row &Rw : Rows) {
+      if (!Rw.Built)
+        continue;
+      size_t NewOffset = NewIdx.size();
+      NewIdx.insert(NewIdx.end(), IdxPool.begin() + Rw.Offset,
+                    IdxPool.begin() + Rw.Offset + Rw.Size);
+      NewWords.insert(NewWords.end(),
+                      WordPool.begin() + Rw.Offset * WordsPerTile,
+                      WordPool.begin() + (Rw.Offset + Rw.Size) * WordsPerTile);
+      Rw.Offset = NewOffset;
+      Rw.Cap = Rw.Size;
+    }
+    IdxPool.swap(NewIdx);
+    WordPool.swap(NewWords);
+    assert(IdxPool.size() == Live && "live-tile accounting out of sync");
+  }
+
+private:
+  struct Row {
+    size_t Offset = 0;
+    unsigned Size = 0;
+    unsigned Cap = 0;
+    uint8_t Built = 0;
+  };
+
+  static constexpr size_t NoSlot = ~size_t(0);
+
+  /// Binary search for tile \p T in row \p R; slot index or NoSlot.
+  size_t findSlot(unsigned R, uint32_t T) const {
+    const Row &Rw = Rows[R];
+    const uint32_t *B = IdxPool.data() + Rw.Offset;
+    size_t Lo = 0, Hi = Rw.Size;
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (B[Mid] < T)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo < Rw.Size && B[Lo] == T ? Lo : NoSlot;
+  }
+
+  /// Inserts an all-zero tile \p T into row \p R, keeping the index list
+  /// sorted; returns its slot. Relocates with doubled capacity when full.
+  size_t insertTile(unsigned R, uint32_t T) {
+    if (Rows[R].Size == Rows[R].Cap)
+      relocate(R, Rows[R].Cap ? 2 * Rows[R].Cap : 2);
+    Row &Rw = Rows[R];
+    uint32_t *Idx = IdxPool.data() + Rw.Offset;
+    uint64_t *Words = WordPool.data() + Rw.Offset * WordsPerTile;
+    size_t Pos = 0;
+    while (Pos < Rw.Size && Idx[Pos] < T)
+      ++Pos;
+    std::memmove(Idx + Pos + 1, Idx + Pos,
+                 (Rw.Size - Pos) * sizeof(uint32_t));
+    std::memmove(Words + (Pos + 1) * WordsPerTile, Words + Pos * WordsPerTile,
+                 (Rw.Size - Pos) * WordsPerTile * sizeof(uint64_t));
+    Idx[Pos] = T;
+    std::memset(Words + Pos * WordsPerTile, 0,
+                WordsPerTile * sizeof(uint64_t));
+    ++Rw.Size;
+    ++Live;
+    return Pos;
+  }
+
+  /// Removes the tile at \p Slot from row \p R.
+  void eraseTile(unsigned R, size_t Slot) {
+    Row &Rw = Rows[R];
+    uint32_t *Idx = IdxPool.data() + Rw.Offset;
+    uint64_t *Words = WordPool.data() + Rw.Offset * WordsPerTile;
+    std::memmove(Idx + Slot, Idx + Slot + 1,
+                 (Rw.Size - Slot - 1) * sizeof(uint32_t));
+    std::memmove(Words + Slot * WordsPerTile, Words + (Slot + 1) * WordsPerTile,
+                 (Rw.Size - Slot - 1) * WordsPerTile * sizeof(uint64_t));
+    --Rw.Size;
+    --Live;
+    maybeCompact();
+  }
+
+  /// Moves row \p R to the pool tail with capacity \p NewCap, retiring its
+  /// old extent.
+  void relocate(unsigned R, unsigned NewCap) {
+    Row &Rw = Rows[R];
+    assert(NewCap >= Rw.Size && "relocation would truncate the row");
+    size_t NewOffset = IdxPool.size();
+    IdxPool.resize(IdxPool.size() + NewCap);
+    WordPool.resize(WordPool.size() + size_t(NewCap) * WordsPerTile, 0);
+    std::memcpy(IdxPool.data() + NewOffset, IdxPool.data() + Rw.Offset,
+                Rw.Size * sizeof(uint32_t));
+    std::memcpy(WordPool.data() + NewOffset * WordsPerTile,
+                WordPool.data() + Rw.Offset * WordsPerTile,
+                size_t(Rw.Size) * WordsPerTile * sizeof(uint64_t));
+    Rw.Offset = NewOffset;
+    Rw.Cap = NewCap;
+  }
+
+  void maybeCompact() {
+    // Amortized reclamation, same policy as AdjacencyArena: only when
+    // reclaimable slots dominate and the pool is big enough to matter.
+    if (IdxPool.size() > 64 && IdxPool.size() - Live > IdxPool.size() / 2)
+      compact();
+  }
+
+  std::vector<Row> Rows;
+  /// Sorted tile indices per row, pooled.
+  std::vector<uint32_t> IdxPool;
+  /// Tile payloads, WordsPerTile words per IdxPool slot.
+  std::vector<uint64_t> WordPool;
+  /// Sum of row sizes; IdxPool.size() - Live is reclaimable by compact().
+  size_t Live = 0;
+};
+
+} // namespace rc
+
+#endif // SUPPORT_TILEDBITROWS_H

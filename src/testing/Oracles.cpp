@@ -679,3 +679,97 @@ bool testing::checkWorkGraphRollback(const Graph &G, unsigned Steps,
     return fail(Error, "replaying the surviving merges diverged");
   return true;
 }
+
+bool testing::checkSparseTiledParity(const Graph &G, unsigned K,
+                                     unsigned Steps, Rng &Rand,
+                                     std::string *Error) {
+  const unsigned N = G.numVertices();
+  if (N < 2 || K == 0)
+    return true;
+  // Two forced-sparse engines run the same script: Tiled answers every
+  // cached test through the tile sweeps, Walk never tiles. Decisions must
+  // match at every step, for the dispatching entry points and for the Walk
+  // and Tiled implementations pitted directly against each other on the
+  // tiled engine (same rows, two scan strategies).
+  WorkGraph Tiled(G, /*DenseThreshold=*/0);
+  WorkGraph Walk(G, /*DenseThreshold=*/0);
+  Tiled.setTileMinDegree(0);
+  Walk.setTileMinDegree(~0u);
+  Tiled.enableDegreeCache(K);
+  Walk.enableDegreeCache(K);
+
+  unsigned OpenCheckpoints = 0;
+  auto compareTests = [&](unsigned Step) -> bool {
+    for (unsigned Probe = 0; Probe < 8; ++Probe) {
+      unsigned CU = Tiled.classOf(static_cast<unsigned>(Rand.nextBelow(N)));
+      unsigned CV = Tiled.classOf(static_cast<unsigned>(Rand.nextBelow(N)));
+      if (CU == CV)
+        continue;
+      // Limits bracketing K exercise both the early-exit and the
+      // full-sweep paths of the Briggs count.
+      unsigned Limit = 1 + static_cast<unsigned>(Rand.nextBelow(K + 2));
+      bool TiledSays = Tiled.briggsHighDegreeBelowSparse(CU, CV, Limit);
+      bool WalkSays = Walk.briggsHighDegreeBelowSparse(CU, CV, Limit);
+      bool WalkOnTiled = Tiled.briggsHighDegreeBelowSparseWalk(CU, CV, Limit);
+      if (TiledSays != WalkSays || TiledSays != WalkOnTiled) {
+        std::ostringstream OS;
+        OS << "sparse-tiled-parity: step " << Step << ": briggs(" << CU
+           << "," << CV << ",limit=" << Limit << ") tiled=" << TiledSays
+           << " walk=" << WalkSays << " walk-on-tiled=" << WalkOnTiled;
+        return fail(Error, OS.str());
+      }
+      bool TiledGeorge = Tiled.georgeWitnessesEmptySparse(CU, CV);
+      bool WalkGeorge = Walk.georgeWitnessesEmptySparse(CU, CV);
+      bool WalkGeorgeOnTiled = Tiled.georgeWitnessesEmptySparseWalk(CU, CV);
+      if (TiledGeorge != WalkGeorge || TiledGeorge != WalkGeorgeOnTiled) {
+        std::ostringstream OS;
+        OS << "sparse-tiled-parity: step " << Step << ": george(" << CU
+           << "," << CV << ") tiled=" << TiledGeorge << " walk=" << WalkGeorge
+           << " walk-on-tiled=" << WalkGeorgeOnTiled;
+        return fail(Error, OS.str());
+      }
+    }
+    return true;
+  };
+
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    if (OpenCheckpoints && Rand.nextBelow(5) == 0) {
+      Tiled.rollback();
+      Walk.rollback();
+      --OpenCheckpoints;
+      if (!compareTests(Step))
+        return false;
+      continue;
+    }
+    unsigned U = static_cast<unsigned>(Rand.nextBelow(N));
+    unsigned V = static_cast<unsigned>(Rand.nextBelow(N));
+    if (U == V || !Tiled.canMerge(U, V)) {
+      if (!compareTests(Step))
+        return false;
+      continue;
+    }
+    if (Rand.nextBelow(3) == 0) {
+      Tiled.checkpoint();
+      Walk.checkpoint();
+      ++OpenCheckpoints;
+    }
+    Tiled.merge(U, V);
+    Walk.merge(U, V);
+    if (Tiled.solution().ClassIds != Walk.solution().ClassIds)
+      return fail(Error, "sparse-tiled-parity: partitions diverged after a "
+                         "mirrored merge");
+    if (!compareTests(Step))
+      return false;
+  }
+
+  // Unwind whatever is still open; frozen dead-loser tiles must revive
+  // exactly.
+  while (OpenCheckpoints) {
+    Tiled.rollback();
+    Walk.rollback();
+    --OpenCheckpoints;
+    if (!compareTests(Steps))
+      return false;
+  }
+  return true;
+}

@@ -212,6 +212,27 @@ static CoalescingProblem generateDifferentialInstance(Rng &Rand) {
   return P;
 }
 
+/// An instance for the sparse tiled-vs-walk parity oracle. Half the draws
+/// straddle at least one 512-bit tile boundary (N > 512) at low density so
+/// the multi-tile merge-walks and the tile insert/erase bookkeeping are
+/// exercised; the rest are small dense-ish graphs where merges quickly
+/// build high-degree classes inside one tile. K rides along in P.K as the
+/// degree-cache pressure.
+static CoalescingProblem generateTiledParityInstance(Rng &Rand,
+                                                     unsigned MaxSize) {
+  CoalescingProblem P;
+  if (Rand.flip(0.5)) {
+    unsigned N = 520 + static_cast<unsigned>(Rand.nextBelow(160));
+    P.G = randomGraph(N, 0.004 + 0.012 * Rand.nextDouble(), Rand);
+  } else {
+    unsigned N =
+        8 + static_cast<unsigned>(Rand.nextBelow(std::max(8u, MaxSize)));
+    P.G = randomGraph(N, 0.05 + 0.3 * Rand.nextDouble(), Rand);
+  }
+  P.K = 2 + static_cast<unsigned>(Rand.nextBelow(6));
+  return P;
+}
+
 /// A tiny instance for the exact gap oracle. Biased toward chordal graphs
 /// (the per-affinity Theorem 5 differential only runs on them) with tight
 /// pressure (K = omega, where the interval chains actually matter) mixed
@@ -303,6 +324,17 @@ static bool checkRollbackOnInstance(const CoalescingProblem &P,
   Rng OpRand(deriveSeed(TrialSeedValue, "workgraph-rollback-ops"));
   return checkWorkGraphRollback(P.G, 6 * P.G.numVertices() + 8, OpRand,
                                 Error);
+}
+
+/// Tiled-parity oracle wrapper; the op script is derived from the trial
+/// seed so reproducers replay the exact merge/rollback/probe sequence.
+static bool checkTiledParityOnInstance(const CoalescingProblem &P,
+                                       uint64_t TrialSeedValue,
+                                       std::string *Error) {
+  Rng OpRand(deriveSeed(TrialSeedValue, "sparse-tiled-ops"));
+  unsigned K = P.K ? P.K : 4;
+  return checkSparseTiledParity(P.G, K, 3 * P.G.numVertices() / 2 + 16,
+                                OpRand, Error);
 }
 
 static bool checkSoundnessOnInstance(const CoalescingProblem &P, uint64_t,
@@ -513,6 +545,18 @@ const std::vector<Property> &testing::allProperties() {
                                   checkWorkGraphOnInstance, Config, Trial);
          },
          checkWorkGraphOnInstance});
+
+    Props.push_back(
+        {"sparse-tiled-parity",
+         "tiled sparse bit-row Briggs/George sweeps are decision-identical "
+         "to the stamped-scratch walks through merges and rollbacks",
+         [](Rng &Rand, const FuzzConfig &Config, uint64_t Trial) {
+           CoalescingProblem P =
+               generateTiledParityInstance(Rand, Config.MaxSize);
+           return runProblemTrial("sparse-tiled-parity", P,
+                                  checkTiledParityOnInstance, Config, Trial);
+         },
+         checkTiledParityOnInstance});
 
     Props.push_back(
         {"workgraph-rollback",

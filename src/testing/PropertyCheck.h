@@ -27,6 +27,8 @@
 ///   format-roundtrip             text/binary serializations round-trip
 ///                                instances exactly (auto-detected)
 ///   workgraph-incremental        WorkGraph vs rebuild-from-scratch
+///   sparse-tiled-parity          tiled bit-row sweeps vs stamped walks on
+///                                sparse cached Briggs/George tests
 ///   workgraph-rollback           checkpoint/rollback restores the partition
 ///
 //===----------------------------------------------------------------------===//

@@ -10,12 +10,18 @@
 #include "challenge/ChallengeBinary.h"
 #include "challenge/ChallengeFormat.h"
 #include "runner/BatchRunner.h"
+#include "runner/SweepManifest.h"
 #include "service/ResultCache.h"
+#include "support/MappedFile.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace rc;
 
@@ -43,6 +49,18 @@ CoalescingProblem parseText(const std::string &Text) {
   std::string Error;
   EXPECT_TRUE(readChallenge(In, P, &Error)) << Error;
   return P;
+}
+
+/// Writes \p P's canonical binary rendering to a per-process temp file and
+/// returns its path; callers remove it.
+std::string writeTempBinary(const CoalescingProblem &P, const char *Tag) {
+  std::string Path = ::testing::TempDir() + "rc_format_" + Tag + "_" +
+                     std::to_string(::getpid()) + ".rcb";
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  writeChallengeBinary(Out, P);
+  Out.flush();
+  EXPECT_TRUE(static_cast<bool>(Out)) << Path;
+  return Path;
 }
 
 } // namespace
@@ -151,16 +169,97 @@ TEST(FormatRoundTripTest, TextBinaryTextIsStable) {
   EXPECT_EQ(T1.str(), T2.str());
 }
 
+TEST(FormatRoundTripTest, MappedReaderMatchesBufferedOnGolden24) {
+  // The zero-copy mmap path, the explicit buffered fallback, and the
+  // istream reader must reconstruct byte-identical instances for the whole
+  // golden-24 corpus (the same 24 seeds strategy_stats.golden records).
+  SweepManifest Manifest;
+  std::string Error;
+  ASSERT_TRUE(loadSweepManifest(std::string(RC_TEST_DATA_DIR) +
+                                    "/manifests/golden24.manifest",
+                                Manifest, &Error))
+      << Error;
+  ASSERT_EQ(Manifest.Entries.size(), 24u);
+  for (const SweepEntry &Entry : Manifest.Entries) {
+    LabeledProblem LP;
+    ASSERT_TRUE(materializeSweepEntry(Entry, LP, &Error)) << Error;
+    const std::string Want = canonicalBytes(LP.Problem);
+    std::string Path = writeTempBinary(LP.Problem, "golden24");
+    CoalescingProblem Mapped, Buffered;
+    ASSERT_TRUE(readChallengeFile(Path, Mapped, &Error)) << Error;
+    ASSERT_TRUE(readChallengeFile(Path, Buffered, &Error,
+                                  MappedFile::Mode::Buffered))
+        << Error;
+    EXPECT_EQ(canonicalBytes(Mapped), Want) << Entry.label();
+    EXPECT_EQ(canonicalBytes(Buffered), Want) << Entry.label();
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(FormatRoundTripTest, MappedMatchesBuffered65k) {
+  // The streaming-scale instance (tests/manifests/scale65k.manifest): the
+  // mapped view must actually engage mmap on this platform, and all three
+  // readers — zero-copy buffer parse, forced-buffered fallback, istream —
+  // must agree byte for byte.
+  SweepManifest Manifest;
+  std::string Error;
+  ASSERT_TRUE(loadSweepManifest(std::string(RC_TEST_DATA_DIR) +
+                                    "/manifests/scale65k.manifest",
+                                Manifest, &Error))
+      << Error;
+  ASSERT_EQ(Manifest.Entries.size(), 1u);
+  LabeledProblem LP;
+  ASSERT_TRUE(materializeSweepEntry(Manifest.Entries[0], LP, &Error))
+      << Error;
+  ASSERT_EQ(LP.Problem.G.numVertices(), 65536u);
+  const std::string Want = canonicalBytes(LP.Problem);
+  std::string Path = writeTempBinary(LP.Problem, "scale65k");
+
+  MappedFile File;
+  ASSERT_TRUE(File.open(Path, &Error)) << Error;
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(File.isMapped());
+#endif
+  CoalescingProblem FromMapped;
+  ASSERT_TRUE(readChallengeMapped(File, FromMapped, &Error)) << Error;
+  EXPECT_EQ(canonicalBytes(FromMapped), Want);
+
+  CoalescingProblem FromBuffered;
+  ASSERT_TRUE(readChallengeFile(Path, FromBuffered, &Error,
+                                MappedFile::Mode::Buffered))
+      << Error;
+  EXPECT_EQ(canonicalBytes(FromBuffered), Want);
+
+  std::ifstream In(Path, std::ios::binary);
+  CoalescingProblem FromStream;
+  ASSERT_TRUE(readChallengeBinary(In, FromStream, &Error)) << Error;
+  EXPECT_EQ(canonicalBytes(FromStream), Want);
+  std::remove(Path.c_str());
+}
+
 TEST(FormatRoundTripTest, RejectsCorruptInputs) {
   CoalescingProblem P = parseText("k 2\nn 4\ne 0 3\ne 1 2\na 0 1 2\n");
   const std::string Good = canonicalBytes(P);
 
+  // Every corruption must be refused by both binary readers: the istream
+  // parser and the zero-copy buffer parser behind the mmap path.
   auto rejects = [](std::string Bytes, const char *What) {
-    std::istringstream In(Bytes);
-    CoalescingProblem Q;
-    std::string Error;
-    EXPECT_FALSE(readChallengeBinary(In, Q, &Error)) << What;
-    EXPECT_FALSE(Error.empty()) << What;
+    {
+      std::istringstream In(Bytes);
+      CoalescingProblem Q;
+      std::string Error;
+      EXPECT_FALSE(readChallengeBinary(In, Q, &Error)) << What;
+      EXPECT_FALSE(Error.empty()) << What;
+    }
+    {
+      CoalescingProblem Q;
+      std::string Error;
+      EXPECT_FALSE(readChallengeBinaryBuffer(
+          reinterpret_cast<const unsigned char *>(Bytes.data()),
+          Bytes.size(), Q, &Error))
+          << What;
+      EXPECT_FALSE(Error.empty()) << What;
+    }
   };
 
   rejects("", "empty stream");
@@ -191,6 +290,20 @@ TEST(FormatRoundTripTest, RejectsCorruptInputs) {
     std::string Bad = Good;
     Bad[16] = 100; // edge count > n*(n-1)/2
     rejects(Bad, "impossible edge count");
+  }
+  {
+    // Declared counts whose byte footprint overflows size_t arithmetic
+    // must be rejected up front, before any allocation is sized from them.
+    std::string Bad = Good;
+    for (int I = 0; I < 8; ++I)
+      Bad[16 + I] = static_cast<char>(0xFF); // edge count ~ 2^64
+    rejects(Bad, "edge count overflows size arithmetic");
+  }
+  {
+    std::string Bad = Good;
+    for (int I = 0; I < 8; ++I)
+      Bad[24 + I] = static_cast<char>(0xFF); // affinity count ~ 2^64
+    rejects(Bad, "affinity count overflows size arithmetic");
   }
 }
 

@@ -18,9 +18,15 @@
 # time-per-edge trend across the two sizes, not by microbenchmark noise.
 #
 # Both modes refuse to record a baseline from a stale build (sources newer
-# than the benchmark binaries) unless RC_BENCH_ALLOW_STALE=1, require jq
-# (no silent partial output), and only move validated JSON into place --
-# a failing bench run can never leave a truncated baseline behind.
+# than the benchmark binaries) unless RC_BENCH_ALLOW_STALE=1, refuse
+# non-release CMake build types (Debug baselines measure the wrong code;
+# override with RC_BENCH_ALLOW_DEBUG=1), require jq (no silent partial
+# output), and only move validated JSON into place -- a failing bench run
+# can never leave a truncated baseline behind. The CMake build type the
+# run used is recorded as .context.rc_cmake_build_type in the output.
+# (Google Benchmark's own library_build_type says "debug" even in release
+# builds here, because the project strips -DNDEBUG to keep the paper's
+# invariant assertions on — read rc_cmake_build_type instead.)
 #
 # Usage: tools/bench_baseline.sh [scaling] [build-dir] [output.json]
 #   scaling         record the BM_Scale* baseline instead of the default
@@ -67,6 +73,28 @@ for B in $BENCHES; do
     exit 1
   fi
 done
+
+# Detect the CMake build type. An empty CMAKE_BUILD_TYPE means the
+# project default (RelWithDebInfo, see the top-level CMakeLists.txt).
+BUILD_TYPE=""
+if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+                 "$BUILD_DIR/CMakeCache.txt" | head -n 1)
+fi
+[ -n "$BUILD_TYPE" ] || BUILD_TYPE=RelWithDebInfo
+
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [ "${RC_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+      echo "error: build type is $BUILD_TYPE; baselines must come from a" >&2
+      echo "  Release or RelWithDebInfo build. Reconfigure with" >&2
+      echo "  cmake -B \"$BUILD_DIR\" -DCMAKE_BUILD_TYPE=RelWithDebInfo," >&2
+      echo "  or set RC_BENCH_ALLOW_DEBUG=1 to record anyway" >&2
+      exit 1
+    fi
+    ;;
+esac
 
 # A baseline recorded from a binary older than the sources measures the
 # wrong code. Override with RC_BENCH_ALLOW_STALE=1 if you know better.
@@ -124,6 +152,10 @@ fi
 
 jq -e '.benchmarks | length > 0' "$OUT_TMP" > /dev/null || \
   fail "baseline has no benchmarks (bad --benchmark_filter?)"
+
+# Stamp the build type the run actually used into the context block.
+jq --arg bt "$BUILD_TYPE" '.context.rc_cmake_build_type = $bt' \
+  "$OUT_TMP" > "$OUT_TMP.typed" && mv "$OUT_TMP.typed" "$OUT_TMP"
 
 mv "$OUT_TMP" "$OUT"
 echo "baseline written to $OUT"

@@ -76,13 +76,9 @@ int main(int Argc, char **Argv) {
 
   CoalescingProblem P;
   {
-    std::ifstream In(InPath, std::ios::binary);
+    // Zero-copy loader: mmap + content sniffing (text or binary input).
     std::string Error;
-    if (!In) {
-      std::cerr << "error: cannot open " << InPath << "\n";
-      return 1;
-    }
-    if (!readChallengeAuto(In, P, &Error)) {
+    if (!readChallengeFile(InPath, P, &Error)) {
       std::cerr << "error: " << InPath << ": " << Error << "\n";
       return 1;
     }
@@ -107,9 +103,8 @@ int main(int Argc, char **Argv) {
 
   if (Check) {
     CoalescingProblem Q;
-    std::ifstream Back(OutPath, std::ios::binary);
     std::string Error;
-    if (!Back || !readChallengeAuto(Back, Q, &Error)) {
+    if (!readChallengeFile(OutPath, Q, &Error)) {
       std::cerr << "error: round-trip read of " << OutPath << " failed"
                 << (Error.empty() ? "" : ": " + Error) << "\n";
       return 1;

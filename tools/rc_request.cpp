@@ -156,17 +156,12 @@ int main(int Argc, char **Argv) {
   Parser.each("--instance", "FILE",
               "add an instance from a dumped challenge file (repeatable)",
               [&](const std::string &V, std::string &Error) {
-                // Binary mode so the text/binary content sniffing sees raw
-                // bytes.
-                std::ifstream In(V, std::ios::binary);
-                if (!In) {
-                  Error = "cannot open instance file '" + V + "'";
-                  return false;
-                }
+                // Zero-copy loader: mmap + content sniffing, so `.rcb`
+                // instances skip the stream parse entirely.
                 LabeledProblem LP;
                 LP.Label = V;
                 std::string ReadError;
-                if (!readChallengeAuto(In, LP.Problem, &ReadError)) {
+                if (!readChallengeFile(V, LP.Problem, &ReadError)) {
                   Error = V + ": " + ReadError;
                   return false;
                 }
